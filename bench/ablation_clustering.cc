@@ -1,0 +1,74 @@
+// Ablation 2 — physical clustering on the VPA (paper section 2).
+//
+// "For SVP to be effective, the tuples of the virtual partition must
+// be physically clustered according to the VPA." This bench scans the
+// same 1/8 key range of lineitem with the heap clustered on
+// l_orderkey (the paper's design) vs re-clustered on l_partkey
+// (tuples of the range scattered over the whole heap): pages touched
+// explode in the scattered layout even though the same rows qualify.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+#include "tpch/dbgen.h"
+
+using namespace apuama;        // NOLINT
+using namespace apuama::bench; // NOLINT
+
+int main() {
+  const double sf = EnvDouble("APUAMA_BENCH_SF", 0.01);
+  std::printf("Ablation: clustering on the VPA vs scattered layout "
+              "(SF=%g)\n", sf);
+  tpch::TpchData data(tpch::DbgenOptions{.scale_factor = sf});
+
+  Table t("1/8-range SVP sub-query on lineitem, by physical layout");
+  t.SetHeader({"heap clustered on", "path", "pages touched",
+               "tuples scanned", "rows out"});
+
+  int64_t hi = data.max_orderkey() / 8;
+  std::string sub = StrFormat(
+      "select sum(l_extendedprice) from lineitem where l_orderkey >= 1 "
+      "and l_orderkey < %lld",
+      static_cast<long long>(hi));
+
+  for (const char* layout : {"l_orderkey (paper)", "l_partkey (scattered)"}) {
+    engine::Database db(engine::DatabaseOptions{.buffer_pool_pages = 0});
+    if (!data.LoadInto(&db).ok()) return 1;
+    bool scattered = std::string(layout).find("partkey") != std::string::npos;
+    if (scattered) {
+      // Re-cluster the heap on l_partkey; keep an ordered secondary
+      // index on l_orderkey so an index path still exists.
+      if (!db.Execute("create clustered index cl on lineitem (l_partkey)")
+               .ok()) {
+        return 1;
+      }
+      if (!db.Execute("create index idx_l_orderkey on lineitem (l_orderkey)")
+               .ok()) {
+        return 1;
+      }
+    }
+    db.settings()->enable_seqscan = false;  // Apuama's forcing
+    auto parsed = sql::ParseSelect(sub);
+    engine::ExecStats stats;
+    engine::Executor exec(&db, &stats);
+    auto r = exec.ExecuteSelect(**parsed);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    t.AddRow({layout, engine::AccessPathName(exec.scan_paths()[0].second),
+              StrFormat("%llu", static_cast<unsigned long long>(
+                                    stats.pages_disk + stats.pages_cache)),
+              StrFormat("%llu", static_cast<unsigned long long>(
+                                    stats.tuples_scanned)),
+              StrFormat("%zu", r->rows.size())});
+  }
+  t.Print();
+  std::printf("\nSame qualifying rows; the scattered layout touches nearly "
+              "the whole heap,\nwhich is why the paper clusters fact tables "
+              "on the partitioning attribute.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation 4 — C-JDBC alone (inter-query only) vs Apuama (inter +
+// intra), the paper's motivating comparison (sections 1 and 6):
+// inter-query parallelism cannot accelerate an individual heavy OLAP
+// query, however many nodes are added.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "workload/cluster_sim.h"
+#include "workload/runner.h"
+#include "workload/sequences.h"
+
+using namespace apuama;           // NOLINT
+using namespace apuama::bench;    // NOLINT
+using namespace apuama::workload; // NOLINT
+
+int main() {
+  const double sf = EnvDouble("APUAMA_BENCH_SF", 0.01);
+  const int max_nodes = EnvInt("APUAMA_BENCH_NODES", 16);
+  std::printf("Baseline: plain C-JDBC (inter-query only) vs Apuama "
+              "(SF=%g)\n", sf);
+  tpch::TpchData data(tpch::DbgenOptions{.scale_factor = sf});
+
+  // (1) Isolated heavy query: inter-query gains nothing from nodes.
+  Table iso("Isolated Q1 latency: C-JDBC vs Apuama");
+  iso.SetHeader({"nodes", "C-JDBC only", "Apuama", "Apuama speedup"});
+  for (int n : NodeCounts(max_nodes)) {
+    SimTime base_t = 0, apuama_t = 0;
+    {
+      ClusterSimOptions opts;
+      opts.num_nodes = n;
+      opts.enable_intra_query = false;
+      ClusterSim cluster(data, opts);
+      base_t = *cluster.MeasureIsolated(*tpch::QuerySql(1), 3);
+    }
+    {
+      ClusterSimOptions opts;
+      opts.num_nodes = n;
+      ClusterSim cluster(data, opts);
+      apuama_t = *cluster.MeasureIsolated(*tpch::QuerySql(1), 3);
+    }
+    iso.AddRow({StrFormat("%d", n), Seconds(base_t), Seconds(apuama_t),
+                Ratio(static_cast<double>(base_t) /
+                      static_cast<double>(apuama_t))});
+  }
+  iso.Print();
+
+  // (2) Multi-stream throughput: inter-query *does* scale C-JDBC
+  // (each stream on a different node), Apuama still wins by also
+  // shortening each query.
+  Table thr("Throughput, 3 read-only sequences: C-JDBC vs Apuama");
+  thr.SetHeader({"nodes", "C-JDBC q/min", "Apuama q/min", "ratio"});
+  auto sequences = MakeQuerySequences(3, 2006, 4);
+  for (int n : NodeCounts(max_nodes)) {
+    double base_q = 0, apuama_q = 0;
+    {
+      ClusterSimOptions opts;
+      opts.num_nodes = n;
+      opts.enable_intra_query = false;
+      ClusterSim cluster(data, opts);
+      auto r = RunStreams(&cluster, sequences);
+      if (!r.status.ok()) return 1;
+      base_q = r.queries_per_minute;
+    }
+    {
+      ClusterSimOptions opts;
+      opts.num_nodes = n;
+      ClusterSim cluster(data, opts);
+      auto r = RunStreams(&cluster, sequences);
+      if (!r.status.ok()) return 1;
+      apuama_q = r.queries_per_minute;
+    }
+    thr.AddRow({StrFormat("%d", n), Ratio(base_q), Ratio(apuama_q),
+                Ratio(apuama_q / base_q)});
+  }
+  thr.Print();
+  return 0;
+}

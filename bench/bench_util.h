@@ -1,0 +1,196 @@
+// Shared helpers for the figure-reproduction benches: aligned table
+// printing and environment-variable knobs.
+//
+// Every bench prints the rows/series of one figure of the paper
+// (see DESIGN.md section 4 for the index). Knobs:
+//   APUAMA_BENCH_SF     TPC-H scale factor   (default per bench)
+//   APUAMA_BENCH_NODES  max cluster size     (default 32)
+#ifndef APUAMA_BENCH_BENCH_UTIL_H_
+#define APUAMA_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/string_util.h"
+
+namespace apuama::bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// Node counts used by the paper's figures, capped by the knob.
+inline std::vector<int> NodeCounts(int max_nodes = 32) {
+  std::vector<int> out;
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    if (n <= max_nodes) out.push_back(n);
+  }
+  return out;
+}
+
+/// Simple fixed-width table printer. When APUAMA_BENCH_CSV names a
+/// directory, every printed table is also written there as
+/// <slugified-title>.csv for downstream plotting.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void WriteCsvIfRequested() const {
+    const char* dir = std::getenv("APUAMA_BENCH_CSV");
+    if (dir == nullptr || *dir == '\0') return;
+    std::string slug;
+    for (char c : title_) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        slug += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+      } else if (!slug.empty() && slug.back() != '-') {
+        slug += '-';
+      }
+    }
+    while (!slug.empty() && slug.back() == '-') slug.pop_back();
+    std::string path = std::string(dir) + "/" + slug + ".csv";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    auto write_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        bool quote = row[i].find(',') != std::string::npos;
+        std::fprintf(f, "%s%s%s%s", i ? "," : "", quote ? "\"" : "",
+                     row[i].c_str(), quote ? "\"" : "");
+      }
+      std::fprintf(f, "\n");
+    };
+    write_row(header_);
+    for (const auto& r : rows_) write_row(r);
+    std::fclose(f);
+  }
+
+  void Print() const {
+    WriteCsvIfRequested();
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::vector<size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    for (size_t i = 0; i < header_.size(); ++i) {
+      std::printf("%s  ", std::string(widths[i], '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Seconds(SimTime t) {
+  return FormatDouble(SimToSeconds(t), 3) + "s";
+}
+
+inline std::string Ratio(double v) { return FormatDouble(v, 3); }
+
+/// Minimal ASCII line chart: series of y-values over shared x labels,
+/// optionally log-scaled on y (the paper plots normalized times on a
+/// log scale "to give a clear notion of linearity").
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::vector<std::string> x_labels)
+      : title_(std::move(title)), x_labels_(std::move(x_labels)) {}
+
+  void AddSeries(char marker, std::string name, std::vector<double> ys) {
+    series_.push_back(Series{marker, std::move(name), std::move(ys)});
+  }
+
+  void Print(int height = 16, bool log_y = false) const {
+    if (series_.empty()) return;
+    double lo = 1e300, hi = -1e300;
+    for (const auto& s : series_) {
+      for (double y : s.ys) {
+        double v = log_y ? std::log10(std::max(y, 1e-12)) : y;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (hi <= lo) hi = lo + 1;
+    const int cols_per_x = 8;
+    const int width =
+        static_cast<int>(x_labels_.size()) * cols_per_x;
+    std::vector<std::string> grid(
+        static_cast<size_t>(height),
+        std::string(static_cast<size_t>(width), ' '));
+    for (const auto& s : series_) {
+      for (size_t i = 0; i < s.ys.size() && i < x_labels_.size(); ++i) {
+        double v = log_y ? std::log10(std::max(s.ys[i], 1e-12)) : s.ys[i];
+        int row = static_cast<int>((hi - v) / (hi - lo) *
+                                   (height - 1) + 0.5);
+        int col = static_cast<int>(i) * cols_per_x + cols_per_x / 2;
+        char& cell =
+            grid[static_cast<size_t>(row)][static_cast<size_t>(col)];
+        cell = (cell == ' ') ? s.marker : '*';  // '*' marks overlap
+      }
+    }
+    std::printf("\n--- %s%s ---\n", title_.c_str(),
+                log_y ? " (log y)" : "");
+    for (int r = 0; r < height; ++r) {
+      double v = hi - (hi - lo) * r / (height - 1);
+      double y = log_y ? std::pow(10.0, v) : v;
+      std::printf("%10s |%s\n", FormatDouble(y, 3).c_str(),
+                  grid[static_cast<size_t>(r)].c_str());
+    }
+    std::printf("%10s +%s\n", "", std::string(
+                                      static_cast<size_t>(width), '-')
+                                      .c_str());
+    std::printf("%10s  ", "");
+    for (const auto& x : x_labels_) {
+      std::printf("%-*s", cols_per_x, x.c_str());
+    }
+    std::printf("\n  legend: ");
+    for (const auto& s : series_) {
+      std::printf("[%c] %s  ", s.marker, s.name.c_str());
+    }
+    std::printf("('*' = overlap)\n");
+  }
+
+ private:
+  struct Series {
+    char marker;
+    std::string name;
+    std::vector<double> ys;
+  };
+  std::string title_;
+  std::vector<std::string> x_labels_;
+  std::vector<Series> series_;
+};
+
+}  // namespace apuama::bench
+
+#endif  // APUAMA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,62 @@
+// Figure 3(a) — Throughput with 3 concurrent read-only sequences
+// (queries per minute) vs cluster size, against the Linear reference
+// (1-node throughput × n).
+//
+// Paper shape: super-linear throughput at every configuration; about
+// 2× the linear reference at 4 nodes and roughly 6× from 8 nodes on
+// (virtual partitions fit in memory + least-pending balancing).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tpch/dbgen.h"
+#include "workload/cluster_sim.h"
+#include "workload/runner.h"
+#include "workload/sequences.h"
+
+using namespace apuama;           // NOLINT
+using namespace apuama::bench;    // NOLINT
+using namespace apuama::workload; // NOLINT
+
+int main() {
+  const double sf = EnvDouble("APUAMA_BENCH_SF", 0.01);
+  const int max_nodes = EnvInt("APUAMA_BENCH_NODES", 32);
+  const int streams = EnvInt("APUAMA_BENCH_STREAMS", 3);
+  std::printf("Fig 3(a): throughput, %d read-only sequences (SF=%g)\n",
+              streams, sf);
+  tpch::TpchData data(tpch::DbgenOptions{.scale_factor = sf});
+  auto sequences = MakeQuerySequences(streams, /*seed=*/2006);
+
+  std::vector<double> measured_series, linear_series;
+  std::vector<std::string> xs;
+  Table t("Fig 3(a): queries/minute vs nodes (3 concurrent sequences)");
+  t.SetHeader({"nodes", "queries/min", "linear ref", "vs linear",
+               "makespan", "p50 latency", "p95 latency"});
+  double qpm1 = 0;
+  for (int n : NodeCounts(max_nodes)) {
+    ClusterSimOptions opts;
+    opts.num_nodes = n;
+    ClusterSim cluster(data, opts);
+    StreamRunResult r = RunStreams(&cluster, sequences);
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "n=%d failed: %s\n", n,
+                   r.status.ToString().c_str());
+      return 1;
+    }
+    if (n == 1) qpm1 = r.queries_per_minute;
+    double linear = qpm1 * n;
+    t.AddRow({StrFormat("%d", n), Ratio(r.queries_per_minute),
+              Ratio(linear), Ratio(r.queries_per_minute / linear),
+              Seconds(r.makespan), Seconds(r.LatencyPercentile(0.5)),
+              Seconds(r.LatencyPercentile(0.95))});
+    measured_series.push_back(r.queries_per_minute);
+    linear_series.push_back(linear);
+    xs.push_back(StrFormat("%d", n));
+    std::printf("  measured %d-node configuration\n", n);
+  }
+  t.Print();
+  AsciiChart chart("Fig 3(a): throughput vs nodes", xs);
+  chart.AddSeries('L', "Linear", linear_series);
+  chart.AddSeries('A', "Apuama", measured_series);
+  chart.Print(16, /*log_y=*/true);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 3(b) — Scale-up: n concurrent read-only sequences on n
+// nodes; total execution time vs n. Ideal (Linear) is a flat line.
+//
+// Paper shape: better than flat — execution time *drops* below the
+// 1-node/1-sequence reference (about 3× better than linear from 8
+// nodes on), because each query also runs faster with more nodes.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tpch/dbgen.h"
+#include "workload/cluster_sim.h"
+#include "workload/runner.h"
+#include "workload/sequences.h"
+
+using namespace apuama;           // NOLINT
+using namespace apuama::bench;    // NOLINT
+using namespace apuama::workload; // NOLINT
+
+int main() {
+  const double sf = EnvDouble("APUAMA_BENCH_SF", 0.01);
+  const int max_nodes = EnvInt("APUAMA_BENCH_NODES", 32);
+  std::printf("Fig 3(b): scale-up, n sequences on n nodes (SF=%g)\n", sf);
+  tpch::TpchData data(tpch::DbgenOptions{.scale_factor = sf});
+
+  Table t("Fig 3(b): execution time, n sequences on n nodes");
+  t.SetHeader({"nodes (=streams)", "exec time", "normalized (flat=1 ideal)",
+               "queries"});
+  double t1 = 0;
+  for (int n : NodeCounts(max_nodes)) {
+    ClusterSimOptions opts;
+    opts.num_nodes = n;
+    ClusterSim cluster(data, opts);
+    auto sequences = MakeQuerySequences(n, /*seed=*/2006 + n);
+    StreamRunResult r = RunStreams(&cluster, sequences);
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "n=%d failed: %s\n", n,
+                   r.status.ToString().c_str());
+      return 1;
+    }
+    if (n == 1) t1 = static_cast<double>(r.makespan);
+    t.AddRow({StrFormat("%d", n), Seconds(r.makespan),
+              Ratio(static_cast<double>(r.makespan) / t1),
+              StrFormat("%llu",
+                        static_cast<unsigned long long>(r.read_queries))});
+    std::printf("  measured %d-node configuration\n", n);
+  }
+  t.Print();
+  return 0;
+}

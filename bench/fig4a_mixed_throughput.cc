@@ -1,0 +1,64 @@
+// Figure 4(a) — Mixed workload throughput: 3 read-only sequences plus
+// one update sequence (insert-then-delete refresh transactions on
+// orders and lineitem), queries per minute vs cluster size.
+//
+// Paper shape: near-linear gains from 2 to 8 nodes; from 16 to 32
+// nodes the replica-consistency protocol (write broadcast to every
+// node) eats the gains — almost no improvement 16 -> 32.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/refresh.h"
+#include "workload/cluster_sim.h"
+#include "workload/runner.h"
+#include "workload/sequences.h"
+
+using namespace apuama;           // NOLINT
+using namespace apuama::bench;    // NOLINT
+using namespace apuama::workload; // NOLINT
+
+int main() {
+  const double sf = EnvDouble("APUAMA_BENCH_SF", 0.01);
+  const int max_nodes = EnvInt("APUAMA_BENCH_NODES", 32);
+  const int streams = EnvInt("APUAMA_BENCH_STREAMS", 3);
+  // The paper ran 52,500 update transactions at SF 5; here a short
+  // insert-then-delete stream loops for the whole run.
+  const int update_orders = EnvInt("APUAMA_BENCH_UPDATE_ORDERS", 10);
+  std::printf(
+      "Fig 4(a): mixed throughput, %d read sequences + 1 update sequence "
+      "(SF=%g, %d refresh orders)\n",
+      streams, sf, update_orders);
+  tpch::TpchData data(tpch::DbgenOptions{.scale_factor = sf});
+  auto sequences = MakeQuerySequences(streams, /*seed=*/2006);
+
+  Table t("Fig 4(a): queries/minute vs nodes (mixed workload)");
+  t.SetHeader({"nodes", "queries/min", "linear ref", "vs linear",
+               "svp waits", "writes blocked"});
+  double qpm1 = 0;
+  for (int n : NodeCounts(max_nodes)) {
+    ClusterSimOptions opts;
+    opts.num_nodes = n;
+    opts.key_headroom = update_orders + 1;
+    ClusterSim cluster(data, opts);
+    auto updates = tpch::MakeRefreshStream(data.max_orderkey() + 1,
+                                           update_orders, /*seed=*/7);
+    StreamRunResult r = RunStreams(&cluster, sequences, updates, /*loop_updates=*/true);
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "n=%d failed: %s\n", n,
+                   r.status.ToString().c_str());
+      return 1;
+    }
+    if (n == 1) qpm1 = r.queries_per_minute;
+    double linear = qpm1 * n;
+    t.AddRow({StrFormat("%d", n), Ratio(r.queries_per_minute),
+              Ratio(linear), Ratio(r.queries_per_minute / linear),
+              StrFormat("%llu", static_cast<unsigned long long>(
+                                    cluster.svp_barrier_waits())),
+              StrFormat("%llu", static_cast<unsigned long long>(
+                                    cluster.writes_blocked()))});
+    std::printf("  measured %d-node configuration\n", n);
+  }
+  t.Print();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 4(b) — Mixed workload scale-up: n read-only sequences on n
+// nodes plus one update sequence; execution time vs n.
+//
+// Paper shape: gains up to 16 nodes, then replica synchronization
+// makes 32 nodes perform about like 4 nodes.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/refresh.h"
+#include "workload/cluster_sim.h"
+#include "workload/runner.h"
+#include "workload/sequences.h"
+
+using namespace apuama;           // NOLINT
+using namespace apuama::bench;    // NOLINT
+using namespace apuama::workload; // NOLINT
+
+int main() {
+  const double sf = EnvDouble("APUAMA_BENCH_SF", 0.01);
+  const int max_nodes = EnvInt("APUAMA_BENCH_NODES", 32);
+  const int update_orders = EnvInt("APUAMA_BENCH_UPDATE_ORDERS", 10);
+  std::printf(
+      "Fig 4(b): mixed scale-up, n read sequences + 1 update sequence "
+      "(SF=%g, %d refresh orders)\n",
+      sf, update_orders);
+  tpch::TpchData data(tpch::DbgenOptions{.scale_factor = sf});
+
+  Table t("Fig 4(b): execution time, n read sequences + updates, n nodes");
+  t.SetHeader({"nodes (=streams)", "exec time", "normalized", "queries",
+               "svp waits"});
+  double t1 = 0;
+  for (int n : NodeCounts(max_nodes)) {
+    ClusterSimOptions opts;
+    opts.num_nodes = n;
+    opts.key_headroom = update_orders + 1;
+    ClusterSim cluster(data, opts);
+    auto sequences = MakeQuerySequences(n, /*seed=*/2006 + n);
+    auto updates = tpch::MakeRefreshStream(data.max_orderkey() + 1,
+                                           update_orders, /*seed=*/7);
+    StreamRunResult r = RunStreams(&cluster, sequences, updates, /*loop_updates=*/true);
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "n=%d failed: %s\n", n,
+                   r.status.ToString().c_str());
+      return 1;
+    }
+    if (n == 1) t1 = static_cast<double>(r.makespan);
+    t.AddRow({StrFormat("%d", n), Seconds(r.makespan),
+              Ratio(static_cast<double>(r.makespan) / t1),
+              StrFormat("%llu",
+                        static_cast<unsigned long long>(r.read_queries)),
+              StrFormat("%llu", static_cast<unsigned long long>(
+                                    cluster.svp_barrier_waits()))});
+    std::printf("  measured %d-node configuration\n", n);
+  }
+  t.Print();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) for the hot components: SQL
+// parsing, SVP rewriting, single-node execution, composition merge,
+// buffer-pool bookkeeping, LIKE matching.
+#include <benchmark/benchmark.h>
+
+#include "apuama/result_composer.h"
+#include "apuama/svp_rewriter.h"
+#include "common/rng.h"
+#include "engine/database.h"
+#include "engine/eval.h"
+#include "sql/parser.h"
+#include "sql/unparse.h"
+#include "storage/buffer_pool.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_catalog.h"
+
+namespace apuama {
+namespace {
+
+const tpch::TpchData& BenchData() {
+  static const tpch::TpchData* d =
+      new tpch::TpchData(tpch::DbgenOptions{.scale_factor = 0.002});
+  return *d;
+}
+
+void BM_ParseQ1(benchmark::State& state) {
+  std::string sql = *tpch::QuerySql(1);
+  for (auto _ : state) {
+    auto r = sql::ParseSelect(sql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParseQ1);
+
+void BM_ParseUnparseRoundTrip(benchmark::State& state) {
+  std::string sql = *tpch::QuerySql(21);
+  for (auto _ : state) {
+    auto r = sql::ParseSelect(sql);
+    std::string text = sql::UnparseSelect(**r);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_ParseUnparseRoundTrip);
+
+void BM_SvpRewrite(benchmark::State& state) {
+  DataCatalog catalog = tpch::MakeTpchCatalog(BenchData());
+  SvpRewriter rewriter(&catalog);
+  auto parsed = sql::ParseSelect(*tpch::QuerySql(1));
+  for (auto _ : state) {
+    auto plan = rewriter.Rewrite(**parsed);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_SvpRewrite);
+
+void BM_SubquerySqlRender(benchmark::State& state) {
+  DataCatalog catalog = tpch::MakeTpchCatalog(BenchData());
+  SvpRewriter rewriter(&catalog);
+  auto parsed = sql::ParseSelect(*tpch::QuerySql(1));
+  auto plan = rewriter.Rewrite(**parsed);
+  int64_t lo = 1;
+  for (auto _ : state) {
+    std::string sub = plan->SubquerySql(lo, lo + 100);
+    benchmark::DoNotOptimize(sub);
+    ++lo;
+  }
+}
+BENCHMARK(BM_SubquerySqlRender);
+
+void BM_ExecuteQ6SingleNode(benchmark::State& state) {
+  engine::Database db(engine::DatabaseOptions{.buffer_pool_pages = 0});
+  if (!BenchData().LoadInto(&db).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  std::string sql = *tpch::QuerySql(6);
+  for (auto _ : state) {
+    auto r = db.Execute(sql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ExecuteQ6SingleNode);
+
+void BM_ExecuteQ1SingleNode(benchmark::State& state) {
+  engine::Database db(engine::DatabaseOptions{.buffer_pool_pages = 0});
+  if (!BenchData().LoadInto(&db).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  std::string sql = *tpch::QuerySql(1);
+  for (auto _ : state) {
+    auto r = db.Execute(sql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ExecuteQ1SingleNode);
+
+void BM_ComposerMerge(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<engine::QueryResult> partials(8);
+  for (auto& p : partials) {
+    p.column_names = {"g0", "a0"};
+    for (int i = 0; i < rows; ++i) {
+      p.rows.push_back({Value::Int(rng.Uniform(0, 50)),
+                        Value::Double(rng.UniformDouble(0, 100))});
+    }
+  }
+  std::vector<const engine::QueryResult*> ptrs;
+  for (const auto& p : partials) ptrs.push_back(&p);
+  ResultComposer composer;
+  for (auto _ : state) {
+    CompositionStats stats;
+    auto r = composer.Compose(
+        ptrs, "select g0, sum(a0) as s from partials group by g0", &stats);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 8);
+}
+BENCHMARK(BM_ComposerMerge)->Arg(100)->Arg(2000);
+
+void BM_BufferPoolTouch(benchmark::State& state) {
+  storage::BufferPool pool(1024);
+  uint32_t page = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Touch({1, page % 2048}));
+    ++page;
+  }
+}
+BENCHMARK(BM_BufferPoolTouch);
+
+void BM_LikeMatch(benchmark::State& state) {
+  std::string text = "PROMO BURNISHED COPPER";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::LikeMatch(text, "PROMO%"));
+    benchmark::DoNotOptimize(engine::LikeMatch(text, "%COPPER"));
+    benchmark::DoNotOptimize(engine::LikeMatch(text, "%URNI%"));
+  }
+}
+BENCHMARK(BM_LikeMatch);
+
+}  // namespace
+}  // namespace apuama
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Apuama with your own star schema — the library is not TPC-H-bound.
+// A retail warehouse: a `sales` fact table clustered on sale_id plus
+// `stores` and `products` dimensions, registered for virtual
+// partitioning, queried through the full stack.
+//
+//   $ ./build/examples/custom_warehouse
+#include <cstdio>
+#include <string>
+
+#include "apuama/apuama_engine.h"
+#include "cjdbc/controller.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+using namespace apuama;  // NOLINT: example code
+
+namespace {
+
+Status LoadWarehouse(cjdbc::ReplicaSet* replicas, int num_sales) {
+  // DDL through the controller-style broadcast.
+  for (const char* ddl : {
+           "create table stores (store_id bigint not null primary key,"
+           " city varchar(20), region varchar(10))",
+           "create table products (product_id bigint not null primary key,"
+           " category varchar(16), unit_price double)",
+           "create table sales (sale_id bigint not null primary key,"
+           " store_id bigint not null, product_id bigint not null,"
+           " quantity bigint, amount double, sale_date date)",
+           "create index idx_sales_store on sales (store_id)",
+           "create index idx_sales_product on sales (product_id)",
+       }) {
+    APUAMA_RETURN_NOT_OK(replicas->ApplyToAll(ddl));
+  }
+  // Deterministic data, loaded on every replica.
+  Rng rng(404);
+  std::string stores =
+      "insert into stores values (1,'Rio','SOUTH'), (2,'Recife','NORTH'),"
+      " (3,'Manaus','NORTH'), (4,'Porto Alegre','SOUTH')";
+  std::string products =
+      "insert into products values (1,'beverages',3.5), (2,'dairy',8.0),"
+      " (3,'bakery',5.25), (4,'produce',2.1), (5,'frozen',11.9)";
+  APUAMA_RETURN_NOT_OK(replicas->ApplyToAll(stores));
+  APUAMA_RETURN_NOT_OK(replicas->ApplyToAll(products));
+  for (int i = 1; i <= num_sales; i += 50) {
+    std::string values;
+    for (int j = i; j < i + 50 && j <= num_sales; ++j) {
+      if (!values.empty()) values += ", ";
+      int64_t qty = rng.Uniform(1, 20);
+      values += StrFormat(
+          "(%d, %lld, %lld, %lld, %s, date '2005-%02d-%02d')", j,
+          static_cast<long long>(rng.Uniform(1, 4)),
+          static_cast<long long>(rng.Uniform(1, 5)),
+          static_cast<long long>(qty),
+          FormatDouble(static_cast<double>(qty) *
+                           rng.UniformDouble(2.0, 12.0), 2).c_str(),
+          static_cast<int>(rng.Uniform(1, 12)),
+          static_cast<int>(rng.Uniform(1, 28)));
+    }
+    APUAMA_RETURN_NOT_OK(
+        replicas->ApplyToAll("insert into sales values " + values));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const int kSales = 5000;
+  cjdbc::ReplicaSet replicas(4, cjdbc::ReplicaSet::NodeOptions{});
+  Status s = LoadWarehouse(&replicas, kSales);
+  if (!s.ok()) {
+    std::printf("load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Register the fact table for virtual partitioning: one key space,
+  // one member — sales.sale_id, domain [1, kSales].
+  DataCatalog catalog;
+  VirtualPartitionSpace space;
+  space.name = "sale_id";
+  space.members.push_back({"sales", "sale_id"});
+  space.min_value = 1;
+  space.max_value = kSales;
+  if (!catalog.RegisterSpace(std::move(space)).ok()) return 1;
+
+  ApuamaEngine engine(&replicas, std::move(catalog));
+  cjdbc::Controller controller(std::make_unique<ApuamaDriver>(&engine));
+
+  const std::string report =
+      "select region, category,"
+      " sum(amount) as revenue, avg(quantity) as avg_basket,"
+      " count(*) as transactions"
+      " from sales, stores, products"
+      " where sales.store_id = stores.store_id"
+      " and sales.product_id = products.product_id"
+      " group by region, category"
+      " order by revenue desc limit 6";
+
+  std::printf("Regional revenue report (via 4-node SVP):\n\n");
+  auto r = controller.Execute(report);
+  if (!r.ok()) {
+    std::printf("query failed: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", r->ToString(10).c_str());
+  std::printf("svp_queries=%llu (intra-query parallelism used: %s)\n",
+              static_cast<unsigned long long>(engine.stats().svp_queries),
+              engine.stats().svp_queries > 0 ? "yes" : "no");
+
+  // An OLTP-style point lookup goes through the inter-query path.
+  auto point = controller.Execute(
+      "select amount from sales where sale_id = 4242");
+  std::printf("\nPoint lookup (inter-query path): amount=%s, "
+              "passthrough_reads=%llu\n",
+              point->rows.empty() ? "?" : point->rows[0][0].ToString().c_str(),
+              static_cast<unsigned long long>(
+                  engine.stats().passthrough_reads));
+  return engine.stats().svp_queries > 0 ? 0 : 1;
+}

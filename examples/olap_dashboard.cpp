@@ -1,0 +1,78 @@
+// A decision-support "dashboard" session: the paper's 8 TPC-H queries
+// run through the full middleware stack, then a small capacity-
+// planning sweep on the virtual-time simulator (how would this
+// workload behave on 2 / 4 / 8 nodes?).
+//
+//   $ ./build/examples/olap_dashboard
+#include <chrono>
+#include <cstdio>
+
+#include "apuama/apuama_engine.h"
+#include "cjdbc/controller.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_catalog.h"
+#include "workload/cluster_sim.h"
+#include "workload/runner.h"
+#include "workload/sequences.h"
+
+using namespace apuama;  // NOLINT: example code
+
+int main() {
+  tpch::TpchData data(tpch::DbgenOptions{.scale_factor = 0.002});
+  cjdbc::ReplicaSet replicas(4, cjdbc::ReplicaSet::NodeOptions{});
+  if (!data.LoadIntoReplicas(&replicas).ok()) return 1;
+  ApuamaEngine engine(&replicas, tpch::MakeTpchCatalog(data));
+  cjdbc::Controller controller(
+      std::make_unique<ApuamaDriver>(&engine));
+
+  std::printf("== Running the paper's 8 TPC-H queries on a 4-node "
+              "Apuama cluster ==\n\n");
+  for (int q : tpch::PaperQueryNumbers()) {
+    auto sql = tpch::QuerySql(q);
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = controller.Execute(*sql);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!r.ok()) {
+      std::printf("Q%d FAILED: %s\n", q, r.status().ToString().c_str());
+      return 1;
+    }
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::printf("Q%-2d  %-60s  %4zu row(s)  %7.1f ms\n", q,
+                tpch::QueryDescription(q), r->rows.size(), ms);
+    // First row as a teaser.
+    if (!r->rows.empty()) {
+      std::string teaser;
+      for (size_t c = 0; c < r->rows[0].size() && c < 4; ++c) {
+        if (c > 0) teaser += " | ";
+        teaser += r->column_names[c] + "=" + r->rows[0][c].ToString();
+      }
+      std::printf("      -> %s%s\n", teaser.c_str(),
+                  r->rows[0].size() > 4 ? " | ..." : "");
+    }
+  }
+  const auto& st = engine.stats();
+  std::printf("\nApuama: %llu SVP queries, %llu pass-through reads, "
+              "%llu not rewritable, %llu partial rows composed\n",
+              static_cast<unsigned long long>(st.svp_queries),
+              static_cast<unsigned long long>(st.passthrough_reads),
+              static_cast<unsigned long long>(st.non_rewritable),
+              static_cast<unsigned long long>(st.partial_rows_total));
+
+  std::printf("\n== Capacity planning: 3 analyst sessions, virtual-time "
+              "simulation ==\n\n");
+  std::printf("%-6s  %-14s  %-12s\n", "nodes", "queries/min", "makespan");
+  auto sequences = workload::MakeQuerySequences(3, /*seed=*/1);
+  for (int n : {2, 4, 8}) {
+    workload::ClusterSimOptions opts;
+    opts.num_nodes = n;
+    workload::ClusterSim cluster(data, opts);
+    auto r = workload::RunStreams(&cluster, sequences);
+    if (!r.status.ok()) return 1;
+    std::printf("%-6d  %-14.1f  %-.2fs\n", n, r.queries_per_minute,
+                SimToSeconds(r.makespan));
+  }
+  std::printf("\n(virtual time; see bench/fig3a_throughput for the full "
+              "figure)\n");
+  return 0;
+}

@@ -1,0 +1,310 @@
+#include "apuama/apuama_engine.h"
+
+#include <chrono>
+#include <future>
+
+#include "cjdbc/controller.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+
+namespace apuama {
+
+ApuamaEngine::ApuamaEngine(cjdbc::ReplicaSet* replicas, DataCatalog catalog,
+                           ApuamaOptions options)
+    : replicas_(replicas), catalog_(std::move(catalog)),
+      options_(options), rewriter_(&catalog_),
+      consistency_(replicas->num_nodes(), [replicas](int i) {
+        return replicas->IsNodeAvailable(i);
+      }) {
+  for (int i = 0; i < replicas_->num_nodes(); ++i) {
+    processors_.push_back(
+        std::make_unique<NodeProcessor>(i, replicas_, options.node_options));
+  }
+  int threads = options.dispatch_threads;
+  if (threads < replicas_->num_nodes()) threads = replicas_->num_nodes();
+  dispatch_pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+}
+
+bool ApuamaEngine::ReplicasConsistent() const {
+  // Down nodes are excluded: their counters freeze while unavailable
+  // and they rejoin through recovery, not through this check.
+  std::vector<int> alive = replicas_->AvailableNodes();
+  if (alive.empty()) return true;
+  uint64_t first =
+      processors_[static_cast<size_t>(alive[0])]->TransactionCounter();
+  for (int i : alive) {
+    if (processors_[static_cast<size_t>(i)]->TransactionCounter() !=
+        first) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<engine::QueryResult> ApuamaEngine::ExecuteRead(
+    int node_id, const std::string& sql) {
+  if (node_id < 0 || node_id >= num_nodes()) {
+    return Status::InvalidArgument("bad node id");
+  }
+  if (options_.enable_intra_query) {
+    // Query Parser + Data Catalog: is this an SVP candidate?
+    auto parsed = sql::ParseSelect(sql);
+    if (parsed.ok() && rewriter_.TouchesFactTable(**parsed)) {
+      auto result = options_.technique == IntraQueryTechnique::kAvp
+                        ? ExecuteAvp(**parsed)
+                        : ExecuteSvp(**parsed);
+      if (result.ok()) return result;
+      if (result.status().code() != StatusCode::kUnsupported) {
+        return result;  // real error
+      }
+      // Not rewritable: fall through to the inter-query path.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.non_rewritable;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.passthrough_reads;
+  }
+  return processors_[static_cast<size_t>(node_id)]->Execute(sql);
+}
+
+Result<engine::QueryResult> ApuamaEngine::ExecuteWriteOn(
+    int node_id, const std::string& sql) {
+  if (node_id < 0 || node_id >= num_nodes()) {
+    return Status::InvalidArgument("bad node id");
+  }
+  ConsistencyManager::WriteClass cls =
+      consistency_.BeginNodeWrite(node_id, sql);
+  auto result = processors_[static_cast<size_t>(node_id)]->Execute(sql);
+  consistency_.EndNodeWrite(node_id, cls);
+  if (node_id == 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.writes;
+  }
+  return result;
+}
+
+Result<engine::QueryResult> ApuamaEngine::ExecuteSvp(
+    const sql::SelectStmt& query) {
+  // Intra-Query Executor. Partition over the *available* nodes: a
+  // crashed replica's key range is redistributed across the
+  // survivors (full replication makes any node able to serve any
+  // interval — the failover benefit of VP over physical partitioning).
+  APUAMA_ASSIGN_OR_RETURN(SvpPlan plan, rewriter_.Rewrite(query));
+  std::vector<int> alive = replicas_->AvailableNodes();
+  if (alive.empty()) return Status::Unavailable("no node available");
+  const int n = static_cast<int>(alive.size());
+  auto intervals = plan.MakeIntervals(n);
+
+  // Render all sub-queries before dispatch (SubquerySql mutates the
+  // shared template; rendering is not thread-safe, dispatch is).
+  std::vector<std::string> sub_sql;
+  sub_sql.reserve(static_cast<size_t>(n));
+  for (const auto& [lo, hi] : intervals) {
+    sub_sql.push_back(plan.SubquerySql(lo, hi));
+  }
+
+  // Consistency barrier: block new updates, wait for replicas to be
+  // mutually consistent, dispatch everything, then unblock (updates
+  // may overlap sub-query *execution*, per the paper).
+  std::vector<std::future<Result<engine::QueryResult>>> futures;
+  consistency_.BeginSvpPrepare([this] { return ReplicasConsistent(); });
+  for (int i = 0; i < n; ++i) {
+    NodeProcessor* np = processors_[static_cast<size_t>(alive[i])].get();
+    std::string stmt = sub_sql[static_cast<size_t>(i)];
+    futures.push_back(dispatch_pool_->Submit(
+        [np, stmt = std::move(stmt)] { return np->ExecuteSubquery(stmt); }));
+  }
+  consistency_.EndSvpPrepare();  // all sub-queries dispatched
+
+  std::vector<engine::QueryResult> partials;
+  partials.reserve(static_cast<size_t>(n));
+  Status first_error = Status::OK();
+  std::vector<size_t> failed_intervals;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<engine::QueryResult> r = futures[i].get();
+    if (r.ok()) {
+      partials.push_back(std::move(r).value());
+    } else if (r.status().code() == StatusCode::kUnavailable) {
+      // Node died after dispatch: retry its interval elsewhere.
+      failed_intervals.push_back(i);
+    } else if (first_error.ok()) {
+      first_error = r.status();
+    }
+  }
+  if (!first_error.ok()) return first_error;
+  for (size_t idx : failed_intervals) {
+    std::vector<int> still_alive = replicas_->AvailableNodes();
+    if (still_alive.empty()) {
+      return Status::Unavailable("no node available for retry");
+    }
+    // Spread retries round-robin over the survivors.
+    int target = still_alive[idx % still_alive.size()];
+    auto r = processors_[static_cast<size_t>(target)]->ExecuteSubquery(
+        sub_sql[idx]);
+    if (!r.ok()) return r.status();
+    partials.push_back(std::move(r).value());
+  }
+
+  std::vector<const engine::QueryResult*> partial_ptrs;
+  partial_ptrs.reserve(partials.size());
+  for (const auto& p : partials) partial_ptrs.push_back(&p);
+
+  CompositionStats cstats;
+  auto t0 = std::chrono::steady_clock::now();
+  Result<engine::QueryResult> final_result = [&] {
+    std::lock_guard<std::mutex> lock(composer_mu_);
+    return composer_.Compose(partial_ptrs, plan.composition_sql(), &cstats);
+  }();
+  auto t1 = std::chrono::steady_clock::now();
+
+  if (final_result.ok()) {
+    // Aggregate per-node stats into the result for observability.
+    engine::ExecStats combined;
+    for (const auto& p : partials) combined += p.stats;
+    combined.cpu_ops += cstats.compose_exec.cpu_ops;
+    combined.tuples_output = final_result->rows.size();
+    final_result->stats = combined;
+
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.svp_queries;
+    stats_.partial_rows_total += cstats.partial_rows;
+    stats_.compose_ms_total += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0)
+            .count());
+  }
+  return final_result;
+}
+
+Result<engine::QueryResult> ApuamaEngine::ExecuteAvp(
+    const sql::SelectStmt& query) {
+  APUAMA_ASSIGN_OR_RETURN(SvpPlan plan, rewriter_.Rewrite(query));
+  std::vector<int> alive = replicas_->AvailableNodes();
+  if (alive.empty()) return Status::Unavailable("no node available");
+  const int n = static_cast<int>(alive.size());
+
+  // Shared adaptive state: the scheduler hands out chunks; the plan
+  // template is mutated per render — both behind one mutex.
+  AvpScheduler scheduler(n, plan.domain_min(), plan.domain_max(),
+                         options_.avp);
+  std::mutex mu;
+  std::vector<engine::QueryResult> partials;
+  Status first_error = Status::OK();
+
+  auto worker = [&, this](int slot) {
+    NodeProcessor* np = processors_[static_cast<size_t>(alive[slot])].get();
+    while (true) {
+      std::string sub;
+      int64_t keys = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error.ok()) return;
+        auto chunk = scheduler.NextChunk(slot);
+        if (!chunk.has_value()) return;
+        keys = chunk->second - chunk->first;
+        sub = plan.SubquerySql(chunk->first, chunk->second);
+      }
+      auto t0 = std::chrono::steady_clock::now();
+      auto r = np->ExecuteSubquery(sub);
+      auto t1 = std::chrono::steady_clock::now();
+      std::lock_guard<std::mutex> lock(mu);
+      if (!r.ok()) {
+        if (first_error.ok()) first_error = r.status();
+        return;
+      }
+      partials.push_back(std::move(r).value());
+      scheduler.ReportChunkTime(
+          slot, keys,
+          std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+              .count());
+    }
+  };
+
+  // Same consistency barrier as SVP; workers are "dispatched" once
+  // all of them are queued (each chunk then executes under statement
+  // isolation, like SVP sub-queries).
+  std::vector<std::future<void>> futures;
+  consistency_.BeginSvpPrepare([this] { return ReplicasConsistent(); });
+  for (int i = 0; i < n; ++i) {
+    futures.push_back(dispatch_pool_->Submit([worker, i] { worker(i); }));
+  }
+  consistency_.EndSvpPrepare();
+  for (auto& f : futures) f.get();
+  APUAMA_RETURN_NOT_OK(first_error);
+
+  std::vector<const engine::QueryResult*> ptrs;
+  ptrs.reserve(partials.size());
+  for (const auto& p : partials) ptrs.push_back(&p);
+  CompositionStats cstats;
+  auto final_result = [&] {
+    std::lock_guard<std::mutex> lock(composer_mu_);
+    return composer_.Compose(ptrs, plan.composition_sql(), &cstats);
+  }();
+  if (final_result.ok()) {
+    engine::ExecStats combined;
+    for (const auto& p : partials) combined += p.stats;
+    combined.cpu_ops += cstats.compose_exec.cpu_ops;
+    combined.tuples_output = final_result->rows.size();
+    final_result->stats = combined;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.svp_queries;
+    stats_.partial_rows_total += cstats.partial_rows;
+    stats_.avp_chunks += static_cast<uint64_t>(scheduler.chunks_issued());
+    stats_.avp_steals += static_cast<uint64_t>(scheduler.steals());
+  }
+  return final_result;
+}
+
+namespace {
+
+class ApuamaConnection : public cjdbc::Connection {
+ public:
+  ApuamaConnection(ApuamaEngine* engine, int node_id)
+      : engine_(engine), node_id_(node_id) {}
+
+  Result<engine::QueryResult> ExecuteRecovery(
+      const std::string& sql) override {
+    // Replay goes straight to the node: the controller already holds
+    // the write order and this statement is not a broadcast.
+    auto result = engine_->processor(node_id_)->Execute(sql);
+    engine_->consistency()->NotifyStateChange();
+    return result;
+  }
+
+  Result<engine::QueryResult> Execute(const std::string& sql) override {
+    APUAMA_ASSIGN_OR_RETURN(cjdbc::RequestKind kind,
+                            cjdbc::ClassifyRequest(sql));
+    switch (kind) {
+      case cjdbc::RequestKind::kRead:
+        return engine_->ExecuteRead(node_id_, sql);
+      case cjdbc::RequestKind::kWrite:
+        return engine_->ExecuteWriteOn(node_id_, sql);
+      case cjdbc::RequestKind::kDdl:
+      case cjdbc::RequestKind::kControl:
+        // Schema / session statements pass straight through to the
+        // node (the controller broadcasts them to every backend).
+        return engine_->processor(node_id_)->Execute(sql);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  int node_id() const override { return node_id_; }
+
+ private:
+  ApuamaEngine* engine_;
+  int node_id_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<cjdbc::Connection>> ApuamaDriver::Connect(
+    int node_id) {
+  if (node_id < 0 || node_id >= engine_->num_nodes()) {
+    return Status::Unavailable("no such node");
+  }
+  return std::unique_ptr<cjdbc::Connection>(
+      new ApuamaConnection(engine_, node_id));
+}
+
+}  // namespace apuama

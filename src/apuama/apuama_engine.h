@@ -1,0 +1,130 @@
+// The Apuama Engine (paper Fig. 1): Cluster Administrator +
+// Intra-Query Executor + Node Processors + Result Composer, glued to
+// C-JDBC through ApuamaDriver without touching controller code.
+//
+// Request flow for a read that lands on backend i:
+//   ApuamaConnection(i) -> ApuamaEngine::ExecuteRead(i, sql)
+//     Query Parser: which tables? Data Catalog: partitionable?
+//     yes -> Intra-Query Executor: consistency barrier, SVP rewrite,
+//            dispatch sub-queries to ALL node processors in parallel,
+//            Result Composer merges partials       (intra-query path)
+//     no  -> NodeProcessor(i).Execute(sql)          (inter-query path)
+// Writes go through every backend (C-JDBC broadcast); each node's
+// processor brackets them with the consistency manager.
+#ifndef APUAMA_APUAMA_APUAMA_ENGINE_H_
+#define APUAMA_APUAMA_APUAMA_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apuama/avp.h"
+#include "apuama/consistency.h"
+#include "apuama/data_catalog.h"
+#include "apuama/node_processor.h"
+#include "apuama/result_composer.h"
+#include "apuama/svp_rewriter.h"
+#include "cjdbc/connection.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace apuama {
+
+/// Which intra-query technique the engine applies to eligible reads.
+enum class IntraQueryTechnique {
+  kSvp,  // the paper: one sub-query per node
+  kAvp,  // related work (SmaQ): adaptive chunks + range stealing
+};
+
+struct ApuamaOptions {
+  NodeProcessorOptions node_options;
+  /// Enable intra-query parallelism (off = behave exactly like plain
+  /// C-JDBC; the baseline configuration).
+  bool enable_intra_query = true;
+  IntraQueryTechnique technique = IntraQueryTechnique::kSvp;
+  AvpOptions avp;
+  /// Threads used to dispatch sub-queries concurrently.
+  int dispatch_threads = 8;
+};
+
+/// Cumulative engine statistics (observability / tests / benches).
+struct ApuamaStats {
+  uint64_t svp_queries = 0;        // queries run with intra-query
+                                   // parallelism (SVP or AVP)
+  uint64_t passthrough_reads = 0;  // reads sent to a single node
+  uint64_t writes = 0;
+  uint64_t non_rewritable = 0;     // fact-table queries SVP declined
+  uint64_t partial_rows_total = 0;
+  uint64_t compose_ms_total = 0;   // wall time spent composing
+  uint64_t avp_chunks = 0;         // AVP: sub-queries issued
+  uint64_t avp_steals = 0;         // AVP: ranges stolen
+};
+
+class ApuamaEngine {
+ public:
+  ApuamaEngine(cjdbc::ReplicaSet* replicas, DataCatalog catalog,
+               ApuamaOptions options = ApuamaOptions());
+
+  /// Read entry point for backend `node_id` (the node C-JDBC's load
+  /// balancer picked). Intra-query path when eligible, else
+  /// pass-through on that node.
+  Result<engine::QueryResult> ExecuteRead(int node_id,
+                                          const std::string& sql);
+
+  /// Write entry point for backend `node_id`. C-JDBC broadcasts one
+  /// logical write as N per-node statements; the consistency manager
+  /// recognizes the broadcast and brackets it as one logical write.
+  Result<engine::QueryResult> ExecuteWriteOn(int node_id,
+                                             const std::string& sql);
+
+  int num_nodes() const { return static_cast<int>(processors_.size()); }
+  NodeProcessor* processor(int i) { return processors_[static_cast<size_t>(i)].get(); }
+  const DataCatalog* data_catalog() const { return &catalog_; }
+  DataCatalog* mutable_data_catalog() { return &catalog_; }
+  const ApuamaStats& stats() const { return stats_; }
+  ConsistencyManager* consistency() { return &consistency_; }
+
+  /// True when all node transaction counters are equal (replicas in
+  /// the same committed state) — the paper's SVP precondition.
+  bool ReplicasConsistent() const;
+
+  /// Executes one SVP query end to end (used directly by the
+  /// simulator driver and tests; ExecuteRead routes here).
+  Result<engine::QueryResult> ExecuteSvp(const sql::SelectStmt& query);
+
+  /// Executes one query with AVP: adaptive chunks per node, idle
+  /// nodes stealing from loaded ones. Same eligibility rules and
+  /// consistency barrier as SVP; more sub-queries, dynamic balance.
+  Result<engine::QueryResult> ExecuteAvp(const sql::SelectStmt& query);
+
+ private:
+  cjdbc::ReplicaSet* replicas_;
+  DataCatalog catalog_;
+  ApuamaOptions options_;
+  std::vector<std::unique_ptr<NodeProcessor>> processors_;
+  SvpRewriter rewriter_;
+  ResultComposer composer_;
+  std::mutex composer_mu_;
+  ConsistencyManager consistency_;
+  std::unique_ptr<ThreadPool> dispatch_pool_;
+  ApuamaStats stats_;
+  std::mutex stats_mu_;
+};
+
+/// cjdbc::Driver implementation that interposes the Apuama Engine —
+/// plugging this into a Controller is the entire integration, exactly
+/// the "no C-JDBC source change" property the paper claims.
+class ApuamaDriver : public cjdbc::Driver {
+ public:
+  explicit ApuamaDriver(ApuamaEngine* engine) : engine_(engine) {}
+
+  Result<std::unique_ptr<cjdbc::Connection>> Connect(int node_id) override;
+  int num_nodes() const override { return engine_->num_nodes(); }
+
+ private:
+  ApuamaEngine* engine_;
+};
+
+}  // namespace apuama
+
+#endif  // APUAMA_APUAMA_APUAMA_ENGINE_H_

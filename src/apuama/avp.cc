@@ -1,0 +1,107 @@
+#include "apuama/avp.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apuama {
+
+AvpScheduler::AvpScheduler(int nodes, int64_t domain_min,
+                           int64_t domain_max, AvpOptions options)
+    : options_(options) {
+  if (nodes < 1) nodes = 1;
+  const int64_t span = domain_max - domain_min + 1;
+  const int64_t base = span / nodes;
+  const int64_t extra = span % nodes;
+  max_chunk_ = options.max_chunk > 0
+                   ? options.max_chunk
+                   : std::max<int64_t>(1, span / 2);
+  int64_t lo = domain_min;
+  nodes_.resize(static_cast<size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    int64_t len = base + (i < extra ? 1 : 0);
+    NodeState& st = nodes_[static_cast<size_t>(i)];
+    st.next = lo;
+    st.end = lo + len;
+    st.chunk = std::max<int64_t>(
+        std::max<int64_t>(1, options.min_chunk),
+        len / std::max<int64_t>(1, options.initial_divisor));
+    lo += len;
+  }
+}
+
+std::optional<std::pair<int64_t, int64_t>> AvpScheduler::NextChunk(
+    int node) {
+  assert(node >= 0 && node < static_cast<int>(nodes_.size()));
+  NodeState& st = nodes_[static_cast<size_t>(node)];
+  if (st.next >= st.end) {
+    // Own range drained: steal the upper half of the largest
+    // remaining peer range (AVP's dynamic load balancing).
+    int victim = -1;
+    int64_t victim_remaining = 0;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      int64_t rem = nodes_[i].end - nodes_[i].next;
+      if (rem > victim_remaining) {
+        victim_remaining = rem;
+        victim = static_cast<int>(i);
+      }
+    }
+    // Stealing a sliver is pure overhead; leave tails to their owner.
+    if (victim < 0 || victim_remaining < 2 * std::max<int64_t>(
+                                             1, options_.min_chunk)) {
+      return std::nullopt;
+    }
+    NodeState& v = nodes_[static_cast<size_t>(victim)];
+    int64_t half = (v.end - v.next) / 2;
+    st.next = v.end - half;
+    st.end = v.end;
+    v.end = st.next;
+    // Restart sizing cautiously on foreign (cache-cold) keys.
+    st.chunk = std::max<int64_t>(std::max<int64_t>(1, options_.min_chunk),
+                                 half / std::max<int64_t>(
+                                            1, options_.initial_divisor));
+    ++steals_;
+  }
+  int64_t len = std::min(st.chunk, st.end - st.next);
+  if (len <= 0) return std::nullopt;
+  int64_t lo = st.next;
+  st.next += len;
+  ++chunks_issued_;
+  return std::make_pair(lo, lo + len);
+}
+
+void AvpScheduler::ReportChunkTime(int node, int64_t chunk_keys,
+                                   SimTime elapsed) {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return;
+  if (chunk_keys <= 0) return;
+  NodeState& st = nodes_[static_cast<size_t>(node)];
+  double per_key =
+      static_cast<double>(elapsed) / static_cast<double>(chunk_keys);
+  if (st.best_per_key < 0 || per_key < st.best_per_key) {
+    st.best_per_key = per_key;
+  }
+  if (per_key > st.best_per_key * options_.degrade_threshold) {
+    st.chunk = std::max<int64_t>(
+        std::max<int64_t>(1, options_.min_chunk),
+        static_cast<int64_t>(static_cast<double>(st.chunk) *
+                             options_.shrink_factor));
+  } else {
+    st.chunk = std::min<int64_t>(
+        max_chunk_, static_cast<int64_t>(static_cast<double>(st.chunk) *
+                                         options_.grow_factor));
+  }
+}
+
+bool AvpScheduler::Exhausted() const {
+  for (const auto& st : nodes_) {
+    if (st.next < st.end) return false;
+  }
+  return true;
+}
+
+int64_t AvpScheduler::RemainingKeys(int node) const {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return 0;
+  const NodeState& st = nodes_[static_cast<size_t>(node)];
+  return st.end - st.next;
+}
+
+}  // namespace apuama

@@ -1,0 +1,88 @@
+// Adaptive Virtual Partitioning (AVP) — the alternative intra-query
+// technique of Lima, Mattoso & Valduriez (SBBD 2004), used by the
+// SmaQ cluster the paper compares against in section 6.
+//
+// Where SVP sends each node exactly one sub-query covering 1/n of the
+// key domain, AVP starts every node on a small *chunk* of its range
+// and adapts: chunk size grows while throughput holds (amortizing
+// per-sub-query overhead) and shrinks when a chunk slows down; a node
+// that drains its own range *steals* half of the largest remaining
+// range, giving dynamic load balancing on heterogeneous or loaded
+// nodes. The cost is many more sub-queries and worse buffer-pool
+// locality — exactly the trade-off the Apuama paper cites for
+// preferring SVP under concurrency ("AVP ... increases the level of
+// concurrency while inducing a bad memory cache use").
+//
+// AvpScheduler is pure decision logic (no execution, no time): the
+// simulator driver and tests exercise it directly.
+#ifndef APUAMA_APUAMA_AVP_H_
+#define APUAMA_APUAMA_AVP_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace apuama {
+
+struct AvpOptions {
+  /// First chunk = range_size / initial_divisor (>= min_chunk).
+  int64_t initial_divisor = 16;
+  /// Chunk size floor/ceiling in key units. 0 = derived from range.
+  int64_t min_chunk = 1;
+  int64_t max_chunk = 0;  // 0 = range_size / 2
+  /// Growth factor applied while per-key processing rate holds.
+  double grow_factor = 2.0;
+  /// Shrink factor when a chunk's per-key time degrades.
+  double shrink_factor = 0.5;
+  /// Degradation threshold: per-key time worse than best * threshold
+  /// triggers shrinking.
+  double degrade_threshold = 1.5;
+};
+
+/// Splits [domain_min, domain_max+1) across `nodes` and hands out
+/// adaptively sized chunks. Not thread-safe (the simulator is
+/// single-threaded; a real deployment would lock).
+class AvpScheduler {
+ public:
+  AvpScheduler(int nodes, int64_t domain_min, int64_t domain_max,
+               AvpOptions options = AvpOptions());
+
+  /// Next chunk [lo, hi) for `node`, stealing from the most loaded
+  /// peer when the node's own range is exhausted. nullopt = no work
+  /// anywhere.
+  std::optional<std::pair<int64_t, int64_t>> NextChunk(int node);
+
+  /// Feedback after a chunk finishes: observed processing time. Used
+  /// to adapt the node's next chunk size.
+  void ReportChunkTime(int node, int64_t chunk_keys, SimTime elapsed);
+
+  /// All ranges fully handed out (work may still be executing).
+  bool Exhausted() const;
+
+  /// Keys remaining in node i's range (introspection / tests).
+  int64_t RemainingKeys(int node) const;
+
+  int64_t chunks_issued() const { return chunks_issued_; }
+  int64_t steals() const { return steals_; }
+
+ private:
+  struct NodeState {
+    int64_t next = 0;  // first unassigned key of this node's range
+    int64_t end = 0;   // one past the last key
+    int64_t chunk = 1; // current chunk size
+    double best_per_key = -1;  // fastest observed µs/key
+  };
+
+  AvpOptions options_;
+  std::vector<NodeState> nodes_;
+  int64_t max_chunk_ = 0;
+  int64_t chunks_issued_ = 0;
+  int64_t steals_ = 0;
+};
+
+}  // namespace apuama
+
+#endif  // APUAMA_APUAMA_AVP_H_

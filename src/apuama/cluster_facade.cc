@@ -1,0 +1,53 @@
+#include "apuama/cluster_facade.h"
+
+#include "sql/parser.h"
+#include "sql/unparse.h"
+
+namespace apuama {
+
+Result<std::unique_ptr<ApuamaCluster>> ApuamaCluster::Create(
+    Options options) {
+  if (options.num_nodes < 1) {
+    return Status::InvalidArgument("num_nodes must be >= 1");
+  }
+  auto cluster = std::unique_ptr<ApuamaCluster>(new ApuamaCluster());
+  cluster->replicas_ = std::make_unique<cjdbc::ReplicaSet>(
+      options.num_nodes,
+      cjdbc::ReplicaSet::NodeOptions{
+          .buffer_pool_pages = options.buffer_pool_pages});
+  cluster->engine_ = std::make_unique<ApuamaEngine>(
+      cluster->replicas_.get(), DataCatalog(), options.apuama);
+  cluster->controller_ = std::make_unique<cjdbc::Controller>(
+      std::make_unique<ApuamaDriver>(cluster->engine_.get()),
+      options.policy);
+  return cluster;
+}
+
+Result<engine::QueryResult> ApuamaCluster::Execute(const std::string& sql) {
+  return controller_->Execute(sql);
+}
+
+Status ApuamaCluster::ExecuteScript(const std::string& script) {
+  // Parse once to split and validate, then replay statement by
+  // statement through the controller (which re-routes each one).
+  APUAMA_ASSIGN_OR_RETURN(std::vector<sql::StmtPtr> stmts,
+                          sql::ParseScript(script));
+  for (const auto& stmt : stmts) {
+    APUAMA_RETURN_NOT_OK(
+        controller_->Execute(sql::UnparseStmt(*stmt)).status());
+  }
+  return Status::OK();
+}
+
+Status ApuamaCluster::RegisterPartitionSpace(VirtualPartitionSpace space) {
+  return engine_->mutable_data_catalog()->RegisterSpace(std::move(space));
+}
+
+Status ApuamaCluster::UpdatePartitionDomain(const std::string& space_name,
+                                            int64_t min_value,
+                                            int64_t max_value) {
+  return engine_->mutable_data_catalog()->UpdateDomain(space_name,
+                                                       min_value, max_value);
+}
+
+}  // namespace apuama

@@ -1,0 +1,77 @@
+// ApuamaCluster — the one-stop public API.
+//
+// Wires the whole stack (replicated databases, Apuama engine, C-JDBC
+// controller) behind a single object:
+//
+//   auto cluster = ApuamaCluster::Create({.num_nodes = 4});
+//   cluster->ExecuteScript("create table f (k bigint not null primary "
+//                          "key, v double); create index iv on f (v)");
+//   ... load data ...
+//   cluster->RegisterPartitionSpace({.name = "k",
+//                                    .members = {{"f", "k"}},
+//                                    .min_value = 1, .max_value = N});
+//   auto result = cluster->Execute("select sum(v) from f");
+//
+// The lower-level pieces remain reachable (engine(), controller(),
+// replicas()) for users who need the internals — the examples show
+// both styles.
+#ifndef APUAMA_APUAMA_CLUSTER_FACADE_H_
+#define APUAMA_APUAMA_CLUSTER_FACADE_H_
+
+#include <memory>
+#include <string>
+
+#include "apuama/apuama_engine.h"
+#include "cjdbc/controller.h"
+
+namespace apuama {
+
+class ApuamaCluster {
+ public:
+  struct Options {
+    int num_nodes = 4;
+    /// Buffer-pool pages per node (0 = unbounded).
+    size_t buffer_pool_pages = 4096;
+    ApuamaOptions apuama;
+    cjdbc::BalancePolicy policy = cjdbc::BalancePolicy::kLeastPending;
+  };
+
+  /// Builds the full stack. Never fails for valid options today, but
+  /// returns Result for forward compatibility.
+  static Result<std::unique_ptr<ApuamaCluster>> Create(Options options);
+
+  /// Executes one statement through the controller (reads balanced /
+  /// SVP-parallelized, writes broadcast with consistency).
+  Result<engine::QueryResult> Execute(const std::string& sql);
+
+  /// Runs a ';'-separated script of statements through the
+  /// controller, stopping at the first error.
+  Status ExecuteScript(const std::string& script);
+
+  /// Declares a virtual-partitioning key space; queries touching its
+  /// member tables become eligible for intra-query parallelism.
+  Status RegisterPartitionSpace(VirtualPartitionSpace space);
+
+  /// Widens a space's key domain (e.g. after loading or refresh).
+  Status UpdatePartitionDomain(const std::string& space_name,
+                               int64_t min_value, int64_t max_value);
+
+  // Escape hatches to the stack's layers.
+  cjdbc::ReplicaSet* replicas() { return replicas_.get(); }
+  ApuamaEngine* engine() { return engine_.get(); }
+  cjdbc::Controller* controller() { return controller_.get(); }
+
+  int num_nodes() const { return replicas_->num_nodes(); }
+  const ApuamaStats& stats() const { return engine_->stats(); }
+
+ private:
+  ApuamaCluster() = default;
+
+  std::unique_ptr<cjdbc::ReplicaSet> replicas_;
+  std::unique_ptr<ApuamaEngine> engine_;
+  std::unique_ptr<cjdbc::Controller> controller_;
+};
+
+}  // namespace apuama
+
+#endif  // APUAMA_APUAMA_CLUSTER_FACADE_H_

@@ -1,0 +1,98 @@
+#include "apuama/consistency.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apuama {
+
+ConsistencyManager::ConsistencyManager(
+    int num_nodes, std::function<bool(int)> node_relevant)
+    : num_nodes_(num_nodes < 1 ? 1 : num_nodes),
+      node_relevant_(std::move(node_relevant)),
+      node_done_(static_cast<size_t>(num_nodes_), false),
+      last_done_(static_cast<size_t>(num_nodes_), true) {}
+
+bool ConsistencyManager::BroadcastComplete() const {
+  for (int i = 0; i < num_nodes_; ++i) {
+    if (node_done_[static_cast<size_t>(i)]) continue;
+    // A node the controller cannot reach is not waited for.
+    if (node_relevant_ && !node_relevant_(i)) continue;
+    return false;
+  }
+  return true;
+}
+
+void ConsistencyManager::CloseBroadcastLocked() {
+  write_open_ = false;
+  last_stmt_ = std::move(open_stmt_);
+  last_done_ = node_done_;
+  open_stmt_.clear();
+}
+
+ConsistencyManager::WriteClass ConsistencyManager::BeginNodeWrite(
+    int node, const std::string& statement) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const size_t ni = static_cast<size_t>(node);
+  if (write_open_ && statement == open_stmt_ && node >= 0 &&
+      node < num_nodes_ && !node_done_[ni]) {
+    ++nodes_executing_;
+    return WriteClass::kContinuation;
+  }
+  if (!write_open_ && statement == last_stmt_ && node >= 0 &&
+      node < num_nodes_ && !last_done_[ni]) {
+    // Late statement of the previous broadcast (its node was
+    // unreachable when the broadcast closed).
+    ++nodes_executing_;
+    return WriteClass::kTail;
+  }
+  // A new logical write: wait until no SVP dispatch is preparing and
+  // the previous broadcast is fully applied.
+  if (svp_preparing_ > 0) ++writes_blocked_;
+  cv_.wait(lock, [this] { return svp_preparing_ == 0 && !write_open_; });
+  write_open_ = true;
+  open_stmt_ = statement;
+  std::fill(node_done_.begin(), node_done_.end(), false);
+  ++logical_writes_;
+  ++nodes_executing_;
+  return WriteClass::kNew;
+}
+
+void ConsistencyManager::EndNodeWrite(int node, WriteClass cls) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --nodes_executing_;
+    if (node >= 0 && node < num_nodes_) {
+      const size_t ni = static_cast<size_t>(node);
+      if (cls == WriteClass::kTail) {
+        last_done_[ni] = true;
+      } else {
+        node_done_[ni] = true;
+      }
+    }
+    if (write_open_ && cls != WriteClass::kTail && BroadcastComplete()) {
+      CloseBroadcastLocked();
+    }
+  }
+  cv_.notify_all();
+}
+
+void ConsistencyManager::BeginSvpPrepare(
+    const std::function<bool()>& counters_equal) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++svp_preparing_;  // blocks new logical writes immediately
+  if (write_open_ || nodes_executing_ > 0) ++svp_waits_;
+  cv_.wait(lock, [this, &counters_equal] {
+    return !write_open_ && nodes_executing_ == 0 &&
+           (!counters_equal || counters_equal());
+  });
+}
+
+void ConsistencyManager::EndSvpPrepare() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --svp_preparing_;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace apuama

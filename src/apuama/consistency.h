@@ -1,0 +1,104 @@
+// Replica-consistency coordination for SVP queries (paper section 3).
+//
+// C-JDBC guarantees all replicas apply updates in the same order, but
+// it cannot order updates against the *sub-queries* Apuama fans out —
+// different node OSs could interleave them differently. Apuama
+// therefore: (1) keeps a transaction counter per node, (2) before
+// dispatching an SVP query, blocks newly arriving update transactions
+// and waits until every node's counter is equal (no in-flight
+// updates), (3) dispatches all sub-queries, then (4) unblocks
+// updates. Updates may then run concurrently with still-executing
+// sub-queries; per-statement isolation at each DBMS keeps results
+// consistent, which is what lets throughput stay high.
+//
+// A C-JDBC write is *broadcast*: the controller sends the same
+// statement to every backend in turn, and Apuama sees N per-node
+// statements for one logical write. The manager therefore tracks
+// logical writes: the first per-node statement opens one (blocking if
+// an SVP dispatch is preparing), the remaining statements of the same
+// broadcast pass through unimpeded, and the logical write closes when
+// every *reachable* node has applied it — a crashed replica is not
+// waited for (the controller skips it and the recovery log covers its
+// rejoin). A statement arriving for a node after its broadcast
+// already closed (the attempt on a dead node, sequenced last) is a
+// "tail": it executes without opening a new logical write.
+#ifndef APUAMA_APUAMA_CONSISTENCY_H_
+#define APUAMA_APUAMA_CONSISTENCY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace apuama {
+
+class ConsistencyManager {
+ public:
+  /// How a per-node write statement relates to logical broadcasts.
+  enum class WriteClass {
+    kNew,           // opened a new logical write
+    kContinuation,  // part of the currently open broadcast
+    kTail,          // late statement of an already-closed broadcast
+  };
+
+  /// `node_relevant(i)` tells whether node i currently participates
+  /// in broadcasts (an unavailable replica is skipped by the
+  /// controller, so a logical write must not wait for it). Null means
+  /// every node always participates.
+  explicit ConsistencyManager(int num_nodes,
+                              std::function<bool(int)> node_relevant =
+                                  nullptr);
+
+  /// Brackets the execution of one write statement on one node.
+  /// Begin blocks while an SVP dispatch is preparing, unless this
+  /// statement continues (or tails) an existing broadcast. Pass the
+  /// returned class back to EndNodeWrite.
+  WriteClass BeginNodeWrite(int node, const std::string& statement);
+  void EndNodeWrite(int node, WriteClass cls);
+
+  /// Brackets SVP dispatch: Begin blocks new logical writes and waits
+  /// until no logical write is open, no per-node statement is
+  /// executing, AND `counters_equal()` holds (all replica transaction
+  /// counters agree); End unblocks writes — call it as soon as all
+  /// sub-queries are *dispatched*.
+  void BeginSvpPrepare(const std::function<bool()>& counters_equal);
+  void EndSvpPrepare();
+
+  /// Wakes waiters to re-check their predicates after an external
+  /// state change (e.g. a recovery replay advanced a node's counter).
+  void NotifyStateChange() { cv_.notify_all(); }
+
+  // Observability.
+  uint64_t writes_blocked() const { return writes_blocked_; }
+  uint64_t svp_waits() const { return svp_waits_; }
+  uint64_t logical_writes() const { return logical_writes_; }
+
+ private:
+  bool BroadcastComplete() const;
+  void CloseBroadcastLocked();
+
+  const int num_nodes_;
+  const std::function<bool(int)> node_relevant_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+
+  bool write_open_ = false;
+  std::string open_stmt_;
+  std::vector<bool> node_done_;
+  // The most recently closed broadcast, for classifying tails.
+  std::string last_stmt_;
+  std::vector<bool> last_done_;
+  int nodes_executing_ = 0;
+
+  int svp_preparing_ = 0;
+
+  uint64_t writes_blocked_ = 0;
+  uint64_t svp_waits_ = 0;
+  uint64_t logical_writes_ = 0;
+};
+
+}  // namespace apuama
+
+#endif  // APUAMA_APUAMA_CONSISTENCY_H_

@@ -1,0 +1,62 @@
+#include "apuama/data_catalog.h"
+
+#include "common/string_util.h"
+
+namespace apuama {
+
+const VirtualPartitionSpace::Member* VirtualPartitionSpace::FindMember(
+    const std::string& table) const {
+  for (const auto& m : members) {
+    if (EqualsIgnoreCase(m.table, table)) return &m;
+  }
+  return nullptr;
+}
+
+bool VirtualPartitionSpace::IsMemberColumn(const std::string& column) const {
+  for (const auto& m : members) {
+    if (EqualsIgnoreCase(m.column, column)) return true;
+  }
+  return false;
+}
+
+Status DataCatalog::RegisterSpace(VirtualPartitionSpace space) {
+  if (space.members.empty()) {
+    return Status::InvalidArgument("partition space needs members");
+  }
+  if (space.min_value > space.max_value) {
+    return Status::InvalidArgument("empty key domain");
+  }
+  for (const auto& m : space.members) {
+    if (SpaceForTable(m.table) != nullptr) {
+      return Status::AlreadyExists("table " + m.table +
+                                   " already in a partition space");
+    }
+  }
+  spaces_.push_back(std::move(space));
+  return Status::OK();
+}
+
+const VirtualPartitionSpace* DataCatalog::SpaceForTable(
+    const std::string& table) const {
+  for (const auto& s : spaces_) {
+    if (s.FindMember(table) != nullptr) return &s;
+  }
+  return nullptr;
+}
+
+Status DataCatalog::UpdateDomain(const std::string& space_name,
+                                 int64_t min_value, int64_t max_value) {
+  for (auto& s : spaces_) {
+    if (EqualsIgnoreCase(s.name, space_name)) {
+      if (min_value > max_value) {
+        return Status::InvalidArgument("empty key domain");
+      }
+      s.min_value = min_value;
+      s.max_value = max_value;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no partition space " + space_name);
+}
+
+}  // namespace apuama

@@ -1,0 +1,64 @@
+// Data Catalog — Apuama's metadata about virtually-partitionable
+// tables (paper Fig. 1(b)).
+//
+// Virtual partitioning metadata is expressed as *partition key
+// spaces*: a set of (table, column) members sharing one key domain.
+// TPC-H registers a single space {(orders, o_orderkey),
+// (lineitem, l_orderkey)} — the derived partitioning the paper uses
+// (lineitem derives its partitioning from orders through the foreign
+// key). A query touching any member table can be SVP-rewritten by
+// constraining every member reference to the same key interval.
+#ifndef APUAMA_APUAMA_DATA_CATALOG_H_
+#define APUAMA_APUAMA_DATA_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace apuama {
+
+struct VirtualPartitionSpace {
+  struct Member {
+    std::string table;   // lower-cased
+    std::string column;  // the VPA for that table
+  };
+
+  std::string name;
+  std::vector<Member> members;
+  int64_t min_value = 0;  // inclusive domain bounds of the key
+  int64_t max_value = 0;  // inclusive
+
+  /// Member entry for a table, or nullptr.
+  const Member* FindMember(const std::string& table) const;
+
+  /// True when `column` is the VPA of some member table.
+  bool IsMemberColumn(const std::string& column) const;
+};
+
+class DataCatalog {
+ public:
+  /// Registers a space; member tables must not already belong to one.
+  Status RegisterSpace(VirtualPartitionSpace space);
+
+  /// The space a table belongs to, or nullptr.
+  const VirtualPartitionSpace* SpaceForTable(const std::string& table) const;
+
+  bool IsPartitionable(const std::string& table) const {
+    return SpaceForTable(table) != nullptr;
+  }
+
+  /// Updates a space's key domain (after refresh streams grow it).
+  Status UpdateDomain(const std::string& space_name, int64_t min_value,
+                      int64_t max_value);
+
+  const std::vector<VirtualPartitionSpace>& spaces() const { return spaces_; }
+
+ private:
+  std::vector<VirtualPartitionSpace> spaces_;
+};
+
+}  // namespace apuama
+
+#endif  // APUAMA_APUAMA_DATA_CATALOG_H_

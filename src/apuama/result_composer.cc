@@ -1,0 +1,22 @@
+#include "apuama/result_composer.h"
+
+#include "apuama/svp_rewriter.h"
+
+namespace apuama {
+
+Result<engine::QueryResult> ResultComposer::Compose(
+    const std::vector<const engine::QueryResult*>& partials,
+    const std::string& composition_sql, CompositionStats* stats) {
+  APUAMA_RETURN_NOT_OK(memdb_.LoadPartials(kPartialsTable, partials));
+  auto result = memdb_.Execute(composition_sql);
+  if (stats != nullptr && result.ok()) {
+    stats->partial_rows = 0;
+    for (const auto* p : partials) stats->partial_rows += p->rows.size();
+    stats->output_rows = result->rows.size();
+    stats->compose_exec = result->stats;
+  }
+  memdb_.DropIfExists(kPartialsTable);
+  return result;
+}
+
+}  // namespace apuama

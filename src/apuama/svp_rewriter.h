@@ -1,0 +1,95 @@
+// Simple Virtual Partitioning (SVP) query rewriter — the core of the
+// paper's contribution (sections 2 and 3).
+//
+// Given an OLAP SELECT and the Data Catalog, the rewriter:
+//   1. decides whether the query is SVP-rewritable (references a
+//      fact table; any fact reference inside a subquery must be
+//      equality-correlated on the partition key; aggregates must be
+//      decomposable — avg becomes sum+count, count(distinct) is not
+//      decomposable);
+//   2. produces a sub-query template whose SELECT list is decomposed
+//      into mergeable partial aggregates and whose WHERE gained
+//      `vpa >= :lo AND vpa < :hi` range predicates on every
+//      constrained fact reference (including inside correlated
+//      subqueries — the derived-partitioning trick);
+//   3. produces the composition SQL that the Result Composer runs
+//      over the in-memory `partials` table: re-aggregation
+//      (sum of sums, sum of counts, min of mins, guarded
+//      sum/count for avg), HAVING, global ORDER BY and LIMIT.
+//
+// A non-rewritable query is not an error for Apuama: the caller
+// falls back to plain inter-query routing (one node executes the
+// original query). The Status message says why, for observability.
+#ifndef APUAMA_APUAMA_SVP_REWRITER_H_
+#define APUAMA_APUAMA_SVP_REWRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apuama/data_catalog.h"
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace apuama {
+
+/// Name of the composer's partial-result table.
+inline constexpr char kPartialsTable[] = "partials";
+
+/// The rewrite product for one query.
+class SvpPlan {
+ public:
+  /// Key intervals [lo, hi) covering the domain, one per node.
+  std::vector<std::pair<int64_t, int64_t>> MakeIntervals(int nodes) const;
+
+  /// Renders the sub-query for one key interval.
+  std::string SubquerySql(int64_t lo, int64_t hi);
+
+  /// Composition query text (over kPartialsTable).
+  const std::string& composition_sql() const { return composition_sql_; }
+
+  int64_t domain_min() const { return domain_min_; }
+  int64_t domain_max() const { return domain_max_; }
+
+  /// How many fact-table references were range-constrained
+  /// (introspection for tests).
+  size_t num_constrained_refs() const { return patches_.size() / 2; }
+
+  /// Internal: a literal node inside the template to overwrite per
+  /// interval. Public so the rewriter's helpers can build them.
+  struct Patch {
+    sql::Expr* literal;
+    bool is_lo;
+  };
+
+ private:
+  friend class SvpRewriter;
+
+  std::unique_ptr<sql::SelectStmt> template_;
+  std::vector<Patch> patches_;
+  std::string composition_sql_;
+  int64_t domain_min_ = 0;
+  int64_t domain_max_ = 0;
+};
+
+class SvpRewriter {
+ public:
+  explicit SvpRewriter(const DataCatalog* catalog) : catalog_(catalog) {}
+
+  /// Rewrites `query`; Unsupported status when not SVP-rewritable
+  /// (message explains why).
+  Result<SvpPlan> Rewrite(const sql::SelectStmt& query) const;
+
+  /// Cheap pre-check used by the Cluster Administrator: does the
+  /// query reference any partitionable table at all?
+  bool TouchesFactTable(const sql::SelectStmt& query) const;
+
+ private:
+  const DataCatalog* catalog_;
+};
+
+}  // namespace apuama
+
+#endif  // APUAMA_APUAMA_SVP_REWRITER_H_

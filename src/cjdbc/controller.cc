@@ -1,0 +1,174 @@
+#include "cjdbc/controller.h"
+
+#include "sql/parser.h"
+
+namespace apuama::cjdbc {
+
+Result<RequestKind> ClassifyRequest(const std::string& sql) {
+  APUAMA_ASSIGN_OR_RETURN(sql::StmtPtr stmt, sql::Parse(sql));
+  switch (stmt->kind()) {
+    case sql::StmtKind::kSelect:
+    case sql::StmtKind::kExplain:
+      return RequestKind::kRead;
+    case sql::StmtKind::kInsert:
+    case sql::StmtKind::kDelete:
+    case sql::StmtKind::kUpdate:
+      return RequestKind::kWrite;
+    case sql::StmtKind::kCreateTable:
+    case sql::StmtKind::kCreateIndex:
+    case sql::StmtKind::kDropTable:
+      return RequestKind::kDdl;
+    case sql::StmtKind::kSet:
+    case sql::StmtKind::kBegin:
+    case sql::StmtKind::kCommit:
+    case sql::StmtKind::kRollback:
+      return RequestKind::kControl;
+  }
+  return Status::Internal("unclassifiable statement");
+}
+
+Controller::Controller(std::unique_ptr<Driver> driver, BalancePolicy policy)
+    : driver_(std::move(driver)),
+      balancer_(driver_->num_nodes(), policy) {
+  backends_.resize(static_cast<size_t>(driver_->num_nodes()));
+  for (int i = 0; i < driver_->num_nodes(); ++i) {
+    auto conn = driver_->Connect(i);
+    if (conn.ok()) {
+      backends_[static_cast<size_t>(i)].conn = std::move(conn).value();
+    } else {
+      backends_[static_cast<size_t>(i)].enabled = false;
+    }
+  }
+}
+
+Result<engine::QueryResult> Controller::Execute(const std::string& sql) {
+  APUAMA_ASSIGN_OR_RETURN(RequestKind kind, ClassifyRequest(sql));
+  switch (kind) {
+    case RequestKind::kRead: {
+      scheduler_.NoteRead();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.reads;
+      }
+      return ExecuteRead(sql);
+    }
+    case RequestKind::kWrite: {
+      uint64_t seq = 0;
+      Scheduler::WriteTicket ticket = scheduler_.BeginWrite(&seq);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.writes;
+      }
+      return ExecuteBroadcast(sql);
+    }
+    case RequestKind::kDdl: {
+      uint64_t seq = 0;
+      Scheduler::WriteTicket ticket = scheduler_.BeginWrite(&seq);
+      return ExecuteBroadcast(sql);
+    }
+    case RequestKind::kControl:
+      // Session control is broadcast so all replicas stay in step.
+      return ExecuteBroadcast(sql);
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<engine::QueryResult> Controller::ExecuteRead(const std::string& sql) {
+  int node = balancer_.Acquire();
+  if (!backends_[static_cast<size_t>(node)].enabled) {
+    // Balancer picked a disabled backend: fail over to the first
+    // enabled one, bypassing balancer bookkeeping for this request.
+    balancer_.Release(node);
+    for (int i = 0; i < num_backends(); ++i) {
+      if (backends_[static_cast<size_t>(i)].enabled) {
+        return backends_[static_cast<size_t>(i)].conn->Execute(sql);
+      }
+    }
+    return Status::Unavailable("no backend available");
+  }
+  auto result = backends_[static_cast<size_t>(node)].conn->Execute(sql);
+  balancer_.Release(node);
+  return result;
+}
+
+Result<engine::QueryResult> Controller::ExecuteBroadcast(
+    const std::string& sql) {
+  // Append to the recovery log first: disabled (or newly failing)
+  // backends will replay from here when they rejoin. Caller holds the
+  // write ticket, so the log order IS the replica write order.
+  size_t log_index;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    recovery_log_.push_back(sql);
+    log_index = recovery_log_.size();
+  }
+  engine::QueryResult last;
+  bool any = false;
+  Status first_error = Status::OK();
+  for (auto& b : backends_) {
+    if (!b.enabled) continue;
+    auto r = b.conn->Execute(sql);
+    if (r.ok()) {
+      last = std::move(r).value();
+      b.applied_up_to = log_index;
+      any = true;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.broadcast_statements;
+      continue;
+    }
+    if (r.status().code() == StatusCode::kUnavailable) {
+      // Failure detection: drop the backend from rotation; the write
+      // succeeds on the survivors and the log covers the rejoin.
+      b.enabled = false;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.failovers;
+      continue;
+    }
+    if (first_error.ok()) first_error = r.status();
+  }
+  APUAMA_RETURN_NOT_OK(first_error);
+  if (!any) return Status::Unavailable("no backend available");
+  return last;
+}
+
+void Controller::SetBackendEnabled(int node_id, bool enabled) {
+  if (node_id >= 0 && node_id < num_backends()) {
+    backends_[static_cast<size_t>(node_id)].enabled = enabled;
+  }
+}
+
+bool Controller::IsBackendEnabled(int node_id) const {
+  if (node_id < 0 || node_id >= num_backends()) return false;
+  return backends_[static_cast<size_t>(node_id)].enabled;
+}
+
+Status Controller::RecoverBackend(int node_id) {
+  if (node_id < 0 || node_id >= num_backends()) {
+    return Status::InvalidArgument("bad node id");
+  }
+  Backend& b = backends_[static_cast<size_t>(node_id)];
+  // Hold the write order while replaying so no new broadcast
+  // interleaves with recovery (C-JDBC quiesces writes the same way).
+  uint64_t seq = 0;
+  Scheduler::WriteTicket ticket = scheduler_.BeginWrite(&seq);
+  size_t target;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    target = recovery_log_.size();
+  }
+  while (b.applied_up_to < target) {
+    std::string stmt;
+    {
+      std::lock_guard<std::mutex> lock(log_mu_);
+      stmt = recovery_log_[b.applied_up_to];
+    }
+    APUAMA_RETURN_NOT_OK(b.conn->ExecuteRecovery(stmt).status());
+    ++b.applied_up_to;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.recovered_statements;
+  }
+  b.enabled = true;
+  return Status::OK();
+}
+
+}  // namespace apuama::cjdbc

@@ -1,0 +1,92 @@
+// The controller — C-JDBC's request manager.
+//
+// Clients submit SQL; the controller classifies it, schedules it
+// (total order for writes, concurrent reads), and routes it: writes
+// broadcast to every Database Backend, reads go to the backend the
+// load balancer picks. Backends talk to the DBMS through whatever
+// Driver they were built with — plug in apuama::ApuamaDriver and
+// every backend transparently gains intra-query parallelism, with no
+// change to this file (the paper's headline design constraint).
+#ifndef APUAMA_CJDBC_CONTROLLER_H_
+#define APUAMA_CJDBC_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cjdbc/connection.h"
+#include "cjdbc/load_balancer.h"
+#include "cjdbc/scheduler.h"
+#include "common/status.h"
+
+namespace apuama::cjdbc {
+
+/// Statement routing classes.
+enum class RequestKind { kRead, kWrite, kDdl, kControl };
+
+/// Classifies a statement (by parsing it). DDL is broadcast like a
+/// write but does not advance transaction counters.
+Result<RequestKind> ClassifyRequest(const std::string& sql);
+
+struct ControllerStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t broadcast_statements = 0;  // write * nodes
+  uint64_t failovers = 0;             // backends auto-disabled
+  uint64_t recovered_statements = 0;  // statements replayed on rejoin
+};
+
+class Controller {
+ public:
+  /// Builds one Database Backend per driver node.
+  Controller(std::unique_ptr<Driver> driver,
+             BalancePolicy policy = BalancePolicy::kLeastPending);
+
+  /// Client entry point: classify, schedule, route, execute.
+  Result<engine::QueryResult> Execute(const std::string& sql);
+
+  int num_backends() const { return static_cast<int>(backends_.size()); }
+  const ControllerStats& stats() const { return stats_; }
+  Scheduler* scheduler() { return &scheduler_; }
+  LoadBalancer* load_balancer() { return &balancer_; }
+
+  /// Disables a backend (failure injection / administrative removal);
+  /// reads avoid it and broadcasts skip it, with every skipped write
+  /// appended to the recovery log.
+  void SetBackendEnabled(int node_id, bool enabled);
+
+  /// Re-enables a backend and replays every write it missed from the
+  /// recovery log (C-JDBC's recovery procedure), restoring replica
+  /// consistency before the backend serves reads again.
+  Status RecoverBackend(int node_id);
+
+  bool IsBackendEnabled(int node_id) const;
+  /// Statements currently held in the recovery log.
+  size_t recovery_log_size() const { return recovery_log_.size(); }
+
+ private:
+  struct Backend {
+    std::unique_ptr<Connection> conn;
+    bool enabled = true;
+    size_t applied_up_to = 0;  // prefix of recovery_log_ applied
+  };
+
+  Result<engine::QueryResult> ExecuteRead(const std::string& sql);
+  Result<engine::QueryResult> ExecuteBroadcast(const std::string& sql);
+
+  std::unique_ptr<Driver> driver_;
+  std::vector<Backend> backends_;
+  Scheduler scheduler_;
+  LoadBalancer balancer_;
+  // Total-ordered log of every broadcast statement (writes + DDL),
+  // kept for recovering rejoining backends. Guarded by the write
+  // ticket (one broadcast at a time) plus log_mu_ for readers.
+  std::vector<std::string> recovery_log_;
+  mutable std::mutex log_mu_;
+  ControllerStats stats_;
+  std::mutex stats_mu_;
+};
+
+}  // namespace apuama::cjdbc
+
+#endif  // APUAMA_CJDBC_CONTROLLER_H_

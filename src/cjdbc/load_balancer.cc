@@ -1,0 +1,60 @@
+#include "cjdbc/load_balancer.h"
+
+namespace apuama::cjdbc {
+
+int LoadBalancer::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int chosen = 0;
+  switch (policy_) {
+    case BalancePolicy::kLeastPending: {
+      int best = pending_[0].load();
+      for (int i = 1; i < num_nodes(); ++i) {
+        int p = pending_[static_cast<size_t>(i)].load();
+        if (p < best) {
+          best = p;
+          chosen = i;
+        }
+      }
+      break;
+    }
+    case BalancePolicy::kRoundRobin:
+      chosen = rr_next_;
+      rr_next_ = (rr_next_ + 1) % num_nodes();
+      break;
+    case BalancePolicy::kRandom:
+      chosen = static_cast<int>(rng_.Uniform(0, num_nodes() - 1));
+      break;
+  }
+  ++pending_[static_cast<size_t>(chosen)];
+  return chosen;
+}
+
+void LoadBalancer::Release(int node_id) {
+  --pending_[static_cast<size_t>(node_id)];
+}
+
+int LoadBalancer::Choose(const std::vector<int>& pending_counts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (policy_) {
+    case BalancePolicy::kLeastPending: {
+      int chosen = 0;
+      for (size_t i = 1; i < pending_counts.size(); ++i) {
+        if (pending_counts[i] < pending_counts[static_cast<size_t>(chosen)]) {
+          chosen = static_cast<int>(i);
+        }
+      }
+      return chosen;
+    }
+    case BalancePolicy::kRoundRobin: {
+      int chosen = rr_next_;
+      rr_next_ = (rr_next_ + 1) % static_cast<int>(pending_counts.size());
+      return chosen;
+    }
+    case BalancePolicy::kRandom:
+      return static_cast<int>(
+          rng_.Uniform(0, static_cast<int64_t>(pending_counts.size()) - 1));
+  }
+  return 0;
+}
+
+}  // namespace apuama::cjdbc

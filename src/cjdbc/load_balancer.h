@@ -1,0 +1,55 @@
+// Load balancer — C-JDBC's "Load Balancer" component.
+//
+// For reads, picks one backend. The paper configured the
+// least-pending-requests policy; round-robin and random are provided
+// for the ablation bench.
+#ifndef APUAMA_CJDBC_LOAD_BALANCER_H_
+#define APUAMA_CJDBC_LOAD_BALANCER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace apuama::cjdbc {
+
+enum class BalancePolicy { kLeastPending, kRoundRobin, kRandom };
+
+class LoadBalancer {
+ public:
+  LoadBalancer(int num_nodes, BalancePolicy policy,
+               uint64_t seed = 0x5eedULL)
+      : pending_(static_cast<size_t>(num_nodes)), policy_(policy),
+        rng_(seed) {
+    for (auto& p : pending_) p = 0;
+  }
+
+  /// Chooses the backend for a read request and increments its
+  /// pending count. Pair with Release() when the request completes.
+  int Acquire();
+  void Release(int node_id);
+
+  /// Pending count of a node (introspection; also used by the sim
+  /// driver which tracks pending through SimServer queues instead).
+  int pending(int node_id) const {
+    return pending_[static_cast<size_t>(node_id)].load();
+  }
+  int num_nodes() const { return static_cast<int>(pending_.size()); }
+
+  /// Pure decision given external pending counts (used by the
+  /// discrete-event driver where queue lengths live in SimServers).
+  int Choose(const std::vector<int>& pending_counts);
+
+ private:
+  std::vector<std::atomic<int>> pending_;
+  BalancePolicy policy_;
+  std::mutex mu_;
+  int rr_next_ = 0;
+  Rng rng_;
+};
+
+}  // namespace apuama::cjdbc
+
+#endif  // APUAMA_CJDBC_LOAD_BALANCER_H_

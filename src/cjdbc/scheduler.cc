@@ -1,0 +1,21 @@
+#include "cjdbc/scheduler.h"
+
+namespace apuama::cjdbc {
+
+Scheduler::WriteTicket Scheduler::BeginWrite(uint64_t* sequence) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !write_active_; });
+  write_active_ = true;
+  *sequence = ++write_seq_;
+  return WriteTicket(this);
+}
+
+void Scheduler::EndWrite() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    write_active_ = false;
+  }
+  cv_.notify_one();
+}
+
+}  // namespace apuama::cjdbc

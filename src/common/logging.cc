@@ -1,0 +1,41 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace apuama {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mu;
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace internal {
+void LogMessage(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+}
+}  // namespace internal
+
+}  // namespace apuama

@@ -1,0 +1,44 @@
+// Minimal leveled logging. Off by default below kWarn so tests and
+// benches stay quiet; examples turn on kInfo to narrate behaviour.
+#ifndef APUAMA_COMMON_LOGGING_H_
+#define APUAMA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace apuama {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogMessage(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace internal
+
+}  // namespace apuama
+
+#define APUAMA_LOG(level)                                          \
+  if (static_cast<int>(::apuama::LogLevel::level) <                \
+      static_cast<int>(::apuama::GetLogLevel())) {                 \
+  } else                                                           \
+    ::apuama::internal::LogLine(::apuama::LogLevel::level)
+
+#endif  // APUAMA_COMMON_LOGGING_H_

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library (data generation, workload permutations,
+// load-balancer tie-breaks) flows through Rng so that experiments are
+// exactly reproducible from a seed.
+#ifndef APUAMA_COMMON_RNG_H_
+#define APUAMA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apuama {
+
+/// SplitMix64-based deterministic RNG. Not cryptographic; fast and
+/// stable across platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Random lowercase ASCII string of exactly `len` characters.
+  std::string NextString(size_t len);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i)));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (stable given call order).
+  Rng Fork();
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace apuama
+
+#endif  // APUAMA_COMMON_RNG_H_

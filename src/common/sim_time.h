@@ -1,0 +1,28 @@
+// Virtual-time units for the cluster simulator.
+//
+// All performance experiments run in simulated time so that 1..32-node
+// cluster behaviour can be reproduced deterministically on one machine
+// (see DESIGN.md section 5). Ticks are microseconds of virtual time.
+#ifndef APUAMA_COMMON_SIM_TIME_H_
+#define APUAMA_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace apuama {
+
+/// Virtual time in microseconds.
+using SimTime = int64_t;
+
+constexpr SimTime kSimMicrosecond = 1;
+constexpr SimTime kSimMillisecond = 1000;
+constexpr SimTime kSimSecond = 1000 * 1000;
+constexpr SimTime kSimMinute = 60 * kSimSecond;
+
+/// Converts virtual ticks to floating-point seconds.
+inline double SimToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSimSecond);
+}
+
+}  // namespace apuama
+
+#endif  // APUAMA_COMMON_SIM_TIME_H_

@@ -1,0 +1,171 @@
+// Status / Result<T> error-handling primitives, in the style of
+// RocksDB's Status and Arrow's Result. The codebase does not use
+// exceptions for recoverable errors: fallible functions return Status
+// (no payload) or Result<T> (payload or error).
+#ifndef APUAMA_COMMON_STATUS_H_
+#define APUAMA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace apuama {
+
+/// Error categories used across the stack.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // SQL text failed to lex/parse
+  kBindError,         // SQL is well-formed but names/types do not resolve
+  kNotFound,          // table/index/column/node missing
+  kAlreadyExists,     // duplicate object creation
+  kUnsupported,       // valid SQL outside the implemented dialect
+  kConstraintViolation,
+  kAborted,           // transaction/request aborted (e.g. shutdown)
+  kTimeout,
+  kInternal,          // invariant violation inside the library
+  kIOError,           // simulated storage failure (fault injection)
+  kUnavailable,       // backend disabled / connection refused
+};
+
+/// Human-readable name of a StatusCode ("Ok", "ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// Typical use:
+///   Status s = table->Insert(row);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status BindError(std::string m) {
+    return Status(StatusCode::kBindError, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status ConstraintViolation(std::string m) {
+    return Status(StatusCode::kConstraintViolation, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Timeout(std::string m) {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status IOError(std::string m) {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "ParseError: unexpected token ')'" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value of type T or an error Status. Move-friendly.
+///
+///   Result<Plan> r = planner.Plan(stmt);
+///   if (!r.ok()) return r.status();
+///   Plan plan = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : var_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(var_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// Error status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define APUAMA_RETURN_NOT_OK(expr)             \
+  do {                                         \
+    ::apuama::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns its Status,
+/// otherwise moves the value into `lhs`.
+#define APUAMA_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto APUAMA_CONCAT_(_res_, __LINE__) = (expr);                   \
+  if (!APUAMA_CONCAT_(_res_, __LINE__).ok())                       \
+    return APUAMA_CONCAT_(_res_, __LINE__).status();               \
+  lhs = std::move(APUAMA_CONCAT_(_res_, __LINE__)).value()
+
+#define APUAMA_CONCAT_INNER_(a, b) a##b
+#define APUAMA_CONCAT_(a, b) APUAMA_CONCAT_INNER_(a, b)
+
+}  // namespace apuama
+
+#endif  // APUAMA_COMMON_STATUS_H_

@@ -1,0 +1,44 @@
+// Small string helpers shared across modules.
+#ifndef APUAMA_COMMON_STRING_UTIL_H_
+#define APUAMA_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apuama {
+
+/// Lower-cases ASCII characters; non-ASCII bytes pass through.
+std::string ToLower(std::string_view s);
+
+/// Upper-cases ASCII characters.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins items with `sep` between them.
+std::string Join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True when `s` starts with `prefix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `digits` decimal places, trimming trailing zeros.
+std::string FormatDouble(double v, int digits = 6);
+
+/// Repeats `s` `count` times.
+std::string Repeat(std::string_view s, int count);
+
+}  // namespace apuama
+
+#endif  // APUAMA_COMMON_STRING_UTIL_H_

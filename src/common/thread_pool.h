@@ -1,0 +1,71 @@
+// Fixed-size worker pool used by the Apuama Intra-Query Executor to
+// dispatch SVP sub-queries to node processors concurrently, and by the
+// workload runner for client streams.
+#ifndef APUAMA_COMMON_THREAD_POOL_H_
+#define APUAMA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apuama {
+
+/// A simple FIFO thread pool. Tasks are std::function<void()>.
+/// Destruction drains queued tasks before joining workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its completion.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Countdown latch: Wait() blocks until CountDown() has been called
+/// `count` times.
+class Latch {
+ public:
+  explicit Latch(int count) : count_(count) {}
+
+  void CountDown();
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+}  // namespace apuama
+
+#endif  // APUAMA_COMMON_THREAD_POOL_H_

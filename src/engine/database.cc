@@ -1,0 +1,530 @@
+#include "engine/database.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/string_util.h"
+#include "engine/eval.h"
+#include "engine/executor.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+
+namespace apuama::engine {
+
+using sql::Stmt;
+using sql::StmtKind;
+
+std::string ExecStats::ToString() const {
+  return StrFormat(
+      "pages_disk=%llu pages_cache=%llu tuples_scanned=%llu "
+      "tuples_output=%llu cpu_ops=%llu rows_affected=%llu seq=%d idx=%d",
+      static_cast<unsigned long long>(pages_disk),
+      static_cast<unsigned long long>(pages_cache),
+      static_cast<unsigned long long>(tuples_scanned),
+      static_cast<unsigned long long>(tuples_output),
+      static_cast<unsigned long long>(cpu_ops),
+      static_cast<unsigned long long>(rows_affected),
+      used_seq_scan ? 1 : 0, used_index_scan ? 1 : 0);
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out = Join(column_names, "\t") + "\n";
+  size_t n = std::min(rows.size(), max_rows);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> cells;
+    cells.reserve(rows[i].size());
+    for (const Value& v : rows[i]) cells.push_back(v.ToString());
+    out += Join(cells, "\t") + "\n";
+  }
+  if (rows.size() > n) {
+    out += StrFormat("... (%zu rows total)\n", rows.size());
+  }
+  return out;
+}
+
+Database::Database(DatabaseOptions options)
+    : options_(options), pool_(options.buffer_pool_pages) {}
+
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  APUAMA_ASSIGN_OR_RETURN(sql::StmtPtr stmt, sql::Parse(sql));
+  return ExecuteStmt(*stmt);
+}
+
+Result<QueryResult> Database::ExecuteStmt(const Stmt& stmt) {
+  switch (stmt.kind()) {
+    case StmtKind::kSelect: {
+      auto select = static_cast<const sql::SelectStmt&>(stmt).Clone();
+      sql::FoldConstants(select.get());
+      ExecStats stats;
+      Executor exec(this, &stats);
+      return exec.ExecuteSelect(*select);
+    }
+    case StmtKind::kInsert:
+      return ExecuteInsert(static_cast<const sql::InsertStmt&>(stmt));
+    case StmtKind::kDelete:
+      return ExecuteDelete(static_cast<const sql::DeleteStmt&>(stmt));
+    case StmtKind::kUpdate:
+      return ExecuteUpdate(static_cast<const sql::UpdateStmt&>(stmt));
+    case StmtKind::kCreateTable:
+      return ExecuteCreateTable(
+          static_cast<const sql::CreateTableStmt&>(stmt));
+    case StmtKind::kCreateIndex:
+      return ExecuteCreateIndex(
+          static_cast<const sql::CreateIndexStmt&>(stmt));
+    case StmtKind::kDropTable: {
+      APUAMA_RETURN_NOT_OK(catalog_.DropTable(
+          static_cast<const sql::DropTableStmt&>(stmt).table));
+      return QueryResult{};
+    }
+    case StmtKind::kSet:
+      return ExecuteSet(static_cast<const sql::SetStmt&>(stmt));
+    case StmtKind::kExplain:
+      return ExecuteExplain(static_cast<const sql::ExplainStmt&>(stmt));
+    case StmtKind::kBegin:
+      in_txn_ = true;
+      txn_wrote_ = false;
+      undo_log_.clear();
+      return QueryResult{};
+    case StmtKind::kCommit: {
+      if (in_txn_ && txn_wrote_) ++txn_counter_;
+      in_txn_ = false;
+      txn_wrote_ = false;
+      undo_log_.clear();
+      return QueryResult{};
+    }
+    case StmtKind::kRollback: {
+      Status s = ApplyRollback();
+      in_txn_ = false;
+      txn_wrote_ = false;
+      undo_log_.clear();
+      APUAMA_RETURN_NOT_OK(s);
+      return QueryResult{};
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+void Database::RecordUndo(UndoEntry::Kind kind, const std::string& table,
+                          std::vector<Row> rows) {
+  if (!in_txn_ || rows.empty()) return;
+  undo_log_.push_back(UndoEntry{kind, table, std::move(rows)});
+}
+
+namespace {
+bool RowsExactlyEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+// Removes one row matching `row` exactly. Uses the clustered key to
+// land near the row, then matches the full tuple (keys are unique in
+// practice, but duplicates are handled).
+Status RemoveExactRow(storage::Table* t, const Row& row) {
+  size_t begin = 0, end = t->num_rows();
+  if (!t->clustered_key().empty()) {
+    Row key = t->KeyOfRow(row);
+    size_t pos = t->PositionOfKey(key);
+    if (pos < t->num_rows()) {
+      begin = pos;
+      // Scan only while the clustered key still matches.
+      end = t->num_rows();
+    }
+  }
+  for (size_t i = begin; i < end; ++i) {
+    if (RowsExactlyEqual(t->row(i), row)) {
+      t->DeleteAt({i});
+      return Status::OK();
+    }
+    if (!t->clustered_key().empty() && i > begin) {
+      // Past the equal-key run: stop early.
+      Row key = t->KeyOfRow(row);
+      Row cur_key = t->KeyOfRow(t->row(i));
+      if (!RowsExactlyEqual(key, cur_key)) break;
+    }
+  }
+  return Status::NotFound("row to undo not found (concurrent change?)");
+}
+}  // namespace
+
+Status Database::ApplyRollback() {
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    APUAMA_ASSIGN_OR_RETURN(storage::Table * table,
+                            catalog_.GetTable(it->table));
+    switch (it->kind) {
+      case UndoEntry::Kind::kInsertedRows:
+        for (const Row& r : it->rows) {
+          APUAMA_RETURN_NOT_OK(RemoveExactRow(table, r));
+        }
+        break;
+      case UndoEntry::Kind::kDeletedRows:
+        for (const Row& r : it->rows) {
+          APUAMA_RETURN_NOT_OK(table->Insert(Row(r)));
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt) {
+  auto select = stmt.query->Clone();
+  sql::FoldConstants(select.get());
+  ExecStats stats;
+  Executor exec(this, &stats);
+  APUAMA_ASSIGN_OR_RETURN(QueryResult inner, exec.ExecuteSelect(*select));
+  QueryResult qr;
+  qr.column_names = {"plan"};
+  for (const auto& [binding, path] : exec.scan_paths()) {
+    qr.rows.push_back(
+        {Value::Str(std::string(AccessPathName(path)) + " on " + binding)});
+  }
+  qr.rows.push_back({Value::Str(StrFormat("output rows: %zu",
+                                          inner.rows.size()))});
+  qr.rows.push_back({Value::Str(stats.ToString())});
+  qr.stats = stats;
+  return qr;
+}
+
+void Database::NoteWriteCommitted() {
+  if (in_txn_) {
+    txn_wrote_ = true;
+  } else {
+    ++txn_counter_;
+  }
+}
+
+namespace {
+// Evaluates a literal-only expression (insert values, update rhs).
+Result<Value> EvalConst(const sql::Expr& e) {
+  EvalContext ctx;  // no scope: only literals/arithmetic resolve
+  return Eval(e, ctx);
+}
+}  // namespace
+
+Result<QueryResult> Database::ExecuteInsert(const sql::InsertStmt& stmt) {
+  APUAMA_ASSIGN_OR_RETURN(storage::Table * table,
+                          catalog_.GetTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  // Column mapping: schema order when unspecified.
+  std::vector<int> slots;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      slots.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const auto& c : stmt.columns) {
+      int idx = schema.FindColumn(c);
+      if (idx < 0) return Status::NotFound("no column " + c);
+      slots.push_back(idx);
+    }
+  }
+
+  QueryResult qr;
+  std::vector<Row> inserted;  // for transactional undo
+  for (const auto& row_exprs : stmt.rows) {
+    if (row_exprs.size() != slots.size()) {
+      return Status::InvalidArgument("VALUES arity mismatch");
+    }
+    Row row(schema.num_columns(), Value::Null());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      APUAMA_ASSIGN_OR_RETURN(Value v, EvalConst(*row_exprs[i]));
+      // Coerce int literals into date/double columns.
+      const Column& col = schema.column(static_cast<size_t>(slots[i]));
+      if (!v.is_null() && col.type == ValueType::kDate &&
+          v.type() == ValueType::kString) {
+        APUAMA_ASSIGN_OR_RETURN(v, Value::DateFromString(v.str_val()));
+      }
+      if (!v.is_null() && col.type == ValueType::kDouble &&
+          v.type() == ValueType::kInt64) {
+        v = Value::Double(static_cast<double>(v.int_val()));
+      }
+      row[static_cast<size_t>(slots[i])] = std::move(v);
+    }
+    if (in_txn_) inserted.push_back(row);
+    APUAMA_RETURN_NOT_OK(table->Insert(std::move(row)));
+    ++qr.stats.rows_affected;
+    // A write dirties the page it lands on.
+    size_t pos = table->num_rows() == 0 ? 0 : table->num_rows() - 1;
+    bool hit = pool_.Touch(table->PageOfPosition(pos));
+    if (hit) {
+      ++qr.stats.pages_cache;
+    } else {
+      ++qr.stats.pages_disk;
+    }
+    qr.stats.cpu_ops += schema.num_columns();
+  }
+  RecordUndo(UndoEntry::Kind::kInsertedRows, table->name(),
+             std::move(inserted));
+  NoteWriteCommitted();
+  return qr;
+}
+
+namespace {
+// Finds positions of rows matching a WHERE predicate. When the
+// predicate constrains the first clustered-key column with literal
+// bounds (the shape refresh deletes take: `l_orderkey = K`), only
+// that key range is scanned — the PK-index path a real DBMS would
+// use. Otherwise falls back to a full scan. All page traffic flows
+// through the buffer pool either way.
+Result<std::vector<size_t>> MatchPositions(Database* db,
+                                           storage::Table* table,
+                                           const sql::Expr* where,
+                                           ExecStats* stats) {
+  size_t begin = 0, end = table->num_rows();
+  if (where != nullptr && !table->clustered_key().empty()) {
+    const int key_col = table->clustered_key()[0];
+    std::optional<Value> lo, hi;
+    bool lo_inc = true, hi_inc = true;
+    for (const sql::Expr* c : sql::SplitConjuncts(where)) {
+      if (c->kind != sql::ExprKind::kBinary ||
+          !sql::IsComparison(c->binary_op)) {
+        continue;
+      }
+      const sql::Expr* colref = c->children[0].get();
+      const sql::Expr* lit = c->children[1].get();
+      sql::BinaryOp op = c->binary_op;
+      if (colref->kind != sql::ExprKind::kColumnRef) {
+        std::swap(colref, lit);
+        // Mirror the comparison when the literal is on the left.
+        switch (op) {
+          case sql::BinaryOp::kLt: op = sql::BinaryOp::kGt; break;
+          case sql::BinaryOp::kLtEq: op = sql::BinaryOp::kGtEq; break;
+          case sql::BinaryOp::kGt: op = sql::BinaryOp::kLt; break;
+          case sql::BinaryOp::kGtEq: op = sql::BinaryOp::kLtEq; break;
+          default: break;
+        }
+      }
+      if (colref->kind != sql::ExprKind::kColumnRef ||
+          lit->kind != sql::ExprKind::kLiteral || lit->literal.is_null()) {
+        continue;
+      }
+      if (table->schema().FindColumn(colref->column_name) != key_col) {
+        continue;
+      }
+      switch (op) {
+        case sql::BinaryOp::kEq:
+          lo = lit->literal;
+          hi = lit->literal;
+          lo_inc = hi_inc = true;
+          break;
+        case sql::BinaryOp::kLt:
+          if (!hi || lit->literal.Compare(*hi) < 0) hi = lit->literal;
+          hi_inc = false;
+          break;
+        case sql::BinaryOp::kLtEq:
+          if (!hi || lit->literal.Compare(*hi) < 0) hi = lit->literal;
+          break;
+        case sql::BinaryOp::kGt:
+          if (!lo || lit->literal.Compare(*lo) > 0) lo = lit->literal;
+          lo_inc = false;
+          break;
+        case sql::BinaryOp::kGtEq:
+          if (!lo || lit->literal.Compare(*lo) > 0) lo = lit->literal;
+          break;
+        default:
+          break;
+      }
+    }
+    if (lo.has_value() || hi.has_value()) {
+      auto [b, e] = table->ClusteredRange(
+          lo.has_value() ? &*lo : nullptr, lo_inc,
+          hi.has_value() ? &*hi : nullptr, hi_inc);
+      begin = b;
+      end = e;
+    }
+  }
+
+  std::vector<size_t> out;
+  Relation rel;
+  for (const auto& col : table->schema().columns()) {
+    rel.columns.push_back(ColumnBinding{table->name(), col.name});
+  }
+  ColumnResolver resolver(&rel);
+  EvalScope scope{&resolver, nullptr, nullptr};
+  EvalContext ctx;
+  ctx.scope = &scope;
+  ctx.cpu_ops = &stats->cpu_ops;
+  size_t rpp = table->rows_per_page();
+  size_t last_page = SIZE_MAX;
+  for (size_t i = begin; i < end; ++i) {
+    if (i / rpp != last_page) {
+      last_page = i / rpp;
+      bool hit = db->buffer_pool()->Touch(table->PageOfPosition(i));
+      if (hit) {
+        ++stats->pages_cache;
+      } else {
+        ++stats->pages_disk;
+      }
+    }
+    const Row& r = table->row(i);
+    ++stats->tuples_scanned;
+    if (where != nullptr) {
+      scope.row = &r;
+      APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*where, ctx));
+      if (Truthiness(v) != 1) continue;
+    }
+    out.push_back(i);
+  }
+  return out;
+}
+}  // namespace
+
+Result<QueryResult> Database::ExecuteDelete(const sql::DeleteStmt& stmt) {
+  APUAMA_ASSIGN_OR_RETURN(storage::Table * table,
+                          catalog_.GetTable(stmt.table));
+  QueryResult qr;
+  // Fast path: equality/range on the clustered key via Executor-style
+  // predicate evaluation is overkill for the model; a filtered pass is
+  // correct and the page accounting still flows through the pool.
+  sql::ExprPtr folded;
+  const sql::Expr* where = stmt.where.get();
+  if (where != nullptr) {
+    folded = where->Clone();
+    sql::FoldConstants(folded.get());
+    where = folded.get();
+  }
+  APUAMA_ASSIGN_OR_RETURN(std::vector<size_t> positions,
+                          MatchPositions(this, table, where, &qr.stats));
+  if (in_txn_) {
+    std::vector<Row> removed;
+    removed.reserve(positions.size());
+    for (size_t pos : positions) removed.push_back(table->row(pos));
+    RecordUndo(UndoEntry::Kind::kDeletedRows, table->name(),
+               std::move(removed));
+  }
+  table->DeleteAt(positions);
+  qr.stats.rows_affected = positions.size();
+  NoteWriteCommitted();
+  return qr;
+}
+
+Result<QueryResult> Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
+  APUAMA_ASSIGN_OR_RETURN(storage::Table * table,
+                          catalog_.GetTable(stmt.table));
+  const Schema& schema = table->schema();
+  QueryResult qr;
+  sql::ExprPtr folded;
+  const sql::Expr* where = stmt.where.get();
+  if (where != nullptr) {
+    folded = where->Clone();
+    sql::FoldConstants(folded.get());
+    where = folded.get();
+  }
+  APUAMA_ASSIGN_OR_RETURN(std::vector<size_t> positions,
+                          MatchPositions(this, table, where, &qr.stats));
+
+  // Evaluate assignments per row (rhs may reference current values),
+  // then re-insert: updating clustered-key columns must re-sort.
+  std::vector<int> slots;
+  for (const auto& [col, rhs] : stmt.assignments) {
+    (void)rhs;
+    int idx = schema.FindColumn(col);
+    if (idx < 0) return Status::NotFound("no column " + col);
+    slots.push_back(idx);
+  }
+  Relation rel;
+  for (const auto& col : schema.columns()) {
+    rel.columns.push_back(ColumnBinding{table->name(), col.name});
+  }
+  ColumnResolver resolver(&rel);
+  EvalScope scope{&resolver, nullptr, nullptr};
+  EvalContext ctx;
+  ctx.scope = &scope;
+  ctx.cpu_ops = &qr.stats.cpu_ops;
+
+  std::vector<Row> updated;
+  updated.reserve(positions.size());
+  for (size_t pos : positions) {
+    Row r = table->row(pos);
+    scope.row = &r;
+    Row next = r;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*stmt.assignments[i].second, ctx));
+      next[static_cast<size_t>(slots[i])] = std::move(v);
+    }
+    updated.push_back(std::move(next));
+  }
+  if (in_txn_) {
+    std::vector<Row> old_rows;
+    old_rows.reserve(positions.size());
+    for (size_t pos : positions) old_rows.push_back(table->row(pos));
+    RecordUndo(UndoEntry::Kind::kDeletedRows, table->name(),
+               std::move(old_rows));
+    RecordUndo(UndoEntry::Kind::kInsertedRows, table->name(),
+               std::vector<Row>(updated));
+  }
+  table->DeleteAt(positions);
+  for (Row& r : updated) {
+    APUAMA_RETURN_NOT_OK(table->Insert(std::move(r)));
+  }
+  qr.stats.rows_affected = positions.size();
+  NoteWriteCommitted();
+  return qr;
+}
+
+Result<QueryResult> Database::ExecuteCreateTable(
+    const sql::CreateTableStmt& stmt) {
+  Schema schema;
+  for (const auto& def : stmt.columns) {
+    APUAMA_RETURN_NOT_OK(
+        schema.AddColumn(Column(ToLower(def.name), def.type, def.not_null)));
+  }
+  APUAMA_ASSIGN_OR_RETURN(storage::Table * table,
+                          catalog_.CreateTable(stmt.table, std::move(schema)));
+  if (!stmt.primary_key.empty()) {
+    std::vector<int> key;
+    for (const auto& c : stmt.primary_key) {
+      int idx = table->schema().FindColumn(c);
+      if (idx < 0) return Status::NotFound("PK column " + c + " not found");
+      key.push_back(idx);
+    }
+    APUAMA_RETURN_NOT_OK(table->SetClusteredKey(std::move(key)));
+  }
+  return QueryResult{};
+}
+
+Result<QueryResult> Database::ExecuteCreateIndex(
+    const sql::CreateIndexStmt& stmt) {
+  APUAMA_ASSIGN_OR_RETURN(storage::Table * table,
+                          catalog_.GetTable(stmt.table));
+  if (stmt.clustered) {
+    std::vector<int> key;
+    for (const auto& c : stmt.columns) {
+      int idx = table->schema().FindColumn(c);
+      if (idx < 0) return Status::NotFound("column " + c + " not found");
+      key.push_back(idx);
+    }
+    APUAMA_RETURN_NOT_OK(table->SetClusteredKey(std::move(key)));
+    pool_.InvalidateTable(table->id());  // heap physically reordered
+    return QueryResult{};
+  }
+  if (stmt.columns.size() != 1) {
+    return Status::Unsupported(
+        "secondary indexes are single-column in this engine");
+  }
+  APUAMA_RETURN_NOT_OK(table->CreateIndex(stmt.index_name, stmt.columns[0]));
+  return QueryResult{};
+}
+
+Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
+  std::string name = ToLower(stmt.name);
+  std::string value = ToLower(stmt.value);
+  if (name == "enable_seqscan") {
+    if (value == "off" || value == "false" || value == "0") {
+      settings_.enable_seqscan = false;
+    } else if (value == "on" || value == "true" || value == "1") {
+      settings_.enable_seqscan = true;
+    } else {
+      return Status::InvalidArgument("bad value for enable_seqscan: " +
+                                     stmt.value);
+    }
+    return QueryResult{};
+  }
+  return Status::NotFound("unknown setting: " + stmt.name);
+}
+
+}  // namespace apuama::engine

@@ -1,0 +1,51 @@
+// Per-statement execution statistics.
+//
+// These are the engine's "EXPLAIN ANALYZE buffers" numbers: the
+// discrete-event simulator converts them into virtual service time,
+// tests assert on them (e.g. SVP touches 1/n of the fact table), and
+// ablation benches report them directly.
+#ifndef APUAMA_ENGINE_EXEC_STATS_H_
+#define APUAMA_ENGINE_EXEC_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace apuama::engine {
+
+struct ExecStats {
+  /// Logical pages faulted from "disk" (buffer-pool misses).
+  uint64_t pages_disk = 0;
+  /// Logical pages served from the buffer pool (hits).
+  uint64_t pages_cache = 0;
+  /// Tuples read by scan operators (before filtering).
+  uint64_t tuples_scanned = 0;
+  /// Tuples produced by the final operator.
+  uint64_t tuples_output = 0;
+  /// Abstract CPU work units: expression evaluations, hash
+  /// build/probe steps, sort comparisons, aggregate updates.
+  uint64_t cpu_ops = 0;
+  /// Rows inserted/deleted/updated by DML.
+  uint64_t rows_affected = 0;
+  /// True when the plan used at least one full (sequential) scan.
+  bool used_seq_scan = false;
+  /// True when the plan used at least one index path.
+  bool used_index_scan = false;
+
+  ExecStats& operator+=(const ExecStats& o) {
+    pages_disk += o.pages_disk;
+    pages_cache += o.pages_cache;
+    tuples_scanned += o.tuples_scanned;
+    tuples_output += o.tuples_output;
+    cpu_ops += o.cpu_ops;
+    rows_affected += o.rows_affected;
+    used_seq_scan = used_seq_scan || o.used_seq_scan;
+    used_index_scan = used_index_scan || o.used_index_scan;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace apuama::engine
+
+#endif  // APUAMA_ENGINE_EXEC_STATS_H_

@@ -1,0 +1,1447 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "engine/database.h"
+#include "storage/table.h"
+
+namespace apuama::engine {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::SelectStmt;
+
+const char* AccessPathName(AccessPath p) {
+  switch (p) {
+    case AccessPath::kSeqScan:
+      return "SeqScan";
+    case AccessPath::kClusteredRange:
+      return "ClusteredRange";
+    case AccessPath::kSecondaryIndex:
+      return "SecondaryIndex";
+  }
+  return "?";
+}
+
+struct Executor::FromBinding {
+  std::string binding;           // alias or table name, lower-cased
+  const storage::Table* table = nullptr;
+};
+
+struct Executor::ConjunctInfo {
+  const Expr* expr = nullptr;
+  std::set<std::string> bindings;  // FROM bindings referenced
+  bool uses_outer = false;         // references an enclosing scope
+  bool is_subquery_pred = false;   // EXISTS / IN-subquery node
+  bool applied = false;
+};
+
+namespace {
+
+// Hash a key tuple for join hash tables.
+struct RowHash {
+  size_t operator()(const Row& r) const {
+    size_t h = 0x9e3779b9;
+    for (const Value& v : r) h = h * 1315423911u + v.Hash();
+    return h;
+  }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+// A subquery's own FROM tables, masking column refs that belong to
+// the inner scope during binding collection.
+struct MaskEntry {
+  std::string binding;                   // alias or table name
+  const storage::Table* table = nullptr; // null if unknown
+};
+
+bool ResolvesInMask(const Expr& e, const std::vector<MaskEntry>& mask) {
+  for (const auto& m : mask) {
+    if (!e.table_qualifier.empty()) {
+      if (EqualsIgnoreCase(m.binding, e.table_qualifier)) return true;
+    } else if (m.table != nullptr &&
+               m.table->schema().FindColumn(e.column_name) >= 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Which FROM bindings does an expression reference? Descends into
+// subqueries (EXISTS / IN / scalar) with the subquery's own tables
+// masked, so correlated references back to our FROM are attributed
+// correctly. Column refs that resolve nowhere are assumed to come
+// from an enclosing scope (correlated subquery) and set *uses_outer.
+void CollectBindings(const Expr& e, const storage::Catalog* catalog,
+                     const std::function<int(const Expr&)>& attribute,
+                     std::set<std::string>* out, bool* uses_outer,
+                     const std::vector<std::string>& binding_names,
+                     std::vector<MaskEntry>* mask) {
+  if (e.kind == ExprKind::kColumnRef) {
+    if (ResolvesInMask(e, *mask)) return;  // inner-scope reference
+    int idx = attribute(e);
+    if (idx >= 0) {
+      out->insert(binding_names[static_cast<size_t>(idx)]);
+    } else {
+      *uses_outer = true;
+    }
+    return;
+  }
+  for (const auto& c : e.children) {
+    CollectBindings(*c, catalog, attribute, out, uses_outer, binding_names,
+                    mask);
+  }
+  if (e.case_else) {
+    CollectBindings(*e.case_else, catalog, attribute, out, uses_outer,
+                    binding_names, mask);
+  }
+  if (e.subquery) {
+    size_t mask_base = mask->size();
+    for (const auto& ref : e.subquery->from) {
+      MaskEntry entry;
+      entry.binding = ToLower(ref.binding());
+      auto t = catalog->GetTable(ref.table);
+      entry.table = t.ok() ? *t : nullptr;
+      mask->push_back(std::move(entry));
+    }
+    auto walk_sub = [&](const sql::ExprPtr& p) {
+      if (p) {
+        CollectBindings(*p, catalog, attribute, out, uses_outer,
+                        binding_names, mask);
+      }
+    };
+    for (const auto& item : e.subquery->items) walk_sub(item.expr);
+    walk_sub(e.subquery->where);
+    for (const auto& g : e.subquery->group_by) walk_sub(g);
+    walk_sub(e.subquery->having);
+    for (const auto& o : e.subquery->order_by) walk_sub(o.expr);
+    mask->resize(mask_base);
+  }
+}
+
+void CollectBindings(const Expr& e, const storage::Catalog* catalog,
+                     const std::function<int(const Expr&)>& attribute,
+                     std::set<std::string>* out, bool* uses_outer,
+                     const std::vector<std::string>& binding_names) {
+  std::vector<MaskEntry> mask;
+  CollectBindings(e, catalog, attribute, out, uses_outer, binding_names,
+                  &mask);
+}
+
+// Planner page-cost factor for index-driven paths relative to a
+// sequential scan (PostgreSQL's random_page_cost=4 vs
+// seq_page_cost=1). This is why an optimizer may prefer a full scan
+// over the virtual partition's index range — the behaviour Apuama
+// suppresses with `SET enable_seqscan = off` (paper section 3).
+constexpr double kIndexPageCostFactor = 4.0;
+
+// Evaluates an expression that must not depend on the current table
+// (literal or outer-scope reference). Returns error if unresolvable.
+Result<Value> EvalOuterOnly(const Expr& e, const EvalScope* outer,
+                            uint64_t* cpu) {
+  EvalContext ctx;
+  ctx.scope = outer;
+  ctx.cpu_ops = cpu;
+  return Eval(e, ctx);
+}
+
+struct Bound {
+  bool present = false;
+  Value value;
+  bool inclusive = true;
+};
+
+// Aggregate accumulator.
+struct AggAcc {
+  double dsum = 0;
+  int64_t isum = 0;
+  bool any_double = false;
+  uint64_t count = 0;        // non-null inputs (or all rows for count(*))
+  bool has_value = false;
+  Value min_v, max_v;
+  std::set<Value> distinct;  // only for DISTINCT aggregates
+};
+
+void AggUpdate(AggAcc* acc, const Expr& agg, const Value& v) {
+  if (agg.star_arg) {
+    ++acc->count;
+    return;
+  }
+  if (v.is_null()) return;
+  if (agg.distinct) {
+    acc->distinct.insert(v);
+    return;
+  }
+  ++acc->count;
+  acc->has_value = true;
+  if (agg.func_name == "min") {
+    if (acc->min_v.is_null() || v.Compare(acc->min_v) < 0) acc->min_v = v;
+    return;
+  }
+  if (agg.func_name == "max") {
+    if (acc->max_v.is_null() || v.Compare(acc->max_v) > 0) acc->max_v = v;
+    return;
+  }
+  if (agg.func_name == "sum" || agg.func_name == "avg") {
+    if (v.type() == ValueType::kInt64 && !acc->any_double) {
+      acc->isum += v.int_val();
+    } else {
+      if (!acc->any_double) {
+        acc->dsum = static_cast<double>(acc->isum);
+        acc->any_double = true;
+      }
+      auto d = v.AsDouble();
+      acc->dsum += d.ok() ? *d : 0;
+    }
+  }
+}
+
+Value AggFinalize(const AggAcc& acc, const Expr& agg) {
+  const std::string& f = agg.func_name;
+  if (f == "count") {
+    if (agg.distinct) return Value::Int(static_cast<int64_t>(acc.distinct.size()));
+    return Value::Int(static_cast<int64_t>(acc.count));
+  }
+  if (agg.distinct) {
+    // sum/avg/min/max over DISTINCT values.
+    if (acc.distinct.empty()) return Value::Null();
+    if (f == "min") return *acc.distinct.begin();
+    if (f == "max") return *acc.distinct.rbegin();
+    double s = 0;
+    for (const Value& v : acc.distinct) {
+      auto d = v.AsDouble();
+      s += d.ok() ? *d : 0;
+    }
+    if (f == "sum") return Value::Double(s);
+    return Value::Double(s / static_cast<double>(acc.distinct.size()));
+  }
+  if (!acc.has_value) return Value::Null();
+  if (f == "min") return acc.min_v;
+  if (f == "max") return acc.max_v;
+  if (f == "sum") {
+    return acc.any_double ? Value::Double(acc.dsum) : Value::Int(acc.isum);
+  }
+  if (f == "avg") {
+    double s = acc.any_double ? acc.dsum : static_cast<double>(acc.isum);
+    return Value::Double(s / static_cast<double>(acc.count));
+  }
+  return Value::Null();
+}
+
+// Collects aggregate call nodes reachable without crossing a subquery.
+void CollectAggNodes(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kFuncCall && sql::IsAggregateFunction(e.func_name)) {
+    out->push_back(&e);
+    return;  // nested aggregates are invalid; do not descend
+  }
+  for (const auto& c : e.children) CollectAggNodes(*c, out);
+  if (e.case_else) CollectAggNodes(*e.case_else, out);
+}
+
+std::string OutputName(const sql::SelectItem& item, size_t ordinal) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr && item.expr->kind == ExprKind::kColumnRef) {
+    return item.expr->column_name;
+  }
+  if (item.expr && item.expr->kind == ExprKind::kFuncCall) {
+    return item.expr->func_name;
+  }
+  return StrFormat("column%zu", ordinal + 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FROM/WHERE pipeline
+// ---------------------------------------------------------------------------
+
+Result<Relation> Executor::ExecuteFromWhere(const SelectStmt& stmt,
+                                            const EvalScope* outer) {
+  // Resolve FROM bindings.
+  std::vector<FromBinding> from;
+  std::vector<std::string> binding_names;
+  for (const auto& ref : stmt.from) {
+    APUAMA_ASSIGN_OR_RETURN(const storage::Table* t,
+                            static_cast<const storage::Catalog*>(
+                                db_->catalog())
+                                ->GetTable(ref.table));
+    FromBinding fb;
+    fb.binding = ToLower(ref.binding());
+    fb.table = t;
+    from.push_back(fb);
+    binding_names.push_back(fb.binding);
+  }
+  if (from.empty()) {
+    Relation rel;
+    rel.rows.push_back(Row{});  // one empty row, e.g. SELECT 1
+    return rel;
+  }
+
+  // Attribute a column ref to a FROM binding (or -1 = outer/unknown).
+  auto attribute = [&](const Expr& e) -> int {
+    if (!e.table_qualifier.empty()) {
+      for (size_t i = 0; i < from.size(); ++i) {
+        if (EqualsIgnoreCase(from[i].binding, e.table_qualifier)) {
+          return static_cast<int>(i);
+        }
+      }
+      return -1;
+    }
+    int found = -1;
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (from[i].table->schema().FindColumn(e.column_name) >= 0) {
+        if (found >= 0) return found;  // ambiguous: first wins for
+                                       // placement; eval will error
+        found = static_cast<int>(i);
+      }
+    }
+    return found;
+  };
+
+  // Classify conjuncts.
+  std::vector<ConjunctInfo> conjuncts;
+  for (const Expr* c : sql::SplitConjuncts(stmt.where.get())) {
+    ConjunctInfo info;
+    info.expr = c;
+    info.is_subquery_pred =
+        c->kind == ExprKind::kExists || c->kind == ExprKind::kInSubquery;
+    if (!info.is_subquery_pred) {
+      CollectBindings(*c, db_->catalog(), attribute, &info.bindings, &info.uses_outer,
+                      binding_names);
+    } else if (c->kind == ExprKind::kInSubquery) {
+      CollectBindings(*c->children[0], db_->catalog(), attribute, &info.bindings,
+                      &info.uses_outer, binding_names);
+    }
+    conjuncts.push_back(std::move(info));
+  }
+
+  // Scan each table with its single-table predicates.
+  std::vector<Relation> rels(from.size());
+  std::vector<std::set<std::string>> rel_bindings(from.size());
+  for (size_t i = 0; i < from.size(); ++i) {
+    std::vector<const Expr*> preds;
+    for (auto& c : conjuncts) {
+      if (c.is_subquery_pred || c.applied) continue;
+      if (c.bindings.size() == 1 && *c.bindings.begin() == from[i].binding) {
+        preds.push_back(c.expr);
+        c.applied = true;
+      }
+    }
+    APUAMA_ASSIGN_OR_RETURN(rels[i], ScanTable(from[i], preds, outer));
+    rel_bindings[i] = {from[i].binding};
+  }
+
+  // Equality join predicates between two bindings.
+  struct JoinPred {
+    const Expr* lhs;
+    const Expr* rhs;
+    std::string lb, rb;  // binding of each side
+    bool applied = false;
+  };
+  std::vector<JoinPred> join_preds;
+  for (auto& c : conjuncts) {
+    if (c.applied || c.is_subquery_pred || c.uses_outer) continue;
+    if (c.bindings.size() != 2) continue;
+    const Expr* e = c.expr;
+    if (e->kind != ExprKind::kBinary || e->binary_op != BinaryOp::kEq) {
+      continue;
+    }
+    // Each side must reference exactly one distinct binding.
+    std::set<std::string> lb, rb;
+    bool lo = false, ro = false;
+    CollectBindings(*e->children[0], db_->catalog(), attribute, &lb, &lo,
+                    binding_names);
+    CollectBindings(*e->children[1], db_->catalog(), attribute, &rb, &ro,
+                    binding_names);
+    if (lo || ro || lb.size() != 1 || rb.size() != 1 || *lb.begin() == *rb.begin()) {
+      continue;
+    }
+    JoinPred jp;
+    jp.lhs = e->children[0].get();
+    jp.rhs = e->children[1].get();
+    jp.lb = *lb.begin();
+    jp.rb = *rb.begin();
+    join_preds.push_back(jp);
+    c.applied = true;
+  }
+
+  // Greedy join order: start with the smallest relation; repeatedly
+  // join the smallest relation connected by an equality predicate
+  // (falling back to the smallest remaining = cross join).
+  std::vector<bool> merged(from.size(), false);
+  size_t cur = 0;
+  for (size_t i = 1; i < from.size(); ++i) {
+    if (rels[i].rows.size() < rels[cur].rows.size()) cur = i;
+  }
+  Relation current = std::move(rels[cur]);
+  std::set<std::string> cur_bindings = rel_bindings[cur];
+  merged[cur] = true;
+  size_t remaining = from.size() - 1;
+
+  auto apply_residuals = [&](Relation* rel) -> Status {
+    for (auto& c : conjuncts) {
+      if (c.applied || c.is_subquery_pred) continue;
+      bool covered = true;
+      for (const auto& b : c.bindings) {
+        if (!cur_bindings.count(b)) {
+          covered = false;
+          break;
+        }
+      }
+      if (!covered) continue;
+      c.applied = true;
+      ColumnResolver resolver(rel);
+      EvalScope scope{&resolver, nullptr, outer};
+      EvalContext ctx;
+      ctx.scope = &scope;
+      ctx.executor = this;
+      ctx.cpu_ops = &stats_->cpu_ops;
+      std::vector<Row> kept;
+      kept.reserve(rel->rows.size());
+      for (Row& r : rel->rows) {
+        scope.row = &r;
+        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*c.expr, ctx));
+        if (Truthiness(v) == 1) kept.push_back(std::move(r));
+      }
+      rel->rows = std::move(kept);
+    }
+    return Status::OK();
+  };
+  APUAMA_RETURN_NOT_OK(apply_residuals(&current));
+
+  while (remaining > 0) {
+    // Candidate: connected by at least one join pred.
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (merged[i]) continue;
+      bool connected = false;
+      for (const auto& jp : join_preds) {
+        if (jp.applied) continue;
+        bool l_in = cur_bindings.count(jp.lb) > 0;
+        bool r_in = cur_bindings.count(jp.rb) > 0;
+        const std::string& b = from[i].binding;
+        if ((l_in && jp.rb == b) || (r_in && jp.lb == b)) {
+          connected = true;
+          break;
+        }
+      }
+      if (best < 0 ||
+          (connected && !best_connected) ||
+          (connected == best_connected &&
+           rels[i].rows.size() < rels[static_cast<size_t>(best)].rows.size())) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    size_t next = static_cast<size_t>(best);
+
+    // Gather the equality keys connecting current <-> next.
+    std::vector<const Expr*> cur_keys, next_keys;
+    for (auto& jp : join_preds) {
+      if (jp.applied) continue;
+      const std::string& b = from[next].binding;
+      if (cur_bindings.count(jp.lb) && jp.rb == b) {
+        cur_keys.push_back(jp.lhs);
+        next_keys.push_back(jp.rhs);
+        jp.applied = true;
+      } else if (cur_bindings.count(jp.rb) && jp.lb == b) {
+        cur_keys.push_back(jp.rhs);
+        next_keys.push_back(jp.lhs);
+        jp.applied = true;
+      }
+    }
+
+    Relation& right = rels[next];
+    Relation joined;
+    joined.columns = current.columns;
+    joined.columns.insert(joined.columns.end(), right.columns.begin(),
+                          right.columns.end());
+
+    if (!cur_keys.empty()) {
+      // Hash join: build on the smaller input.
+      const bool build_right = right.rows.size() <= current.rows.size();
+      Relation& build = build_right ? right : current;
+      Relation& probe = build_right ? current : right;
+      const std::vector<const Expr*>& build_keys =
+          build_right ? next_keys : cur_keys;
+      const std::vector<const Expr*>& probe_keys =
+          build_right ? cur_keys : next_keys;
+
+      ColumnResolver bres(&build);
+      EvalScope bscope{&bres, nullptr, outer};
+      EvalContext bctx;
+      bctx.scope = &bscope;
+      bctx.cpu_ops = &stats_->cpu_ops;
+      std::unordered_multimap<Row, size_t, RowHash, RowEq> ht;
+      ht.reserve(build.rows.size());
+      for (size_t i = 0; i < build.rows.size(); ++i) {
+        bscope.row = &build.rows[i];
+        Row key;
+        key.reserve(build_keys.size());
+        bool null_key = false;
+        for (const Expr* k : build_keys) {
+          APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*k, bctx));
+          if (v.is_null()) null_key = true;
+          key.push_back(std::move(v));
+        }
+        if (!null_key) ht.emplace(std::move(key), i);
+      }
+      ColumnResolver pres(&probe);
+      EvalScope pscope{&pres, nullptr, outer};
+      EvalContext pctx;
+      pctx.scope = &pscope;
+      pctx.cpu_ops = &stats_->cpu_ops;
+      for (const Row& prow : probe.rows) {
+        pscope.row = &prow;
+        Row key;
+        key.reserve(probe_keys.size());
+        bool null_key = false;
+        for (const Expr* k : probe_keys) {
+          APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*k, pctx));
+          if (v.is_null()) null_key = true;
+          key.push_back(std::move(v));
+        }
+        if (null_key) continue;
+        auto [lo, hi] = ht.equal_range(key);
+        for (auto it = lo; it != hi; ++it) {
+          ++stats_->cpu_ops;
+          const Row& brow = build.rows[it->second];
+          Row out;
+          out.reserve(joined.columns.size());
+          const Row& cur_row = build_right ? prow : brow;
+          const Row& right_row = build_right ? brow : prow;
+          out.insert(out.end(), cur_row.begin(), cur_row.end());
+          out.insert(out.end(), right_row.begin(), right_row.end());
+          joined.rows.push_back(std::move(out));
+        }
+      }
+    } else {
+      // Cross join.
+      joined.rows.reserve(current.rows.size() * right.rows.size());
+      for (const Row& a : current.rows) {
+        for (const Row& b : right.rows) {
+          ++stats_->cpu_ops;
+          Row out;
+          out.reserve(a.size() + b.size());
+          out.insert(out.end(), a.begin(), a.end());
+          out.insert(out.end(), b.begin(), b.end());
+          joined.rows.push_back(std::move(out));
+        }
+      }
+    }
+    current = std::move(joined);
+    cur_bindings.insert(from[next].binding);
+    merged[next] = true;
+    --remaining;
+    APUAMA_RETURN_NOT_OK(apply_residuals(&current));
+  }
+
+  // Subquery predicates (EXISTS / IN) last, over the full join result.
+  for (auto& c : conjuncts) {
+    if (!c.is_subquery_pred) continue;
+    APUAMA_ASSIGN_OR_RETURN(
+        current, ApplySubqueryPredicate(std::move(current), *c.expr, outer));
+  }
+  // Any non-subquery conjunct left unapplied references unknown names.
+  for (auto& c : conjuncts) {
+    if (!c.applied && !c.is_subquery_pred && !c.uses_outer) {
+      return Status::BindError("predicate references unknown tables");
+    }
+    if (!c.applied && !c.is_subquery_pred && c.uses_outer) {
+      // Outer-correlated residual: evaluate with the outer scope.
+      ColumnResolver resolver(&current);
+      EvalScope scope{&resolver, nullptr, outer};
+      EvalContext ctx;
+      ctx.scope = &scope;
+      ctx.executor = this;
+      ctx.cpu_ops = &stats_->cpu_ops;
+      std::vector<Row> kept;
+      for (Row& r : current.rows) {
+        scope.row = &r;
+        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*c.expr, ctx));
+        if (Truthiness(v) == 1) kept.push_back(std::move(r));
+      }
+      current.rows = std::move(kept);
+      c.applied = true;
+    }
+  }
+  return current;
+}
+
+// ---------------------------------------------------------------------------
+// Table scans with access-path choice
+// ---------------------------------------------------------------------------
+
+Result<Relation> Executor::ScanTable(const FromBinding& fb,
+                                     const std::vector<const Expr*>& preds,
+                                     const EvalScope* outer) {
+  const storage::Table& t = *fb.table;
+  Relation rel;
+  rel.columns.reserve(t.schema().num_columns());
+  for (const auto& col : t.schema().columns()) {
+    rel.columns.push_back(ColumnBinding{fb.binding, col.name});
+  }
+
+  // Extract sargable bounds per column: conjuncts of shape
+  // <col> op <outer-evaluable expr>, or BETWEEN.
+  struct ColBounds {
+    Bound lo, hi;
+    bool eq = false;
+  };
+  std::map<int, ColBounds> bounds;  // column index -> bounds
+  auto column_of = [&](const Expr& e) -> int {
+    if (e.kind != ExprKind::kColumnRef) return -1;
+    if (!e.table_qualifier.empty() &&
+        !EqualsIgnoreCase(e.table_qualifier, fb.binding)) {
+      return -1;
+    }
+    return t.schema().FindColumn(e.column_name);
+  };
+  for (const Expr* p : preds) {
+    if (p->kind == ExprKind::kBetween) {
+      int col = column_of(*p->children[0]);
+      if (col < 0 || p->negated) continue;
+      auto lo = EvalOuterOnly(*p->children[1], outer, &stats_->cpu_ops);
+      auto hi = EvalOuterOnly(*p->children[2], outer, &stats_->cpu_ops);
+      if (!lo.ok() || !hi.ok()) continue;
+      ColBounds& cb = bounds[col];
+      if (!cb.lo.present || lo->Compare(cb.lo.value) > 0) {
+        cb.lo = Bound{true, *lo, true};
+      }
+      if (!cb.hi.present || hi->Compare(cb.hi.value) < 0) {
+        cb.hi = Bound{true, *hi, true};
+      }
+      continue;
+    }
+    if (p->kind != ExprKind::kBinary || !sql::IsComparison(p->binary_op)) {
+      continue;
+    }
+    int col = column_of(*p->children[0]);
+    const Expr* other = p->children[1].get();
+    BinaryOp op = p->binary_op;
+    if (col < 0) {
+      // literal op col — mirror the operator.
+      col = column_of(*p->children[1]);
+      other = p->children[0].get();
+      switch (op) {
+        case BinaryOp::kLt:
+          op = BinaryOp::kGt;
+          break;
+        case BinaryOp::kLtEq:
+          op = BinaryOp::kGtEq;
+          break;
+        case BinaryOp::kGt:
+          op = BinaryOp::kLt;
+          break;
+        case BinaryOp::kGtEq:
+          op = BinaryOp::kLtEq;
+          break;
+        default:
+          break;
+      }
+    }
+    if (col < 0) continue;
+    auto v = EvalOuterOnly(*other, outer, &stats_->cpu_ops);
+    if (!v.ok() || v->is_null()) continue;
+    ColBounds& cb = bounds[col];
+    switch (op) {
+      case BinaryOp::kEq:
+        cb.eq = true;
+        cb.lo = Bound{true, *v, true};
+        cb.hi = Bound{true, *v, true};
+        break;
+      case BinaryOp::kLt:
+        if (!cb.hi.present || v->Compare(cb.hi.value) < 0) {
+          cb.hi = Bound{true, *v, false};
+        }
+        break;
+      case BinaryOp::kLtEq:
+        if (!cb.hi.present || v->Compare(cb.hi.value) < 0) {
+          cb.hi = Bound{true, *v, true};
+        }
+        break;
+      case BinaryOp::kGt:
+        if (!cb.lo.present || v->Compare(cb.lo.value) > 0) {
+          cb.lo = Bound{true, *v, false};
+        }
+        break;
+      case BinaryOp::kGtEq:
+        if (!cb.lo.present || v->Compare(cb.lo.value) > 0) {
+          cb.lo = Bound{true, *v, true};
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Candidate paths. Costs are in page units; index-driven paths are
+  // charged kIndexPageCostFactor per page, like a real optimizer
+  // penalizing non-sequential I/O.
+  const size_t seq_pages = t.num_pages();
+  AccessPath path = AccessPath::kSeqScan;
+  size_t range_begin = 0, range_end = t.num_rows();
+  std::vector<size_t> index_positions;
+  double best_cost = seq_pages == 0 ? 1.0 : static_cast<double>(seq_pages);
+  bool have_alt = false;
+
+  // Clustered range on the first clustered-key column.
+  if (!t.clustered_key().empty()) {
+    auto it = bounds.find(t.clustered_key()[0]);
+    if (it != bounds.end() &&
+        (it->second.lo.present || it->second.hi.present)) {
+      auto [b, e] = t.ClusteredRange(
+          it->second.lo.present ? &it->second.lo.value : nullptr,
+          it->second.lo.inclusive,
+          it->second.hi.present ? &it->second.hi.value : nullptr,
+          it->second.hi.inclusive);
+      size_t rpp = t.rows_per_page();
+      size_t pages = b >= e ? 0 : (e - 1) / rpp - b / rpp + 1;
+      double cost = (pages == 0 ? 1.0 : static_cast<double>(pages)) *
+                    kIndexPageCostFactor;
+      have_alt = true;
+      if (cost < best_cost || !db_->settings()->enable_seqscan) {
+        best_cost = cost;
+        path = AccessPath::kClusteredRange;
+        range_begin = b;
+        range_end = e;
+      }
+    }
+  }
+
+  // Secondary index on any bounded column.
+  if (path != AccessPath::kClusteredRange) {
+    for (const auto& [col, cb] : bounds) {
+      const storage::Index* idx = t.FindIndexOnColumn(col);
+      if (idx == nullptr) continue;
+      if (!cb.lo.present && !cb.hi.present) continue;
+      std::vector<const Row*> pks = idx->LookupRange(
+          cb.lo.present ? &cb.lo.value : nullptr, cb.lo.inclusive,
+          cb.hi.present ? &cb.hi.value : nullptr, cb.hi.inclusive);
+      stats_->cpu_ops += pks.size();
+      // Cost: one (possibly random) page per matching row, deduped
+      // after sorting positions — a bitmap heap scan.
+      std::vector<size_t> positions;
+      positions.reserve(pks.size());
+      for (const Row* pk : pks) {
+        size_t pos = t.PositionOfKey(*pk);
+        if (pos < t.num_rows()) positions.push_back(pos);
+      }
+      std::sort(positions.begin(), positions.end());
+      size_t rpp = t.rows_per_page();
+      size_t pages = 0;
+      size_t last_page = SIZE_MAX;
+      for (size_t pos : positions) {
+        size_t pg = pos / rpp;
+        if (pg != last_page) {
+          ++pages;
+          last_page = pg;
+        }
+      }
+      double cost = (pages == 0 ? 1.0 : static_cast<double>(pages)) *
+                    kIndexPageCostFactor;
+      have_alt = true;
+      if (cost < best_cost ||
+          (!db_->settings()->enable_seqscan &&
+           path == AccessPath::kSeqScan)) {
+        best_cost = cost;
+        path = AccessPath::kSecondaryIndex;
+        index_positions = std::move(positions);
+      }
+    }
+  }
+  (void)have_alt;
+
+  scan_paths_.emplace_back(fb.binding, path);
+  if (path == AccessPath::kSeqScan) {
+    stats_->used_seq_scan = true;
+  } else {
+    stats_->used_index_scan = true;
+  }
+
+  // Emit rows, touching pages through the buffer pool and applying
+  // every predicate (the path is an optimization, not a filter
+  // replacement — residual predicate bits still apply).
+  ColumnResolver resolver(&rel);
+  EvalScope scope{&resolver, nullptr, outer};
+  EvalContext ctx;
+  ctx.scope = &scope;
+  ctx.executor = this;
+  ctx.cpu_ops = &stats_->cpu_ops;
+
+  auto touch = [&](size_t pos) {
+    bool hit = db_->buffer_pool()->Touch(t.PageOfPosition(pos));
+    if (hit) {
+      ++stats_->pages_cache;
+    } else {
+      ++stats_->pages_disk;
+    }
+  };
+
+  auto emit = [&](size_t pos) -> Status {
+    const Row& r = t.row(pos);
+    ++stats_->tuples_scanned;
+    scope.row = &r;
+    for (const Expr* p : preds) {
+      APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*p, ctx));
+      if (Truthiness(v) != 1) return Status::OK();
+    }
+    rel.rows.push_back(r);
+    return Status::OK();
+  };
+
+  switch (path) {
+    case AccessPath::kSeqScan: {
+      size_t rpp = t.rows_per_page();
+      for (size_t pos = 0; pos < t.num_rows(); ++pos) {
+        if (pos % rpp == 0) touch(pos);
+        APUAMA_RETURN_NOT_OK(emit(pos));
+      }
+      break;
+    }
+    case AccessPath::kClusteredRange: {
+      size_t rpp = t.rows_per_page();
+      size_t last_page = SIZE_MAX;
+      for (size_t pos = range_begin; pos < range_end; ++pos) {
+        size_t pg = pos / rpp;
+        if (pg != last_page) {
+          touch(pos);
+          last_page = pg;
+        }
+        APUAMA_RETURN_NOT_OK(emit(pos));
+      }
+      break;
+    }
+    case AccessPath::kSecondaryIndex: {
+      size_t rpp = t.rows_per_page();
+      size_t last_page = SIZE_MAX;
+      for (size_t pos : index_positions) {
+        size_t pg = pos / rpp;
+        if (pg != last_page) {
+          touch(pos);
+          last_page = pg;
+        }
+        APUAMA_RETURN_NOT_OK(emit(pos));
+      }
+      break;
+    }
+  }
+  return rel;
+}
+
+// ---------------------------------------------------------------------------
+// EXISTS / IN subquery predicates
+// ---------------------------------------------------------------------------
+
+// True when a subquery's result depends on more than its FROM+WHERE
+// (grouping, aggregates, DISTINCT, LIMIT): such subqueries must run
+// through full SELECT semantics, not the decorrelated fast path.
+static bool SubqueryAggregates(const SelectStmt& sub) {
+  if (!sub.group_by.empty() || sub.having != nullptr || sub.distinct ||
+      sub.limit >= 0) {
+    return true;
+  }
+  for (const auto& item : sub.items) {
+    if (item.expr && sql::ContainsAggregate(*item.expr)) return true;
+  }
+  return false;
+}
+
+Result<Relation> Executor::ApplySubqueryPredicate(Relation rel,
+                                                  const Expr& e,
+                                                  const EvalScope* outer) {
+  const SelectStmt& sub = *e.subquery;
+  const bool negated = e.negated;
+  const Expr* in_lhs = nullptr;
+  const Expr* in_inner_item = nullptr;
+  bool aggregating = SubqueryAggregates(sub);
+
+  // Aggregating subqueries (e.g. TPC-H Q18's IN over a grouped
+  // HAVING) cannot be decorrelated into a semi-join over raw rows.
+  // When such a subquery is *uncorrelated*, evaluate it once with
+  // full SELECT semantics and filter by set membership; correlated
+  // ones fall back to per-row evaluation.
+  if (aggregating && e.kind == ExprKind::kInSubquery &&
+      sub.items.size() == 1 && !sub.items[0].star) {
+    auto once = ExecuteSelect(sub, /*outer=*/nullptr);
+    if (once.ok()) {
+      std::set<Value> members;
+      bool contains_null = false;
+      for (const Row& r : once->rows) {
+        if (r[0].is_null()) {
+          contains_null = true;
+        } else {
+          members.insert(r[0]);
+        }
+      }
+      ColumnResolver resolver(&rel);
+      EvalScope scope{&resolver, nullptr, outer};
+      EvalContext ctx;
+      ctx.scope = &scope;
+      ctx.executor = this;
+      ctx.cpu_ops = &stats_->cpu_ops;
+      std::vector<Row> kept;
+      kept.reserve(rel.rows.size());
+      for (Row& r : rel.rows) {
+        scope.row = &r;
+        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], ctx));
+        ++stats_->cpu_ops;
+        bool keep;
+        if (v.is_null()) {
+          keep = false;  // NULL IN (...) is never true/false-kept
+        } else if (members.count(v) > 0) {
+          keep = !negated;
+        } else if (contains_null) {
+          keep = false;  // unknown under three-valued logic
+        } else {
+          keep = negated;
+        }
+        if (keep) kept.push_back(std::move(r));
+      }
+      rel.rows = std::move(kept);
+      return rel;
+    }
+    // BindError etc.: correlated — handled per row below.
+  }
+  if (aggregating) goto per_row_fallback;
+
+  // IN-subquery with extra semantics: lhs must equal the single inner
+  // select item. NOT IN falls back to per-row evaluation for correct
+  // NULL semantics.
+  if (e.kind == ExprKind::kInSubquery) {
+    if (negated || sub.items.size() != 1 || sub.items[0].star) {
+      goto per_row_fallback;
+    }
+    in_lhs = e.children[0].get();
+    in_inner_item = sub.items[0].expr.get();
+  }
+
+  {
+    // Attribute columns either to the subquery's FROM bindings or to
+    // the outer relation.
+    std::vector<std::string> sub_bindings;
+    for (const auto& r : sub.from) sub_bindings.push_back(ToLower(r.binding()));
+    const storage::Catalog* cat = db_->catalog();
+    std::vector<const storage::Table*> sub_tables;
+    for (const auto& r : sub.from) {
+      auto t = cat->GetTable(r.table);
+      if (!t.ok()) return t.status();
+      sub_tables.push_back(*t);
+    }
+    auto side_of = [&](const Expr& x, bool* inner, bool* outer_side,
+                       bool* unknown) {
+      std::function<void(const Expr&)> walk = [&](const Expr& n) {
+        if (n.kind == ExprKind::kColumnRef) {
+          // Inner?
+          if (!n.table_qualifier.empty()) {
+            for (const auto& b : sub_bindings) {
+              if (EqualsIgnoreCase(b, n.table_qualifier)) {
+                *inner = true;
+                return;
+              }
+            }
+          } else {
+            for (const auto* t : sub_tables) {
+              if (t->schema().FindColumn(n.column_name) >= 0) {
+                *inner = true;
+                return;
+              }
+            }
+          }
+          // Outer relation?
+          int slot = rel.FindSlot(n.table_qualifier, n.column_name);
+          if (slot >= 0) {
+            *outer_side = true;
+            return;
+          }
+          *unknown = true;
+          return;
+        }
+        for (const auto& c : n.children) walk(*c);
+        if (n.case_else) walk(*n.case_else);
+        if (n.subquery) *unknown = true;  // nested subquery: fallback
+      };
+      walk(x);
+    };
+
+    // Partition subquery conjuncts.
+    std::vector<const Expr*> inner_only;
+    std::vector<std::pair<const Expr*, const Expr*>> eq_pairs;  // (outer, inner)
+    std::vector<const Expr*> residual;
+    bool decorrelatable = true;
+    for (const Expr* c : sql::SplitConjuncts(sub.where.get())) {
+      bool inner = false, outer_side = false, unknown = false;
+      side_of(*c, &inner, &outer_side, &unknown);
+      if (unknown) {
+        decorrelatable = false;
+        break;
+      }
+      if (!outer_side) {
+        inner_only.push_back(c);
+        continue;
+      }
+      // Correlated. Equality between a pure-inner side and a
+      // pure-outer side becomes a hash key; anything else is residual.
+      if (c->kind == ExprKind::kBinary && c->binary_op == BinaryOp::kEq) {
+        bool li = false, lo_ = false, lu = false;
+        bool ri = false, ro = false, ru = false;
+        side_of(*c->children[0], &li, &lo_, &lu);
+        side_of(*c->children[1], &ri, &ro, &ru);
+        if (!lu && !ru) {
+          if (li && !lo_ && ro && !ri) {
+            eq_pairs.emplace_back(c->children[1].get(), c->children[0].get());
+            continue;
+          }
+          if (ri && !ro && lo_ && !li) {
+            eq_pairs.emplace_back(c->children[0].get(), c->children[1].get());
+            continue;
+          }
+        }
+      }
+      residual.push_back(c);
+    }
+    if (in_lhs != nullptr) {
+      eq_pairs.emplace_back(in_lhs, in_inner_item);
+    }
+
+    if (!decorrelatable || eq_pairs.empty()) goto per_row_fallback;
+
+    // Execute the subquery's FROM + inner-only WHERE once.
+    SelectStmt inner_stmt;
+    inner_stmt.from = sub.from;
+    sql::ExprPtr inner_where;
+    for (const Expr* c : inner_only) {
+      inner_where = sql::AndCombine(std::move(inner_where), c->Clone());
+    }
+    inner_stmt.where = std::move(inner_where);
+    APUAMA_ASSIGN_OR_RETURN(Relation inner_rel,
+                            ExecuteFromWhere(inner_stmt, nullptr));
+
+    // Build hash table on inner rows keyed by the inner sides.
+    ColumnResolver ires(&inner_rel);
+    EvalScope iscope{&ires, nullptr, nullptr};
+    EvalContext ictx;
+    ictx.scope = &iscope;
+    ictx.cpu_ops = &stats_->cpu_ops;
+    std::unordered_multimap<Row, size_t, RowHash, RowEq> ht;
+    ht.reserve(inner_rel.rows.size());
+    for (size_t i = 0; i < inner_rel.rows.size(); ++i) {
+      iscope.row = &inner_rel.rows[i];
+      Row key;
+      bool null_key = false;
+      for (const auto& [o, in] : eq_pairs) {
+        (void)o;
+        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*in, ictx));
+        if (v.is_null()) null_key = true;
+        key.push_back(std::move(v));
+      }
+      if (!null_key) ht.emplace(std::move(key), i);
+    }
+
+    // Probe with outer rows; residual predicates see both scopes
+    // (inner row scope chained to the outer row scope).
+    ColumnResolver ores(&rel);
+    EvalScope oscope{&ores, nullptr, outer};
+    EvalContext octx;
+    octx.scope = &oscope;
+    octx.cpu_ops = &stats_->cpu_ops;
+
+    std::vector<Row> kept;
+    kept.reserve(rel.rows.size());
+    for (Row& r : rel.rows) {
+      oscope.row = &r;
+      Row key;
+      bool null_key = false;
+      for (const auto& [o, in] : eq_pairs) {
+        (void)in;
+        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*o, octx));
+        if (v.is_null()) null_key = true;
+        key.push_back(std::move(v));
+      }
+      bool found = false;
+      if (!null_key) {
+        auto [lo, hi] = ht.equal_range(key);
+        for (auto it = lo; it != hi && !found; ++it) {
+          ++stats_->cpu_ops;
+          if (residual.empty()) {
+            found = true;
+            break;
+          }
+          // Evaluate residual with inner row innermost, outer row next.
+          EvalScope rscope{&ires, &inner_rel.rows[it->second], &oscope};
+          EvalContext rctx;
+          rctx.scope = &rscope;
+          rctx.cpu_ops = &stats_->cpu_ops;
+          bool all = true;
+          for (const Expr* res : residual) {
+            APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*res, rctx));
+            if (Truthiness(v) != 1) {
+              all = false;
+              break;
+            }
+          }
+          found = all;
+        }
+      }
+      if (found != negated) kept.push_back(std::move(r));
+    }
+    rel.rows = std::move(kept);
+    return rel;
+  }
+
+per_row_fallback : {
+  ColumnResolver resolver(&rel);
+  EvalScope scope{&resolver, nullptr, outer};
+  EvalContext ctx;
+  ctx.scope = &scope;
+  ctx.executor = this;
+  ctx.cpu_ops = &stats_->cpu_ops;
+  std::vector<Row> kept;
+  kept.reserve(rel.rows.size());
+  for (Row& r : rel.rows) {
+    scope.row = &r;
+    APUAMA_ASSIGN_OR_RETURN(Value v, Eval(e, ctx));
+    if (Truthiness(v) == 1) kept.push_back(std::move(r));
+  }
+  rel.rows = std::move(kept);
+  return rel;
+}
+}
+
+Result<Value> Executor::ScalarSubqueryValue(const SelectStmt& sub,
+                                            const EvalScope* outer) {
+  APUAMA_ASSIGN_OR_RETURN(QueryResult qr, ExecuteSelect(sub, outer));
+  if (qr.num_columns() != 1) {
+    return Status::InvalidArgument(
+        "scalar subquery must return exactly one column");
+  }
+  if (qr.rows.empty()) return Value::Null();
+  if (qr.rows.size() > 1) {
+    return Status::InvalidArgument(
+        "scalar subquery returned more than one row");
+  }
+  return qr.rows[0][0];
+}
+
+Result<bool> Executor::SubqueryExists(const SelectStmt& sub,
+                                      const EvalScope* outer) {
+  if (SubqueryAggregates(sub)) {
+    // Grouped/aggregating EXISTS: a group must survive HAVING (and a
+    // global aggregate always yields one row).
+    APUAMA_ASSIGN_OR_RETURN(QueryResult qr, ExecuteSelect(sub, outer));
+    return !qr.rows.empty();
+  }
+  APUAMA_ASSIGN_OR_RETURN(Relation rel, ExecuteFromWhere(sub, outer));
+  return !rel.rows.empty();
+}
+
+Result<bool> Executor::SubqueryContains(const SelectStmt& sub,
+                                        const Value& needle,
+                                        const EvalScope* outer) {
+  if (sub.items.size() != 1 || sub.items[0].star) {
+    return Status::Unsupported("IN subquery must select a single column");
+  }
+  if (SubqueryAggregates(sub)) {
+    // Full SELECT semantics: grouping / HAVING / DISTINCT / LIMIT all
+    // shape the membership set (TPC-H Q18's inner query).
+    APUAMA_ASSIGN_OR_RETURN(QueryResult qr, ExecuteSelect(sub, outer));
+    for (const Row& r : qr.rows) {
+      if (!r[0].is_null() && r[0].Compare(needle) == 0) return true;
+    }
+    return false;
+  }
+  APUAMA_ASSIGN_OR_RETURN(Relation rel, ExecuteFromWhere(sub, outer));
+  ColumnResolver resolver(&rel);
+  EvalScope scope{&resolver, nullptr, outer};
+  EvalContext ctx;
+  ctx.scope = &scope;
+  ctx.cpu_ops = &stats_->cpu_ops;
+  for (const Row& r : rel.rows) {
+    scope.row = &r;
+    APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*sub.items[0].expr, ctx));
+    if (!v.is_null() && v.Compare(needle) == 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation / projection / ordering
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Executor::ExecuteSelect(const SelectStmt& stmt,
+                                            const EvalScope* outer) {
+  APUAMA_ASSIGN_OR_RETURN(Relation rel, ExecuteFromWhere(stmt, outer));
+
+  bool has_agg = !stmt.group_by.empty();
+  for (const auto& it : stmt.items) {
+    if (it.expr && sql::ContainsAggregate(*it.expr)) has_agg = true;
+  }
+  if (stmt.having && sql::ContainsAggregate(*stmt.having)) has_agg = true;
+  for (const auto& o : stmt.order_by) {
+    if (sql::ContainsAggregate(*o.expr)) has_agg = true;
+  }
+
+  Result<QueryResult> result =
+      has_agg ? AggregateAndProject(stmt, std::move(rel), outer)
+              : ProjectOnly(stmt, std::move(rel), outer);
+  if (result.ok()) {
+    result->stats = *stats_;
+    result->stats.tuples_output = result->rows.size();
+    stats_->tuples_output = result->rows.size();
+  }
+  return result;
+}
+
+namespace {
+
+// Sorts (sort_key, payload) pairs by keys with per-key direction.
+void SortRows(std::vector<std::pair<Row, Row>>* keyed,
+              const std::vector<bool>& desc, uint64_t* cpu) {
+  std::stable_sort(keyed->begin(), keyed->end(),
+                   [&desc, cpu](const auto& a, const auto& b) {
+                     ++*cpu;
+                     for (size_t i = 0; i < a.first.size(); ++i) {
+                       int c = a.first[i].Compare(b.first[i]);
+                       if (c != 0) return desc[i] ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+}
+
+// Ordinal / alias resolution for ORDER BY: returns output-slot index
+// or -1 when the key needs full evaluation.
+int OrderOutputSlot(const sql::OrderItem& oi,
+                    const std::vector<std::string>& out_names) {
+  const Expr& e = *oi.expr;
+  if (e.kind == ExprKind::kLiteral && e.literal.type() == ValueType::kInt64) {
+    int64_t ord = e.literal.int_val();
+    if (ord >= 1 && static_cast<size_t>(ord) <= out_names.size()) {
+      return static_cast<int>(ord - 1);
+    }
+  }
+  if (e.kind == ExprKind::kColumnRef && e.table_qualifier.empty()) {
+    for (size_t i = 0; i < out_names.size(); ++i) {
+      if (EqualsIgnoreCase(out_names[i], e.column_name)) {
+        return static_cast<int>(i);
+      }
+    }
+  }
+  return -1;
+}
+
+// OFFSET skips rows after ordering; LIMIT caps what remains.
+void ApplyOffsetLimit(const SelectStmt& stmt, std::vector<Row>* rows) {
+  if (stmt.offset > 0) {
+    size_t skip = std::min(rows->size(), static_cast<size_t>(stmt.offset));
+    rows->erase(rows->begin(), rows->begin() + static_cast<ptrdiff_t>(skip));
+  }
+  if (stmt.limit >= 0 && rows->size() > static_cast<size_t>(stmt.limit)) {
+    rows->resize(static_cast<size_t>(stmt.limit));
+  }
+}
+
+void DedupePreservingOrder(std::vector<Row>* rows) {
+  std::set<Row, storage::KeyLess> seen;
+  std::vector<Row> out;
+  out.reserve(rows->size());
+  for (Row& r : *rows) {
+    if (seen.insert(r).second) out.push_back(std::move(r));
+  }
+  *rows = std::move(out);
+}
+
+}  // namespace
+
+Result<QueryResult> Executor::ProjectOnly(const SelectStmt& stmt,
+                                          Relation rel,
+                                          const EvalScope* outer) {
+  QueryResult qr;
+  // Output naming.
+  std::vector<const Expr*> item_exprs;
+  for (const auto& it : stmt.items) {
+    if (it.star) {
+      for (const auto& cb : rel.columns) qr.column_names.push_back(cb.name);
+    } else {
+      qr.column_names.push_back(OutputName(it, qr.column_names.size()));
+    }
+  }
+
+  ColumnResolver resolver(&rel);
+  EvalScope scope{&resolver, nullptr, outer};
+  EvalContext ctx;
+  ctx.scope = &scope;
+  ctx.executor = this;
+  ctx.cpu_ops = &stats_->cpu_ops;
+
+  std::vector<bool> desc;
+  for (const auto& o : stmt.order_by) desc.push_back(o.desc);
+
+  std::vector<std::pair<Row, Row>> keyed;  // (sort key, output row)
+  keyed.reserve(rel.rows.size());
+  for (const Row& r : rel.rows) {
+    scope.row = &r;
+    Row out;
+    for (const auto& it : stmt.items) {
+      if (it.star) {
+        out.insert(out.end(), r.begin(), r.end());
+      } else {
+        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*it.expr, ctx));
+        out.push_back(std::move(v));
+      }
+    }
+    Row key;
+    for (const auto& o : stmt.order_by) {
+      int slot = OrderOutputSlot(o, qr.column_names);
+      if (slot >= 0) {
+        key.push_back(out[static_cast<size_t>(slot)]);
+      } else {
+        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*o.expr, ctx));
+        key.push_back(std::move(v));
+      }
+    }
+    keyed.emplace_back(std::move(key), std::move(out));
+  }
+
+  if (!stmt.order_by.empty()) {
+    SortRows(&keyed, desc, &stats_->cpu_ops);
+  }
+  qr.rows.reserve(keyed.size());
+  for (auto& [k, out] : keyed) qr.rows.push_back(std::move(out));
+  if (stmt.distinct) DedupePreservingOrder(&qr.rows);
+  ApplyOffsetLimit(stmt, &qr.rows);
+  return qr;
+}
+
+Result<QueryResult> Executor::AggregateAndProject(const SelectStmt& stmt,
+                                                  Relation rel,
+                                                  const EvalScope* outer) {
+  // Inventory of aggregate nodes across output clauses.
+  std::vector<const Expr*> agg_nodes;
+  for (const auto& it : stmt.items) {
+    if (it.expr) CollectAggNodes(*it.expr, &agg_nodes);
+  }
+  if (stmt.having) CollectAggNodes(*stmt.having, &agg_nodes);
+  for (const auto& o : stmt.order_by) CollectAggNodes(*o.expr, &agg_nodes);
+  for (const auto& it : stmt.items) {
+    if (it.star) {
+      return Status::Unsupported("SELECT * with aggregation");
+    }
+  }
+
+  ColumnResolver resolver(&rel);
+  EvalScope scope{&resolver, nullptr, outer};
+  EvalContext ctx;
+  ctx.scope = &scope;
+  ctx.executor = this;
+  ctx.cpu_ops = &stats_->cpu_ops;
+
+  struct Group {
+    size_t repr_index = 0;  // first row of the group
+    std::vector<AggAcc> accs;
+  };
+  std::map<Row, Group, storage::KeyLess> groups;
+
+  for (size_t ri = 0; ri < rel.rows.size(); ++ri) {
+    const Row& r = rel.rows[ri];
+    scope.row = &r;
+    Row key;
+    key.reserve(stmt.group_by.size());
+    for (const auto& g : stmt.group_by) {
+      APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*g, ctx));
+      key.push_back(std::move(v));
+    }
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    Group& grp = it->second;
+    if (inserted) {
+      grp.repr_index = ri;
+      grp.accs.resize(agg_nodes.size());
+    }
+    for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
+      const Expr& agg = *agg_nodes[ai];
+      ++stats_->cpu_ops;
+      if (agg.star_arg) {
+        AggUpdate(&grp.accs[ai], agg, Value::Null());
+      } else {
+        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*agg.children[0], ctx));
+        AggUpdate(&grp.accs[ai], agg, v);
+      }
+    }
+  }
+
+  // Global aggregate over empty input still yields one group.
+  Row null_repr(rel.columns.size(), Value::Null());
+  if (groups.empty() && stmt.group_by.empty()) {
+    Group g;
+    g.accs.resize(agg_nodes.size());
+    groups.emplace(Row{}, std::move(g));
+  }
+
+  QueryResult qr;
+  for (const auto& it : stmt.items) {
+    qr.column_names.push_back(OutputName(it, qr.column_names.size()));
+  }
+  std::vector<bool> desc;
+  for (const auto& o : stmt.order_by) desc.push_back(o.desc);
+
+  std::vector<std::pair<Row, Row>> keyed;
+  keyed.reserve(groups.size());
+  for (auto& [key, grp] : groups) {
+    std::unordered_map<const Expr*, Value> agg_values;
+    for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
+      agg_values[agg_nodes[ai]] = AggFinalize(grp.accs[ai], *agg_nodes[ai]);
+    }
+    const Row& repr =
+        rel.rows.empty() ? null_repr : rel.rows[grp.repr_index];
+    scope.row = &repr;
+    EvalContext gctx = ctx;
+    gctx.agg_values = &agg_values;
+
+    if (stmt.having) {
+      APUAMA_ASSIGN_OR_RETURN(Value hv, Eval(*stmt.having, gctx));
+      if (Truthiness(hv) != 1) continue;
+    }
+    Row out;
+    out.reserve(stmt.items.size());
+    for (const auto& it2 : stmt.items) {
+      APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*it2.expr, gctx));
+      out.push_back(std::move(v));
+    }
+    Row skey;
+    for (const auto& o : stmt.order_by) {
+      int slot = OrderOutputSlot(o, qr.column_names);
+      if (slot >= 0) {
+        skey.push_back(out[static_cast<size_t>(slot)]);
+      } else {
+        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*o.expr, gctx));
+        skey.push_back(std::move(v));
+      }
+    }
+    keyed.emplace_back(std::move(skey), std::move(out));
+  }
+
+  if (!stmt.order_by.empty()) {
+    SortRows(&keyed, desc, &stats_->cpu_ops);
+  }
+  qr.rows.reserve(keyed.size());
+  for (auto& [k, out] : keyed) qr.rows.push_back(std::move(out));
+  if (stmt.distinct) DedupePreservingOrder(&qr.rows);
+  ApplyOffsetLimit(stmt, &qr.rows);
+  return qr;
+}
+
+}  // namespace apuama::engine

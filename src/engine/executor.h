@@ -1,0 +1,93 @@
+// SELECT execution.
+//
+// The executor is interpretive and materializing: FROM tables are
+// scanned through an access path chosen by a tiny cost model
+// (sequential vs clustered-range vs secondary-index scan, honoring the
+// `enable_seqscan` session flag Apuama toggles), joined with hash
+// joins ordered greedily over equality predicates, then filtered,
+// decorrelated-semi/anti-joined for EXISTS / IN subqueries, grouped,
+// sorted, and projected. All page traffic flows through the node's
+// buffer pool for the cost model.
+#ifndef APUAMA_ENGINE_EXECUTOR_H_
+#define APUAMA_ENGINE_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/eval.h"
+#include "engine/exec_stats.h"
+#include "engine/query_result.h"
+#include "sql/analyzer.h"
+#include "sql/ast.h"
+
+namespace apuama::engine {
+
+class Database;
+
+/// Explains what access path a scan chose (tests / ablations).
+enum class AccessPath { kSeqScan, kClusteredRange, kSecondaryIndex };
+const char* AccessPathName(AccessPath p);
+
+/// One executor per statement. Accumulates stats into `stats`.
+class Executor {
+ public:
+  Executor(Database* db, ExecStats* stats) : db_(db), stats_(stats) {}
+
+  struct FromBinding;
+
+  /// Runs a SELECT to completion. `outer` carries the enclosing
+  /// row scope when this select is a correlated scalar subquery.
+  Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
+                                    const EvalScope* outer = nullptr);
+
+  /// Evaluates a scalar subquery: NULL on zero rows, its single value
+  /// on one row, error on multiple rows or multiple columns.
+  Result<Value> ScalarSubqueryValue(const sql::SelectStmt& sub,
+                                    const EvalScope* outer);
+
+  /// True when the subquery yields at least one row given the outer
+  /// scope (per-row correlated fallback used by Eval).
+  Result<bool> SubqueryExists(const sql::SelectStmt& sub,
+                              const EvalScope* outer);
+
+  /// True when the subquery's single output column contains `needle`.
+  Result<bool> SubqueryContains(const sql::SelectStmt& sub,
+                                const Value& needle, const EvalScope* outer);
+
+  /// Access paths chosen for each base-table scan, in scan order
+  /// (introspection for tests and the forced-index ablation).
+  const std::vector<std::pair<std::string, AccessPath>>& scan_paths() const {
+    return scan_paths_;
+  }
+
+ private:
+  struct ConjunctInfo;
+
+  /// FROM + WHERE: scans, joins, residual filters, subquery
+  /// predicates. Produces the pre-aggregation relation.
+  Result<Relation> ExecuteFromWhere(const sql::SelectStmt& stmt,
+                                    const EvalScope* outer);
+
+  Result<Relation> ScanTable(const FromBinding& fb,
+                             const std::vector<const sql::Expr*>& preds,
+                             const EvalScope* outer);
+
+  Result<Relation> ApplySubqueryPredicate(Relation rel, const sql::Expr& e,
+                                          const EvalScope* outer);
+
+  Result<QueryResult> AggregateAndProject(const sql::SelectStmt& stmt,
+                                          Relation rel,
+                                          const EvalScope* outer);
+  Result<QueryResult> ProjectOnly(const sql::SelectStmt& stmt, Relation rel,
+                                  const EvalScope* outer);
+
+  Database* db_;
+  ExecStats* stats_;
+  std::vector<std::pair<std::string, AccessPath>> scan_paths_;
+};
+
+}  // namespace apuama::engine
+
+#endif  // APUAMA_ENGINE_EXECUTOR_H_

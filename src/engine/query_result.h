@@ -1,0 +1,29 @@
+// Result of executing one statement.
+#ifndef APUAMA_ENGINE_QUERY_RESULT_H_
+#define APUAMA_ENGINE_QUERY_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/exec_stats.h"
+#include "types/schema.h"
+
+namespace apuama::engine {
+
+/// Rows + column names for SELECTs; rows_affected for DML; stats for
+/// everything. This is what travels back over a Connection.
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+  ExecStats stats;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_columns() const { return column_names.size(); }
+
+  /// Tab-separated rendering (examples / debugging).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+}  // namespace apuama::engine
+
+#endif  // APUAMA_ENGINE_QUERY_RESULT_H_

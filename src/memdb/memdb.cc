@@ -1,0 +1,74 @@
+#include "memdb/memdb.h"
+
+#include "common/string_util.h"
+#include "storage/catalog.h"
+
+namespace apuama::memdb {
+
+MemDb::MemDb() {
+  engine::DatabaseOptions opts;
+  opts.buffer_pool_pages = 0;  // unbounded: pure in-memory engine
+  db_ = std::make_unique<engine::Database>(opts);
+}
+
+ValueType InferColumnType(
+    const std::vector<const engine::QueryResult*>& partials, size_t col) {
+  for (const auto* p : partials) {
+    for (const Row& r : p->rows) {
+      if (col < r.size() && !r[col].is_null()) return r[col].type();
+    }
+  }
+  return ValueType::kString;
+}
+
+Status MemDb::LoadPartials(
+    const std::string& table_name,
+    const std::vector<const engine::QueryResult*>& partials) {
+  if (partials.empty()) {
+    return Status::InvalidArgument("no partial results to load");
+  }
+  const auto& names = partials[0]->column_names;
+  for (const auto* p : partials) {
+    if (p->column_names.size() != names.size()) {
+      return Status::InvalidArgument(
+          "partial results disagree on column count");
+    }
+  }
+  DropIfExists(table_name);
+
+  Schema schema;
+  for (size_t c = 0; c < names.size(); ++c) {
+    std::string name = ToLower(names[c]);
+    if (name.empty()) name = StrFormat("c%zu", c);
+    APUAMA_RETURN_NOT_OK(
+        schema.AddColumn(Column(name, InferColumnType(partials, c))));
+  }
+  APUAMA_ASSIGN_OR_RETURN(storage::Table * table,
+                          db_->catalog()->CreateTable(table_name, schema));
+  std::vector<Row> rows;
+  size_t total = 0;
+  for (const auto* p : partials) total += p->rows.size();
+  rows.reserve(total);
+  for (const auto* p : partials) {
+    for (const Row& r : p->rows) rows.push_back(r);
+  }
+  return table->BulkLoad(std::move(rows));
+}
+
+Result<engine::QueryResult> MemDb::Execute(const std::string& sql) {
+  return db_->Execute(sql);
+}
+
+void MemDb::DropIfExists(const std::string& table_name) {
+  if (db_->catalog()->HasTable(table_name)) {
+    (void)db_->catalog()->DropTable(table_name);
+  }
+}
+
+size_t MemDb::TotalRows(const std::string& table_name) const {
+  const engine::Database* db = db_.get();
+  auto t = db->catalog()->GetTable(table_name);
+  return t.ok() ? (*t)->num_rows() : 0;
+}
+
+}  // namespace apuama::memdb

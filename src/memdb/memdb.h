@@ -1,0 +1,54 @@
+// In-memory result-composition database — the HSQLDB stand-in.
+//
+// The paper's Apuama stores SVP partial results in HSQLDB, "a fast
+// in-memory DBMS", and runs the composition (re-aggregation, global
+// sort, limit) as a query there. MemDb plays that role: it wraps an
+// engine::Database configured with an unbounded buffer pool, plus
+// helpers to load QueryResult partials as tables.
+#ifndef APUAMA_MEMDB_MEMDB_H_
+#define APUAMA_MEMDB_MEMDB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/query_result.h"
+
+namespace apuama::memdb {
+
+class MemDb {
+ public:
+  MemDb();
+
+  /// Creates (or replaces) a table whose schema is inferred from the
+  /// partial result's column names and first non-null value of each
+  /// column, then loads all rows of every partial into it.
+  /// All partials must share the column layout of the first.
+  Status LoadPartials(const std::string& table_name,
+                      const std::vector<const engine::QueryResult*>& partials);
+
+  /// Runs a (composition) query.
+  Result<engine::QueryResult> Execute(const std::string& sql);
+
+  /// Drops a table if it exists (between compositions).
+  void DropIfExists(const std::string& table_name);
+
+  /// Total rows currently held (introspection / composer stats).
+  size_t TotalRows(const std::string& table_name) const;
+
+  engine::Database* database() { return db_.get(); }
+
+ private:
+  std::unique_ptr<engine::Database> db_;
+};
+
+/// Infers a column type from the values in a column across partials
+/// (first non-null wins; all-null columns become STRING).
+ValueType InferColumnType(
+    const std::vector<const engine::QueryResult*>& partials, size_t col);
+
+}  // namespace apuama::memdb
+
+#endif  // APUAMA_MEMDB_MEMDB_H_

@@ -1,0 +1,57 @@
+// Cost model: ExecStats -> virtual service time.
+//
+// Calibrated to 2005-era commodity nodes (the paper's 2.2 GHz
+// Opterons with local IDE disks): a random 8 KiB page read costs
+// milliseconds, a cached page microseconds, and interpreted tuple
+// work microseconds. Only the *ratios* matter for curve shapes.
+#ifndef APUAMA_SIM_COST_MODEL_H_
+#define APUAMA_SIM_COST_MODEL_H_
+
+#include "common/sim_time.h"
+#include "engine/exec_stats.h"
+
+namespace apuama::sim {
+
+struct CostModel {
+  /// Reading a page from disk (buffer-pool miss).
+  SimTime disk_page_us = 800;
+  /// Reading a page already resident in the buffer pool.
+  SimTime cache_page_us = 15;
+  /// One abstract CPU operation (expression eval, hash probe, ...).
+  SimTime cpu_op_us = 2;
+  /// Fixed per-request network + protocol cost (client->controller->
+  /// node and back). Applied once per statement sent to a node.
+  SimTime message_us = 300;
+  /// Extra middleware cost per row shipped back to the controller
+  /// (result serialization — matters for large partials, e.g. Q3).
+  SimTime row_transfer_us = 2;
+  /// Controller-side scheduler overhead for a write: total-order
+  /// enforcement grows with the number of replicas notified.
+  SimTime write_sync_per_node_us = 2000;
+
+  /// Service time of one statement executed at a node.
+  SimTime StatementTime(const engine::ExecStats& s) const {
+    return message_us +
+           static_cast<SimTime>(s.pages_disk) * disk_page_us +
+           static_cast<SimTime>(s.pages_cache) * cache_page_us +
+           static_cast<SimTime>(s.cpu_ops) * cpu_op_us +
+           static_cast<SimTime>(s.tuples_output) * row_transfer_us;
+  }
+
+  /// Controller-side cost of composing partial results: loading
+  /// `partial_rows` into the in-memory DB plus the composition query.
+  SimTime CompositionTime(const engine::ExecStats& compose_stats,
+                          uint64_t partial_rows) const {
+    return static_cast<SimTime>(partial_rows) * row_transfer_us +
+           static_cast<SimTime>(compose_stats.cpu_ops) * cpu_op_us;
+  }
+
+  /// Scheduler overhead of broadcasting one write to `nodes` replicas.
+  SimTime WriteBroadcastOverhead(int nodes) const {
+    return static_cast<SimTime>(nodes) * write_sync_per_node_us;
+  }
+};
+
+}  // namespace apuama::sim
+
+#endif  // APUAMA_SIM_COST_MODEL_H_

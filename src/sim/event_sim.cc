@@ -1,0 +1,51 @@
+#include "sim/event_sim.h"
+
+#include <cassert>
+#include <deque>
+
+namespace apuama::sim {
+
+void EventSim::At(SimTime t, Callback cb) {
+  assert(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void EventSim::Run(SimTime until) {
+  while (!queue_.empty()) {
+    if (until >= 0 && queue_.top().time > until) break;
+    // priority_queue::top returns const&; move out via const_cast is
+    // UB-adjacent — copy the callback instead (cheap std::function).
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.cb();
+  }
+  // A bounded run leaves the clock at the deadline, whether or not
+  // later events remain queued.
+  if (until >= 0 && now_ < until) now_ = until;
+}
+
+void SimServer::Enqueue(Job job) {
+  queue_.push_back(std::move(job));
+  MaybeStart();
+}
+
+void SimServer::MaybeStart() {
+  while (in_service_ < mpl_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_service_;
+    SimTime service = job.service();
+    if (service < 0) service = 0;
+    busy_time_ += service;
+    auto done = std::move(job.done);
+    sim_->After(service, [this, done = std::move(done)] {
+      --in_service_;
+      ++jobs_completed_;
+      if (done) done(sim_->now());
+      MaybeStart();
+    });
+  }
+}
+
+}  // namespace apuama::sim

@@ -1,0 +1,97 @@
+// Discrete-event simulation core.
+//
+// The paper's cluster experiments ran on 32 physical Opterons; we
+// reproduce their *shape* on one machine by executing every statement
+// for real (for correct results and buffer-pool state) while
+// accounting time virtually: each simulated node is a k-server FIFO
+// queue whose service times come from the engine's ExecStats through
+// a cost model (CostModel, cost_model.h).
+//
+// Determinism: ties in the event queue break by insertion sequence,
+// so a run is a pure function of the workload and the seed.
+#ifndef APUAMA_SIM_EVENT_SIM_H_
+#define APUAMA_SIM_EVENT_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace apuama::sim {
+
+/// Event queue + clock. Run() drains events in time order.
+class EventSim {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now).
+  void At(SimTime t, Callback cb);
+  /// Schedules `cb` `delay` ticks from now.
+  void After(SimTime delay, Callback cb) { At(now_ + delay, std::move(cb)); }
+
+  /// Runs until the queue is empty (or `until` is reached, if >= 0).
+  void Run(SimTime until = -1);
+
+  /// True when no events remain.
+  bool Idle() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback cb;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+/// A k-server FIFO queue: at most `mpl` jobs in service at once
+/// (models a node's multiprogramming level); excess jobs wait.
+///
+/// A job's service time is computed lazily when it *starts* (that is
+/// when the statement actually executes against the node's database,
+/// so buffer-pool state reflects virtual-time order).
+class SimServer {
+ public:
+  /// `service` runs at job start and returns the job's service time;
+  /// `done` fires at completion.
+  struct Job {
+    std::function<SimTime()> service;
+    std::function<void(SimTime completion)> done;  // may be null
+  };
+
+  SimServer(EventSim* sim, int mpl) : sim_(sim), mpl_(mpl < 1 ? 1 : mpl) {}
+
+  /// Appends a job to the FIFO queue.
+  void Enqueue(Job job);
+
+  /// Jobs waiting or in service.
+  int pending() const { return static_cast<int>(queue_.size()) + in_service_; }
+
+  /// Total busy time accumulated across servers (utilization stats).
+  SimTime busy_time() const { return busy_time_; }
+  uint64_t jobs_completed() const { return jobs_completed_; }
+
+ private:
+  void MaybeStart();
+
+  EventSim* sim_;
+  int mpl_;
+  int in_service_ = 0;
+  std::deque<Job> queue_;
+  SimTime busy_time_ = 0;
+  uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace apuama::sim
+
+#endif  // APUAMA_SIM_EVENT_SIM_H_

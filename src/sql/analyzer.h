@@ -1,0 +1,63 @@
+// Light semantic analysis over the AST, shared by the engine planner
+// and the Apuama middleware's Query Parser component:
+//   * which tables a query references (directly and via subqueries),
+//   * whether it contains subqueries over a given table (SVP
+//     rewritability check, paper section 2),
+//   * aggregate inventory,
+//   * constant folding (date - interval '90' day, arithmetic on
+//     literals) so rewritten sub-queries carry plain literals.
+#ifndef APUAMA_SQL_ANALYZER_H_
+#define APUAMA_SQL_ANALYZER_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace apuama::sql {
+
+/// True for sum/avg/count/min/max.
+bool IsAggregateFunction(const std::string& name);
+
+/// True when the expression tree contains an aggregate call.
+bool ContainsAggregate(const Expr& e);
+
+/// Tables referenced in the FROM list of `s` only (not subqueries).
+std::vector<std::string> FromTables(const SelectStmt& s);
+
+/// All tables referenced anywhere, including EXISTS/IN subqueries.
+std::set<std::string> AllReferencedTables(const SelectStmt& s);
+
+/// Tables referenced inside subqueries (EXISTS / IN) at any depth.
+std::set<std::string> SubqueryTables(const SelectStmt& s);
+
+/// True when the statement has any EXISTS/IN-subquery predicate.
+bool HasSubqueries(const SelectStmt& s);
+
+/// Applies `fn` to every expression node of the statement, including
+/// subqueries, in pre-order. `fn` may mutate nodes in place.
+void VisitExprs(SelectStmt* s, const std::function<void(Expr*)>& fn);
+void VisitExpr(Expr* e, const std::function<void(Expr*)>& fn);
+
+/// Collapses literal-only subtrees into literals. Handles numeric
+/// arithmetic and date +/- interval. Division by a literal zero is
+/// left unfolded (the executor reports the error with row context).
+/// Mutates the tree in place.
+void FoldConstants(Expr* e);
+/// Folds every expression of a statement.
+void FoldConstants(SelectStmt* s);
+
+/// Splits a predicate tree into top-level AND-ed conjuncts. The
+/// returned pointers alias subtrees of `e` (do not outlive it).
+std::vector<const Expr*> SplitConjuncts(const Expr* e);
+
+/// Deep structural equality of expressions (literals compared by
+/// value; qualifiers compared case-sensitively).
+bool ExprEquals(const Expr& a, const Expr& b);
+
+}  // namespace apuama::sql
+
+#endif  // APUAMA_SQL_ANALYZER_H_

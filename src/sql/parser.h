@@ -1,0 +1,34 @@
+// Recursive-descent parser for the SQL dialect (see ast.h).
+//
+// The dialect covers what the TPC-H subset used in the paper needs:
+// SELECT with comma-joins and INNER JOIN ... ON, WHERE with
+// AND/OR/NOT, comparisons, BETWEEN, IN (list or subquery),
+// (NOT) EXISTS correlated subqueries, LIKE, CASE WHEN, arithmetic,
+// date and interval literals, aggregates, GROUP BY / HAVING /
+// ORDER BY / LIMIT; plus INSERT / DELETE / UPDATE / CREATE TABLE /
+// CREATE [CLUSTERED] INDEX / DROP TABLE / SET / BEGIN / COMMIT /
+// ROLLBACK.
+#ifndef APUAMA_SQL_PARSER_H_
+#define APUAMA_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace apuama::sql {
+
+/// Parses a single SQL statement (a trailing ';' is allowed).
+Result<StmtPtr> Parse(const std::string& sql);
+
+/// Parses a statement known to be a SELECT; error otherwise.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+/// Splits a script on top-level ';' and parses each statement.
+Result<std::vector<StmtPtr>> ParseScript(const std::string& script);
+
+}  // namespace apuama::sql
+
+#endif  // APUAMA_SQL_PARSER_H_

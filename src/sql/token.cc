@@ -1,0 +1,216 @@
+#include "sql/token.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace apuama::sql {
+
+namespace {
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string>* kw =
+      new std::unordered_set<std::string>{
+          "SELECT", "FROM",   "WHERE",    "GROUP",   "BY",      "HAVING",
+          "ORDER",  "ASC",    "DESC",     "LIMIT",   "AND",     "OR",
+          "NOT",    "IN",     "EXISTS",   "BETWEEN", "LIKE",    "IS",
+          "NULL",   "AS",     "CASE",     "WHEN",    "THEN",    "ELSE",
+          "END",    "INSERT", "INTO",     "VALUES",  "DELETE",  "UPDATE",
+          "SET",    "CREATE", "TABLE",    "INDEX",   "ON",      "DROP",
+          "BEGIN",  "COMMIT", "ROLLBACK", "DATE",    "INTERVAL", "DAY",
+          "MONTH",  "YEAR",   "PRIMARY",  "KEY",     "INT",     "INTEGER",
+          "BIGINT", "DOUBLE", "DECIMAL",  "VARCHAR", "CHAR",    "TEXT",
+          "DISTINCT", "JOIN", "INNER",    "CROSS",   "USING",   "CLUSTERED",
+          "TRUE",   "FALSE",  "EXPLAIN", "OFFSET",
+      };
+  return *kw;
+}
+}  // namespace
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comment
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.pos = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper)) {
+        t.type = TokenType::kKeyword;
+        t.text = upper;
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = ToLower(word);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string text = sql.substr(start, i - start);
+      t.text = text;
+      if (is_double) {
+        t.type = TokenType::kDoubleLiteral;
+        t.double_val = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.type = TokenType::kIntLiteral;
+        t.int_val = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string s;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            s += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        s += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", t.pos));
+      }
+      t.type = TokenType::kStringLiteral;
+      t.text = std::move(s);
+      out.push_back(std::move(t));
+      continue;
+    }
+    auto single = [&](TokenType tt) {
+      t.type = tt;
+      t.text = std::string(1, c);
+      ++i;
+      out.push_back(t);
+    };
+    switch (c) {
+      case ',':
+        single(TokenType::kComma);
+        break;
+      case '(':
+        single(TokenType::kLParen);
+        break;
+      case ')':
+        single(TokenType::kRParen);
+        break;
+      case '*':
+        single(TokenType::kStar);
+        break;
+      case '+':
+        single(TokenType::kPlus);
+        break;
+      case '-':
+        single(TokenType::kMinus);
+        break;
+      case '/':
+        single(TokenType::kSlash);
+        break;
+      case '.':
+        single(TokenType::kDot);
+        break;
+      case ';':
+        single(TokenType::kSemicolon);
+        break;
+      case '?':
+        single(TokenType::kParam);
+        break;
+      case '=':
+        single(TokenType::kEq);
+        break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          t.type = TokenType::kNotEq;
+          t.text = "<>";
+          i += 2;
+          out.push_back(t);
+        } else {
+          return Status::ParseError(
+              StrFormat("unexpected '!' at offset %zu", i));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          t.type = TokenType::kLtEq;
+          t.text = "<=";
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          t.type = TokenType::kNotEq;
+          t.text = "<>";
+          i += 2;
+        } else {
+          t.type = TokenType::kLt;
+          t.text = "<";
+          ++i;
+        }
+        out.push_back(t);
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          t.type = TokenType::kGtEq;
+          t.text = ">=";
+          i += 2;
+        } else {
+          t.type = TokenType::kGt;
+          t.text = ">";
+          ++i;
+        }
+        out.push_back(t);
+        break;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %zu", c, i));
+    }
+  }
+  Token eof;
+  eof.type = TokenType::kEOF;
+  eof.pos = n;
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace apuama::sql

@@ -1,0 +1,56 @@
+// Lexical tokens for the SQL dialect.
+#ifndef APUAMA_SQL_TOKEN_H_
+#define APUAMA_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace apuama::sql {
+
+enum class TokenType {
+  kEOF = 0,
+  kIdentifier,   // table / column names (lower-cased)
+  kKeyword,      // recognized SQL keyword (upper-cased text)
+  kIntLiteral,   // 42
+  kDoubleLiteral,  // 3.14
+  kStringLiteral,  // 'abc' with quote-doubling handled
+  // Operators & punctuation
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,      // =
+  kNotEq,   // <> or !=
+  kLt,
+  kLtEq,
+  kGt,
+  kGtEq,
+  kDot,
+  kSemicolon,
+  kParam,   // ? positional parameter (reserved for clients)
+};
+
+/// One lexical token with source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEOF;
+  std::string text;     // identifier (lower), keyword (UPPER), literal text
+  int64_t int_val = 0;
+  double double_val = 0;
+  size_t pos = 0;       // byte offset in the original statement
+
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenizes `sql`. Keywords are recognized case-insensitively.
+/// Comments (-- to end of line) are skipped.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace apuama::sql
+
+#endif  // APUAMA_SQL_TOKEN_H_

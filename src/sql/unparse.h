@@ -1,0 +1,25 @@
+// AST -> SQL text. The inverse of the parser, used by the Apuama SVP
+// rewriter to turn transformed query trees back into statements it can
+// send to each backend DBMS. Round-trip property: Parse(Unparse(ast))
+// produces an equivalent tree (tested in tests/sql_test.cc).
+#ifndef APUAMA_SQL_UNPARSE_H_
+#define APUAMA_SQL_UNPARSE_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace apuama::sql {
+
+/// Renders an expression as SQL.
+std::string UnparseExpr(const Expr& e);
+
+/// Renders a SELECT statement as SQL.
+std::string UnparseSelect(const SelectStmt& s);
+
+/// Renders any statement as SQL.
+std::string UnparseStmt(const Stmt& s);
+
+}  // namespace apuama::sql
+
+#endif  // APUAMA_SQL_UNPARSE_H_

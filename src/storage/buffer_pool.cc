@@ -1,0 +1,40 @@
+#include "storage/buffer_pool.h"
+
+namespace apuama::storage {
+
+bool BufferPool::Touch(PageId page) {
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++stats_.misses;
+  if (capacity_ != 0) {
+    while (map_.size() >= capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+  return false;
+}
+
+void BufferPool::InvalidateTable(uint32_t table_id) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->table_id == table_id) {
+      map_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace apuama::storage

@@ -1,0 +1,65 @@
+// LRU buffer pool (accounting model).
+//
+// No bytes are actually moved: the pool tracks which logical pages are
+// resident and counts hits/misses. The discrete-event simulator turns
+// those counts into virtual time (disk page vs cached page cost); the
+// counts also surface in EXPLAIN-style stats for tests and ablations.
+#ifndef APUAMA_STORAGE_BUFFER_POOL_H_
+#define APUAMA_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/page.h"
+
+namespace apuama::storage {
+
+/// Cumulative access counters, resettable per statement.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  uint64_t accesses() const { return hits + misses; }
+  double hit_rate() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(hits) / accesses();
+  }
+};
+
+/// Classic LRU page cache keyed by PageId. Not thread-safe; each
+/// simulated node owns one and serializes statements through it.
+class BufferPool {
+ public:
+  /// `capacity_pages` == 0 means "infinite" (everything always hits
+  /// after first touch).
+  explicit BufferPool(size_t capacity_pages)
+      : capacity_(capacity_pages) {}
+
+  /// Records an access; returns true on hit. Misses fault the page in,
+  /// evicting the least recently used page when at capacity.
+  bool Touch(PageId page);
+
+  /// Drops every page whose table matches (table dropped / truncated).
+  void InvalidateTable(uint32_t table_id);
+
+  /// Drops all pages (e.g. node restart in failure-injection tests).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t resident_pages() const { return map_.size(); }
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+ private:
+  size_t capacity_;
+  // LRU list: front = most recent. Map points into the list.
+  std::list<PageId> lru_;
+  std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> map_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace apuama::storage
+
+#endif  // APUAMA_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,59 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace apuama::storage {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  std::string key = ToLower(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  auto table = std::make_unique<Table>(next_table_id_++, key,
+                                       std::move(schema));
+  Table* ptr = table.get();
+  tables_[key] = std::move(table);
+  creation_order_.push_back(key);
+  return ptr;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::string key = ToLower(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  tables_.erase(it);
+  creation_order_.erase(
+      std::remove(creation_order_.begin(), creation_order_.end(), key),
+      creation_order_.end());
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  return creation_order_;
+}
+
+}  // namespace apuama::storage

@@ -1,0 +1,44 @@
+// Per-database catalog of tables.
+#ifndef APUAMA_STORAGE_CATALOG_H_
+#define APUAMA_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace apuama::storage {
+
+/// Owns all tables of one database instance (one per simulated node).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a table; error if the name exists.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Table by (case-insensitive) name, or NotFound.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  Status DropTable(const std::string& name);
+
+  /// Names of all tables, in creation order.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> creation_order_;
+  uint32_t next_table_id_ = 1;
+};
+
+}  // namespace apuama::storage
+
+#endif  // APUAMA_STORAGE_CATALOG_H_

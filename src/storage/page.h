@@ -1,0 +1,35 @@
+// Page-grain accounting constants.
+//
+// Storage is in-memory, but every access is attributed to a logical
+// 8 KiB page so the buffer pool can model the disk/cache behaviour the
+// paper's speedup curves depend on (virtual partitions fitting in RAM).
+#ifndef APUAMA_STORAGE_PAGE_H_
+#define APUAMA_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace apuama::storage {
+
+/// Logical page size used for I/O accounting (PostgreSQL default).
+constexpr size_t kPageSizeBytes = 8192;
+
+/// Identifies a logical page: a table plus a page ordinal within it.
+struct PageId {
+  uint32_t table_id = 0;
+  uint32_t page_no = 0;
+
+  bool operator==(const PageId& o) const {
+    return table_id == o.table_id && page_no == o.page_no;
+  }
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& p) const {
+    return (static_cast<size_t>(p.table_id) << 32) ^ p.page_no;
+  }
+};
+
+}  // namespace apuama::storage
+
+#endif  // APUAMA_STORAGE_PAGE_H_

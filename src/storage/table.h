@@ -1,0 +1,150 @@
+// Row-store table with clustered ordering and secondary indexes.
+//
+// The heap is a vector of rows kept sorted on the clustered key (the
+// physical ordering the paper requires for SVP: "tuples of the virtual
+// partition must be physically clustered according to the VPA").
+// Secondary indexes map a column value to the clustered-key tuples of
+// matching rows, so they stay valid as row positions shift.
+#ifndef APUAMA_STORAGE_TABLE_H_
+#define APUAMA_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "types/schema.h"
+
+namespace apuama::storage {
+
+class Table;
+
+/// Compares clustered-key tuples lexicographically.
+struct KeyLess {
+  bool operator()(const Row& a, const Row& b) const {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// Secondary (non-clustered) ordered index on one column.
+/// Entries reference rows by their clustered-key tuple, which is
+/// stable across heap reorganization.
+class Index {
+ public:
+  Index(std::string name, int column_idx)
+      : name_(std::move(name)), column_idx_(column_idx) {}
+
+  const std::string& name() const { return name_; }
+  int column_idx() const { return column_idx_; }
+  size_t num_entries() const { return entries_.size(); }
+
+  void Insert(const Value& key, Row pk) {
+    entries_.emplace(key, std::move(pk));
+  }
+  void Erase(const Value& key, const Row& pk);
+  void Clear() { entries_.clear(); }
+
+  /// Clustered keys of rows with column == key.
+  std::vector<const Row*> Lookup(const Value& key) const;
+
+  /// Clustered keys of rows with lo <= column <= hi (either bound may
+  /// be omitted via null Value + flag).
+  std::vector<const Row*> LookupRange(const Value* lo, bool lo_inclusive,
+                                      const Value* hi,
+                                      bool hi_inclusive) const;
+
+ private:
+  std::string name_;
+  int column_idx_;
+  std::multimap<Value, Row> entries_;
+};
+
+/// A table. Not thread-safe; callers (simulated nodes) serialize.
+class Table {
+ public:
+  Table(uint32_t id, std::string name, Schema schema);
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Declares the clustered key (column indices). Re-sorts the heap if
+  /// data is already present and rebuilds secondary indexes.
+  Status SetClusteredKey(std::vector<int> key_columns);
+  const std::vector<int>& clustered_key() const { return key_cols_; }
+
+  /// Creates a secondary ordered index on one column.
+  Status CreateIndex(const std::string& index_name,
+                     const std::string& column_name);
+  /// Index on `column_idx`, or nullptr.
+  const Index* FindIndexOnColumn(int column_idx) const;
+  const std::vector<std::unique_ptr<Index>>& indexes() const {
+    return indexes_;
+  }
+
+  /// Validates and inserts, keeping clustered order and indexes.
+  Status Insert(Row row);
+  /// Bulk insert of pre-sorted-or-not rows; sorts once at the end.
+  Status BulkLoad(std::vector<Row> rows);
+
+  /// Deletes rows at the given positions (sorted ascending).
+  void DeleteAt(const std::vector<size_t>& positions);
+
+  /// Position range [begin, end) of rows whose *first clustered key
+  /// column* lies in [lo, hi) / (lo, hi] etc. Bounds may be null.
+  /// Only meaningful when a clustered key is set.
+  std::pair<size_t, size_t> ClusteredRange(const Value* lo,
+                                           bool lo_inclusive,
+                                           const Value* hi,
+                                           bool hi_inclusive) const;
+
+  /// Heap position of the row with this clustered-key tuple, or
+  /// num_rows() when absent.
+  size_t PositionOfKey(const Row& key) const;
+
+  /// Extracts the clustered-key tuple of a row.
+  Row KeyOfRow(const Row& row) const;
+
+  // --- Page accounting -----------------------------------------------------
+
+  /// Rows stored per logical page (>=1), derived from average row size.
+  size_t rows_per_page() const;
+  /// Total pages occupied by the heap.
+  size_t num_pages() const;
+  /// Page holding heap position `pos`.
+  PageId PageOfPosition(size_t pos) const;
+
+  /// Min / max of the first clustered key column (planner statistics).
+  /// Null values when the table is empty or has no clustered key.
+  Value MinClusteredKey() const;
+  Value MaxClusteredKey() const;
+
+ private:
+  void ReindexAll();
+  bool RowKeyLess(const Row& a, const Row& b) const;
+
+  uint32_t id_;
+  std::string name_;
+  Schema schema_;
+  std::vector<int> key_cols_;
+  std::vector<Row> rows_;
+  std::vector<std::unique_ptr<Index>> indexes_;
+
+  mutable size_t cached_rows_per_page_ = 0;
+  mutable size_t cached_at_rows_ = SIZE_MAX;
+};
+
+}  // namespace apuama::storage
+
+#endif  // APUAMA_STORAGE_TABLE_H_

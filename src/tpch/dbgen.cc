@@ -1,0 +1,253 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "tpch/schema.h"
+
+namespace apuama::tpch {
+
+namespace {
+
+// TPC-H's 25 nations with their region keys (region 0=AFRICA,
+// 1=AMERICA, 2=ASIA, 3=EUROPE, 4=MIDDLE EAST).
+struct NationDef {
+  const char* name;
+  int region;
+};
+constexpr NationDef kNations[] = {
+    {"ALGERIA", 0},    {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},     {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},     {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},  {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},      {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},    {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},      {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},    {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1},
+};
+constexpr const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                    "MIDDLE EAST"};
+constexpr const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                     "MACHINERY", "HOUSEHOLD"};
+constexpr const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                       "4-NOT SPECIFIED", "5-LOW"};
+constexpr const char* kShipModes[] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                      "TRUCK",   "MAIL", "FOB"};
+constexpr const char* kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                      "NONE", "TAKE BACK RETURN"};
+constexpr const char* kTypes1[] = {"STANDARD", "SMALL",   "MEDIUM",
+                                   "LARGE",    "ECONOMY", "PROMO"};
+constexpr const char* kTypes2[] = {"ANODIZED", "BURNISHED", "PLATED",
+                                   "POLISHED", "BRUSHED"};
+constexpr const char* kTypes3[] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                   "COPPER"};
+constexpr const char* kContainers[] = {"SM CASE", "MED BOX", "LG DRUM",
+                                       "JUMBO JAR", "WRAP BAG"};
+
+}  // namespace
+
+int64_t TpchStartDate() {
+  static const int64_t d = DaysFromCivil(1992, 1, 1);
+  return d;
+}
+int64_t TpchEndDate() {
+  static const int64_t d = DaysFromCivil(1998, 8, 2);
+  return d;
+}
+int64_t TpchCurrentDate() {
+  static const int64_t d = DaysFromCivil(1995, 6, 17);
+  return d;
+}
+
+TpchData::TpchData(DbgenOptions options) : options_(options) { Generate(); }
+
+const std::vector<Row>& TpchData::table(const std::string& name) const {
+  static const std::vector<Row> empty;
+  auto it = tables_.find(name);
+  return it == tables_.end() ? empty : it->second;
+}
+
+void TpchData::Generate() {
+  Rng rng(options_.seed);
+  const double sf = options_.scale_factor;
+  auto scaled = [sf](int64_t base) {
+    return std::max<int64_t>(1, static_cast<int64_t>(std::llround(
+                                    static_cast<double>(base) * sf)));
+  };
+  const int64_t n_supp = scaled(10000);
+  const int64_t n_cust = scaled(150000);
+  const int64_t n_part = scaled(200000);
+  num_orders_ = scaled(1500000);
+
+  // region / nation (fixed).
+  {
+    auto& rows = tables_["region"];
+    for (int64_t r = 0; r < 5; ++r) {
+      rows.push_back({Value::Int(r), Value::Str(kRegions[r]),
+                      Value::Str("region comment")});
+    }
+  }
+  {
+    auto& rows = tables_["nation"];
+    for (int64_t n = 0; n < 25; ++n) {
+      rows.push_back({Value::Int(n), Value::Str(kNations[n].name),
+                      Value::Int(kNations[n].region),
+                      Value::Str("nation comment")});
+    }
+  }
+
+  // supplier
+  {
+    Rng r = rng.Fork();
+    auto& rows = tables_["supplier"];
+    for (int64_t k = 1; k <= n_supp; ++k) {
+      rows.push_back({Value::Int(k),
+                      Value::Str(StrFormat("Supplier#%09lld",
+                                           static_cast<long long>(k))),
+                      Value::Str(r.NextString(12)),
+                      Value::Int(r.Uniform(0, 24)),
+                      Value::Str(StrFormat("27-%03d-%04d",
+                                           static_cast<int>(r.Uniform(100, 999)),
+                                           static_cast<int>(r.Uniform(1000, 9999)))),
+                      Value::Double(r.UniformDouble(-999.99, 9999.99)),
+                      Value::Str("supplier comment")});
+    }
+  }
+
+  // customer
+  {
+    Rng r = rng.Fork();
+    auto& rows = tables_["customer"];
+    for (int64_t k = 1; k <= n_cust; ++k) {
+      rows.push_back({Value::Int(k),
+                      Value::Str(StrFormat("Customer#%09lld",
+                                           static_cast<long long>(k))),
+                      Value::Str(r.NextString(12)),
+                      Value::Int(r.Uniform(0, 24)),
+                      Value::Str(StrFormat("13-%03d-%04d",
+                                           static_cast<int>(r.Uniform(100, 999)),
+                                           static_cast<int>(r.Uniform(1000, 9999)))),
+                      Value::Double(r.UniformDouble(-999.99, 9999.99)),
+                      Value::Str(kSegments[r.Uniform(0, 4)]),
+                      Value::Str("customer comment")});
+    }
+  }
+
+  // part
+  {
+    Rng r = rng.Fork();
+    auto& rows = tables_["part"];
+    for (int64_t k = 1; k <= n_part; ++k) {
+      std::string type = std::string(kTypes1[r.Uniform(0, 5)]) + " " +
+                         kTypes2[r.Uniform(0, 4)] + " " +
+                         kTypes3[r.Uniform(0, 4)];
+      double retail =
+          900.0 + static_cast<double>(k % 1000) / 10.0 + 100.0 * (k % 10);
+      rows.push_back(
+          {Value::Int(k),
+           Value::Str(StrFormat("part %lld", static_cast<long long>(k))),
+           Value::Str(StrFormat("Manufacturer#%d",
+                                static_cast<int>(1 + k % 5))),
+           Value::Str(StrFormat("Brand#%d%d", static_cast<int>(1 + k % 5),
+                                static_cast<int>(1 + (k / 5) % 5))),
+           Value::Str(type), Value::Int(r.Uniform(1, 50)),
+           Value::Str(kContainers[r.Uniform(0, 4)]), Value::Double(retail),
+           Value::Str("part comment")});
+    }
+  }
+
+  // partsupp: 4 suppliers per part.
+  {
+    Rng r = rng.Fork();
+    auto& rows = tables_["partsupp"];
+    for (int64_t p = 1; p <= n_part; ++p) {
+      for (int j = 0; j < 4; ++j) {
+        int64_t s = 1 + (p + j * (n_supp / 4 + 1)) % n_supp;
+        rows.push_back({Value::Int(p), Value::Int(s),
+                        Value::Int(r.Uniform(1, 9999)),
+                        Value::Double(r.UniformDouble(1.0, 1000.0)),
+                        Value::Str("partsupp comment")});
+      }
+    }
+  }
+
+  // orders + lineitem.
+  {
+    Rng r = rng.Fork();
+    auto& orders = tables_["orders"];
+    auto& lines = tables_["lineitem"];
+    const int64_t date_span = TpchEndDate() - TpchStartDate() - 151;
+    for (int64_t o = 1; o <= num_orders_; ++o) {
+      int64_t odate = TpchStartDate() + r.Uniform(0, date_span);
+      int nlines = static_cast<int>(r.Uniform(1, 7));
+      double total = 0;
+      bool all_f = true, all_o = true;
+      for (int ln = 1; ln <= nlines; ++ln) {
+        int64_t partkey = r.Uniform(1, n_part);
+        int64_t suppkey = r.Uniform(1, n_supp);
+        double quantity = static_cast<double>(r.Uniform(1, 50));
+        double price_base =
+            900.0 + static_cast<double>(partkey % 1000) / 10.0 +
+            100.0 * (partkey % 10);
+        double extended = quantity * price_base / 100.0;
+        double discount = static_cast<double>(r.Uniform(0, 10)) / 100.0;
+        double tax = static_cast<double>(r.Uniform(0, 8)) / 100.0;
+        int64_t shipdate = odate + r.Uniform(1, 121);
+        int64_t commitdate = odate + r.Uniform(30, 90);
+        int64_t receiptdate = shipdate + r.Uniform(1, 30);
+        const char* returnflag =
+            receiptdate <= TpchCurrentDate()
+                ? (r.Bernoulli(0.5) ? "R" : "A")
+                : "N";
+        const char* linestatus = shipdate > TpchCurrentDate() ? "O" : "F";
+        if (linestatus[0] == 'O') {
+          all_f = false;
+        } else {
+          all_o = false;
+        }
+        total += extended * (1 + tax) * (1 - discount);
+        lines.push_back({Value::Int(o), Value::Int(partkey),
+                         Value::Int(suppkey), Value::Int(ln),
+                         Value::Double(quantity), Value::Double(extended),
+                         Value::Double(discount), Value::Double(tax),
+                         Value::Str(returnflag), Value::Str(linestatus),
+                         Value::Date(shipdate), Value::Date(commitdate),
+                         Value::Date(receiptdate),
+                         Value::Str(kInstructs[r.Uniform(0, 3)]),
+                         Value::Str(kShipModes[r.Uniform(0, 6)]),
+                         Value::Str("line comment")});
+      }
+      const char* status = all_f ? "F" : (all_o ? "O" : "P");
+      orders.push_back(
+          {Value::Int(o), Value::Int(r.Uniform(1, n_cust)),
+           Value::Str(status), Value::Double(total), Value::Date(odate),
+           Value::Str(kPriorities[r.Uniform(0, 4)]),
+           Value::Str(StrFormat("Clerk#%09d",
+                                static_cast<int>(r.Uniform(1, 1000)))),
+           Value::Int(0), Value::Str("order comment")});
+    }
+  }
+}
+
+Status TpchData::LoadInto(engine::Database* db) const {
+  APUAMA_RETURN_NOT_OK(CreateSchema(db));
+  for (const auto& name : TableNames()) {
+    APUAMA_ASSIGN_OR_RETURN(storage::Table * dest,
+                            db->catalog()->GetTable(name));
+    std::vector<Row> copy = table(name);  // deep copy per replica
+    APUAMA_RETURN_NOT_OK(dest->BulkLoad(std::move(copy)));
+  }
+  return Status::OK();
+}
+
+Status TpchData::LoadIntoReplicas(cjdbc::ReplicaSet* replicas) const {
+  for (int i = 0; i < replicas->num_nodes(); ++i) {
+    APUAMA_RETURN_NOT_OK(LoadInto(replicas->node(i)));
+  }
+  return Status::OK();
+}
+
+}  // namespace apuama::tpch

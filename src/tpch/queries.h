@@ -1,0 +1,29 @@
+// The paper's 8 TPC-H queries (section 5): Q1, Q3, Q4, Q5, Q6, Q12,
+// Q14, Q21, expressed in the engine's SQL dialect with the TPC-H
+// validation parameters as defaults.
+#ifndef APUAMA_TPCH_QUERIES_H_
+#define APUAMA_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace apuama::tpch {
+
+/// Query numbers used in the paper, in the paper's order.
+const std::vector<int>& PaperQueryNumbers();  // {1,3,4,5,6,12,14,21}
+
+/// Additional TPC-H queries supported beyond the paper's set
+/// (extensions; also SVP-rewritable).
+const std::vector<int>& ExtendedQueryNumbers();  // {10, 19}
+
+/// SQL text of TPC-H query `q`; error for unsupported numbers.
+Result<std::string> QuerySql(int q);
+
+/// One-line description (bench output labeling).
+const char* QueryDescription(int q);
+
+}  // namespace apuama::tpch
+
+#endif  // APUAMA_TPCH_QUERIES_H_

@@ -1,0 +1,78 @@
+#include "tpch/refresh.h"
+
+#include "common/string_util.h"
+#include "tpch/dbgen.h"
+#include "types/value.h"
+
+namespace apuama::tpch {
+
+std::vector<RefreshStatement> MakeRefreshStream(int64_t first_orderkey,
+                                                int64_t num_orders,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RefreshStatement> out;
+  out.reserve(static_cast<size_t>(num_orders) * 4);
+
+  // RF1: inserts.
+  for (int64_t i = 0; i < num_orders; ++i) {
+    int64_t key = first_orderkey + i;
+    int64_t odate = TpchStartDate() +
+                    rng.Uniform(0, TpchEndDate() - TpchStartDate() - 151);
+    RefreshStatement order;
+    order.is_insert = true;
+    order.orderkey = key;
+    order.sql = StrFormat(
+        "insert into orders values (%lld, %lld, 'O', %s, %s,"
+        " '3-MEDIUM', 'Clerk#000000001', 0, 'refresh order')",
+        static_cast<long long>(key),
+        static_cast<long long>(rng.Uniform(1, 100)),
+        FormatDouble(rng.UniformDouble(1000, 300000), 2).c_str(),
+        Value::Date(odate).ToSqlLiteral().c_str());
+    out.push_back(std::move(order));
+
+    int nlines = static_cast<int>(rng.Uniform(1, 4));
+    std::string values;
+    for (int ln = 1; ln <= nlines; ++ln) {
+      if (ln > 1) values += ", ";
+      int64_t ship = odate + rng.Uniform(1, 121);
+      values += StrFormat(
+          "(%lld, %lld, %lld, %d, %d, %s, 0.05, 0.02, 'N', 'O', %s, %s, %s,"
+          " 'NONE', 'MAIL', 'refresh line')",
+          static_cast<long long>(key),
+          static_cast<long long>(rng.Uniform(1, 200)),
+          static_cast<long long>(rng.Uniform(1, 10)), ln,
+          static_cast<int>(rng.Uniform(1, 50)),
+          FormatDouble(rng.UniformDouble(900, 10000), 2).c_str(),
+          Value::Date(ship).ToSqlLiteral().c_str(),
+          Value::Date(odate + rng.Uniform(30, 90)).ToSqlLiteral().c_str(),
+          Value::Date(ship + rng.Uniform(1, 30)).ToSqlLiteral().c_str());
+    }
+    RefreshStatement lines;
+    lines.is_insert = true;
+    lines.orderkey = key;
+    lines.sql = "insert into lineitem values " + values;
+    out.push_back(std::move(lines));
+  }
+
+  // RF2: deletes, same keys.
+  for (int64_t i = 0; i < num_orders; ++i) {
+    int64_t key = first_orderkey + i;
+    RefreshStatement del_lines;
+    del_lines.orderkey = key;
+    del_lines.sql = StrFormat("delete from lineitem where l_orderkey = %lld",
+                              static_cast<long long>(key));
+    out.push_back(std::move(del_lines));
+    RefreshStatement del_order;
+    del_order.orderkey = key;
+    del_order.sql = StrFormat("delete from orders where o_orderkey = %lld",
+                              static_cast<long long>(key));
+    out.push_back(std::move(del_order));
+  }
+  return out;
+}
+
+int64_t RefreshStreamMaxKey(int64_t first_orderkey, int64_t num_orders) {
+  return first_orderkey + num_orders - 1;
+}
+
+}  // namespace apuama::tpch

@@ -1,0 +1,41 @@
+// TPC-H-style refresh streams (paper section 5, mixed workload).
+//
+// The paper's update sequence "first inserts an amount of data on the
+// lineitem and orders tables; in a second step, the updates remove
+// all inserted tuples". We generate matching statement pairs: each
+// insert transaction adds one new order plus its lineitems (keys
+// beyond the current maximum), and each delete transaction removes
+// one previously inserted order with its lines.
+#ifndef APUAMA_TPCH_REFRESH_H_
+#define APUAMA_TPCH_REFRESH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace apuama::tpch {
+
+struct RefreshStatement {
+  std::string sql;
+  bool is_insert = false;
+  int64_t orderkey = 0;
+};
+
+/// A full insert-then-delete refresh stream over `num_orders` new
+/// orders starting at key `first_orderkey`. Statement order: all
+/// inserts (order row + its lineitems, two statements per order,
+/// mirroring RF1), then all deletes (lineitems then order, two
+/// statements per order, mirroring RF2).
+std::vector<RefreshStatement> MakeRefreshStream(int64_t first_orderkey,
+                                                int64_t num_orders,
+                                                uint64_t seed);
+
+/// Highest orderkey the stream touches (for Data Catalog domain
+/// updates, if the caller wants exact interval coverage).
+int64_t RefreshStreamMaxKey(int64_t first_orderkey, int64_t num_orders);
+
+}  // namespace apuama::tpch
+
+#endif  // APUAMA_TPCH_REFRESH_H_

@@ -1,0 +1,114 @@
+#include "tpch/schema.h"
+
+namespace apuama::tpch {
+
+const std::vector<std::string>& SchemaDdl() {
+  static const std::vector<std::string>* ddl = new std::vector<std::string>{
+      "create table region ("
+      " r_regionkey bigint not null primary key,"
+      " r_name varchar(25) not null,"
+      " r_comment varchar(152))",
+
+      "create table nation ("
+      " n_nationkey bigint not null primary key,"
+      " n_name varchar(25) not null,"
+      " n_regionkey bigint not null,"
+      " n_comment varchar(152))",
+      "create index idx_n_regionkey on nation (n_regionkey)",
+
+      "create table supplier ("
+      " s_suppkey bigint not null primary key,"
+      " s_name varchar(25) not null,"
+      " s_address varchar(40),"
+      " s_nationkey bigint not null,"
+      " s_phone varchar(15),"
+      " s_acctbal double,"
+      " s_comment varchar(101))",
+      "create index idx_s_nationkey on supplier (s_nationkey)",
+
+      "create table customer ("
+      " c_custkey bigint not null primary key,"
+      " c_name varchar(25) not null,"
+      " c_address varchar(40),"
+      " c_nationkey bigint not null,"
+      " c_phone varchar(15),"
+      " c_acctbal double,"
+      " c_mktsegment varchar(10),"
+      " c_comment varchar(117))",
+      "create index idx_c_nationkey on customer (c_nationkey)",
+
+      "create table part ("
+      " p_partkey bigint not null primary key,"
+      " p_name varchar(55) not null,"
+      " p_mfgr varchar(25),"
+      " p_brand varchar(10),"
+      " p_type varchar(25),"
+      " p_size bigint,"
+      " p_container varchar(10),"
+      " p_retailprice double,"
+      " p_comment varchar(23))",
+
+      "create table partsupp ("
+      " ps_partkey bigint not null,"
+      " ps_suppkey bigint not null,"
+      " ps_availqty bigint,"
+      " ps_supplycost double,"
+      " ps_comment varchar(199),"
+      " primary key (ps_partkey, ps_suppkey))",
+      "create index idx_ps_suppkey on partsupp (ps_suppkey)",
+
+      "create table orders ("
+      " o_orderkey bigint not null primary key,"
+      " o_custkey bigint not null,"
+      " o_orderstatus varchar(1),"
+      " o_totalprice double,"
+      " o_orderdate date,"
+      " o_orderpriority varchar(15),"
+      " o_clerk varchar(15),"
+      " o_shippriority bigint,"
+      " o_comment varchar(79))",
+      "create index idx_o_custkey on orders (o_custkey)",
+      // o_orderdate carries Q4's only restriction on orders besides
+      // the VPA; the paper builds no extra indexes ("as TPC-H assumes
+      // ad-hoc queries, we perform no other optimization").
+
+      "create table lineitem ("
+      " l_orderkey bigint not null,"
+      " l_partkey bigint not null,"
+      " l_suppkey bigint not null,"
+      " l_linenumber bigint not null,"
+      " l_quantity double,"
+      " l_extendedprice double,"
+      " l_discount double,"
+      " l_tax double,"
+      " l_returnflag varchar(1),"
+      " l_linestatus varchar(1),"
+      " l_shipdate date,"
+      " l_commitdate date,"
+      " l_receiptdate date,"
+      " l_shipinstruct varchar(25),"
+      " l_shipmode varchar(10),"
+      " l_comment varchar(44),"
+      " primary key (l_orderkey, l_linenumber))",
+      "create index idx_l_partkey on lineitem (l_partkey)",
+      "create index idx_l_suppkey on lineitem (l_suppkey)",
+  };
+  return *ddl;
+}
+
+Status CreateSchema(engine::Database* db) {
+  for (const auto& stmt : SchemaDdl()) {
+    APUAMA_RETURN_NOT_OK(db->Execute(stmt).status());
+  }
+  return Status::OK();
+}
+
+const std::vector<std::string>& TableNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "region", "nation",   "supplier", "customer",
+      "part",   "partsupp", "orders",   "lineitem",
+  };
+  return *names;
+}
+
+}  // namespace apuama::tpch

@@ -1,0 +1,32 @@
+// TPC-H schema (all 8 tables) in the engine's SQL dialect.
+//
+// Physical design follows the paper's section 5 exactly:
+//   * every table fully replicated on every node;
+//   * fact tables physically clustered on their partitioning
+//     attribute — orders on o_orderkey (its PK), lineitem on
+//     (l_orderkey, l_linenumber) so l_orderkey (FK to orders, the
+//     derived partitioning attribute) orders the heap;
+//   * secondary indexes on all foreign keys.
+#ifndef APUAMA_TPCH_SCHEMA_H_
+#define APUAMA_TPCH_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace apuama::tpch {
+
+/// DDL statements (CREATE TABLE + CREATE INDEX), in execution order.
+const std::vector<std::string>& SchemaDdl();
+
+/// Runs the DDL against one database instance.
+Status CreateSchema(engine::Database* db);
+
+/// Table names in load order (dimensions before facts).
+const std::vector<std::string>& TableNames();
+
+}  // namespace apuama::tpch
+
+#endif  // APUAMA_TPCH_SCHEMA_H_

@@ -1,0 +1,18 @@
+#include "tpch/tpch_catalog.h"
+
+namespace apuama::tpch {
+
+DataCatalog MakeTpchCatalog(const TpchData& data, int64_t headroom) {
+  DataCatalog catalog;
+  VirtualPartitionSpace space;
+  space.name = "orderkey";
+  space.members.push_back({"orders", "o_orderkey"});
+  space.members.push_back({"lineitem", "l_orderkey"});
+  space.min_value = data.min_orderkey();
+  space.max_value = data.max_orderkey() + (headroom < 0 ? 0 : headroom);
+  Status s = catalog.RegisterSpace(std::move(space));
+  (void)s;  // cannot fail for this fixed space
+  return catalog;
+}
+
+}  // namespace apuama::tpch

@@ -1,0 +1,20 @@
+// Apuama Data Catalog entries for the TPC-H physical design.
+#ifndef APUAMA_TPCH_TPCH_CATALOG_H_
+#define APUAMA_TPCH_TPCH_CATALOG_H_
+
+#include "apuama/data_catalog.h"
+#include "tpch/dbgen.h"
+
+namespace apuama::tpch {
+
+/// The paper's virtual-partitioning metadata: one key space named
+/// "orderkey" with members (orders, o_orderkey) and
+/// (lineitem, l_orderkey), domain [1, max_orderkey].
+/// `headroom` widens the registered domain beyond the loaded data so
+/// refresh-stream inserts (new, higher keys) stay inside the last
+/// node's interval.
+DataCatalog MakeTpchCatalog(const TpchData& data, int64_t headroom = 0);
+
+}  // namespace apuama::tpch
+
+#endif  // APUAMA_TPCH_TPCH_CATALOG_H_

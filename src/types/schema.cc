@@ -1,0 +1,66 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace apuama {
+
+size_t RowByteSize(const Row& row) {
+  size_t n = 8;  // header
+  for (const Value& v : row) n += v.ByteSize();
+  return n;
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (EqualsIgnoreCase(cols_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::AddColumn(Column col) {
+  if (FindColumn(col.name) >= 0) {
+    return Status::AlreadyExists("duplicate column: " + col.name);
+  }
+  cols_.push_back(std::move(col));
+  return Status::OK();
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != cols_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, schema has %zu columns", row.size(),
+                  cols_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    const Column& c = cols_[i];
+    if (v.is_null()) {
+      if (c.not_null) {
+        return Status::ConstraintViolation("NULL in NOT NULL column " +
+                                           c.name);
+      }
+      continue;
+    }
+    bool ok = v.type() == c.type ||
+              (c.type == ValueType::kDouble && v.type() == ValueType::kInt64);
+    if (!ok) {
+      return Status::InvalidArgument(
+          StrFormat("column %s expects %s, got %s", c.name.c_str(),
+                    ValueTypeName(c.type), ValueTypeName(v.type())));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(cols_.size());
+  for (const Column& c : cols_) {
+    std::string p = c.name + " " + ValueTypeName(c.type);
+    if (c.not_null) p += " NOT NULL";
+    parts.push_back(std::move(p));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace apuama

@@ -1,0 +1,59 @@
+// Relational schema metadata: columns, schemas, rows.
+#ifndef APUAMA_TYPES_SCHEMA_H_
+#define APUAMA_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace apuama {
+
+/// A row is an ordered tuple of values, positionally matching a Schema.
+using Row = std::vector<Value>;
+
+/// Approximate footprint of a row in bytes (for page accounting).
+size_t RowByteSize(const Row& row);
+
+/// One column definition.
+struct Column {
+  std::string name;       // lower-cased identifier
+  ValueType type = ValueType::kNull;
+  bool not_null = false;  // enforced on insert
+
+  Column() = default;
+  Column(std::string n, ValueType t, bool nn = false)
+      : name(std::move(n)), type(t), not_null(nn) {}
+};
+
+/// Ordered list of columns. Column names are unique within a schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  size_t num_columns() const { return cols_.size(); }
+  const Column& column(size_t i) const { return cols_[i]; }
+  const std::vector<Column>& columns() const { return cols_; }
+
+  /// Index of a column by (case-insensitive) name, or -1.
+  int FindColumn(const std::string& name) const;
+
+  /// Appends a column; error on duplicate name.
+  Status AddColumn(Column col);
+
+  /// Type-checks a row against this schema. NULLs are allowed unless
+  /// not_null; ints are accepted where doubles are declared.
+  Status ValidateRow(const Row& row) const;
+
+  /// "name TYPE, name TYPE, ..." rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace apuama
+
+#endif  // APUAMA_TYPES_SCHEMA_H_

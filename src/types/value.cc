@@ -1,0 +1,209 @@
+#include "types/value.h"
+
+#include <cassert>
+#include <cstdio>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace apuama {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kDate:
+      return "DATE";
+  }
+  return "?";
+}
+
+// Howard Hinnant's civil-days algorithms (public domain).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153 * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) -
+         719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+std::string FormatDate(int64_t days) {
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  return StrFormat("%04d-%02d-%02d", y, m, d);
+}
+
+Result<Value> Value::DateFromString(const std::string& iso) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(iso.c_str(), "%d-%d-%d", &y, &m, &d) != 3 || m < 1 ||
+      m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("bad date literal: " + iso);
+  }
+  return Value::Date(DaysFromCivil(y, m, d));
+}
+
+Result<double> Value::AsDouble() const {
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kDate:
+      return static_cast<double>(std::get<int64_t>(var_));
+    case ValueType::kDouble:
+      return std::get<double>(var_);
+    default:
+      return Status::InvalidArgument(std::string("cannot coerce ") +
+                                     ValueTypeName(type_) + " to double");
+  }
+}
+
+Result<int64_t> Value::AsInt() const {
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kDate:
+      return std::get<int64_t>(var_);
+    case ValueType::kDouble:
+      return static_cast<int64_t>(std::get<double>(var_));
+    default:
+      return Status::InvalidArgument(std::string("cannot coerce ") +
+                                     ValueTypeName(type_) + " to int");
+  }
+}
+
+namespace {
+// Rank used only for cross-kind total ordering: null < numeric < string.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+    case ValueType::kDate:
+      return 1;
+    case ValueType::kString:
+      return 2;
+  }
+  return 3;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const int ra = TypeRank(type_), rb = TypeRank(other.type_);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (type_ == ValueType::kNull) return 0;
+  if (ra == 1) {
+    // Numeric family. Compare as int64 when both are integral to
+    // avoid double rounding on large keys.
+    const bool a_int = type_ != ValueType::kDouble;
+    const bool b_int = other.type_ != ValueType::kDouble;
+    if (a_int && b_int) {
+      int64_t a = std::get<int64_t>(var_), b = std::get<int64_t>(other.var_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = a_int ? static_cast<double>(std::get<int64_t>(var_))
+                     : std::get<double>(var_);
+    double b = b_int ? static_cast<double>(std::get<int64_t>(other.var_))
+                     : std::get<double>(other.var_);
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  const std::string& a = std::get<std::string>(var_);
+  const std::string& b = std::get<std::string>(other.var_);
+  return a.compare(b) < 0 ? -1 : (a == b ? 0 : 1);
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(var_));
+    case ValueType::kDouble:
+      return FormatDouble(std::get<double>(var_), 6);
+    case ValueType::kString:
+      return std::get<std::string>(var_);
+    case ValueType::kDate:
+      return FormatDate(std::get<int64_t>(var_));
+  }
+  return "?";
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type_) {
+    case ValueType::kString: {
+      // Escape embedded quotes per SQL ('' doubling).
+      std::string out = "'";
+      for (char c : std::get<std::string>(var_)) {
+        out += c;
+        if (c == '\'') out += '\'';
+      }
+      out += "'";
+      return out;
+    }
+    case ValueType::kDate:
+      return "date '" + FormatDate(std::get<int64_t>(var_)) + "'";
+    default:
+      return ToString();
+  }
+}
+
+size_t Value::ByteSize() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt64:
+    case ValueType::kDate:
+      return 8;
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      return 16 + std::get<std::string>(var_).size();
+  }
+  return 1;
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0xdeadbeef;
+    case ValueType::kInt64:
+    case ValueType::kDate:
+      return std::hash<int64_t>()(std::get<int64_t>(var_));
+    case ValueType::kDouble: {
+      double d = std::get<double>(var_);
+      // Hash integral doubles like their int64 twin so mixed-type
+      // group keys land in the same bucket.
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(std::get<std::string>(var_));
+  }
+  return 0;
+}
+
+}  // namespace apuama

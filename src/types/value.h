@@ -1,0 +1,97 @@
+// Runtime value model: the dynamically-typed cell used by rows,
+// expression evaluation, and query results across the whole stack.
+#ifndef APUAMA_TYPES_VALUE_H_
+#define APUAMA_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace apuama {
+
+/// Column / value types supported by the SQL dialect.
+/// kDate is stored as days since 1970-01-01 (can be negative).
+enum class ValueType { kNull = 0, kInt64, kDouble, kString, kDate };
+
+const char* ValueTypeName(ValueType t);
+
+/// A single SQL value. Small, copyable; strings are owned.
+///
+/// NULL ordering/comparison follows the needs of an execution engine,
+/// not three-valued SQL logic: Compare() sorts NULL first; SQL-level
+/// NULL semantics are handled by the expression evaluator.
+class Value {
+ public:
+  /// NULL value.
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(ValueType::kInt64, v); }
+  static Value Double(double v) { return Value(ValueType::kDouble, v); }
+  static Value Str(std::string v) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.var_ = std::move(v);
+    return out;
+  }
+  /// Date from days since the Unix epoch.
+  static Value Date(int64_t days) { return Value(ValueType::kDate, days); }
+  /// Parses 'YYYY-MM-DD'; returns error on malformed input.
+  static Result<Value> DateFromString(const std::string& iso);
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  /// Accessors assert the type matches (use As* for coercion).
+  int64_t int_val() const { return std::get<int64_t>(var_); }
+  double double_val() const { return std::get<double>(var_); }
+  const std::string& str_val() const { return std::get<std::string>(var_); }
+  int64_t date_val() const { return std::get<int64_t>(var_); }
+
+  /// Numeric coercion: int/double/date -> double. Error otherwise.
+  Result<double> AsDouble() const;
+  /// Numeric coercion: int/date -> int64; double truncates. Error otherwise.
+  Result<int64_t> AsInt() const;
+
+  /// Total-order comparison used by sorting, index keys, and
+  /// predicate evaluation: NULL < everything; numerics compare by
+  /// value across int/double/date; strings lexicographically.
+  /// Returns <0, 0, >0. Cross-kind (string vs numeric) compares by
+  /// type rank so the order is still total.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+
+  /// Display form: NULL, 42, 3.14, abc, 1997-01-31.
+  std::string ToString() const;
+  /// SQL literal form: NULL, 42, 3.14, 'abc', date '1997-01-31'.
+  std::string ToSqlLiteral() const;
+
+  /// Approximate in-memory footprint in bytes (for page accounting).
+  size_t ByteSize() const;
+
+  /// Stable hash for hash joins / grouping.
+  size_t Hash() const;
+
+ private:
+  Value(ValueType t, int64_t v) : type_(t), var_(v) {}
+  Value(ValueType t, double v) : type_(t), var_(v) {}
+
+  ValueType type_;
+  std::variant<std::monostate, int64_t, double, std::string> var_;
+};
+
+/// Days since epoch for a calendar date (proleptic Gregorian).
+int64_t DaysFromCivil(int year, int month, int day);
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+/// Formats days-since-epoch as YYYY-MM-DD.
+std::string FormatDate(int64_t days);
+
+}  // namespace apuama
+
+#endif  // APUAMA_TYPES_VALUE_H_

@@ -1,0 +1,388 @@
+#include "workload/cluster_sim.h"
+
+#include <algorithm>
+
+#include "sql/parser.h"
+#include "storage/catalog.h"
+
+namespace apuama::workload {
+
+using engine::QueryResult;
+
+struct ClusterSim::SvpTicket {
+  std::string original_sql;
+  SvpPlan plan;
+  // SVP: one slot per node. AVP: grows per chunk.
+  std::vector<QueryResult> partials;
+  std::vector<std::string> sub_sql;  // SVP only
+  int remaining = 0;                 // SVP: nodes outstanding;
+                                     // AVP: nodes still pumping chunks
+  std::unique_ptr<AvpScheduler> avp;
+  SimOutcome outcome;
+  Callback done;
+};
+
+struct ClusterSim::WriteTicket {
+  std::string sql;
+  int remaining = 0;
+  SimOutcome outcome;
+  Callback done;
+};
+
+ClusterSim::ClusterSim(const tpch::TpchData& data, ClusterSimOptions options)
+    : options_(options),
+      catalog_(tpch::MakeTpchCatalog(data, options.key_headroom)),
+      balancer_(options.num_nodes, options.policy) {
+  // Derive the paper-like buffer-pool size when unspecified: the full
+  // fact table must miss on one node while a 1/4 partition fits.
+  engine::Database probe(engine::DatabaseOptions{.buffer_pool_pages = 0});
+  Status s = data.LoadInto(&probe);
+  (void)s;
+  size_t lineitem_pages =
+      (*probe.catalog()->GetTable("lineitem"))->num_pages();
+  size_t orders_pages = (*probe.catalog()->GetTable("orders"))->num_pages();
+  pool_pages_ = options.buffer_pool_pages != 0
+                    ? options.buffer_pool_pages
+                    : std::max<size_t>(
+                          64, (lineitem_pages + orders_pages) * 30 / 100);
+
+  replicas_ = std::make_unique<cjdbc::ReplicaSet>(
+      options.num_nodes,
+      cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = pool_pages_});
+  s = data.LoadIntoReplicas(replicas_.get());
+  (void)s;
+  rewriter_ = std::make_unique<SvpRewriter>(&catalog_);
+  for (int i = 0; i < options.num_nodes; ++i) {
+    servers_.push_back(
+        std::make_unique<sim::SimServer>(&sim_, options.node_mpl));
+  }
+}
+
+ClusterSim::~ClusterSim() = default;
+
+std::vector<int> ClusterSim::PendingCounts() const {
+  std::vector<int> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) out.push_back(s->pending());
+  return out;
+}
+
+SimTime ClusterSim::node_busy_time(int i) const {
+  return servers_[static_cast<size_t>(i)]->busy_time();
+}
+
+SimTime ClusterSim::Scaled(int node, SimTime t) const {
+  if (options_.node_speed_factors.empty()) return t;
+  double f = options_.node_speed_factors[static_cast<size_t>(node)];
+  return static_cast<SimTime>(static_cast<double>(t) * f);
+}
+
+bool ClusterSim::ReplicasConverged() const {
+  uint64_t first = replicas_->node(0)->transaction_counter();
+  for (int i = 1; i < options_.num_nodes; ++i) {
+    if (replicas_->node(i)->transaction_counter() != first) return false;
+  }
+  return true;
+}
+
+void ClusterSim::SubmitRead(const std::string& sql, Callback done) {
+  SimOutcome outcome;
+  outcome.submitted = sim_.now();
+
+  if (options_.enable_intra_query) {
+    auto parsed = sql::ParseSelect(sql);
+    if (parsed.ok() && rewriter_->TouchesFactTable(**parsed)) {
+      auto plan = rewriter_->Rewrite(**parsed);
+      if (plan.ok()) {
+        auto ticket = std::make_shared<SvpTicket>();
+        ticket->original_sql = sql;
+        ticket->plan = std::move(plan).value();
+        ticket->outcome = outcome;
+        ticket->outcome.used_svp = true;
+        ticket->done = std::move(done);
+        if (options_.replication == ReplicationMode::kEager &&
+            writes_in_flight_ > 0) {
+          // Consistency barrier: wait for in-flight writes to land on
+          // every replica before dispatching sub-queries.
+          ++svp_barrier_waits_;
+          waiting_svp_.push_back(std::move(ticket));
+        } else {
+          if (options_.replication == ReplicationMode::kLazy &&
+              !ReplicasConverged()) {
+            ++stale_svp_queries_;  // reading unequal replicas
+          }
+          DispatchIntraQuery(std::move(ticket));
+        }
+        return;
+      }
+      // Not rewritable: fall through to the inter-query path.
+    }
+  }
+
+  // Inter-query path: the C-JDBC load balancer picks one node.
+  ++passthrough_reads_;
+  int node = balancer_.Choose(PendingCounts());
+  auto shared_done = std::make_shared<Callback>(std::move(done));
+  auto shared_outcome = std::make_shared<SimOutcome>(outcome);
+  servers_[static_cast<size_t>(node)]->Enqueue(sim::SimServer::Job{
+      [this, node, sql, shared_outcome] {
+        auto r = replicas_->ExecuteOn(node, sql);
+        shared_outcome->status = r.status();
+        return Scaled(node, r.ok() ? options_.cost.StatementTime(r->stats)
+                                   : options_.cost.message_us);
+      },
+      [shared_done, shared_outcome](SimTime t) {
+        shared_outcome->completed = t;
+        if (*shared_done) (*shared_done)(*shared_outcome);
+      }});
+}
+
+void ClusterSim::DispatchIntraQuery(std::shared_ptr<SvpTicket> ticket) {
+  ++svp_queries_;
+  if (options_.intra_mode == IntraQueryMode::kAvp) {
+    DispatchAvp(std::move(ticket));
+  } else {
+    DispatchSvp(std::move(ticket));
+  }
+  // Sub-queries dispatched: blocked writes may now proceed (updates
+  // overlap sub-query execution, per the paper).
+  while (!blocked_writes_.empty()) {
+    auto w = std::move(blocked_writes_.front());
+    blocked_writes_.pop_front();
+    DispatchWrite(std::move(w));
+  }
+}
+
+void ClusterSim::DispatchSvp(std::shared_ptr<SvpTicket> ticket) {
+  const int n = options_.num_nodes;
+  auto intervals = ticket->plan.MakeIntervals(n);
+  ticket->sub_sql.clear();
+  for (const auto& [lo, hi] : intervals) {
+    ticket->sub_sql.push_back(ticket->plan.SubquerySql(lo, hi));
+  }
+  ticket->partials.resize(static_cast<size_t>(n));
+  ticket->remaining = n;
+
+  for (int i = 0; i < n; ++i) {
+    servers_[static_cast<size_t>(i)]->Enqueue(sim::SimServer::Job{
+        [this, ticket, i] {
+          engine::Database* db = replicas_->node(i);
+          const bool saved = db->settings()->enable_seqscan;
+          if (options_.force_index_for_svp) {
+            db->settings()->enable_seqscan = false;
+          }
+          auto r = db->Execute(ticket->sub_sql[static_cast<size_t>(i)]);
+          db->settings()->enable_seqscan = saved;
+          if (r.ok()) {
+            SimTime t = options_.cost.StatementTime(r->stats);
+            ticket->partials[static_cast<size_t>(i)] = std::move(r).value();
+            return Scaled(i, t);
+          }
+          ticket->outcome.status = r.status();
+          return Scaled(i, options_.cost.message_us);
+        },
+        [this, ticket](SimTime) {
+          if (--ticket->remaining > 0) return;
+          ComposeAndFinish(ticket);
+        }});
+  }
+}
+
+void ClusterSim::DispatchAvp(std::shared_ptr<SvpTicket> ticket) {
+  const int n = options_.num_nodes;
+  ticket->avp = std::make_unique<AvpScheduler>(
+      n, ticket->plan.domain_min(), ticket->plan.domain_max(),
+      options_.avp);
+  ticket->remaining = n;  // nodes still pumping chunks
+  for (int i = 0; i < n; ++i) {
+    StartAvpChunk(ticket, i);
+  }
+}
+
+void ClusterSim::StartAvpChunk(std::shared_ptr<SvpTicket> ticket,
+                               int node) {
+  auto chunk = ticket->avp->NextChunk(node);
+  if (!chunk.has_value()) {
+    if (--ticket->remaining == 0) {
+      avp_chunks_ += static_cast<uint64_t>(ticket->avp->chunks_issued());
+      avp_steals_ += static_cast<uint64_t>(ticket->avp->steals());
+      ComposeAndFinish(ticket);
+    }
+    return;
+  }
+  auto [lo, hi] = *chunk;
+  const int64_t keys = hi - lo;
+  auto started = std::make_shared<SimTime>(0);
+  servers_[static_cast<size_t>(node)]->Enqueue(sim::SimServer::Job{
+      [this, ticket, node, lo, hi, started] {
+        *started = sim_.now();
+        std::string sub = ticket->plan.SubquerySql(lo, hi);
+        engine::Database* db = replicas_->node(node);
+        const bool saved = db->settings()->enable_seqscan;
+        if (options_.force_index_for_svp) {
+          db->settings()->enable_seqscan = false;
+        }
+        auto r = db->Execute(sub);
+        db->settings()->enable_seqscan = saved;
+        if (r.ok()) {
+          SimTime t = options_.cost.StatementTime(r->stats);
+          ticket->partials.push_back(std::move(r).value());
+          return Scaled(node, t);
+        }
+        ticket->outcome.status = r.status();
+        return Scaled(node, options_.cost.message_us);
+      },
+      [this, ticket, node, keys, started](SimTime t) {
+        ticket->avp->ReportChunkTime(node, keys, t - *started);
+        StartAvpChunk(ticket, node);
+      }});
+}
+
+void ClusterSim::ComposeAndFinish(std::shared_ptr<SvpTicket> ticket) {
+  if (!ticket->outcome.status.ok()) {
+    ticket->outcome.completed = sim_.now();
+    if (ticket->done) ticket->done(ticket->outcome);
+    return;
+  }
+  std::vector<const QueryResult*> ptrs;
+  ptrs.reserve(ticket->partials.size());
+  for (const auto& p : ticket->partials) ptrs.push_back(&p);
+  CompositionStats cstats;
+  auto final_result =
+      composer_.Compose(ptrs, ticket->plan.composition_sql(), &cstats);
+  ticket->outcome.status = final_result.status();
+  SimTime compose_time =
+      final_result.ok()
+          ? options_.cost.CompositionTime(cstats.compose_exec,
+                                          cstats.partial_rows)
+          : 0;
+  auto done = ticket->done;
+  auto outcome = std::make_shared<SimOutcome>(ticket->outcome);
+  sim_.After(compose_time, [this, done, outcome] {
+    outcome->completed = sim_.now();
+    if (done) done(*outcome);
+  });
+}
+
+void ClusterSim::SubmitWrite(const std::string& sql, Callback done) {
+  auto ticket = std::make_shared<WriteTicket>();
+  ticket->sql = sql;
+  ticket->outcome.submitted = sim_.now();
+  ticket->done = std::move(done);
+  if (options_.replication == ReplicationMode::kEager &&
+      !waiting_svp_.empty()) {
+    // An SVP query is preparing: new updates are blocked until its
+    // sub-queries are dispatched.
+    ++writes_blocked_count_;
+    blocked_writes_.push_back(std::move(ticket));
+    return;
+  }
+  DispatchWrite(std::move(ticket));
+}
+
+void ClusterSim::DispatchWrite(std::shared_ptr<WriteTicket> ticket) {
+  const int n = options_.num_nodes;
+
+  if (options_.replication == ReplicationMode::kLazy) {
+    // Primary commit: the client returns once node 0 applied the
+    // write; secondaries apply asynchronously after a propagation
+    // delay (ordering preserved by FIFO node queues + event order).
+    servers_[0]->Enqueue(sim::SimServer::Job{
+        [this, ticket] {
+          auto r = replicas_->ExecuteOn(0, ticket->sql);
+          if (!r.ok()) ticket->outcome.status = r.status();
+          return Scaled(0, r.ok() ? options_.cost.StatementTime(r->stats)
+                                  : options_.cost.message_us);
+        },
+        [this, ticket](SimTime t) {
+          ++writes_completed_;
+          ticket->outcome.completed = t;
+          write_latency_total_ += ticket->outcome.latency();
+          if (ticket->done) ticket->done(ticket->outcome);
+        }});
+    for (int i = 1; i < n; ++i) {
+      sim_.After(options_.lazy_propagation_delay_us, [this, ticket, i] {
+        servers_[static_cast<size_t>(i)]->Enqueue(sim::SimServer::Job{
+            [this, ticket, i] {
+              auto r = replicas_->ExecuteOn(i, ticket->sql);
+              return Scaled(i, r.ok()
+                                   ? options_.cost.StatementTime(r->stats)
+                                   : options_.cost.message_us);
+            },
+            nullptr});
+      });
+    }
+    return;
+  }
+
+  // Eager (the paper): broadcast + coordination.
+  ++writes_in_flight_;
+  ticket->remaining = n;
+  // Replica-consistency coordination: committing a write requires a
+  // total-order round across all n replicas, and every node's session
+  // is held for that round — so the per-node charge *grows with n*.
+  // This is the mechanism behind the paper's Fig. 4 stall at 16-32
+  // nodes ("the consistency protocol makes the update propagation
+  // delay hurt performance").
+  SimTime sync = options_.cost.WriteBroadcastOverhead(n);
+  for (int i = 0; i < n; ++i) {
+    servers_[static_cast<size_t>(i)]->Enqueue(sim::SimServer::Job{
+        [this, ticket, i, sync] {
+          auto r = replicas_->ExecuteOn(i, ticket->sql);
+          if (!r.ok()) ticket->outcome.status = r.status();
+          return Scaled(i, (r.ok() ? options_.cost.StatementTime(r->stats)
+                                   : options_.cost.message_us) +
+                               sync);
+        },
+        [this, ticket](SimTime t) {
+          if (--ticket->remaining > 0) return;
+          --writes_in_flight_;
+          ++writes_completed_;
+          ticket->outcome.completed = t;
+          write_latency_total_ += ticket->outcome.latency();
+          if (ticket->done) ticket->done(ticket->outcome);
+          MaybeReleaseBarrier();
+        }});
+  }
+}
+
+void ClusterSim::MaybeReleaseBarrier() {
+  if (writes_in_flight_ > 0) return;
+  while (!waiting_svp_.empty()) {
+    auto t = std::move(waiting_svp_.front());
+    waiting_svp_.pop_front();
+    DispatchIntraQuery(std::move(t));
+  }
+}
+
+SimOutcome ClusterSim::RunToCompletion(const std::string& sql,
+                                       bool is_write) {
+  SimOutcome result;
+  bool fired = false;
+  auto cb = [&](const SimOutcome& o) {
+    result = o;
+    fired = true;
+  };
+  if (is_write) {
+    SubmitWrite(sql, cb);
+  } else {
+    SubmitRead(sql, cb);
+  }
+  sim_.Run();
+  if (!fired) result.status = Status::Internal("query never completed");
+  return result;
+}
+
+Result<SimTime> ClusterSim::MeasureIsolated(const std::string& sql,
+                                            int reps) {
+  if (reps < 2) reps = 2;
+  SimTime total = 0;
+  for (int i = 0; i < reps; ++i) {
+    SimOutcome o = RunToCompletion(sql);
+    APUAMA_RETURN_NOT_OK(o.status);
+    if (i > 0) total += o.latency();  // discard the cold first run
+  }
+  return total / (reps - 1);
+}
+
+}  // namespace apuama::workload

@@ -1,0 +1,187 @@
+// Virtual-time cluster driver: the full middleware stack (C-JDBC
+// routing decisions + Apuama SVP + composition) running over
+// simulated nodes.
+//
+// Every statement is *really executed* against the replica databases
+// (correct results, real buffer-pool state per node); *when* things
+// happen is decided by the discrete-event core: each node is a
+// k-server FIFO queue whose service times come from ExecStats through
+// the CostModel. The Apuama blocking protocol is modeled exactly:
+// an SVP query waits until all previously submitted writes are fully
+// broadcast, blocks newly arriving writes while it waits, dispatches
+// all sub-queries atomically, then releases the writes.
+//
+// Beyond the paper's configuration the driver also supports:
+//  * AVP intra-query mode (adaptive chunks + range stealing, the
+//    related-work technique of section 6) — see apuama/avp.h;
+//  * lazy replication (the paper's future-work proposal): writes
+//    commit on a primary and propagate asynchronously; SVP queries
+//    skip the consistency barrier and may read stale replicas
+//    (counted);
+//  * per-node speed factors for heterogeneous-cluster experiments.
+#ifndef APUAMA_WORKLOAD_CLUSTER_SIM_H_
+#define APUAMA_WORKLOAD_CLUSTER_SIM_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apuama/avp.h"
+#include "apuama/result_composer.h"
+#include "apuama/svp_rewriter.h"
+#include "cjdbc/load_balancer.h"
+#include "common/status.h"
+#include "engine/query_result.h"
+#include "sim/cost_model.h"
+#include "sim/event_sim.h"
+#include "tpch/dbgen.h"
+#include "tpch/tpch_catalog.h"
+
+namespace apuama::workload {
+
+/// How fact-table queries are parallelized.
+enum class IntraQueryMode { kSvp, kAvp };
+
+/// How writes reach the replicas.
+enum class ReplicationMode {
+  kEager,  // paper: broadcast, total order, SVP barrier
+  kLazy,   // future work: primary commit + async propagation
+};
+
+struct ClusterSimOptions {
+  int num_nodes = 4;
+  /// Buffer-pool pages per node. 0 derives a paper-like default from
+  /// the data size (≈ 30% of the fact-table heap: the full fact table
+  /// does not fit on one node, a quarter partition does).
+  size_t buffer_pool_pages = 0;
+  /// Node multiprogramming level (concurrent statements per node).
+  int node_mpl = 2;
+  sim::CostModel cost;
+  /// Intra-query parallelism on (Apuama) or off (plain C-JDBC).
+  bool enable_intra_query = true;
+  /// SVP (the paper) or AVP (related work) for eligible queries.
+  IntraQueryMode intra_mode = IntraQueryMode::kSvp;
+  apuama::AvpOptions avp;
+  /// Forced index usage for sub-queries (ablation 1).
+  bool force_index_for_svp = true;
+  ReplicationMode replication = ReplicationMode::kEager;
+  /// Lazy mode: delay before a committed write is applied to each
+  /// secondary replica.
+  SimTime lazy_propagation_delay_us = 2000;
+  cjdbc::BalancePolicy policy = cjdbc::BalancePolicy::kLeastPending;
+  /// Extra partition-key headroom registered in the Data Catalog so
+  /// refresh inserts stay covered.
+  int64_t key_headroom = 0;
+  /// Per-node slowdown factors (service time multipliers); empty =
+  /// homogeneous cluster. Size must equal num_nodes when set.
+  std::vector<double> node_speed_factors;
+};
+
+/// Outcome of one simulated statement.
+struct SimOutcome {
+  SimTime submitted = 0;
+  SimTime completed = 0;
+  bool used_svp = false;
+  Status status;
+
+  SimTime latency() const { return completed - submitted; }
+};
+
+class ClusterSim {
+ public:
+  using Callback = std::function<void(const SimOutcome&)>;
+
+  ClusterSim(const tpch::TpchData& data, ClusterSimOptions options);
+  ~ClusterSim();
+
+  sim::EventSim* event_sim() { return &sim_; }
+  int num_nodes() const { return options_.num_nodes; }
+  size_t pool_pages() const { return pool_pages_; }
+
+  /// Submits a read at the current virtual time; `done` fires at its
+  /// virtual completion.
+  void SubmitRead(const std::string& sql, Callback done);
+
+  /// Submits a write (INSERT/DELETE/UPDATE), broadcast to all nodes
+  /// (eager) or committed on the primary and propagated (lazy).
+  void SubmitWrite(const std::string& sql, Callback done);
+
+  /// Convenience: submit, run to completion, return the outcome.
+  SimOutcome RunToCompletion(const std::string& sql, bool is_write = false);
+
+  /// Mean isolated latency over `reps` repetitions, discarding the
+  /// first (cache warm-up) — the paper's Fig. 2 measurement protocol.
+  Result<SimTime> MeasureIsolated(const std::string& sql, int reps = 5);
+
+  /// True when every replica has the same committed state (after a
+  /// lazy run drains, this must hold again).
+  bool ReplicasConverged() const;
+
+  // Cumulative protocol counters.
+  uint64_t svp_queries() const { return svp_queries_; }
+  uint64_t passthrough_reads() const { return passthrough_reads_; }
+  uint64_t writes_completed() const { return writes_completed_; }
+  uint64_t svp_barrier_waits() const { return svp_barrier_waits_; }
+  uint64_t writes_blocked() const { return writes_blocked_count_; }
+  /// Lazy mode: intra-queries dispatched against unequal replicas.
+  uint64_t stale_svp_queries() const { return stale_svp_queries_; }
+  /// AVP mode: chunks issued / ranges stolen across all queries.
+  uint64_t avp_chunks() const { return avp_chunks_; }
+  uint64_t avp_steals() const { return avp_steals_; }
+  /// Mean virtual write (commit) latency so far.
+  SimTime mean_write_latency() const {
+    return writes_completed_ == 0
+               ? 0
+               : write_latency_total_ /
+                     static_cast<SimTime>(writes_completed_);
+  }
+
+  /// Node utilization: busy time of node i so far.
+  SimTime node_busy_time(int i) const;
+
+ private:
+  struct SvpTicket;  // one in-flight intra-parallel query
+  struct WriteTicket;
+
+  void DispatchIntraQuery(std::shared_ptr<SvpTicket> ticket);
+  void DispatchSvp(std::shared_ptr<SvpTicket> ticket);
+  void DispatchAvp(std::shared_ptr<SvpTicket> ticket);
+  void StartAvpChunk(std::shared_ptr<SvpTicket> ticket, int node);
+  void ComposeAndFinish(std::shared_ptr<SvpTicket> ticket);
+  void DispatchWrite(std::shared_ptr<WriteTicket> ticket);
+  void MaybeReleaseBarrier();
+  std::vector<int> PendingCounts() const;
+  SimTime Scaled(int node, SimTime t) const;
+
+  ClusterSimOptions options_;
+  size_t pool_pages_ = 0;
+  sim::EventSim sim_;
+  std::unique_ptr<cjdbc::ReplicaSet> replicas_;
+  std::vector<std::unique_ptr<sim::SimServer>> servers_;
+  DataCatalog catalog_;
+  std::unique_ptr<SvpRewriter> rewriter_;
+  ResultComposer composer_;
+  cjdbc::LoadBalancer balancer_;
+
+  // Blocking-protocol state (virtual-time mirror of
+  // apuama::ConsistencyManager). Unused in lazy replication mode.
+  int writes_in_flight_ = 0;
+  std::deque<std::shared_ptr<SvpTicket>> waiting_svp_;
+  std::deque<std::shared_ptr<WriteTicket>> blocked_writes_;
+
+  uint64_t svp_queries_ = 0;
+  uint64_t passthrough_reads_ = 0;
+  uint64_t writes_completed_ = 0;
+  uint64_t svp_barrier_waits_ = 0;
+  uint64_t writes_blocked_count_ = 0;
+  uint64_t stale_svp_queries_ = 0;
+  uint64_t avp_chunks_ = 0;
+  uint64_t avp_steals_ = 0;
+  SimTime write_latency_total_ = 0;
+};
+
+}  // namespace apuama::workload
+
+#endif  // APUAMA_WORKLOAD_CLUSTER_SIM_H_

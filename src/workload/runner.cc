@@ -1,0 +1,119 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace apuama::workload {
+
+SimTime StreamRunResult::LatencyPercentile(double q) const {
+  if (read_latencies.empty()) return 0;
+  std::vector<SimTime> sorted = read_latencies;
+  std::sort(sorted.begin(), sorted.end());
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t idx = static_cast<size_t>(pos);
+  if (idx + 1 >= sorted.size()) return sorted.back();
+  double frac = pos - static_cast<double>(idx);
+  return sorted[idx] +
+         static_cast<SimTime>(frac *
+                              static_cast<double>(sorted[idx + 1] -
+                                                  sorted[idx]));
+}
+
+SimTime StreamRunResult::mean_latency() const {
+  if (read_latencies.empty()) return 0;
+  SimTime total = 0;
+  for (SimTime t : read_latencies) total += t;
+  return total / static_cast<SimTime>(read_latencies.size());
+}
+
+namespace {
+
+// One closed-loop client stream.
+struct StreamState {
+  const std::vector<std::string>* queries = nullptr;
+  size_t next = 0;
+  SimTime finished_at = -1;
+};
+
+struct UpdateState {
+  const std::vector<tpch::RefreshStatement>* statements = nullptr;
+  size_t next = 0;
+};
+
+}  // namespace
+
+StreamRunResult RunStreams(
+    ClusterSim* cluster,
+    const std::vector<std::vector<std::string>>& read_streams,
+    const std::vector<tpch::RefreshStatement>& update_stream,
+    bool loop_updates) {
+  auto states = std::make_shared<std::vector<StreamState>>();
+  states->resize(read_streams.size());
+  for (size_t i = 0; i < read_streams.size(); ++i) {
+    (*states)[i].queries = &read_streams[i];
+  }
+  auto upd = std::make_shared<UpdateState>();
+  upd->statements = &update_stream;
+
+  auto shared_result = std::make_shared<StreamRunResult>();
+  auto reads_remaining = std::make_shared<size_t>(read_streams.size());
+
+  // Closed-loop pump for read stream `i`.
+  std::function<void(size_t)> pump_read = [&, states, shared_result,
+                                           reads_remaining](size_t i) {
+    StreamState& st = (*states)[i];
+    if (st.next >= st.queries->size()) {
+      st.finished_at = cluster->event_sim()->now();
+      --*reads_remaining;
+      return;
+    }
+    const std::string& sql = (*st.queries)[st.next++];
+    cluster->SubmitRead(sql, [&, states, shared_result,
+                              i](const SimOutcome& o) {
+      if (!o.status.ok() && shared_result->status.ok()) {
+        shared_result->status = o.status;
+      }
+      ++shared_result->read_queries;
+      shared_result->read_latencies.push_back(o.latency());
+      pump_read(i);
+    });
+  };
+
+  std::function<void()> pump_update = [&, upd, shared_result,
+                                       reads_remaining, loop_updates]() {
+    if (upd->next >= upd->statements->size()) {
+      // Loop while readers are still active; the stream is
+      // insert-then-delete, so each full pass is state-neutral.
+      if (!loop_updates || *reads_remaining == 0) return;
+      upd->next = 0;
+    }
+    const auto& stmt = (*upd->statements)[upd->next++];
+    cluster->SubmitWrite(stmt.sql, [&, upd,
+                                    shared_result](const SimOutcome& o) {
+      if (!o.status.ok() && shared_result->status.ok()) {
+        shared_result->status = o.status;
+      }
+      ++shared_result->write_statements;
+      pump_update();
+    });
+  };
+
+  for (size_t i = 0; i < read_streams.size(); ++i) pump_read(i);
+  if (!update_stream.empty()) pump_update();
+  cluster->event_sim()->Run();
+
+  StreamRunResult result = *shared_result;
+  SimTime makespan = 0;
+  for (const auto& st : *states) {
+    if (st.finished_at > makespan) makespan = st.finished_at;
+  }
+  result.makespan = makespan;
+  if (makespan > 0) {
+    result.queries_per_minute =
+        static_cast<double>(result.read_queries) /
+        (SimToSeconds(makespan) / 60.0);
+  }
+  return result;
+}
+
+}  // namespace apuama::workload

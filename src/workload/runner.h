@@ -1,0 +1,52 @@
+// Experiment runners: closed-loop client streams over a ClusterSim,
+// producing the metrics the paper's figures plot.
+#ifndef APUAMA_WORKLOAD_RUNNER_H_
+#define APUAMA_WORKLOAD_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "tpch/refresh.h"
+#include "workload/cluster_sim.h"
+
+namespace apuama::workload {
+
+struct StreamRunResult {
+  SimTime makespan = 0;          // virtual time when the last read
+                                 // stream finished
+  uint64_t read_queries = 0;     // completed read queries
+  uint64_t write_statements = 0;
+  double queries_per_minute = 0;  // read throughput over the makespan
+  Status status;                  // first error, if any
+
+  /// Individual read-query latencies, in completion order.
+  std::vector<SimTime> read_latencies;
+
+  /// Latency percentile over read queries (q in [0,1]); 0 when empty.
+  SimTime LatencyPercentile(double q) const;
+  SimTime mean_latency() const;
+};
+
+/// Runs `read_streams` as closed loops (each submits its next query
+/// when the previous completes) plus an optional update stream
+/// (statements submitted back-to-back the same way). Returns when all
+/// read streams have drained; the update stream is also run to
+/// completion.
+///
+/// With `loop_updates` the update stream restarts from the beginning
+/// whenever it drains while read streams are still running — the
+/// paper's mixed workload keeps refresh transactions flowing for the
+/// whole experiment. (The stream is insert-all-then-delete-all, so
+/// repeating it leaves the database unchanged.) Looping stops once
+/// every read stream has finished.
+StreamRunResult RunStreams(
+    ClusterSim* cluster,
+    const std::vector<std::vector<std::string>>& read_streams,
+    const std::vector<tpch::RefreshStatement>& update_stream = {},
+    bool loop_updates = false);
+
+}  // namespace apuama::workload
+
+#endif  // APUAMA_WORKLOAD_RUNNER_H_

@@ -1,0 +1,33 @@
+#include "workload/sequences.h"
+
+#include "common/rng.h"
+#include "tpch/queries.h"
+
+namespace apuama::workload {
+
+std::vector<std::vector<std::string>> MakeQuerySequences(int count,
+                                                         uint64_t seed) {
+  return MakeQuerySequences(count, seed, -1);
+}
+
+std::vector<std::vector<std::string>> MakeQuerySequences(
+    int count, uint64_t seed, int queries_per_seq) {
+  Rng rng(seed);
+  std::vector<std::vector<std::string>> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int s = 0; s < count; ++s) {
+    std::vector<int> nums = tpch::PaperQueryNumbers();
+    rng.Shuffle(&nums);
+    if (queries_per_seq > 0 &&
+        queries_per_seq < static_cast<int>(nums.size())) {
+      nums.resize(static_cast<size_t>(queries_per_seq));
+    }
+    std::vector<std::string> seq;
+    seq.reserve(nums.size());
+    for (int q : nums) seq.push_back(*tpch::QuerySql(q));
+    out.push_back(std::move(seq));
+  }
+  return out;
+}
+
+}  // namespace apuama::workload

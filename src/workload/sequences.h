@@ -1,0 +1,27 @@
+// TPC-H-style query sequences (streams).
+//
+// The paper's throughput experiments run concurrent sequences, each
+// containing the same 8 queries in a different permutation, a new
+// query submitted when the previous one completes (a decision-maker
+// refining questions — TPC-H's throughput-test model).
+#ifndef APUAMA_WORKLOAD_SEQUENCES_H_
+#define APUAMA_WORKLOAD_SEQUENCES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apuama::workload {
+
+/// `count` permutations of the paper's 8 queries, as SQL text.
+std::vector<std::vector<std::string>> MakeQuerySequences(int count,
+                                                         uint64_t seed);
+
+/// Like MakeQuerySequences but with only the first `queries_per_seq`
+/// queries of each permutation (to bound large-n experiments).
+std::vector<std::vector<std::string>> MakeQuerySequences(
+    int count, uint64_t seed, int queries_per_seq);
+
+}  // namespace apuama::workload
+
+#endif  // APUAMA_WORKLOAD_SEQUENCES_H_

@@ -1,0 +1,283 @@
+// Unit tests for src/sql: lexer, parser, unparser round-trip, analyzer.
+#include <gtest/gtest.h>
+
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+#include "sql/token.h"
+#include "sql/unparse.h"
+
+namespace apuama::sql {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = Lex("select a, 1.5 from t where x >= 'it''s'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "SELECT");
+  EXPECT_EQ((*toks)[1].text, "a");
+  EXPECT_EQ((*toks)[3].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*toks)[3].double_val, 1.5);
+  // 'it''s' unescapes to it's
+  bool found = false;
+  for (const auto& t : *toks) {
+    if (t.type == TokenType::kStringLiteral) {
+      EXPECT_EQ(t.text, "it's");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, OperatorsAndComments) {
+  auto toks = Lex("a <> b -- comment\n <= >= != <");
+  ASSERT_TRUE(toks.ok());
+  std::vector<TokenType> types;
+  for (const auto& t : *toks) types.push_back(t.type);
+  EXPECT_EQ(types[1], TokenType::kNotEq);
+  EXPECT_EQ(types[3], TokenType::kLtEq);
+  EXPECT_EQ(types[4], TokenType::kGtEq);
+  EXPECT_EQ(types[5], TokenType::kNotEq);
+  EXPECT_EQ(types[6], TokenType::kLt);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("select 'unterminated").ok());
+  EXPECT_FALSE(Lex("a @ b").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto s = ParseSelect("select l_orderkey, l_quantity from lineitem");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->items.size(), 2u);
+  EXPECT_EQ((*s)->from.size(), 1u);
+  EXPECT_EQ((*s)->from[0].table, "lineitem");
+}
+
+TEST(ParserTest, WhereWithPrecedence) {
+  auto s = ParseSelect("select * from t where a = 1 or b = 2 and c = 3");
+  ASSERT_TRUE(s.ok());
+  // OR at top: (a=1) OR (b=2 AND c=3)
+  const Expr& w = *(*s)->where;
+  EXPECT_EQ(w.kind, ExprKind::kBinary);
+  EXPECT_EQ(w.binary_op, BinaryOp::kOr);
+  EXPECT_EQ(w.children[1]->binary_op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, DateAndIntervalArithmetic) {
+  auto s = ParseSelect(
+      "select * from t where d <= date '1998-12-01' - interval '90' day");
+  ASSERT_TRUE(s.ok());
+  FoldConstants(s->get());
+  // The rhs should have folded into a date literal: 1998-09-02.
+  const Expr& cmp = *(*s)->where;
+  ASSERT_EQ(cmp.children[1]->kind, ExprKind::kLiteral);
+  EXPECT_EQ(cmp.children[1]->literal.ToString(), "1998-09-02");
+}
+
+TEST(ParserTest, IntervalMonthAndYearFold) {
+  auto s = ParseSelect(
+      "select * from t where d < date '1995-01-31' + interval '1' month");
+  ASSERT_TRUE(s.ok());
+  FoldConstants(s->get());
+  EXPECT_EQ((*s)->where->children[1]->literal.ToString(), "1995-02-28");
+  auto s2 = ParseSelect(
+      "select * from t where d < date '1994-03-15' + interval '1' year");
+  FoldConstants(s2->get());
+  EXPECT_EQ((*s2)->where->children[1]->literal.ToString(), "1995-03-15");
+}
+
+TEST(ParserTest, BetweenInLikeCase) {
+  auto s = ParseSelect(
+      "select case when p_type like 'PROMO%' then 1 else 0 end "
+      "from part where p_size between 1 and 15 "
+      "and p_brand in ('Brand#1', 'Brand#2') and p_name not like '%x%'");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->items[0].expr->kind, ExprKind::kCase);
+}
+
+TEST(ParserTest, ExistsAndNotExists) {
+  auto s = ParseSelect(
+      "select * from orders o where exists (select * from lineitem l "
+      "where l.l_orderkey = o.o_orderkey) and not exists "
+      "(select * from lineitem l2 where l2.l_orderkey = o.o_orderkey)");
+  ASSERT_TRUE(s.ok());
+  auto conj = SplitConjuncts((*s)->where.get());
+  ASSERT_EQ(conj.size(), 2u);
+  EXPECT_EQ(conj[0]->kind, ExprKind::kExists);
+  EXPECT_FALSE(conj[0]->negated);
+  EXPECT_EQ(conj[1]->kind, ExprKind::kExists);
+  EXPECT_TRUE(conj[1]->negated);
+}
+
+TEST(ParserTest, JoinOnFoldsIntoWhere) {
+  auto s = ParseSelect(
+      "select * from a join b on a.x = b.y inner join c on b.z = c.w "
+      "where a.k = 1");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->from.size(), 3u);
+  EXPECT_EQ(SplitConjuncts((*s)->where.get()).size(), 3u);
+}
+
+TEST(ParserTest, GroupHavingOrderLimit) {
+  auto s = ParseSelect(
+      "select a, sum(b) total from t group by a having sum(b) > 10 "
+      "order by total desc, a limit 5");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->group_by.size(), 1u);
+  ASSERT_TRUE((*s)->having != nullptr);
+  ASSERT_EQ((*s)->order_by.size(), 2u);
+  EXPECT_TRUE((*s)->order_by[0].desc);
+  EXPECT_FALSE((*s)->order_by[1].desc);
+  EXPECT_EQ((*s)->limit, 5);
+}
+
+TEST(ParserTest, CountStarAndDistinct) {
+  auto s = ParseSelect("select count(*), count(distinct x) from t");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE((*s)->items[0].expr->star_arg);
+  EXPECT_TRUE((*s)->items[1].expr->distinct);
+}
+
+TEST(ParserTest, InsertDeleteUpdate) {
+  auto ins = Parse(
+      "insert into t (a, b) values (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(ins.ok());
+  auto* is = static_cast<InsertStmt*>(ins->get());
+  EXPECT_EQ(is->rows.size(), 2u);
+  EXPECT_EQ(is->columns.size(), 2u);
+
+  auto del = Parse("delete from t where a < 5");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ((*del)->kind(), StmtKind::kDelete);
+
+  auto upd = Parse("update t set b = b + 1, c = 'z' where a = 3");
+  ASSERT_TRUE(upd.ok());
+  auto* us = static_cast<UpdateStmt*>(upd->get());
+  EXPECT_EQ(us->assignments.size(), 2u);
+}
+
+TEST(ParserTest, CreateTableWithCompositePk) {
+  auto c = Parse(
+      "create table lineitem (l_orderkey bigint not null, "
+      "l_linenumber int, l_price decimal(15,2), l_date date, "
+      "primary key (l_orderkey, l_linenumber))");
+  ASSERT_TRUE(c.ok());
+  auto* ct = static_cast<CreateTableStmt*>(c->get());
+  EXPECT_EQ(ct->columns.size(), 4u);
+  ASSERT_EQ(ct->primary_key.size(), 2u);
+  EXPECT_EQ(ct->primary_key[0], "l_orderkey");
+  EXPECT_EQ(ct->columns[2].type, ValueType::kDouble);
+  EXPECT_EQ(ct->columns[3].type, ValueType::kDate);
+}
+
+TEST(ParserTest, SetStatement) {
+  auto s = Parse("set enable_seqscan = off");
+  ASSERT_TRUE(s.ok());
+  auto* st = static_cast<SetStmt*>(s->get());
+  EXPECT_EQ(st->name, "enable_seqscan");
+  EXPECT_EQ(st->value, "off");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("select from").ok());
+  EXPECT_FALSE(Parse("banana").ok());
+  EXPECT_FALSE(Parse("select a from t where").ok());
+  EXPECT_FALSE(Parse("select a from t extra garbage").ok());
+  EXPECT_FALSE(ParseSelect("delete from t").ok());
+}
+
+TEST(ParserTest, ScriptSplitsStatements) {
+  auto stmts = ParseScript("begin; insert into t values (1); commit;");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+// Round-trip property: Parse(Unparse(Parse(q))) unparses identically.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, UnparseParseFixedPoint) {
+  auto s1 = ParseSelect(GetParam());
+  ASSERT_TRUE(s1.ok()) << s1.status().ToString();
+  std::string text1 = UnparseSelect(**s1);
+  auto s2 = ParseSelect(text1);
+  ASSERT_TRUE(s2.ok()) << "re-parse failed: " << text1;
+  EXPECT_EQ(UnparseSelect(**s2), text1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RoundTripTest,
+    ::testing::Values(
+        "select sum(l_extendedprice) from lineitem",
+        "select a, b from t where a >= 1 and a < 100 order by b desc",
+        "select sum(x * (1 - y)) as revenue from t group by z having "
+        "count(*) > 2 limit 10",
+        "select case when a like 'X%' then a else b end from t "
+        "where c between date '1994-01-01' and date '1994-12-31'",
+        "select * from o where exists (select * from l where l.k = o.k "
+        "and l.s <> o.s)",
+        "select count(distinct x) from t where y in (1, 2, 3)",
+        "select -a + 4.5 from t where not (a = 1 or b = 2)",
+        "select n from t where m in (select q from u where u.r = t.r)",
+        "select a from t order by a desc limit 10 offset 5",
+        "select a from t where b < (select avg(c) from u where u.k = "
+        "t.k)"));
+
+TEST(AnalyzerTest, ReferencedTables) {
+  auto s = ParseSelect(
+      "select * from orders o, customer where exists "
+      "(select * from lineitem l where l.k = o.k)");
+  ASSERT_TRUE(s.ok());
+  auto all = AllReferencedTables(**s);
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_TRUE(all.count("lineitem"));
+  auto sub = SubqueryTables(**s);
+  EXPECT_EQ(sub.size(), 1u);
+  EXPECT_TRUE(sub.count("lineitem"));
+  EXPECT_TRUE(HasSubqueries(**s));
+}
+
+TEST(AnalyzerTest, NoSubqueries) {
+  auto s = ParseSelect("select * from a, b where a.x = b.y");
+  EXPECT_FALSE(HasSubqueries(**s));
+  EXPECT_TRUE(SubqueryTables(**s).empty());
+}
+
+TEST(AnalyzerTest, ContainsAggregate) {
+  auto s = ParseSelect("select sum(a) + 1, b from t");
+  EXPECT_TRUE(ContainsAggregate(*(*s)->items[0].expr));
+  EXPECT_FALSE(ContainsAggregate(*(*s)->items[1].expr));
+}
+
+TEST(AnalyzerTest, FoldNumericConstants) {
+  auto s = ParseSelect("select a from t where a > 100 * 2 + 1");
+  FoldConstants(s->get());
+  const Expr& rhs = *(*s)->where->children[1];
+  ASSERT_EQ(rhs.kind, ExprKind::kLiteral);
+  EXPECT_EQ(rhs.literal.int_val(), 201);
+}
+
+TEST(AnalyzerTest, DivisionByZeroNotFolded) {
+  auto s = ParseSelect("select a from t where a > 1 / 0");
+  FoldConstants(s->get());
+  EXPECT_EQ((*s)->where->children[1]->kind, ExprKind::kBinary);
+}
+
+TEST(AnalyzerTest, SplitConjunctsFlattensAndTree) {
+  auto s = ParseSelect("select * from t where a = 1 and (b = 2 and c = 3)");
+  auto cs = SplitConjuncts((*s)->where.get());
+  EXPECT_EQ(cs.size(), 3u);
+}
+
+TEST(AstTest, CloneIsDeep) {
+  auto s = ParseSelect(
+      "select sum(a) from t where b = 1 and exists (select * from u "
+      "where u.x = t.y) group by c order by 1 desc limit 3");
+  auto clone = (*s)->Clone();
+  EXPECT_EQ(UnparseSelect(**s), UnparseSelect(*clone));
+  // Mutating the clone must not affect the original.
+  clone->limit = 99;
+  clone->where = nullptr;
+  EXPECT_NE(UnparseSelect(**s), UnparseSelect(*clone));
+}
+
+}  // namespace
+}  // namespace apuama::sql

@@ -1,0 +1,216 @@
+// Unit tests for src/storage: buffer pool, tables, indexes, catalog.
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace apuama::storage {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({Column("id", ValueType::kInt64, true),
+                 Column("name", ValueType::kString)});
+}
+
+TEST(BufferPoolTest, HitAfterMiss) {
+  BufferPool pool(4);
+  PageId p{1, 0};
+  EXPECT_FALSE(pool.Touch(p));
+  EXPECT_TRUE(pool.Touch(p));
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  BufferPool pool(2);
+  pool.Touch({1, 0});
+  pool.Touch({1, 1});
+  pool.Touch({1, 2});  // evicts page 0
+  EXPECT_FALSE(pool.Touch({1, 0}));  // miss again
+  EXPECT_EQ(pool.resident_pages(), 2u);
+}
+
+TEST(BufferPoolTest, TouchRefreshesRecency) {
+  BufferPool pool(2);
+  pool.Touch({1, 0});
+  pool.Touch({1, 1});
+  pool.Touch({1, 0});  // 0 becomes MRU
+  pool.Touch({1, 2});  // evicts 1, not 0
+  EXPECT_TRUE(pool.Touch({1, 0}));
+  EXPECT_FALSE(pool.Touch({1, 1}));
+}
+
+TEST(BufferPoolTest, UnboundedNeverEvicts) {
+  BufferPool pool(0);
+  for (uint32_t i = 0; i < 10000; ++i) pool.Touch({1, i});
+  EXPECT_EQ(pool.resident_pages(), 10000u);
+  EXPECT_TRUE(pool.Touch({1, 0}));
+}
+
+TEST(BufferPoolTest, InvalidateTable) {
+  BufferPool pool(10);
+  pool.Touch({1, 0});
+  pool.Touch({2, 0});
+  pool.InvalidateTable(1);
+  EXPECT_FALSE(pool.Touch({1, 0}));
+  EXPECT_TRUE(pool.Touch({2, 0}));
+}
+
+TEST(TableTest, InsertKeepsClusteredOrder) {
+  Table t(1, "t", TwoColSchema());
+  ASSERT_TRUE(t.SetClusteredKey({0}).ok());
+  for (int64_t id : {5, 1, 3, 2, 4}) {
+    ASSERT_TRUE(t.Insert({Value::Int(id), Value::Str("r")}).ok());
+  }
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(t.row(i)[0].int_val(), static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST(TableTest, InsertValidatesSchema) {
+  Table t(1, "t", TwoColSchema());
+  EXPECT_FALSE(t.Insert({Value::Str("oops"), Value::Str("r")}).ok());
+  EXPECT_FALSE(t.Insert({Value::Null(), Value::Str("r")}).ok());  // NOT NULL
+  EXPECT_FALSE(t.Insert({Value::Int(1)}).ok());  // arity
+}
+
+TEST(TableTest, ClusteredRangeBounds) {
+  Table t(1, "t", TwoColSchema());
+  ASSERT_TRUE(t.SetClusteredKey({0}).ok());
+  std::vector<Row> rows;
+  for (int64_t id = 1; id <= 100; ++id) {
+    rows.push_back({Value::Int(id), Value::Str("x")});
+  }
+  ASSERT_TRUE(t.BulkLoad(std::move(rows)).ok());
+
+  Value lo = Value::Int(10), hi = Value::Int(20);
+  auto [b, e] = t.ClusteredRange(&lo, true, &hi, false);  // [10, 20)
+  EXPECT_EQ(e - b, 10u);
+  EXPECT_EQ(t.row(b)[0].int_val(), 10);
+  EXPECT_EQ(t.row(e - 1)[0].int_val(), 19);
+
+  auto [b2, e2] = t.ClusteredRange(&lo, false, &hi, true);  // (10, 20]
+  EXPECT_EQ(t.row(b2)[0].int_val(), 11);
+  EXPECT_EQ(t.row(e2 - 1)[0].int_val(), 20);
+
+  auto [b3, e3] = t.ClusteredRange(nullptr, true, &lo, true);  // <= 10
+  EXPECT_EQ(b3, 0u);
+  EXPECT_EQ(e3 - b3, 10u);
+
+  // Empty range.
+  Value v200 = Value::Int(200);
+  auto [b4, e4] = t.ClusteredRange(&v200, true, nullptr, true);
+  EXPECT_EQ(b4, e4);
+}
+
+TEST(TableTest, SecondaryIndexLookup) {
+  Table t(1, "t", Schema({Column("id", ValueType::kInt64, true),
+                          Column("grp", ValueType::kInt64)}));
+  ASSERT_TRUE(t.SetClusteredKey({0}).ok());
+  for (int64_t id = 1; id <= 30; ++id) {
+    ASSERT_TRUE(t.Insert({Value::Int(id), Value::Int(id % 3)}).ok());
+  }
+  ASSERT_TRUE(t.CreateIndex("idx_grp", "grp").ok());
+  const Index* idx = t.FindIndexOnColumn(1);
+  ASSERT_NE(idx, nullptr);
+  auto pks = idx->Lookup(Value::Int(0));
+  EXPECT_EQ(pks.size(), 10u);
+  for (const Row* pk : pks) {
+    size_t pos = t.PositionOfKey(*pk);
+    ASSERT_LT(pos, t.num_rows());
+    EXPECT_EQ(t.row(pos)[1].int_val(), 0);
+  }
+}
+
+TEST(TableTest, IndexRangeLookup) {
+  Table t(1, "t", Schema({Column("id", ValueType::kInt64, true),
+                          Column("v", ValueType::kInt64)}));
+  ASSERT_TRUE(t.SetClusteredKey({0}).ok());
+  for (int64_t id = 1; id <= 50; ++id) {
+    ASSERT_TRUE(t.Insert({Value::Int(id), Value::Int(100 - id)}).ok());
+  }
+  ASSERT_TRUE(t.CreateIndex("idx_v", "v").ok());
+  const Index* idx = t.FindIndexOnColumn(1);
+  Value lo = Value::Int(60), hi = Value::Int(70);
+  auto pks = idx->LookupRange(&lo, true, &hi, true);
+  EXPECT_EQ(pks.size(), 11u);
+}
+
+TEST(TableTest, DeleteMaintainsIndexes) {
+  Table t(1, "t", Schema({Column("id", ValueType::kInt64, true),
+                          Column("grp", ValueType::kInt64)}));
+  ASSERT_TRUE(t.SetClusteredKey({0}).ok());
+  for (int64_t id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(t.Insert({Value::Int(id), Value::Int(id % 2)}).ok());
+  }
+  ASSERT_TRUE(t.CreateIndex("idx", "grp").ok());
+  // Delete even ids (positions 1,3,5,7,9).
+  t.DeleteAt({1, 3, 5, 7, 9});
+  EXPECT_EQ(t.num_rows(), 5u);
+  const Index* idx = t.FindIndexOnColumn(1);
+  EXPECT_EQ(idx->Lookup(Value::Int(0)).size(), 0u);
+  EXPECT_EQ(idx->Lookup(Value::Int(1)).size(), 5u);
+}
+
+TEST(TableTest, ReclusterReordersHeap) {
+  Table t(1, "t", Schema({Column("a", ValueType::kInt64, true),
+                          Column("b", ValueType::kInt64)}));
+  ASSERT_TRUE(t.SetClusteredKey({0}).ok());
+  for (int64_t a = 1; a <= 5; ++a) {
+    ASSERT_TRUE(t.Insert({Value::Int(a), Value::Int(6 - a)}).ok());
+  }
+  ASSERT_TRUE(t.SetClusteredKey({1}).ok());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(t.row(i)[1].int_val(), static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST(TableTest, PageAccounting) {
+  Table t(1, "t", TwoColSchema());
+  ASSERT_TRUE(t.SetClusteredKey({0}).ok());
+  std::vector<Row> rows;
+  for (int64_t id = 0; id < 1000; ++id) {
+    rows.push_back({Value::Int(id), Value::Str(std::string(100, 'x'))});
+  }
+  ASSERT_TRUE(t.BulkLoad(std::move(rows)).ok());
+  EXPECT_GT(t.num_pages(), 1u);
+  EXPECT_LE(t.num_pages(), 1000u);
+  // First and last rows land on different pages.
+  EXPECT_NE(t.PageOfPosition(0).page_no, t.PageOfPosition(999).page_no);
+  EXPECT_EQ(t.MinClusteredKey().int_val(), 0);
+  EXPECT_EQ(t.MaxClusteredKey().int_val(), 999);
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog cat;
+  auto t = cat.CreateTable("Orders", TwoColSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(cat.HasTable("ORDERS"));  // case-insensitive
+  EXPECT_TRUE(cat.GetTable("orders").ok());
+  EXPECT_EQ(cat.CreateTable("orders", TwoColSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(cat.DropTable("orders").ok());
+  EXPECT_FALSE(cat.HasTable("orders"));
+  EXPECT_EQ(cat.GetTable("orders").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, TableNamesInCreationOrder) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("b", TwoColSchema()).ok());
+  ASSERT_TRUE(cat.CreateTable("a", TwoColSchema()).ok());
+  auto names = cat.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "b");
+  EXPECT_EQ(names[1], "a");
+}
+
+TEST(TableTest, DistinctIdsPerTable) {
+  Catalog cat;
+  auto a = cat.CreateTable("a", TwoColSchema());
+  auto b = cat.CreateTable("b", TwoColSchema());
+  EXPECT_NE((*a)->id(), (*b)->id());
+}
+
+}  // namespace
+}  // namespace apuama::storage

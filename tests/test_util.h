@@ -1,0 +1,79 @@
+// Shared test helpers.
+#ifndef APUAMA_TESTS_TEST_UTIL_H_
+#define APUAMA_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "engine/query_result.h"
+#include "types/value.h"
+
+namespace apuama::testutil {
+
+inline bool ValuesClose(const Value& a, const Value& b, double tol = 1e-6) {
+  if (a.is_null() || b.is_null()) return a.is_null() == b.is_null();
+  if (a.type() == ValueType::kDouble || b.type() == ValueType::kDouble) {
+    auto da = a.AsDouble();
+    auto db = b.AsDouble();
+    if (!da.ok() || !db.ok()) return false;
+    double scale = std::max({1.0, std::fabs(*da), std::fabs(*db)});
+    return std::fabs(*da - *db) <= tol * scale;
+  }
+  return a.Compare(b) == 0;
+}
+
+inline bool RowsClose(const Row& a, const Row& b, double tol = 1e-6) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!ValuesClose(a[i], b[i], tol)) return false;
+  }
+  return true;
+}
+
+/// Asserts two results are equal up to floating-point tolerance and
+/// (optionally) row order. Rows are canonically sorted when
+/// `ignore_order` — use for queries whose ORDER BY leaves ties.
+inline void ExpectResultsEqual(const engine::QueryResult& expected,
+                               const engine::QueryResult& actual,
+                               bool ignore_order = false,
+                               double tol = 1e-6) {
+  ASSERT_EQ(expected.num_columns(), actual.num_columns());
+  ASSERT_EQ(expected.num_rows(), actual.num_rows())
+      << "expected:\n"
+      << expected.ToString(8) << "actual:\n"
+      << actual.ToString(8);
+  std::vector<Row> e = expected.rows, a = actual.rows;
+  if (ignore_order) {
+    auto cmp = [](const Row& x, const Row& y) {
+      for (size_t i = 0; i < std::min(x.size(), y.size()); ++i) {
+        int c = x[i].Compare(y[i]);
+        if (c != 0) return c < 0;
+      }
+      return x.size() < y.size();
+    };
+    std::sort(e.begin(), e.end(), cmp);
+    std::sort(a.begin(), a.end(), cmp);
+  }
+  for (size_t i = 0; i < e.size(); ++i) {
+    EXPECT_TRUE(RowsClose(e[i], a[i], tol))
+        << "row " << i << " differs:\n expected: "
+        << [&] {
+             std::string s;
+             for (const auto& v : e[i]) s += v.ToString() + "\t";
+             return s;
+           }()
+        << "\n actual:   " << [&] {
+             std::string s;
+             for (const auto& v : a[i]) s += v.ToString() + "\t";
+             return s;
+           }();
+  }
+}
+
+}  // namespace apuama::testutil
+
+#endif  // APUAMA_TESTS_TEST_UTIL_H_

@@ -1,0 +1,125 @@
+// Unit tests for src/types: Value semantics, dates, schemas.
+#include <gtest/gtest.h>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace apuama {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_EQ(v.ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v = Value::Int(-42);
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.int_val(), -42);
+  EXPECT_EQ(v.ToString(), "-42");
+}
+
+TEST(ValueTest, StringLiteralEscapesQuotes) {
+  Value v = Value::Str("it's");
+  EXPECT_EQ(v.ToSqlLiteral(), "'it''s'");
+}
+
+TEST(ValueTest, CompareAcrossNumericKinds) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Double(1.5)), 0);
+  EXPECT_GT(Value::Double(3.5).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Str("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, LargeIntKeysCompareExactly) {
+  // 2^53 + 1 is not representable as double; int comparison must not
+  // round through double.
+  int64_t big = (int64_t{1} << 53) + 1;
+  EXPECT_GT(Value::Int(big).Compare(Value::Int(big - 1)), 0);
+}
+
+TEST(DateTest, CivilRoundTrip) {
+  for (auto [y, m, d] : {std::tuple{1970, 1, 1}, {1998, 12, 1},
+                         {1992, 2, 29}, {2000, 2, 29}, {1900, 3, 1}}) {
+    int64_t days = DaysFromCivil(y, m, d);
+    int yy, mm, dd;
+    CivilFromDays(days, &yy, &mm, &dd);
+    EXPECT_EQ(yy, y);
+    EXPECT_EQ(mm, m);
+    EXPECT_EQ(dd, d);
+  }
+}
+
+TEST(DateTest, EpochIsZero) { EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0); }
+
+TEST(DateTest, ParseAndFormat) {
+  auto v = Value::DateFromString("1998-12-01");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToString(), "1998-12-01");
+  EXPECT_EQ(v->ToSqlLiteral(), "date '1998-12-01'");
+  EXPECT_FALSE(Value::DateFromString("not-a-date").ok());
+  EXPECT_FALSE(Value::DateFromString("1998-13-01").ok());
+}
+
+TEST(DateTest, OrderingMatchesCalendar) {
+  auto a = *Value::DateFromString("1994-01-01");
+  auto b = *Value::DateFromString("1995-01-01");
+  EXPECT_LT(a.Compare(b), 0);
+}
+
+TEST(ValueTest, CoercionErrors) {
+  EXPECT_FALSE(Value::Str("x").AsDouble().ok());
+  EXPECT_FALSE(Value::Null().AsInt().ok());
+  EXPECT_EQ(*Value::Double(3.9).AsInt(), 3);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Double(5.0).Hash());
+  EXPECT_EQ(Value::Str("abc").Hash(), Value::Str("abc").Hash());
+}
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema s({Column("a", ValueType::kInt64), Column("b", ValueType::kString)});
+  EXPECT_EQ(s.FindColumn("A"), 0);
+  EXPECT_EQ(s.FindColumn("b"), 1);
+  EXPECT_EQ(s.FindColumn("c"), -1);
+}
+
+TEST(SchemaTest, RejectsDuplicateColumn) {
+  Schema s;
+  EXPECT_TRUE(s.AddColumn(Column("x", ValueType::kInt64)).ok());
+  EXPECT_EQ(s.AddColumn(Column("X", ValueType::kDouble)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, ValidateRowTypes) {
+  Schema s({Column("id", ValueType::kInt64, /*nn=*/true),
+            Column("price", ValueType::kDouble)});
+  EXPECT_TRUE(s.ValidateRow({Value::Int(1), Value::Double(2.5)}).ok());
+  // Int accepted where double declared.
+  EXPECT_TRUE(s.ValidateRow({Value::Int(1), Value::Int(2)}).ok());
+  // NULL ok in nullable column, not in NOT NULL.
+  EXPECT_TRUE(s.ValidateRow({Value::Int(1), Value::Null()}).ok());
+  EXPECT_EQ(s.ValidateRow({Value::Null(), Value::Null()}).code(),
+            StatusCode::kConstraintViolation);
+  // Arity mismatch.
+  EXPECT_FALSE(s.ValidateRow({Value::Int(1)}).ok());
+  // Type mismatch.
+  EXPECT_FALSE(s.ValidateRow({Value::Str("x"), Value::Null()}).ok());
+}
+
+TEST(RowTest, ByteSizeGrowsWithContent) {
+  Row small{Value::Int(1)};
+  Row big{Value::Int(1), Value::Str(std::string(100, 'x'))};
+  EXPECT_LT(RowByteSize(small), RowByteSize(big));
+}
+
+}  // namespace
+}  // namespace apuama

@@ -1,0 +1,217 @@
+// Tests for the virtual-time cluster driver and experiment runners —
+// including shape properties the paper's figures rely on.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tpch/queries.h"
+#include "tpch/refresh.h"
+#include "workload/cluster_sim.h"
+#include "workload/runner.h"
+#include "workload/sequences.h"
+
+namespace apuama::workload {
+namespace {
+
+constexpr double kSf = 0.002;
+
+const tpch::TpchData& Data() {
+  static const tpch::TpchData* d =
+      new tpch::TpchData(tpch::DbgenOptions{.scale_factor = kSf});
+  return *d;
+}
+
+ClusterSimOptions Opts(int nodes) {
+  ClusterSimOptions o;
+  o.num_nodes = nodes;
+  return o;
+}
+
+TEST(ClusterSimTest, SvpQueryCompletesWithCorrectResult) {
+  ClusterSim cluster(Data(), Opts(3));
+  SimOutcome o = cluster.RunToCompletion(*tpch::QuerySql(6));
+  ASSERT_TRUE(o.status.ok()) << o.status.ToString();
+  EXPECT_TRUE(o.used_svp);
+  EXPECT_GT(o.latency(), 0);
+  EXPECT_EQ(cluster.svp_queries(), 1u);
+}
+
+TEST(ClusterSimTest, NonFactReadUsesInterQueryPath) {
+  ClusterSim cluster(Data(), Opts(3));
+  SimOutcome o =
+      cluster.RunToCompletion("select count(*) from customer");
+  ASSERT_TRUE(o.status.ok());
+  EXPECT_FALSE(o.used_svp);
+  EXPECT_EQ(cluster.passthrough_reads(), 1u);
+  EXPECT_EQ(cluster.svp_queries(), 0u);
+}
+
+TEST(ClusterSimTest, IntraQueryDisabledNeverUsesSvp) {
+  ClusterSimOptions opts = Opts(3);
+  opts.enable_intra_query = false;
+  ClusterSim cluster(Data(), opts);
+  SimOutcome o = cluster.RunToCompletion(*tpch::QuerySql(6));
+  ASSERT_TRUE(o.status.ok());
+  EXPECT_FALSE(o.used_svp);
+  EXPECT_EQ(cluster.svp_queries(), 0u);
+}
+
+TEST(ClusterSimTest, WriteBroadcastReachesAllReplicasInVirtualTime) {
+  ClusterSim cluster(Data(), Opts(3));
+  int64_t key = Data().max_orderkey() + 1;
+  SimOutcome o = cluster.RunToCompletion(
+      "insert into orders values (" + std::to_string(key) +
+          ", 1, 'O', 100.0, date '1998-01-01', '1-URGENT', 'c', 0, 'x')",
+      /*is_write=*/true);
+  ASSERT_TRUE(o.status.ok()) << o.status.ToString();
+  EXPECT_EQ(cluster.writes_completed(), 1u);
+  // Every node was occupied by the write.
+  for (int i = 0; i < 3; ++i) EXPECT_GT(cluster.node_busy_time(i), 0);
+}
+
+TEST(ClusterSimTest, SvpWaitsForInFlightWritesAndBlocksNewOnes) {
+  ClusterSim cluster(Data(), Opts(4));
+  int64_t key = Data().max_orderkey() + 1;
+  std::string ins =
+      "insert into orders values (" + std::to_string(key) +
+      ", 1, 'O', 100.0, date '1998-01-01', '1-URGENT', 'c', 0, 'x')";
+  SimTime write_done = -1, query_done = -1, write2_done = -1;
+  cluster.SubmitWrite(ins, [&](const SimOutcome& o) {
+    write_done = o.completed;
+  });
+  // SVP query submitted while the write is in flight.
+  cluster.SubmitRead(*tpch::QuerySql(6), [&](const SimOutcome& o) {
+    ASSERT_TRUE(o.status.ok()) << o.status.ToString();
+    query_done = o.completed;
+  });
+  // A second write arrives during the barrier: must be blocked until
+  // dispatch, but still complete.
+  std::string ins2 =
+      "insert into orders values (" + std::to_string(key + 1) +
+      ", 1, 'O', 100.0, date '1998-01-01', '1-URGENT', 'c', 0, 'x')";
+  cluster.SubmitWrite(ins2, [&](const SimOutcome& o) {
+    write2_done = o.completed;
+  });
+  cluster.event_sim()->Run();
+  ASSERT_GT(write_done, 0);
+  ASSERT_GT(query_done, 0);
+  ASSERT_GT(write2_done, 0);
+  EXPECT_GT(query_done, write_done);  // barrier honored
+  EXPECT_EQ(cluster.svp_barrier_waits(), 1u);
+  EXPECT_EQ(cluster.writes_blocked(), 1u);
+}
+
+TEST(ClusterSimTest, IsolatedLatencyDecreasesWithNodes) {
+  // The core of Fig. 2: more nodes => lower isolated latency.
+  Result<SimTime> t1 = 0, t4 = 0;
+  {
+    ClusterSim c1(Data(), Opts(1));
+    t1 = c1.MeasureIsolated(*tpch::QuerySql(6), 3);
+  }
+  {
+    ClusterSim c4(Data(), Opts(4));
+    t4 = c4.MeasureIsolated(*tpch::QuerySql(6), 3);
+  }
+  ASSERT_TRUE(t1.ok() && t4.ok());
+  EXPECT_LT(*t4, *t1);
+  // Speedup at 4 nodes should be at least 2x for the selective Q6.
+  EXPECT_GT(static_cast<double>(*t1) / static_cast<double>(*t4), 2.0);
+}
+
+TEST(ClusterSimTest, WarmCacheFasterThanCold) {
+  ClusterSim cluster(Data(), Opts(4));
+  SimOutcome cold = cluster.RunToCompletion(*tpch::QuerySql(6));
+  SimOutcome warm = cluster.RunToCompletion(*tpch::QuerySql(6));
+  ASSERT_TRUE(cold.status.ok() && warm.status.ok());
+  // Q6's quarter-partition fits each node's pool: second run is
+  // mostly cache hits (the paper's super-linear mechanism).
+  EXPECT_LT(warm.latency(), cold.latency());
+}
+
+TEST(SequencesTest, PermutationsOfTheEight) {
+  auto seqs = MakeQuerySequences(3, 42);
+  ASSERT_EQ(seqs.size(), 3u);
+  for (const auto& s : seqs) EXPECT_EQ(s.size(), 8u);
+  // Different permutations (almost surely).
+  EXPECT_NE(seqs[0], seqs[1]);
+  // Deterministic for a seed.
+  auto again = MakeQuerySequences(3, 42);
+  EXPECT_EQ(seqs, again);
+  // Truncated variant.
+  auto small = MakeQuerySequences(2, 1, 3);
+  EXPECT_EQ(small[0].size(), 3u);
+}
+
+TEST(RunnerTest, ReadOnlyStreamsDrain) {
+  ClusterSim cluster(Data(), Opts(2));
+  auto seqs = MakeQuerySequences(2, 7, 3);
+  StreamRunResult r = RunStreams(&cluster, seqs);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.read_queries, 6u);
+  EXPECT_GT(r.makespan, 0);
+  EXPECT_GT(r.queries_per_minute, 0.0);
+  // Latency accounting: one sample per query, ordered percentiles.
+  EXPECT_EQ(r.read_latencies.size(), 6u);
+  EXPECT_GT(r.LatencyPercentile(0.0), 0);
+  EXPECT_LE(r.LatencyPercentile(0.5), r.LatencyPercentile(0.95));
+  EXPECT_LE(r.LatencyPercentile(0.95), r.LatencyPercentile(1.0));
+  EXPECT_GE(r.mean_latency(), r.LatencyPercentile(0.0));
+  EXPECT_LE(r.mean_latency(), r.LatencyPercentile(1.0));
+}
+
+TEST(RunnerTest, LatencyPercentileEdgeCases) {
+  StreamRunResult r;
+  EXPECT_EQ(r.LatencyPercentile(0.5), 0);  // empty
+  EXPECT_EQ(r.mean_latency(), 0);
+  r.read_latencies = {100};
+  EXPECT_EQ(r.LatencyPercentile(0.0), 100);
+  EXPECT_EQ(r.LatencyPercentile(1.0), 100);
+  r.read_latencies = {100, 200};
+  EXPECT_EQ(r.LatencyPercentile(0.5), 150);  // interpolated
+  EXPECT_EQ(r.mean_latency(), 150);
+}
+
+TEST(RunnerTest, MixedStreamsDrainAndStayConsistent) {
+  ClusterSimOptions opts = Opts(3);
+  opts.key_headroom = 100;
+  ClusterSim cluster(Data(), opts);
+  auto seqs = MakeQuerySequences(2, 9, 3);
+  auto updates = tpch::MakeRefreshStream(Data().max_orderkey() + 1, 5, 3);
+  StreamRunResult r = RunStreams(&cluster, seqs, updates);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.read_queries, 6u);
+  EXPECT_EQ(r.write_statements, updates.size());
+  EXPECT_EQ(cluster.writes_completed(), updates.size());
+}
+
+TEST(RunnerTest, ThroughputImprovesWithNodes) {
+  // The core of Fig. 3(a): 3 sequences, throughput rises with n.
+  double qpm2 = 0, qpm8 = 0;
+  {
+    ClusterSim c(Data(), Opts(2));
+    auto r = RunStreams(&c, MakeQuerySequences(3, 11, 4));
+    ASSERT_TRUE(r.status.ok());
+    qpm2 = r.queries_per_minute;
+  }
+  {
+    ClusterSim c(Data(), Opts(8));
+    auto r = RunStreams(&c, MakeQuerySequences(3, 11, 4));
+    ASSERT_TRUE(r.status.ok());
+    qpm8 = r.queries_per_minute;
+  }
+  EXPECT_GT(qpm8, qpm2 * 1.5);
+}
+
+TEST(ClusterSimTest, ForcedIndexAblationChangesPlans) {
+  // With force_index off, unselective sub-queries may seq-scan the
+  // whole fact table; SVP results stay correct either way.
+  ClusterSimOptions forced = Opts(4);
+  ClusterSimOptions unforced = Opts(4);
+  unforced.force_index_for_svp = false;
+  ClusterSim a(Data(), forced), b(Data(), unforced);
+  SimOutcome ra = a.RunToCompletion(*tpch::QuerySql(1));
+  SimOutcome rb = b.RunToCompletion(*tpch::QuerySql(1));
+  ASSERT_TRUE(ra.status.ok() && rb.status.ok());
+}
+
+}  // namespace
+}  // namespace apuama::workload
