@@ -3,6 +3,8 @@
 // buffer-pool bookkeeping, LIKE matching.
 #include <benchmark/benchmark.h>
 
+#include "apuama/partial_merger.h"
+#include "apuama/plan_cache.h"
 #include "apuama/result_composer.h"
 #include "apuama/svp_rewriter.h"
 #include "common/rng.h"
@@ -96,8 +98,7 @@ void BM_ExecuteQ1SingleNode(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecuteQ1SingleNode);
 
-void BM_ComposerMerge(benchmark::State& state) {
-  const int rows = static_cast<int>(state.range(0));
+std::vector<engine::QueryResult> MakeComposePartials(int rows) {
   Rng rng(3);
   std::vector<engine::QueryResult> partials(8);
   for (auto& p : partials) {
@@ -107,18 +108,87 @@ void BM_ComposerMerge(benchmark::State& state) {
                         Value::Double(rng.UniformDouble(0, 100))});
     }
   }
+  return partials;
+}
+
+constexpr char kComposeSql[] =
+    "select g0, sum(a0) as s from partials group by g0";
+
+// The two composition tiers on the same partial set: direct hash
+// merge (compile + fold, no table build) vs the MemDb general path
+// (schema inference + bulk load + parse/analyze/execute).
+void BM_ComposeFastPath(benchmark::State& state) {
+  auto partials = MakeComposePartials(static_cast<int>(state.range(0)));
   std::vector<const engine::QueryResult*> ptrs;
   for (const auto& p : partials) ptrs.push_back(&p);
   ResultComposer composer;
   for (auto _ : state) {
     CompositionStats stats;
-    auto r = composer.Compose(
-        ptrs, "select g0, sum(a0) as s from partials group by g0", &stats);
+    auto r = composer.Compose(ptrs, kComposeSql, &stats);
     benchmark::DoNotOptimize(r);
   }
-  state.SetItemsProcessed(state.iterations() * rows * 8);
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 8);
 }
-BENCHMARK(BM_ComposerMerge)->Arg(100)->Arg(2000);
+BENCHMARK(BM_ComposeFastPath)->Arg(100)->Arg(2000);
+
+void BM_ComposeViaMemDb(benchmark::State& state) {
+  auto partials = MakeComposePartials(static_cast<int>(state.range(0)));
+  std::vector<const engine::QueryResult*> ptrs;
+  for (const auto& p : partials) ptrs.push_back(&p);
+  ResultComposer composer;
+  for (auto _ : state) {
+    CompositionStats stats;
+    auto r = composer.ComposeViaMemDb(ptrs, kComposeSql, &stats);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_ComposeViaMemDb)->Arg(100)->Arg(2000);
+
+// Streaming merge with a pre-compiled program — what the engine runs
+// per query once the plan cache is warm.
+void BM_ComposeStreamingPrecompiled(benchmark::State& state) {
+  auto partials = MakeComposePartials(static_cast<int>(state.range(0)));
+  auto parsed = sql::ParseSelect(kComposeSql);
+  auto program = MergeProgram::Compile(std::move(*parsed));
+  if (!program.ok()) {
+    state.SkipWithError("merge program did not compile");
+    return;
+  }
+  for (auto _ : state) {
+    StreamingComposition sink(*program, kComposeSql);
+    for (const auto& p : partials) {
+      if (!sink.Add(p).ok()) {
+        state.SkipWithError("feed failed");
+        return;
+      }
+    }
+    CompositionStats stats;
+    auto r = sink.Finish(&stats);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_ComposeStreamingPrecompiled)->Arg(100)->Arg(2000);
+
+void BM_PlanCacheLookup(benchmark::State& state) {
+  DataCatalog catalog = tpch::MakeTpchCatalog(BenchData());
+  SvpRewriter rewriter(&catalog);
+  std::string sql = *tpch::QuerySql(1);
+  auto parsed = sql::ParseSelect(sql);
+  auto plan = rewriter.Rewrite(**parsed);
+  PlanCache cache(16);
+  auto entry = std::make_shared<PlanCache::Entry>();
+  entry->kind = PlanCache::Kind::kSvp;
+  entry->plan = plan->Clone();
+  std::string key = PlanCache::NormalizeSql(sql);
+  cache.Insert(key, 1, std::move(entry));
+  for (auto _ : state) {
+    auto hit = cache.Lookup(PlanCache::NormalizeSql(sql), 1);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_PlanCacheLookup);
 
 void BM_BufferPoolTouch(benchmark::State& state) {
   storage::BufferPool pool(1024);

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <future>
+#include <set>
 
 #include "cjdbc/controller.h"
 #include "sql/analyzer.h"
@@ -13,6 +14,7 @@ ApuamaEngine::ApuamaEngine(cjdbc::ReplicaSet* replicas, DataCatalog catalog,
                            ApuamaOptions options)
     : replicas_(replicas), catalog_(std::move(catalog)),
       options_(options), rewriter_(&catalog_),
+      plan_cache_(options.plan_cache_entries),
       consistency_(replicas->num_nodes(), [replicas](int i) {
         return replicas->IsNodeAvailable(i);
       }) {
@@ -47,25 +49,58 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteRead(
     return Status::InvalidArgument("bad node id");
   }
   if (options_.enable_intra_query) {
-    // Query Parser + Data Catalog: is this an SVP candidate?
-    auto parsed = sql::ParseSelect(sql);
-    if (parsed.ok() && rewriter_.TouchesFactTable(**parsed)) {
-      auto result = options_.technique == IntraQueryTechnique::kAvp
-                        ? ExecuteAvp(**parsed)
-                        : ExecuteSvp(**parsed);
-      if (result.ok()) return result;
-      if (result.status().code() != StatusCode::kUnsupported) {
-        return result;  // real error
+    // Query Parser + Data Catalog: is this an SVP candidate? The
+    // routing decision (and the rewritten plan prototype) is cached
+    // by normalized SQL — OLAP drivers resubmit the same templates,
+    // so repeats skip parse, analysis and rewrite.
+    const uint64_t catalog_version = catalog_.version();
+    const std::string key = PlanCache::NormalizeSql(sql);
+    std::shared_ptr<const PlanCache::Entry> entry =
+        plan_cache_.Lookup(key, catalog_version);
+    if (entry != nullptr) {
+      stats_.plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.plan_cache_misses.fetch_add(1, std::memory_order_relaxed);
+      auto built = std::make_shared<PlanCache::Entry>();
+      auto parsed = sql::ParseSelect(sql);
+      if (!parsed.ok() || !rewriter_.TouchesFactTable(**parsed)) {
+        built->kind = PlanCache::Kind::kPassthrough;
+      } else {
+        auto plan = rewriter_.Rewrite(**parsed);
+        if (plan.ok()) {
+          built->kind = PlanCache::Kind::kSvp;
+          built->plan = std::move(plan).value();
+        } else if (plan.status().code() == StatusCode::kUnsupported) {
+          built->kind = PlanCache::Kind::kNonRewritable;
+        } else {
+          return plan.status();  // real rewrite error: do not cache
+        }
       }
-      // Not rewritable: fall through to the inter-query path.
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.non_rewritable;
+      plan_cache_.Insert(key, catalog_version, built);
+      entry = std::move(built);
+    }
+    switch (entry->kind) {
+      case PlanCache::Kind::kSvp: {
+        SvpPlan plan = entry->plan.Clone();
+        auto result = options_.technique == IntraQueryTechnique::kAvp
+                          ? ExecuteAvpPlan(std::move(plan))
+                          : ExecuteSvpPlan(std::move(plan));
+        if (result.ok()) return result;
+        if (result.status().code() != StatusCode::kUnsupported) {
+          return result;  // real error
+        }
+        // Unsupported at runtime: fall through to inter-query path.
+        stats_.non_rewritable.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case PlanCache::Kind::kNonRewritable:
+        stats_.non_rewritable.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case PlanCache::Kind::kPassthrough:
+        break;
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.passthrough_reads;
-  }
+  stats_.passthrough_reads.fetch_add(1, std::memory_order_relaxed);
   return processors_[static_cast<size_t>(node_id)]->Execute(sql);
 }
 
@@ -79,26 +114,90 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteWriteOn(
   auto result = processors_[static_cast<size_t>(node_id)]->Execute(sql);
   consistency_.EndNodeWrite(node_id, cls);
   if (node_id == 0) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.writes;
+    stats_.writes.fetch_add(1, std::memory_order_relaxed);
   }
   return result;
 }
 
 Result<engine::QueryResult> ApuamaEngine::ExecuteSvp(
     const sql::SelectStmt& query) {
+  APUAMA_ASSIGN_OR_RETURN(SvpPlan plan, rewriter_.Rewrite(query));
+  return ExecuteSvpPlan(std::move(plan));
+}
+
+Status ApuamaEngine::RetryFailedIntervals(
+    const std::vector<std::string>& sub_sql, std::vector<size_t> pending,
+    StreamingComposition* sink) {
+  // Each wave resubmits every failed interval through the dispatch
+  // pool at once (a dead node strands up to 1/n of the key space —
+  // serial retries would add a full sub-query latency per straggler).
+  // A retry target that also dies rotates the interval to a survivor
+  // it has not tried yet; an interval that exhausted every survivor
+  // fails the query.
+  std::vector<std::set<int>> tried(sub_sql.size());
+  while (!pending.empty()) {
+    std::vector<int> alive = replicas_->AvailableNodes();
+    if (alive.empty()) {
+      return Status::Unavailable("no node available for retry");
+    }
+    std::vector<std::pair<size_t, int>> wave;  // (interval, target)
+    wave.reserve(pending.size());
+    for (size_t k = 0; k < pending.size(); ++k) {
+      const size_t idx = pending[k];
+      int target = -1;
+      for (size_t off = 0; off < alive.size(); ++off) {
+        // Offset by interval and position so a wave spreads over the
+        // survivors instead of piling onto one node.
+        int cand = alive[(idx + k + off) % alive.size()];
+        if (tried[idx].count(cand) == 0) {
+          target = cand;
+          break;
+        }
+      }
+      if (target < 0) {
+        return Status::Unavailable(
+            "every available node failed interval retry");
+      }
+      tried[idx].insert(target);
+      wave.emplace_back(idx, target);
+    }
+    std::vector<std::future<Result<engine::QueryResult>>> futures;
+    futures.reserve(wave.size());
+    for (const auto& [idx, target] : wave) {
+      NodeProcessor* np = processors_[static_cast<size_t>(target)].get();
+      std::string stmt = sub_sql[idx];
+      futures.push_back(dispatch_pool_->Submit(
+          [np, stmt = std::move(stmt)] { return np->ExecuteSubquery(stmt); }));
+    }
+    std::vector<size_t> still_failed;
+    for (size_t k = 0; k < futures.size(); ++k) {
+      stats_.svp_retries.fetch_add(1, std::memory_order_relaxed);
+      Result<engine::QueryResult> r = futures[k].get();
+      if (r.ok()) {
+        APUAMA_RETURN_NOT_OK(sink->Add(std::move(r).value()));
+      } else if (r.status().code() == StatusCode::kUnavailable) {
+        still_failed.push_back(wave[k].first);
+      } else {
+        return r.status();
+      }
+    }
+    pending = std::move(still_failed);
+  }
+  return Status::OK();
+}
+
+Result<engine::QueryResult> ApuamaEngine::ExecuteSvpPlan(SvpPlan plan) {
   // Intra-Query Executor. Partition over the *available* nodes: a
   // crashed replica's key range is redistributed across the
   // survivors (full replication makes any node able to serve any
   // interval — the failover benefit of VP over physical partitioning).
-  APUAMA_ASSIGN_OR_RETURN(SvpPlan plan, rewriter_.Rewrite(query));
   std::vector<int> alive = replicas_->AvailableNodes();
   if (alive.empty()) return Status::Unavailable("no node available");
   const int n = static_cast<int>(alive.size());
   auto intervals = plan.MakeIntervals(n);
 
   // Render all sub-queries before dispatch (SubquerySql mutates the
-  // shared template; rendering is not thread-safe, dispatch is).
+  // plan's template; rendering is not thread-safe, dispatch is).
   std::vector<std::string> sub_sql;
   sub_sql.reserve(static_cast<size_t>(n));
   for (const auto& [lo, hi] : intervals) {
@@ -118,14 +217,16 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteSvp(
   }
   consistency_.EndSvpPrepare();  // all sub-queries dispatched
 
-  std::vector<engine::QueryResult> partials;
-  partials.reserve(static_cast<size_t>(n));
+  // Streaming merge: each partial folds into the per-query composer
+  // as its future completes, overlapping composition with the nodes
+  // still executing. No global composer lock anywhere.
+  StreamingComposition sink(plan.merge_program(), plan.composition_sql());
   Status first_error = Status::OK();
   std::vector<size_t> failed_intervals;
   for (size_t i = 0; i < futures.size(); ++i) {
     Result<engine::QueryResult> r = futures[i].get();
     if (r.ok()) {
-      partials.push_back(std::move(r).value());
+      APUAMA_RETURN_NOT_OK(sink.Add(std::move(r).value()));
     } else if (r.status().code() == StatusCode::kUnavailable) {
       // Node died after dispatch: retry its interval elsewhere.
       failed_intervals.push_back(i);
@@ -134,45 +235,22 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteSvp(
     }
   }
   if (!first_error.ok()) return first_error;
-  for (size_t idx : failed_intervals) {
-    std::vector<int> still_alive = replicas_->AvailableNodes();
-    if (still_alive.empty()) {
-      return Status::Unavailable("no node available for retry");
-    }
-    // Spread retries round-robin over the survivors.
-    int target = still_alive[idx % still_alive.size()];
-    auto r = processors_[static_cast<size_t>(target)]->ExecuteSubquery(
-        sub_sql[idx]);
-    if (!r.ok()) return r.status();
-    partials.push_back(std::move(r).value());
+  if (!failed_intervals.empty()) {
+    APUAMA_RETURN_NOT_OK(
+        RetryFailedIntervals(sub_sql, std::move(failed_intervals), &sink));
   }
 
-  std::vector<const engine::QueryResult*> partial_ptrs;
-  partial_ptrs.reserve(partials.size());
-  for (const auto& p : partials) partial_ptrs.push_back(&p);
-
   CompositionStats cstats;
-  auto t0 = std::chrono::steady_clock::now();
-  Result<engine::QueryResult> final_result = [&] {
-    std::lock_guard<std::mutex> lock(composer_mu_);
-    return composer_.Compose(partial_ptrs, plan.composition_sql(), &cstats);
-  }();
-  auto t1 = std::chrono::steady_clock::now();
-
+  Result<engine::QueryResult> final_result = sink.Finish(&cstats);
   if (final_result.ok()) {
-    // Aggregate per-node stats into the result for observability.
-    engine::ExecStats combined;
-    for (const auto& p : partials) combined += p.stats;
-    combined.cpu_ops += cstats.compose_exec.cpu_ops;
-    combined.tuples_output = final_result->rows.size();
-    final_result->stats = combined;
-
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.svp_queries;
-    stats_.partial_rows_total += cstats.partial_rows;
-    stats_.compose_ms_total += static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0)
-            .count());
+    stats_.svp_queries.fetch_add(1, std::memory_order_relaxed);
+    stats_.partial_rows_total.fetch_add(cstats.partial_rows,
+                                        std::memory_order_relaxed);
+    stats_.compose_ms_total.fetch_add(sink.compose_micros() / 1000,
+                                      std::memory_order_relaxed);
+    (cstats.used_fast_path ? stats_.compose_fastpath
+                           : stats_.compose_fallback)
+        .fetch_add(1, std::memory_order_relaxed);
   }
   return final_result;
 }
@@ -180,16 +258,21 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteSvp(
 Result<engine::QueryResult> ApuamaEngine::ExecuteAvp(
     const sql::SelectStmt& query) {
   APUAMA_ASSIGN_OR_RETURN(SvpPlan plan, rewriter_.Rewrite(query));
+  return ExecuteAvpPlan(std::move(plan));
+}
+
+Result<engine::QueryResult> ApuamaEngine::ExecuteAvpPlan(SvpPlan plan) {
   std::vector<int> alive = replicas_->AvailableNodes();
   if (alive.empty()) return Status::Unavailable("no node available");
   const int n = static_cast<int>(alive.size());
 
   // Shared adaptive state: the scheduler hands out chunks; the plan
-  // template is mutated per render — both behind one mutex.
+  // template is mutated per render; chunk partials stream into the
+  // per-query composition — all behind one per-query mutex.
   AvpScheduler scheduler(n, plan.domain_min(), plan.domain_max(),
                          options_.avp);
   std::mutex mu;
-  std::vector<engine::QueryResult> partials;
+  StreamingComposition sink(plan.merge_program(), plan.composition_sql());
   Status first_error = Status::OK();
 
   auto worker = [&, this](int slot) {
@@ -213,7 +296,13 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAvp(
         if (first_error.ok()) first_error = r.status();
         return;
       }
-      partials.push_back(std::move(r).value());
+      // Merge this chunk now (fast path) instead of buffering it:
+      // composition overlaps the other workers' execution.
+      Status s = sink.Add(std::move(r).value());
+      if (!s.ok()) {
+        if (first_error.ok()) first_error = s;
+        return;
+      }
       scheduler.ReportChunkTime(
           slot, keys,
           std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
@@ -233,25 +322,22 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAvp(
   for (auto& f : futures) f.get();
   APUAMA_RETURN_NOT_OK(first_error);
 
-  std::vector<const engine::QueryResult*> ptrs;
-  ptrs.reserve(partials.size());
-  for (const auto& p : partials) ptrs.push_back(&p);
   CompositionStats cstats;
-  auto final_result = [&] {
-    std::lock_guard<std::mutex> lock(composer_mu_);
-    return composer_.Compose(ptrs, plan.composition_sql(), &cstats);
-  }();
+  Result<engine::QueryResult> final_result = sink.Finish(&cstats);
   if (final_result.ok()) {
-    engine::ExecStats combined;
-    for (const auto& p : partials) combined += p.stats;
-    combined.cpu_ops += cstats.compose_exec.cpu_ops;
-    combined.tuples_output = final_result->rows.size();
-    final_result->stats = combined;
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.svp_queries;
-    stats_.partial_rows_total += cstats.partial_rows;
-    stats_.avp_chunks += static_cast<uint64_t>(scheduler.chunks_issued());
-    stats_.avp_steals += static_cast<uint64_t>(scheduler.steals());
+    stats_.svp_queries.fetch_add(1, std::memory_order_relaxed);
+    stats_.partial_rows_total.fetch_add(cstats.partial_rows,
+                                        std::memory_order_relaxed);
+    stats_.compose_ms_total.fetch_add(sink.compose_micros() / 1000,
+                                      std::memory_order_relaxed);
+    stats_.avp_chunks.fetch_add(
+        static_cast<uint64_t>(scheduler.chunks_issued()),
+        std::memory_order_relaxed);
+    stats_.avp_steals.fetch_add(static_cast<uint64_t>(scheduler.steals()),
+                                std::memory_order_relaxed);
+    (cstats.used_fast_path ? stats_.compose_fastpath
+                           : stats_.compose_fallback)
+        .fetch_add(1, std::memory_order_relaxed);
   }
   return final_result;
 }

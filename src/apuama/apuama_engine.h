@@ -14,6 +14,7 @@
 #ifndef APUAMA_APUAMA_APUAMA_ENGINE_H_
 #define APUAMA_APUAMA_APUAMA_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "apuama/consistency.h"
 #include "apuama/data_catalog.h"
 #include "apuama/node_processor.h"
+#include "apuama/plan_cache.h"
 #include "apuama/result_composer.h"
 #include "apuama/svp_rewriter.h"
 #include "cjdbc/connection.h"
@@ -45,19 +47,29 @@ struct ApuamaOptions {
   AvpOptions avp;
   /// Threads used to dispatch sub-queries concurrently.
   int dispatch_threads = 8;
+  /// Entries in the parse+rewrite plan cache (0 disables it).
+  size_t plan_cache_entries = 128;
 };
 
 /// Cumulative engine statistics (observability / tests / benches).
+/// Lock-free atomics: the counters sit on the inter-query hot path
+/// (every passthrough read and write), where a shared mutex would
+/// serialize otherwise independent clients.
 struct ApuamaStats {
-  uint64_t svp_queries = 0;        // queries run with intra-query
-                                   // parallelism (SVP or AVP)
-  uint64_t passthrough_reads = 0;  // reads sent to a single node
-  uint64_t writes = 0;
-  uint64_t non_rewritable = 0;     // fact-table queries SVP declined
-  uint64_t partial_rows_total = 0;
-  uint64_t compose_ms_total = 0;   // wall time spent composing
-  uint64_t avp_chunks = 0;         // AVP: sub-queries issued
-  uint64_t avp_steals = 0;         // AVP: ranges stolen
+  std::atomic<uint64_t> svp_queries{0};        // queries run with
+                                               // intra-query parallelism
+  std::atomic<uint64_t> passthrough_reads{0};  // reads sent to one node
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> non_rewritable{0};     // fact queries SVP declined
+  std::atomic<uint64_t> partial_rows_total{0};
+  std::atomic<uint64_t> compose_ms_total{0};   // wall time spent composing
+  std::atomic<uint64_t> avp_chunks{0};         // AVP: sub-queries issued
+  std::atomic<uint64_t> avp_steals{0};         // AVP: ranges stolen
+  std::atomic<uint64_t> compose_fastpath{0};   // direct-merge compositions
+  std::atomic<uint64_t> compose_fallback{0};   // MemDb compositions
+  std::atomic<uint64_t> plan_cache_hits{0};
+  std::atomic<uint64_t> plan_cache_misses{0};
+  std::atomic<uint64_t> svp_retries{0};        // failover resubmissions
 };
 
 class ApuamaEngine {
@@ -98,17 +110,26 @@ class ApuamaEngine {
   Result<engine::QueryResult> ExecuteAvp(const sql::SelectStmt& query);
 
  private:
+  /// Runs a rewritten plan end to end. Composition is per-query and
+  /// streaming: no shared composer, no global lock.
+  Result<engine::QueryResult> ExecuteSvpPlan(SvpPlan plan);
+  Result<engine::QueryResult> ExecuteAvpPlan(SvpPlan plan);
+
+  /// Resubmits failed intervals in parallel across the survivors,
+  /// rotating to a different node when a retry target dies too.
+  Status RetryFailedIntervals(const std::vector<std::string>& sub_sql,
+                              std::vector<size_t> pending,
+                              StreamingComposition* sink);
+
   cjdbc::ReplicaSet* replicas_;
   DataCatalog catalog_;
   ApuamaOptions options_;
   std::vector<std::unique_ptr<NodeProcessor>> processors_;
   SvpRewriter rewriter_;
-  ResultComposer composer_;
-  std::mutex composer_mu_;
+  PlanCache plan_cache_;
   ConsistencyManager consistency_;
   std::unique_ptr<ThreadPool> dispatch_pool_;
   ApuamaStats stats_;
-  std::mutex stats_mu_;
 };
 
 /// cjdbc::Driver implementation that interposes the Apuama Engine —

@@ -33,6 +33,7 @@ Status DataCatalog::RegisterSpace(VirtualPartitionSpace space) {
     }
   }
   spaces_.push_back(std::move(space));
+  version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -53,6 +54,7 @@ Status DataCatalog::UpdateDomain(const std::string& space_name,
       }
       s.min_value = min_value;
       s.max_value = max_value;
+      version_.fetch_add(1, std::memory_order_acq_rel);
       return Status::OK();
     }
   }

@@ -11,6 +11,7 @@
 #ifndef APUAMA_APUAMA_DATA_CATALOG_H_
 #define APUAMA_APUAMA_DATA_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -39,6 +40,22 @@ struct VirtualPartitionSpace {
 
 class DataCatalog {
  public:
+  DataCatalog() = default;
+  DataCatalog(const DataCatalog& o)
+      : spaces_(o.spaces_), version_(o.version_.load()) {}
+  DataCatalog(DataCatalog&& o) noexcept
+      : spaces_(std::move(o.spaces_)), version_(o.version_.load()) {}
+  DataCatalog& operator=(const DataCatalog& o) {
+    spaces_ = o.spaces_;
+    version_.store(o.version_.load());
+    return *this;
+  }
+  DataCatalog& operator=(DataCatalog&& o) noexcept {
+    spaces_ = std::move(o.spaces_);
+    version_.store(o.version_.load());
+    return *this;
+  }
+
   /// Registers a space; member tables must not already belong to one.
   Status RegisterSpace(VirtualPartitionSpace space);
 
@@ -55,8 +72,16 @@ class DataCatalog {
 
   const std::vector<VirtualPartitionSpace>& spaces() const { return spaces_; }
 
+  /// Monotonic change counter, bumped by every successful
+  /// RegisterSpace/UpdateDomain. Cached SVP plans are keyed on it so
+  /// a domain refresh invalidates stale interval math.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
  private:
   std::vector<VirtualPartitionSpace> spaces_;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace apuama

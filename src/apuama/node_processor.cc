@@ -36,14 +36,14 @@ NodeProcessor::NodeProcessor(int node_id, cjdbc::ReplicaSet* replicas,
 
 Result<engine::QueryResult> NodeProcessor::Execute(const std::string& sql) {
   PoolSlot slot(&pool_mu_, &pool_cv_, &pool_available_);
-  ++statements_;
+  statements_.fetch_add(1, std::memory_order_relaxed);
   return replicas_->ExecuteOn(node_id_, sql);
 }
 
 Result<engine::QueryResult> NodeProcessor::ExecuteSubquery(
     const std::string& sql) {
   PoolSlot slot(&pool_mu_, &pool_cv_, &pool_available_);
-  ++subqueries_;
+  subqueries_.fetch_add(1, std::memory_order_relaxed);
   if (!options_.force_index_for_svp) {
     return replicas_->ExecuteOn(node_id_, sql);
   }

@@ -9,6 +9,7 @@
 #ifndef APUAMA_APUAMA_NODE_PROCESSOR_H_
 #define APUAMA_APUAMA_NODE_PROCESSOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -56,8 +57,9 @@ class NodeProcessor {
   std::mutex pool_mu_;
   std::condition_variable pool_cv_;
   int pool_available_;
-  uint64_t statements_ = 0;
-  uint64_t subqueries_ = 0;
+  // Concurrent clients bump these outside any lock.
+  std::atomic<uint64_t> statements_{0};
+  std::atomic<uint64_t> subqueries_{0};
 };
 
 }  // namespace apuama

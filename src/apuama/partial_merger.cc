@@ -1,0 +1,458 @@
+#include "apuama/partial_merger.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "common/string_util.h"
+#include "engine/eval.h"
+#include "sql/analyzer.h"
+
+namespace apuama {
+
+using engine::ColumnBinding;
+using engine::ColumnResolver;
+using engine::EvalContext;
+using engine::EvalScope;
+using engine::Relation;
+using sql::Expr;
+using sql::ExprKind;
+using sql::SelectStmt;
+
+namespace {
+
+// Lexicographic Row order (matches storage::KeyLess, which orders the
+// executor's group map).
+bool RowLess(const Row& a, const Row& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+// Same ordinal/alias resolution as the executor's OrderOutputSlot.
+int OrderOutputSlot(const sql::OrderItem& oi,
+                    const std::vector<std::string>& out_names) {
+  const Expr& e = *oi.expr;
+  if (e.kind == ExprKind::kLiteral && e.literal.type() == ValueType::kInt64) {
+    int64_t ord = e.literal.int_val();
+    if (ord >= 1 && static_cast<size_t>(ord) <= out_names.size()) {
+      return static_cast<int>(ord - 1);
+    }
+  }
+  if (e.kind == ExprKind::kColumnRef && e.table_qualifier.empty()) {
+    for (size_t i = 0; i < out_names.size(); ++i) {
+      if (EqualsIgnoreCase(out_names[i], e.column_name)) {
+        return static_cast<int>(i);
+      }
+    }
+  }
+  return -1;
+}
+
+std::string OutputName(const sql::SelectItem& item, size_t ordinal) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr && item.expr->kind == ExprKind::kColumnRef) {
+    return item.expr->column_name;
+  }
+  if (item.expr && item.expr->kind == ExprKind::kFuncCall) {
+    return item.expr->func_name;
+  }
+  return StrFormat("column%zu", ordinal + 1);
+}
+
+// Collects aggregate call nodes without descending into them.
+void CollectAggNodes(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kFuncCall && sql::IsAggregateFunction(e.func_name)) {
+    out->push_back(&e);
+    return;
+  }
+  for (const auto& c : e.children) CollectAggNodes(*c, out);
+  if (e.case_else) CollectAggNodes(*e.case_else, out);
+}
+
+size_t HashRow(const Row& key) {
+  size_t h = 0x9e3779b97f4a7c15ull;
+  for (const Value& v : key) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool RowEquals(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MergeProgram::Compile
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<const MergeProgram>> MergeProgram::Compile(
+    std::unique_ptr<SelectStmt> comp) {
+  if (comp == nullptr) {
+    return Status::InvalidArgument("null composition statement");
+  }
+  if (comp->distinct) {
+    return Status::Unsupported("DISTINCT composition needs MemDb");
+  }
+  if (comp->having != nullptr) {
+    return Status::Unsupported("HAVING composition needs MemDb");
+  }
+  if (comp->from.size() != 1) {
+    return Status::Unsupported("composition must read one partials table");
+  }
+  for (const auto& it : comp->items) {
+    if (it.star) return Status::Unsupported("SELECT * composition");
+  }
+
+  auto prog = std::shared_ptr<MergeProgram>(new MergeProgram());
+
+  // Group columns must be bare column references (the rewriter emits
+  // g<j> refs; anything else means re-grouping logic we do not mirror).
+  for (const auto& g : comp->group_by) {
+    if (g->kind != ExprKind::kColumnRef) {
+      return Status::Unsupported("composition groups by an expression");
+    }
+    prog->group_cols_.push_back(ToLower(g->column_name));
+  }
+
+  // Inventory aggregates across items and ORDER BY; each must be a
+  // mergeable function over a single bare partial column.
+  std::vector<const Expr*> agg_nodes;
+  for (const auto& it : comp->items) CollectAggNodes(*it.expr, &agg_nodes);
+  for (const auto& o : comp->order_by) CollectAggNodes(*o.expr, &agg_nodes);
+  if (agg_nodes.empty()) {
+    return Status::Unsupported("non-aggregate composition needs MemDb");
+  }
+  std::unordered_map<std::string, size_t> dedup;  // "fn:column" -> slot
+  for (const Expr* agg : agg_nodes) {
+    if (agg->distinct || agg->star_arg || agg->children.size() != 1 ||
+        agg->children[0]->kind != ExprKind::kColumnRef) {
+      return Status::Unsupported("non-mergeable aggregate " + agg->func_name);
+    }
+    AggSpec spec;
+    if (agg->func_name == "sum") {
+      spec.fn = AggFn::kSum;
+    } else if (agg->func_name == "count") {
+      spec.fn = AggFn::kCount;
+    } else if (agg->func_name == "min") {
+      spec.fn = AggFn::kMin;
+    } else if (agg->func_name == "max") {
+      spec.fn = AggFn::kMax;
+    } else {
+      return Status::Unsupported("non-mergeable aggregate " + agg->func_name);
+    }
+    spec.column = ToLower(agg->children[0]->column_name);
+    std::string key = agg->func_name + ":" + spec.column;
+    auto [it, inserted] = dedup.try_emplace(key, prog->aggs_.size());
+    if (inserted) prog->aggs_.push_back(spec);
+    prog->agg_index_[agg] = it->second;
+  }
+
+  // Scalar parts of every output / sort expression may reference only
+  // group columns (evaluated per group against the key row) and must
+  // be free of subqueries; otherwise the merge result could diverge
+  // from the general executor.
+  const std::string binding = comp->from[0].binding();
+  std::function<Status(const Expr&)> check_scalar =
+      [&](const Expr& e) -> Status {
+    if (prog->agg_index_.count(&e) != 0) return Status::OK();
+    switch (e.kind) {
+      case ExprKind::kColumnRef: {
+        if (!e.table_qualifier.empty() &&
+            !EqualsIgnoreCase(e.table_qualifier, binding)) {
+          return Status::Unsupported("unknown qualifier " + e.table_qualifier);
+        }
+        for (const auto& g : prog->group_cols_) {
+          if (EqualsIgnoreCase(g, e.column_name)) return Status::OK();
+        }
+        return Status::Unsupported("composition references non-group column " +
+                                   e.column_name);
+      }
+      case ExprKind::kExists:
+      case ExprKind::kInSubquery:
+      case ExprKind::kScalarSubquery:
+        return Status::Unsupported("subquery in composition output");
+      case ExprKind::kStar:
+        return Status::Unsupported("star in composition output");
+      default:
+        break;
+    }
+    for (const auto& c : e.children) {
+      APUAMA_RETURN_NOT_OK(check_scalar(*c));
+    }
+    if (e.case_else) {
+      APUAMA_RETURN_NOT_OK(check_scalar(*e.case_else));
+    }
+    return Status::OK();
+  };
+  for (size_t i = 0; i < comp->items.size(); ++i) {
+    APUAMA_RETURN_NOT_OK(check_scalar(*comp->items[i].expr));
+    prog->out_names_.push_back(OutputName(comp->items[i], i));
+  }
+  for (const auto& o : comp->order_by) {
+    // Output-slot sort keys (ordinals, aliases) reuse the projected
+    // value; everything else is evaluated per group like an item.
+    if (OrderOutputSlot(o, prog->out_names_) >= 0) continue;
+    APUAMA_RETURN_NOT_OK(check_scalar(*o.expr));
+  }
+
+  prog->comp_ = std::move(comp);
+  return std::shared_ptr<const MergeProgram>(std::move(prog));
+}
+
+// ---------------------------------------------------------------------------
+// PartialMerger
+// ---------------------------------------------------------------------------
+
+PartialMerger::PartialMerger(std::shared_ptr<const MergeProgram> program)
+    : program_(std::move(program)) {}
+
+Status PartialMerger::ResolveSlots(const engine::QueryResult& partial) {
+  auto find = [&partial](const std::string& name) -> int {
+    for (size_t c = 0; c < partial.column_names.size(); ++c) {
+      if (EqualsIgnoreCase(partial.column_names[c], name)) {
+        return static_cast<int>(c);
+      }
+    }
+    return -1;
+  };
+  for (const auto& g : program_->group_cols_) {
+    int slot = find(g);
+    if (slot < 0) {
+      return Status::InvalidArgument("partial lacks group column " + g);
+    }
+    group_slots_.push_back(static_cast<size_t>(slot));
+  }
+  for (const auto& a : program_->aggs_) {
+    int slot = find(a.column);
+    if (slot < 0) {
+      return Status::InvalidArgument("partial lacks aggregate column " +
+                                     a.column);
+    }
+    agg_slots_.push_back(static_cast<size_t>(slot));
+  }
+  expected_cols_ = partial.column_names.size();
+  resolved_ = true;
+  return Status::OK();
+}
+
+void PartialMerger::Rehash() {
+  size_t cap = buckets_.empty() ? 64 : buckets_.size() * 2;
+  buckets_.assign(cap, 0);
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    size_t b = HashRow(groups_[gi].key) & (cap - 1);
+    while (buckets_[b] != 0) b = (b + 1) & (cap - 1);
+    buckets_[b] = static_cast<uint32_t>(gi + 1);
+  }
+}
+
+size_t PartialMerger::FindOrInsertGroup(Row key) {
+  if (groups_.size() + 1 > buckets_.size() * 3 / 4) Rehash();
+  const size_t mask = buckets_.size() - 1;
+  size_t b = HashRow(key) & mask;
+  while (buckets_[b] != 0) {
+    size_t gi = buckets_[b] - 1;
+    ++cpu_ops_;  // probe
+    if (RowEquals(groups_[gi].key, key)) return gi;
+    b = (b + 1) & mask;
+  }
+  GroupState g;
+  g.key = std::move(key);
+  g.aggs.resize(program_->aggs_.size());
+  groups_.push_back(std::move(g));
+  buckets_[b] = static_cast<uint32_t>(groups_.size());
+  return groups_.size() - 1;
+}
+
+Status PartialMerger::Feed(const engine::QueryResult& partial) {
+  if (!resolved_) {
+    APUAMA_RETURN_NOT_OK(ResolveSlots(partial));
+  } else if (partial.column_names.size() != expected_cols_) {
+    return Status::InvalidArgument("partial results disagree on column count");
+  }
+  partial_rows_ += partial.rows.size();
+  for (const Row& r : partial.rows) {
+    ++cpu_ops_;
+    Row key;
+    key.reserve(group_slots_.size());
+    for (size_t s : group_slots_) {
+      if (s >= r.size()) {
+        return Status::InvalidArgument("short row in partial result");
+      }
+      key.push_back(r[s]);
+    }
+    GroupState& grp = groups_[FindOrInsertGroup(std::move(key))];
+    for (size_t ai = 0; ai < agg_slots_.size(); ++ai) {
+      ++cpu_ops_;
+      size_t s = agg_slots_[ai];
+      if (s >= r.size()) {
+        return Status::InvalidArgument("short row in partial result");
+      }
+      const Value& v = r[s];
+      if (v.is_null()) continue;  // NULLs never feed an aggregate
+      AggState& acc = grp.aggs[ai];
+      ++acc.count;
+      acc.has_value = true;
+      switch (program_->aggs_[ai].fn) {
+        case MergeProgram::AggFn::kCount:
+          break;  // count of non-null merge inputs
+        case MergeProgram::AggFn::kMin:
+          if (acc.extreme.is_null() || v.Compare(acc.extreme) < 0) {
+            acc.extreme = v;
+          }
+          break;
+        case MergeProgram::AggFn::kMax:
+          if (acc.extreme.is_null() || v.Compare(acc.extreme) > 0) {
+            acc.extreme = v;
+          }
+          break;
+        case MergeProgram::AggFn::kSum:
+          // Identical promotion rule to the executor: integer sums
+          // stay integral until the first double input.
+          if (v.type() == ValueType::kInt64 && !acc.any_double) {
+            acc.isum += v.int_val();
+          } else {
+            if (!acc.any_double) {
+              acc.dsum = static_cast<double>(acc.isum);
+              acc.any_double = true;
+            }
+            auto d = v.AsDouble();
+            acc.dsum += d.ok() ? *d : 0;
+          }
+          break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<engine::QueryResult> PartialMerger::Finish(CompositionStats* stats) {
+  const SelectStmt& comp = *program_->comp_;
+
+  // Global aggregation over zero rows still produces one group.
+  if (groups_.empty() && program_->group_cols_.empty()) {
+    GroupState g;
+    g.aggs.resize(program_->aggs_.size());
+    groups_.push_back(std::move(g));
+  }
+
+  // The executor emits groups in key order (its group container is a
+  // key-sorted map); match that so unordered aggregate results and
+  // ORDER BY ties come out identically.
+  std::sort(groups_.begin(), groups_.end(),
+            [this](const GroupState& a, const GroupState& b) {
+              ++cpu_ops_;
+              return RowLess(a.key, b.key);
+            });
+
+  // Per-group output evaluation: group columns resolve against the
+  // key row; aggregate nodes resolve through agg_values.
+  Relation rel;
+  for (const auto& g : program_->group_cols_) {
+    rel.columns.push_back(ColumnBinding{comp.from[0].binding(), g});
+  }
+  ColumnResolver resolver(&rel);
+  EvalScope scope{&resolver, nullptr, nullptr};
+  EvalContext ctx;
+  ctx.scope = &scope;
+  ctx.cpu_ops = &cpu_ops_;
+
+  engine::QueryResult qr;
+  qr.column_names = program_->out_names_;
+  std::vector<bool> desc;
+  for (const auto& o : comp.order_by) desc.push_back(o.desc);
+
+  std::vector<std::pair<Row, Row>> keyed;  // (sort key, output row)
+  keyed.reserve(groups_.size());
+  std::unordered_map<const Expr*, Value> agg_values;
+  for (GroupState& grp : groups_) {
+    agg_values.clear();
+    for (const auto& [node, slot] : program_->agg_index_) {
+      const AggState& acc = grp.aggs[slot];
+      Value v;
+      switch (program_->aggs_[slot].fn) {
+        case MergeProgram::AggFn::kCount:
+          v = Value::Int(static_cast<int64_t>(acc.count));
+          break;
+        case MergeProgram::AggFn::kMin:
+        case MergeProgram::AggFn::kMax:
+          v = acc.has_value ? acc.extreme : Value::Null();
+          break;
+        case MergeProgram::AggFn::kSum:
+          if (!acc.has_value) {
+            v = Value::Null();
+          } else {
+            v = acc.any_double ? Value::Double(acc.dsum)
+                               : Value::Int(acc.isum);
+          }
+          break;
+      }
+      agg_values[node] = std::move(v);
+    }
+    scope.row = &grp.key;
+    EvalContext gctx = ctx;
+    gctx.agg_values = &agg_values;
+
+    Row out;
+    out.reserve(comp.items.size());
+    for (const auto& it : comp.items) {
+      APUAMA_ASSIGN_OR_RETURN(Value v, engine::Eval(*it.expr, gctx));
+      out.push_back(std::move(v));
+    }
+    Row skey;
+    for (const auto& o : comp.order_by) {
+      int slot = OrderOutputSlot(o, qr.column_names);
+      if (slot >= 0) {
+        skey.push_back(out[static_cast<size_t>(slot)]);
+      } else {
+        APUAMA_ASSIGN_OR_RETURN(Value v, engine::Eval(*o.expr, gctx));
+        skey.push_back(std::move(v));
+      }
+    }
+    keyed.emplace_back(std::move(skey), std::move(out));
+  }
+
+  if (!comp.order_by.empty()) {
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&desc, this](const auto& a, const auto& b) {
+                       ++cpu_ops_;
+                       for (size_t i = 0; i < a.first.size(); ++i) {
+                         int c = a.first[i].Compare(b.first[i]);
+                         if (c != 0) return desc[i] ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+  qr.rows.reserve(keyed.size());
+  for (auto& [k, out] : keyed) qr.rows.push_back(std::move(out));
+  if (comp.offset > 0) {
+    size_t skip = std::min(qr.rows.size(), static_cast<size_t>(comp.offset));
+    qr.rows.erase(qr.rows.begin(),
+                  qr.rows.begin() + static_cast<ptrdiff_t>(skip));
+  }
+  if (comp.limit >= 0 && qr.rows.size() > static_cast<size_t>(comp.limit)) {
+    qr.rows.resize(static_cast<size_t>(comp.limit));
+  }
+
+  qr.stats.cpu_ops = cpu_ops_;
+  qr.stats.tuples_scanned = partial_rows_;
+  qr.stats.tuples_output = qr.rows.size();
+  if (stats != nullptr) {
+    stats->partial_rows = partial_rows_;
+    stats->output_rows = qr.rows.size();
+    stats->used_fast_path = true;
+    stats->compose_exec = qr.stats;
+  }
+  return qr;
+}
+
+}  // namespace apuama

@@ -1,0 +1,125 @@
+// Direct partial-result merging — the composition fast path.
+//
+// The SVP rewriter's composition queries are overwhelmingly pure
+// re-aggregations over the `partials` table: SUM/MIN/MAX over the
+// a<k> partial columns (COUNT merges as SUM, AVG arrives pre-split
+// into sum+count), grouped by the g<j> columns, with optional
+// ORDER BY / OFFSET / LIMIT and arbitrary scalar expressions over the
+// merged aggregates (AVG's NULL guard, Q14's percentage). For that
+// shape a MergeProgram compiles the composition SELECT once, and a
+// PartialMerger folds each partial into an open-addressing hash table
+// on the group key as it arrives — no MemDb table build and no
+// parse/analyze/execute per query, and partials can be merged as
+// their futures complete instead of being materialized first.
+//
+// Anything the program cannot prove equivalent to the general engine
+// (HAVING, DISTINCT, subqueries, non-aggregate compositions) is
+// refused at compile time; callers fall back to the MemDb composer.
+// The merge mirrors engine/executor.cc aggregate semantics exactly:
+// NULL inputs are skipped, integer sums stay integers until a double
+// appears, all-NULL inputs yield NULL, groups sort by key when no
+// ORDER BY is given (the executor iterates a key-ordered map).
+#ifndef APUAMA_APUAMA_PARTIAL_MERGER_H_
+#define APUAMA_APUAMA_PARTIAL_MERGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/query_result.h"
+#include "sql/ast.h"
+
+namespace apuama {
+
+struct CompositionStats {
+  uint64_t partial_rows = 0;       // rows merged from all nodes
+  uint64_t output_rows = 0;
+  bool used_fast_path = false;     // direct merge vs MemDb fallback
+  engine::ExecStats compose_exec;  // cost of the composition
+};
+
+/// Compiled form of one re-aggregation composition query. Immutable
+/// after Compile; safe to share across threads and cached plans (each
+/// PartialMerger holds its own mutable state and resolver).
+class MergeProgram {
+ public:
+  /// Compiles `comp` (a composition SELECT over the partials table).
+  /// Unsupported status when the query is not a pure re-aggregation —
+  /// the caller keeps the SQL text and composes through MemDb.
+  static Result<std::shared_ptr<const MergeProgram>> Compile(
+      std::unique_ptr<sql::SelectStmt> comp);
+
+  size_t num_groups_cols() const { return group_cols_.size(); }
+  size_t num_aggs() const { return aggs_.size(); }
+
+ private:
+  friend class PartialMerger;
+
+  enum class AggFn { kSum, kCount, kMin, kMax };
+
+  struct AggSpec {
+    AggFn fn = AggFn::kSum;
+    std::string column;  // partial column the aggregate reads
+  };
+
+  MergeProgram() = default;
+
+  std::unique_ptr<sql::SelectStmt> comp_;  // owns every Expr below
+  std::vector<std::string> group_cols_;    // partial group columns
+  std::vector<AggSpec> aggs_;              // deduped by (fn, column)
+  /// Aggregate AST node -> slot in aggs_ (for eval-time agg_values).
+  std::unordered_map<const sql::Expr*, size_t> agg_index_;
+  std::vector<std::string> out_names_;     // output column names
+};
+
+/// Stateful merger for one composition. Not thread-safe; callers
+/// serialize Feed (the engine feeds under its per-query mutex).
+class PartialMerger {
+ public:
+  explicit PartialMerger(std::shared_ptr<const MergeProgram> program);
+
+  /// Folds one partial result into the merge state.
+  Status Feed(const engine::QueryResult& partial);
+
+  /// Evaluates output expressions per group, sorts, applies
+  /// OFFSET/LIMIT, and returns the final result. Call once.
+  Result<engine::QueryResult> Finish(CompositionStats* stats);
+
+ private:
+  /// Mirrors the executor's AggAcc for the mergeable subset.
+  struct AggState {
+    bool has_value = false;
+    bool any_double = false;
+    int64_t isum = 0;
+    double dsum = 0;
+    uint64_t count = 0;
+    Value extreme;  // running min or max
+  };
+
+  struct GroupState {
+    Row key;
+    std::vector<AggState> aggs;
+  };
+
+  Status ResolveSlots(const engine::QueryResult& partial);
+  size_t FindOrInsertGroup(Row key);
+  void Rehash();
+
+  std::shared_ptr<const MergeProgram> program_;
+  bool resolved_ = false;
+  size_t expected_cols_ = 0;
+  std::vector<size_t> group_slots_;  // partial column per group col
+  std::vector<size_t> agg_slots_;    // partial column per agg spec
+
+  std::vector<GroupState> groups_;   // dense group storage
+  std::vector<uint32_t> buckets_;    // open addressing; index+1, 0=empty
+  uint64_t partial_rows_ = 0;
+  uint64_t cpu_ops_ = 0;
+};
+
+}  // namespace apuama
+
+#endif  // APUAMA_APUAMA_PARTIAL_MERGER_H_

@@ -1,0 +1,64 @@
+#include "apuama/plan_cache.h"
+
+#include <cctype>
+
+namespace apuama {
+
+std::string PlanCache::NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool pending_space = false;
+  for (char ch : sql) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isspace(c)) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(static_cast<char>(std::tolower(c)));
+  }
+  return out;
+}
+
+std::shared_ptr<const PlanCache::Entry> PlanCache::Lookup(
+    const std::string& key, uint64_t catalog_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (catalog_version != version_) {
+    lru_.clear();
+    map_.clear();
+    version_ = catalog_version;
+    return nullptr;
+  }
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  return it->second->second;
+}
+
+void PlanCache::Insert(const std::string& key, uint64_t catalog_version,
+                       std::shared_ptr<const Entry> entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (catalog_version != version_) {
+    lru_.clear();
+    map_.clear();
+    version_ = catalog_version;
+  }
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(entry));
+  map_[key] = lru_.begin();
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace apuama

@@ -1,21 +1,115 @@
 #include "apuama/result_composer.h"
 
+#include <chrono>
+#include <utility>
+
 #include "apuama/svp_rewriter.h"
+#include "memdb/memdb.h"
+#include "sql/parser.h"
 
 namespace apuama {
+
+namespace {
+
+Result<engine::QueryResult> MergeAll(
+    const std::vector<const engine::QueryResult*>& partials,
+    std::shared_ptr<const MergeProgram> program, CompositionStats* stats) {
+  PartialMerger merger(std::move(program));
+  for (const auto* p : partials) {
+    APUAMA_RETURN_NOT_OK(merger.Feed(*p));
+  }
+  return merger.Finish(stats);
+}
+
+}  // namespace
 
 Result<engine::QueryResult> ResultComposer::Compose(
     const std::vector<const engine::QueryResult*>& partials,
     const std::string& composition_sql, CompositionStats* stats) {
-  APUAMA_RETURN_NOT_OK(memdb_.LoadPartials(kPartialsTable, partials));
-  auto result = memdb_.Execute(composition_sql);
+  if (partials.empty()) {
+    return Status::InvalidArgument("no partial results to load");
+  }
+  auto parsed = sql::ParseSelect(composition_sql);
+  if (parsed.ok()) {
+    auto program = MergeProgram::Compile(std::move(parsed).value());
+    if (program.ok()) {
+      return MergeAll(partials, std::move(program).value(), stats);
+    }
+  }
+  return ComposeViaMemDb(partials, composition_sql, stats);
+}
+
+Result<engine::QueryResult> ResultComposer::ComposeWithPlan(
+    const std::vector<const engine::QueryResult*>& partials,
+    const SvpPlan& plan, CompositionStats* stats) {
+  if (partials.empty()) {
+    return Status::InvalidArgument("no partial results to load");
+  }
+  if (plan.merge_program() != nullptr) {
+    return MergeAll(partials, plan.merge_program(), stats);
+  }
+  return ComposeViaMemDb(partials, plan.composition_sql(), stats);
+}
+
+Result<engine::QueryResult> ResultComposer::ComposeViaMemDb(
+    const std::vector<const engine::QueryResult*>& partials,
+    const std::string& composition_sql, CompositionStats* stats) {
+  // A fresh MemDb per composition: no cross-query lock, and the
+  // partials table dies with it.
+  memdb::MemDb memdb;
+  APUAMA_RETURN_NOT_OK(memdb.LoadPartials(kPartialsTable, partials));
+  auto result = memdb.Execute(composition_sql);
   if (stats != nullptr && result.ok()) {
     stats->partial_rows = 0;
     for (const auto* p : partials) stats->partial_rows += p->rows.size();
     stats->output_rows = result->rows.size();
+    stats->used_fast_path = false;
     stats->compose_exec = result->stats;
   }
-  memdb_.DropIfExists(kPartialsTable);
+  return result;
+}
+
+StreamingComposition::StreamingComposition(
+    std::shared_ptr<const MergeProgram> program, std::string fallback_sql)
+    : fallback_sql_(std::move(fallback_sql)) {
+  if (program != nullptr) merger_.emplace(std::move(program));
+}
+
+Status StreamingComposition::Add(engine::QueryResult partial) {
+  combined_ += partial.stats;
+  if (merger_.has_value()) {
+    auto t0 = std::chrono::steady_clock::now();
+    Status s = merger_->Feed(partial);
+    auto t1 = std::chrono::steady_clock::now();
+    compose_micros_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+    return s;
+  }
+  buffered_.push_back(std::move(partial));
+  return Status::OK();
+}
+
+Result<engine::QueryResult> StreamingComposition::Finish(
+    CompositionStats* stats) {
+  auto t0 = std::chrono::steady_clock::now();
+  Result<engine::QueryResult> result = [&]() -> Result<engine::QueryResult> {
+    if (merger_.has_value()) return merger_->Finish(stats);
+    std::vector<const engine::QueryResult*> ptrs;
+    ptrs.reserve(buffered_.size());
+    for (const auto& p : buffered_) ptrs.push_back(&p);
+    ResultComposer composer;
+    return composer.ComposeViaMemDb(ptrs, fallback_sql_, stats);
+  }();
+  auto t1 = std::chrono::steady_clock::now();
+  compose_micros_ += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+  if (result.ok()) {
+    engine::ExecStats out = combined_;
+    if (stats != nullptr) out.cpu_ops += stats->compose_exec.cpu_ops;
+    out.tuples_output = result->rows.size();
+    result->stats = out;
+  }
   return result;
 }
 

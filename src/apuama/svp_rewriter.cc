@@ -42,6 +42,58 @@ std::string SvpPlan::SubquerySql(int64_t lo, int64_t hi) {
 
 namespace {
 
+// Preorder expression collection over a statement. Expr::Clone and
+// SelectStmt::Clone preserve structure, so running this over an
+// original and its clone yields positionally parallel node lists —
+// the basis for remapping patch pointers in SvpPlan::Clone.
+void CollectStmtExprs(const SelectStmt* s, std::vector<const Expr*>* out);
+
+void CollectExprTree(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  out->push_back(e);
+  for (const auto& c : e->children) CollectExprTree(c.get(), out);
+  CollectExprTree(e->case_else.get(), out);
+  if (e->subquery) CollectStmtExprs(e->subquery.get(), out);
+}
+
+void CollectStmtExprs(const SelectStmt* s, std::vector<const Expr*>* out) {
+  if (s == nullptr) return;
+  for (const auto& it : s->items) CollectExprTree(it.expr.get(), out);
+  CollectExprTree(s->where.get(), out);
+  for (const auto& g : s->group_by) CollectExprTree(g.get(), out);
+  CollectExprTree(s->having.get(), out);
+  for (const auto& o : s->order_by) CollectExprTree(o.expr.get(), out);
+}
+
+}  // namespace
+
+SvpPlan SvpPlan::Clone() const {
+  SvpPlan out;
+  out.composition_sql_ = composition_sql_;
+  out.merge_ = merge_;
+  out.domain_min_ = domain_min_;
+  out.domain_max_ = domain_max_;
+  out.template_ = template_->Clone();
+
+  std::vector<const Expr*> orig_nodes;
+  std::vector<const Expr*> copy_nodes;
+  CollectStmtExprs(template_.get(), &orig_nodes);
+  CollectStmtExprs(out.template_.get(), &copy_nodes);
+  std::unordered_map<const Expr*, size_t> index;
+  index.reserve(orig_nodes.size());
+  for (size_t i = 0; i < orig_nodes.size(); ++i) index[orig_nodes[i]] = i;
+  out.patches_.reserve(patches_.size());
+  for (const Patch& p : patches_) {
+    auto it = index.find(p.literal);
+    if (it == index.end()) continue;  // unreachable by construction
+    out.patches_.push_back(
+        Patch{const_cast<Expr*>(copy_nodes[it->second]), p.is_lo});
+  }
+  return out;
+}
+
+namespace {
+
 // ---------------------------------------------------------------------------
 // Range-predicate injection
 // ---------------------------------------------------------------------------
@@ -539,6 +591,12 @@ Result<SvpPlan> SvpRewriter::Rewrite(const SelectStmt& query) const {
   }
 
   plan.composition_sql_ = sql::UnparseSelect(*comp);
+  // Compile the direct-merge fast path from the composition AST while
+  // we still own it. Pure re-aggregations (every rewritable TPC-H
+  // read) get a program; anything else keeps merge_ null and composes
+  // through MemDb off the SQL text.
+  auto program = MergeProgram::Compile(std::move(comp));
+  if (program.ok()) plan.merge_ = std::move(program).value();
   plan.template_ = std::move(work);
   return plan;
 }

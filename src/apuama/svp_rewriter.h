@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "apuama/data_catalog.h"
+#include "apuama/partial_merger.h"
 #include "common/status.h"
 #include "sql/ast.h"
 
@@ -49,6 +50,18 @@ class SvpPlan {
 
   /// Composition query text (over kPartialsTable).
   const std::string& composition_sql() const { return composition_sql_; }
+
+  /// Compiled direct-merge program for the composition, or null when
+  /// the composition needs the general MemDb path (HAVING, plain row
+  /// unions, ...). Immutable and shared across plan clones.
+  const std::shared_ptr<const MergeProgram>& merge_program() const {
+    return merge_;
+  }
+
+  /// Deep-copies the plan so a cached prototype can be rendered
+  /// concurrently (SubquerySql mutates template literals in place).
+  /// The compiled merge program is shared, not copied.
+  SvpPlan Clone() const;
 
   int64_t domain_min() const { return domain_min_; }
   int64_t domain_max() const { return domain_max_; }
@@ -70,6 +83,7 @@ class SvpPlan {
   std::unique_ptr<sql::SelectStmt> template_;
   std::vector<Patch> patches_;
   std::string composition_sql_;
+  std::shared_ptr<const MergeProgram> merge_;
   int64_t domain_min_ = 0;
   int64_t domain_max_ = 0;
 };

@@ -13,12 +13,24 @@ MemDb::MemDb() {
 
 ValueType InferColumnType(
     const std::vector<const engine::QueryResult*>& partials, size_t col) {
+  // Scan every partial, not just the first: a node whose key range
+  // matched no rows returns all-NULL aggregate columns, and typing
+  // those as STRING would break numeric re-aggregation. Mixed numeric
+  // columns (one node's sum stayed integral, another's went double)
+  // promote to DOUBLE so every partial's values load.
+  bool saw_int = false;
   for (const auto* p : partials) {
     for (const Row& r : p->rows) {
-      if (col < r.size() && !r[col].is_null()) return r[col].type();
+      if (col >= r.size() || r[col].is_null()) continue;
+      ValueType t = r[col].type();
+      if (t == ValueType::kInt64) {
+        saw_int = true;
+        continue;  // keep scanning: a later double wins
+      }
+      return t;
     }
   }
-  return ValueType::kString;
+  return saw_int ? ValueType::kInt64 : ValueType::kString;
 }
 
 Status MemDb::LoadPartials(

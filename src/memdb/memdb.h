@@ -44,8 +44,10 @@ class MemDb {
   std::unique_ptr<engine::Database> db_;
 };
 
-/// Infers a column type from the values in a column across partials
-/// (first non-null wins; all-null columns become STRING).
+/// Infers a column type from the values in a column across *all*
+/// partials (a node whose range matched nothing returns all-NULL
+/// columns). Integer values promote to DOUBLE if any double appears;
+/// all-null columns become STRING.
 ValueType InferColumnType(
     const std::vector<const engine::QueryResult*>& partials, size_t col);
 

@@ -248,8 +248,7 @@ void ClusterSim::ComposeAndFinish(std::shared_ptr<SvpTicket> ticket) {
   ptrs.reserve(ticket->partials.size());
   for (const auto& p : ticket->partials) ptrs.push_back(&p);
   CompositionStats cstats;
-  auto final_result =
-      composer_.Compose(ptrs, ticket->plan.composition_sql(), &cstats);
+  auto final_result = composer_.ComposeWithPlan(ptrs, ticket->plan, &cstats);
   ticket->outcome.status = final_result.status();
   SimTime compose_time =
       final_result.ok()

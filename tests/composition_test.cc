@@ -1,0 +1,432 @@
+// The two-tier composition pipeline: direct-merge fast path
+// (MergeProgram + PartialMerger) vs the MemDb fallback, streaming
+// composition under heavy client concurrency, the plan cache, and
+// MemDb partial-type inference.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "apuama/apuama_engine.h"
+#include "apuama/partial_merger.h"
+#include "apuama/plan_cache.h"
+#include "apuama/result_composer.h"
+#include "apuama/svp_rewriter.h"
+#include "cjdbc/controller.h"
+#include "memdb/memdb.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "tpch/refresh.h"
+#include "tpch/tpch_catalog.h"
+
+namespace apuama {
+namespace {
+
+constexpr double kTestSf = 0.002;
+
+const tpch::TpchData& SharedData() {
+  static const tpch::TpchData* data =
+      new tpch::TpchData(tpch::DbgenOptions{.scale_factor = kTestSf});
+  return *data;
+}
+
+engine::QueryResult MakePartial(std::vector<std::string> names,
+                                std::vector<Row> rows) {
+  engine::QueryResult r;
+  r.column_names = std::move(names);
+  r.rows = std::move(rows);
+  return r;
+}
+
+std::vector<const engine::QueryResult*> Ptrs(
+    const std::vector<engine::QueryResult>& partials) {
+  std::vector<const engine::QueryResult*> ptrs;
+  for (const auto& p : partials) ptrs.push_back(&p);
+  return ptrs;
+}
+
+// Both tiers must reject an empty partial set the same way.
+TEST(PartialMergerTest, EmptyPartialsRejected) {
+  ResultComposer composer;
+  CompositionStats stats;
+  auto r = composer.Compose({}, "select sum(a0) from partials", &stats);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  auto m = composer.ComposeViaMemDb({}, "select sum(a0) from partials",
+                                    &stats);
+  EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+}
+
+// A node whose key range matched nothing returns one all-NULL row for
+// an ungrouped aggregate; merged output must skip the NULLs, and an
+// all-NULL column overall must stay NULL.
+TEST(PartialMergerTest, AllNullPartialsYieldNull) {
+  std::vector<engine::QueryResult> partials;
+  partials.push_back(MakePartial({"a0", "a1"},
+                                 {{Value::Null(), Value::Null()}}));
+  partials.push_back(MakePartial({"a0", "a1"},
+                                 {{Value::Int(7), Value::Null()}}));
+  partials.push_back(MakePartial({"a0", "a1"},
+                                 {{Value::Null(), Value::Null()}}));
+  ResultComposer composer;
+  CompositionStats stats;
+  auto r = composer.Compose(
+      Ptrs(partials), "select sum(a0) as s, min(a1) as m from partials",
+      &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(stats.used_fast_path);
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].int_val(), 7);
+  EXPECT_TRUE(r->rows[0][1].is_null());
+  // The MemDb tier agrees.
+  CompositionStats mstats;
+  auto m = composer.ComposeViaMemDb(
+      Ptrs(partials), "select sum(a0) as s, min(a1) as m from partials",
+      &mstats);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(mstats.used_fast_path);
+  testutil::ExpectResultsEqual(*m, *r);
+}
+
+// AVG arrives split into sum+count partial columns with the rewriter's
+// CASE-guarded quotient; the merged quotient must equal the true mean
+// and guard against zero-count groups.
+TEST(PartialMergerTest, AvgRecombination) {
+  std::vector<engine::QueryResult> partials;
+  partials.push_back(MakePartial(
+      {"g0", "a0s", "a0c"},
+      {{Value::Str("x"), Value::Double(10.0), Value::Int(4)},
+       {Value::Str("y"), Value::Null(), Value::Int(0)}}));
+  partials.push_back(MakePartial(
+      {"g0", "a0s", "a0c"},
+      {{Value::Str("x"), Value::Double(2.0), Value::Int(2)},
+       {Value::Str("y"), Value::Null(), Value::Int(0)}}));
+  const std::string comp =
+      "select g0, case when sum(a0c) = 0 then null "
+      "else sum(a0s) / sum(a0c) end as a from partials "
+      "group by g0 order by g0";
+  ResultComposer composer;
+  CompositionStats stats;
+  auto r = composer.Compose(Ptrs(partials), comp, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(stats.used_fast_path);
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->rows[0][1].double_val(), 2.0);  // 12 / 6
+  EXPECT_TRUE(r->rows[1][1].is_null());               // zero-count group
+  CompositionStats mstats;
+  auto m = composer.ComposeViaMemDb(Ptrs(partials), comp, &mstats);
+  ASSERT_TRUE(m.ok());
+  testutil::ExpectResultsEqual(*m, *r);
+}
+
+// Global ORDER BY (desc, with ties broken by the group key), OFFSET
+// and LIMIT applied after the merge.
+TEST(PartialMergerTest, OrderByLimitOffset) {
+  std::vector<engine::QueryResult> partials;
+  partials.push_back(MakePartial(
+      {"g0", "a0"},
+      {{Value::Int(1), Value::Int(5)}, {Value::Int(2), Value::Int(9)}}));
+  partials.push_back(MakePartial(
+      {"g0", "a0"},
+      {{Value::Int(3), Value::Int(9)}, {Value::Int(4), Value::Int(1)},
+       {Value::Int(1), Value::Int(4)}}));
+  const std::string comp =
+      "select g0, sum(a0) as s from partials group by g0 "
+      "order by s desc, g0 limit 2 offset 1";
+  ResultComposer composer;
+  CompositionStats stats;
+  auto r = composer.Compose(Ptrs(partials), comp, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(stats.used_fast_path);
+  // Sums: g0=1 -> 9, 2 -> 9, 3 -> 9, 4 -> 1. Desc by s then g0 asc:
+  // (1,9),(2,9),(3,9),(4,1); offset 1 limit 2 -> (2,9),(3,9).
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].int_val(), 2);
+  EXPECT_EQ(r->rows[1][0].int_val(), 3);
+  CompositionStats mstats;
+  auto m = composer.ComposeViaMemDb(Ptrs(partials), comp, &mstats);
+  ASSERT_TRUE(m.ok());
+  testutil::ExpectResultsEqual(*m, *r);
+}
+
+// Integer sums must stay integers until a double appears anywhere in
+// the column (mirrors the executor's promotion rule).
+TEST(PartialMergerTest, IntegerSumsStayIntegers) {
+  std::vector<engine::QueryResult> partials;
+  partials.push_back(
+      MakePartial({"a0", "a1"}, {{Value::Int(3), Value::Int(3)}}));
+  partials.push_back(
+      MakePartial({"a0", "a1"}, {{Value::Int(4), Value::Double(0.5)}}));
+  ResultComposer composer;
+  CompositionStats stats;
+  auto r = composer.Compose(
+      Ptrs(partials), "select sum(a0) as s, sum(a1) as t from partials",
+      &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(stats.used_fast_path);
+  EXPECT_EQ(r->rows[0][0].type(), ValueType::kInt64);
+  EXPECT_EQ(r->rows[0][0].int_val(), 7);
+  EXPECT_EQ(r->rows[0][1].type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(r->rows[0][1].double_val(), 3.5);
+}
+
+// Compositions the program cannot prove equivalent must fall back to
+// MemDb — and still answer.
+TEST(PartialMergerTest, UnsupportedShapesFallBackToMemDb) {
+  std::vector<engine::QueryResult> partials;
+  partials.push_back(MakePartial(
+      {"g0", "a0"},
+      {{Value::Int(1), Value::Int(5)}, {Value::Int(2), Value::Int(1)}}));
+  partials.push_back(
+      MakePartial({"g0", "a0"}, {{Value::Int(1), Value::Int(2)}}));
+  ResultComposer composer;
+  const std::vector<std::string> general = {
+      // HAVING: global filter over merged aggregates.
+      "select g0, sum(a0) as s from partials group by g0 "
+      "having sum(a0) > 3",
+      // DISTINCT.
+      "select distinct g0 from partials",
+      // Plain row union (no aggregates at all).
+      "select g0, a0 from partials order by g0, a0",
+      // Non-decomposable merge function.
+      "select count(distinct g0) from partials",
+  };
+  for (const auto& comp : general) {
+    SCOPED_TRACE(comp);
+    CompositionStats stats;
+    auto r = composer.Compose(Ptrs(partials), comp, &stats);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(stats.used_fast_path);
+    CompositionStats mstats;
+    auto m = composer.ComposeViaMemDb(Ptrs(partials), comp, &mstats);
+    ASSERT_TRUE(m.ok());
+    testutil::ExpectResultsEqual(*m, *r);
+  }
+}
+
+// The acceptance bar for the fast path: every composition the SVP
+// rewriter emits for the paper's TPC-H set (and the extended set)
+// compiles into a merge program — zero MemDb fallbacks end to end.
+TEST(FastPathCoverageTest, AllTpchCompositionsUseFastPath) {
+  engine::Database reference(
+      engine::DatabaseOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(SharedData().LoadInto(&reference).ok());
+  cjdbc::ReplicaSet replicas(
+      3, cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(SharedData().LoadIntoReplicas(&replicas).ok());
+  ApuamaEngine engine(&replicas, tpch::MakeTpchCatalog(SharedData()));
+
+  std::vector<int> all = tpch::PaperQueryNumbers();
+  for (int q : tpch::ExtendedQueryNumbers()) all.push_back(q);
+  uint64_t expected_fastpath = 0;
+  for (int q : all) {
+    SCOPED_TRACE("Q" + std::to_string(q));
+    auto sql = tpch::QuerySql(q);
+    ASSERT_TRUE(sql.ok());
+    auto parsed = sql::ParseSelect(*sql);
+    ASSERT_TRUE(parsed.ok());
+    auto plan = SvpRewriter(engine.data_catalog()).Rewrite(**parsed);
+    if (!plan.ok()) continue;  // non-rewritable never composes
+    EXPECT_NE(plan->merge_program(), nullptr)
+        << "composition not merge-compilable: " << plan->composition_sql();
+    auto expected = reference.Execute(*sql);
+    ASSERT_TRUE(expected.ok());
+    auto actual = engine.ExecuteRead(0, *sql);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    testutil::ExpectResultsEqual(*expected, *actual, true);
+    ++expected_fastpath;
+  }
+  EXPECT_GT(expected_fastpath, 0u);
+  EXPECT_EQ(engine.stats().compose_fastpath, expected_fastpath);
+  EXPECT_EQ(engine.stats().compose_fallback, 0u);
+}
+
+// Many clients hammering SVP aggregates while a writer churns the
+// fact tables: every result must be internally consistent, the final
+// state must match a single node, and the per-query streaming
+// composition must have run on the fast path throughout. This is the
+// schedule that deadlocked/serialized on the old global composer lock
+// (run under TSan in CI).
+TEST(ConcurrentCompositionTest, EightClientsWithUpdates) {
+  cjdbc::ReplicaSet replicas(
+      3, cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(SharedData().LoadIntoReplicas(&replicas).ok());
+  ApuamaEngine engine(&replicas,
+                      tpch::MakeTpchCatalog(SharedData(), /*headroom=*/1000));
+  cjdbc::Controller controller(std::make_unique<ApuamaDriver>(&engine));
+
+  engine::Database reference(
+      engine::DatabaseOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(SharedData().LoadInto(&reference).ok());
+
+  // Grouped + ungrouped aggregate mix, all SVP-rewritable.
+  const std::vector<std::string> reads = {
+      *tpch::QuerySql(1), *tpch::QuerySql(6),
+      "select l_shipmode, count(*) as n, sum(l_quantity) as q "
+      "from lineitem group by l_shipmode order by l_shipmode",
+      "select max(l_extendedprice), min(l_shipdate) from lineitem",
+  };
+  constexpr int kClients = 8;
+  constexpr int kItersPerClient = 6;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kItersPerClient; ++i) {
+        const auto& sql = reads[static_cast<size_t>(c + i) % reads.size()];
+        auto r = controller.Execute(sql);
+        if (!r.ok() || r->rows.empty()) bad.fetch_add(1);
+      }
+    });
+  }
+  auto stream =
+      tpch::MakeRefreshStream(SharedData().max_orderkey() + 1, 10, 7);
+  std::thread updater([&] {
+    for (const auto& stmt : stream) {
+      if (!controller.Execute(stmt.sql).ok()) bad.fetch_add(1);
+    }
+  });
+  for (auto& t : clients) t.join();
+  updater.join();
+  ASSERT_EQ(bad.load(), 0);
+
+  // Insert-then-delete restored the data: every read query now equals
+  // the untouched single-node reference.
+  EXPECT_TRUE(engine.ReplicasConsistent());
+  for (const auto& sql : reads) {
+    SCOPED_TRACE(sql);
+    auto expected = reference.Execute(sql);
+    ASSERT_TRUE(expected.ok());
+    auto actual = controller.Execute(sql);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    testutil::ExpectResultsEqual(*expected, *actual, true);
+  }
+  // Every composition above is a pure re-aggregation.
+  EXPECT_GT(engine.stats().compose_fastpath,
+            static_cast<uint64_t>(kClients * kItersPerClient) - 1);
+  EXPECT_EQ(engine.stats().compose_fallback, 0u);
+}
+
+TEST(PlanCacheTest, NormalizeSqlCollapsesCaseAndWhitespace) {
+  EXPECT_EQ(PlanCache::NormalizeSql("SELECT  *\n FROM\tT "),
+            "select * from t");
+  EXPECT_EQ(PlanCache::NormalizeSql("a"), "a");
+  EXPECT_EQ(PlanCache::NormalizeSql("  "), "");
+}
+
+TEST(PlanCacheTest, LruEvictionAndVersionInvalidation) {
+  PlanCache cache(/*capacity=*/2);
+  auto entry = std::make_shared<const PlanCache::Entry>();
+  cache.Insert("a", 1, entry);
+  cache.Insert("b", 1, entry);
+  EXPECT_NE(cache.Lookup("a", 1), nullptr);  // refreshes "a"
+  cache.Insert("c", 1, entry);               // evicts LRU "b"
+  EXPECT_NE(cache.Lookup("a", 1), nullptr);
+  EXPECT_EQ(cache.Lookup("b", 1), nullptr);
+  EXPECT_NE(cache.Lookup("c", 1), nullptr);
+  // A catalog version change drops everything.
+  EXPECT_EQ(cache.Lookup("a", 2), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// End to end: repeat submissions hit the cache, a Data Catalog domain
+// update invalidates it, and the replayed plan stays correct across
+// the domain change.
+TEST(PlanCacheTest, EngineReusesAndInvalidatesPlans) {
+  cjdbc::ReplicaSet replicas(
+      2, cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(SharedData().LoadIntoReplicas(&replicas).ok());
+  ApuamaEngine engine(&replicas,
+                      tpch::MakeTpchCatalog(SharedData(), /*headroom=*/1000));
+  const std::string sql = *tpch::QuerySql(6);
+  auto first = engine.ExecuteRead(0, sql);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(engine.stats().plan_cache_misses, 1u);
+  EXPECT_EQ(engine.stats().plan_cache_hits, 0u);
+  // Reformatted resubmission hits via normalization.
+  auto second = engine.ExecuteRead(1, "  " + sql + "\n");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.stats().plan_cache_hits, 1u);
+  testutil::ExpectResultsEqual(*first, *second);
+
+  // Domain refresh bumps the catalog version: next submission must
+  // re-rewrite (a cached plan would use stale intervals).
+  uint64_t v = engine.data_catalog()->version();
+  const auto& space = engine.data_catalog()->spaces()[0];
+  ASSERT_TRUE(engine.mutable_data_catalog()
+                  ->UpdateDomain(space.name, space.min_value,
+                                 space.max_value + 500)
+                  .ok());
+  EXPECT_GT(engine.data_catalog()->version(), v);
+  auto third = engine.ExecuteRead(0, sql);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(engine.stats().plan_cache_misses, 2u);
+  testutil::ExpectResultsEqual(*first, *third);
+}
+
+// Passthrough and non-rewritable outcomes are cached too (the miss
+// costs a parse; the repeat should not).
+TEST(PlanCacheTest, CachesNonSvpOutcomes) {
+  cjdbc::ReplicaSet replicas(
+      2, cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(SharedData().LoadIntoReplicas(&replicas).ok());
+  ApuamaEngine engine(&replicas, tpch::MakeTpchCatalog(SharedData()));
+  const std::string dim = "select count(*) from nation";
+  const std::string distinct =
+      "select count(distinct l_suppkey) from lineitem";
+  ASSERT_TRUE(engine.ExecuteRead(0, dim).ok());
+  ASSERT_TRUE(engine.ExecuteRead(0, dim).ok());
+  ASSERT_TRUE(engine.ExecuteRead(0, distinct).ok());
+  ASSERT_TRUE(engine.ExecuteRead(0, distinct).ok());
+  EXPECT_EQ(engine.stats().plan_cache_misses, 2u);
+  EXPECT_EQ(engine.stats().plan_cache_hits, 2u);
+  EXPECT_EQ(engine.stats().non_rewritable, 2u);
+}
+
+// MemDb type inference must scan all partials: a node whose range
+// matched nothing returns all-NULL columns, and typing those off the
+// first partial alone would poison the merge table.
+TEST(MemDbInferenceTest, AllNullFirstPartialTypedFromLater) {
+  std::vector<engine::QueryResult> partials;
+  partials.push_back(MakePartial({"a0", "g0"},
+                                 {{Value::Null(), Value::Null()}}));
+  partials.push_back(MakePartial(
+      {"a0", "g0"}, {{Value::Double(1.5), Value::Str("x")}}));
+  auto ptrs = Ptrs(partials);
+  EXPECT_EQ(memdb::InferColumnType(ptrs, 0), ValueType::kDouble);
+  EXPECT_EQ(memdb::InferColumnType(ptrs, 1), ValueType::kString);
+  memdb::MemDb db;
+  ASSERT_TRUE(db.LoadPartials("partials", ptrs).ok());
+  auto r = db.Execute("select sum(a0), min(g0) from partials");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->rows[0][0].double_val(), 1.5);
+}
+
+// Mixed integer/double numeric columns promote to DOUBLE so every
+// partial's values load (one node's sum stayed integral).
+TEST(MemDbInferenceTest, MixedNumericPromotesToDouble) {
+  std::vector<engine::QueryResult> partials;
+  partials.push_back(MakePartial({"a0"}, {{Value::Int(2)}}));
+  partials.push_back(MakePartial({"a0"}, {{Value::Double(0.5)}}));
+  auto ptrs = Ptrs(partials);
+  EXPECT_EQ(memdb::InferColumnType(ptrs, 0), ValueType::kDouble);
+  memdb::MemDb db;
+  ASSERT_TRUE(db.LoadPartials("partials", ptrs).ok());
+  auto r = db.Execute("select sum(a0) from partials");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->rows[0][0].double_val(), 2.5);
+}
+
+TEST(MemDbInferenceTest, AllNullEverywhereStaysString) {
+  std::vector<engine::QueryResult> partials;
+  partials.push_back(MakePartial({"a0"}, {{Value::Null()}}));
+  partials.push_back(MakePartial({"a0"}, {}));
+  EXPECT_EQ(memdb::InferColumnType(Ptrs(partials), 0),
+            ValueType::kString);
+}
+
+}  // namespace
+}  // namespace apuama
