@@ -182,6 +182,7 @@ void BM_PlanCacheLookup(benchmark::State& state) {
   entry->kind = PlanCache::Kind::kSvp;
   entry->plan = plan->Clone();
   std::string key = PlanCache::NormalizeSql(sql);
+  (void)cache.Lookup(key, 1);  // advance cache to catalog version 1
   cache.Insert(key, 1, std::move(entry));
   for (auto _ : state) {
     auto hit = cache.Lookup(PlanCache::NormalizeSql(sql), 1);

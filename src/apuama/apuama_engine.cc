@@ -126,7 +126,8 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteSvp(
 }
 
 Status ApuamaEngine::RetryFailedIntervals(
-    const std::vector<std::string>& sub_sql, std::vector<size_t> pending,
+    const std::vector<std::string>& sub_sql,
+    const std::vector<int>& dispatched_to, std::vector<size_t> pending,
     StreamingComposition* sink) {
   // Each wave resubmits every failed interval through the dispatch
   // pool at once (a dead node strands up to 1/n of the key space —
@@ -135,6 +136,12 @@ Status ApuamaEngine::RetryFailedIntervals(
   // it has not tried yet; an interval that exhausted every survivor
   // fails the query.
   std::vector<std::set<int>> tried(sub_sql.size());
+  // Seed each interval with the node it already failed on: a flaky
+  // (not marked-down) node still shows up in AvailableNodes(), and
+  // resubmitting there first would waste the whole first wave.
+  for (size_t idx : pending) {
+    if (idx < dispatched_to.size()) tried[idx].insert(dispatched_to[idx]);
+  }
   while (!pending.empty()) {
     std::vector<int> alive = replicas_->AvailableNodes();
     if (alive.empty()) {
@@ -236,8 +243,8 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteSvpPlan(SvpPlan plan) {
   }
   if (!first_error.ok()) return first_error;
   if (!failed_intervals.empty()) {
-    APUAMA_RETURN_NOT_OK(
-        RetryFailedIntervals(sub_sql, std::move(failed_intervals), &sink));
+    APUAMA_RETURN_NOT_OK(RetryFailedIntervals(
+        sub_sql, alive, std::move(failed_intervals), &sink));
   }
 
   CompositionStats cstats;

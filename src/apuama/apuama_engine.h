@@ -117,7 +117,11 @@ class ApuamaEngine {
 
   /// Resubmits failed intervals in parallel across the survivors,
   /// rotating to a different node when a retry target dies too.
+  /// `dispatched_to[i]` is the node interval i originally ran on; it
+  /// is never picked as that interval's first retry target (a flaky
+  /// node can still be listed as available).
   Status RetryFailedIntervals(const std::vector<std::string>& sub_sql,
+                              const std::vector<int>& dispatched_to,
                               std::vector<size_t> pending,
                               StreamingComposition* sink);
 

@@ -8,7 +8,22 @@ std::string PlanCache::NormalizeSql(const std::string& sql) {
   std::string out;
   out.reserve(sql.size());
   bool pending_space = false;
-  for (char ch : sql) {
+  char quote = '\0';  // active literal delimiter, or 0 when outside
+  for (size_t i = 0; i < sql.size(); ++i) {
+    const char ch = sql[i];
+    if (quote != '\0') {
+      // Literal content is part of the plan ('ABC' and 'abc' are
+      // different queries): copy verbatim, no tolower, no collapsing.
+      out.push_back(ch);
+      if (ch == quote) {
+        if (i + 1 < sql.size() && sql[i + 1] == quote) {
+          out.push_back(sql[++i]);  // doubled delimiter ('It''s')
+        } else {
+          quote = '\0';
+        }
+      }
+      continue;
+    }
     unsigned char c = static_cast<unsigned char>(ch);
     if (std::isspace(c)) {
       pending_space = !out.empty();
@@ -18,7 +33,12 @@ std::string PlanCache::NormalizeSql(const std::string& sql) {
       out.push_back(' ');
       pending_space = false;
     }
-    out.push_back(static_cast<char>(std::tolower(c)));
+    if (ch == '\'' || ch == '"') {
+      quote = ch;
+      out.push_back(ch);
+    } else {
+      out.push_back(static_cast<char>(std::tolower(c)));
+    }
   }
   return out;
 }
@@ -42,11 +62,12 @@ void PlanCache::Insert(const std::string& key, uint64_t catalog_version,
                        std::shared_ptr<const Entry> entry) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
-  if (catalog_version != version_) {
-    lru_.clear();
-    map_.clear();
-    version_ = catalog_version;
-  }
+  // A mismatched version means this entry was built against a catalog
+  // the cache is not tracking — a stale reader racing a catalog bump,
+  // or a build that outran every Lookup at its version. Either way,
+  // drop the entry; clearing here would wipe entries freshly built at
+  // the current version and regress version_. Only Lookup advances it.
+  if (catalog_version != version_) return;
   auto it = map_.find(key);
   if (it != map_.end()) {
     it->second->second = std::move(entry);

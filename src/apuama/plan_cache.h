@@ -48,6 +48,8 @@ class PlanCache {
                                       uint64_t catalog_version);
 
   /// Stores `entry` (evicting the least-recently-used key if full).
+  /// Dropped silently if `catalog_version` differs from the version
+  /// the cache is tracking (only Lookup advances that version).
   void Insert(const std::string& key, uint64_t catalog_version,
               std::shared_ptr<const Entry> entry);
 
@@ -56,8 +58,10 @@ class PlanCache {
     return map_.size();
   }
 
-  /// Cache key: lower-cased SQL with whitespace runs collapsed, so
-  /// trivially reformatted resubmissions of a template hit.
+  /// Cache key: lower-cased SQL with whitespace runs collapsed —
+  /// outside string literals only; quoted content ('…' or "…",
+  /// doubled-delimiter escapes included) is preserved verbatim, since
+  /// literals are part of the plan and must key distinctly.
   static std::string NormalizeSql(const std::string& sql);
 
  private:

@@ -30,6 +30,12 @@ Result<engine::QueryResult> ReplicaSet::ExecuteOn(int node_id,
     return Status::Unavailable("node " + std::to_string(node_id) +
                                " is down");
   }
+  for (int cur = n.fail_next.load(); cur > 0;) {
+    if (n.fail_next.compare_exchange_weak(cur, cur - 1)) {
+      return Status::Unavailable("node " + std::to_string(node_id) +
+                                 " dropped statement (injected fault)");
+    }
+  }
   std::lock_guard<std::mutex> lock(n.mu);
   return n.db->Execute(sql);
 }
@@ -37,6 +43,12 @@ Result<engine::QueryResult> ReplicaSet::ExecuteOn(int node_id,
 void ReplicaSet::SetNodeAvailable(int node_id, bool available) {
   if (node_id >= 0 && node_id < num_nodes()) {
     nodes_[static_cast<size_t>(node_id)]->available.store(available);
+  }
+}
+
+void ReplicaSet::FailNextStatements(int node_id, int count) {
+  if (node_id >= 0 && node_id < num_nodes()) {
+    nodes_[static_cast<size_t>(node_id)]->fail_next.store(count);
   }
 }
 

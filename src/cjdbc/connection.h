@@ -83,11 +83,18 @@ class ReplicaSet {
   /// Ids of currently available nodes, ascending.
   std::vector<int> AvailableNodes() const;
 
+  /// Flaky-node injection: the next `count` statements on `node_id`
+  /// return Unavailable while the node stays listed by
+  /// AvailableNodes() (a transient fault, not a marked-down node).
+  /// Overwrites any previous count; 0 clears the injection.
+  void FailNextStatements(int node_id, int count);
+
  private:
   struct NodeState {
     std::unique_ptr<engine::Database> db;
     std::mutex mu;
     std::atomic<bool> available{true};
+    std::atomic<int> fail_next{0};
   };
   std::vector<std::unique_ptr<NodeState>> nodes_;
 };

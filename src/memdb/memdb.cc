@@ -11,26 +11,47 @@ MemDb::MemDb() {
   db_ = std::make_unique<engine::Database>(opts);
 }
 
-ValueType InferColumnType(
+Result<ValueType> InferColumnType(
     const std::vector<const engine::QueryResult*>& partials, size_t col) {
   // Scan every partial, not just the first: a node whose key range
   // matched no rows returns all-NULL aggregate columns, and typing
   // those as STRING would break numeric re-aggregation. Mixed numeric
   // columns (one node's sum stayed integral, another's went double)
-  // promote to DOUBLE so every partial's values load.
+  // promote to DOUBLE so every partial's values load. Any other mix
+  // (numeric next to string, string next to date) has no type every
+  // value fits — loading under either would corrupt the merge, so it
+  // is rejected rather than typed by whichever value scans first.
   bool saw_int = false;
+  bool saw_double = false;
+  ValueType other = ValueType::kNull;  // first non-numeric type seen
   for (const auto* p : partials) {
     for (const Row& r : p->rows) {
       if (col >= r.size() || r[col].is_null()) continue;
       ValueType t = r[col].type();
       if (t == ValueType::kInt64) {
         saw_int = true;
-        continue;  // keep scanning: a later double wins
+      } else if (t == ValueType::kDouble) {
+        saw_double = true;
+      } else if (other == ValueType::kNull) {
+        other = t;
+      } else if (other != t) {
+        return Status::InvalidArgument(
+            StrFormat("partials disagree on column %zu type: %s vs %s", col,
+                      ValueTypeName(other), ValueTypeName(t)));
       }
-      return t;
     }
   }
-  return saw_int ? ValueType::kInt64 : ValueType::kString;
+  if (other != ValueType::kNull) {
+    if (saw_int || saw_double) {
+      return Status::InvalidArgument(
+          StrFormat("partials disagree on column %zu type: numeric vs %s",
+                    col, ValueTypeName(other)));
+    }
+    return other;
+  }
+  if (saw_double) return ValueType::kDouble;
+  if (saw_int) return ValueType::kInt64;
+  return ValueType::kString;  // all NULL everywhere
 }
 
 Status MemDb::LoadPartials(
@@ -52,8 +73,8 @@ Status MemDb::LoadPartials(
   for (size_t c = 0; c < names.size(); ++c) {
     std::string name = ToLower(names[c]);
     if (name.empty()) name = StrFormat("c%zu", c);
-    APUAMA_RETURN_NOT_OK(
-        schema.AddColumn(Column(name, InferColumnType(partials, c))));
+    APUAMA_ASSIGN_OR_RETURN(ValueType type, InferColumnType(partials, c));
+    APUAMA_RETURN_NOT_OK(schema.AddColumn(Column(name, type)));
   }
   APUAMA_ASSIGN_OR_RETURN(storage::Table * table,
                           db_->catalog()->CreateTable(table_name, schema));

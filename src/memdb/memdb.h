@@ -23,9 +23,10 @@ class MemDb {
   MemDb();
 
   /// Creates (or replaces) a table whose schema is inferred from the
-  /// partial result's column names and first non-null value of each
-  /// column, then loads all rows of every partial into it.
-  /// All partials must share the column layout of the first.
+  /// partial results' column names and the non-null values of each
+  /// column (see InferColumnType), then loads all rows of every
+  /// partial into it. All partials must share the column layout of
+  /// the first.
   Status LoadPartials(const std::string& table_name,
                       const std::vector<const engine::QueryResult*>& partials);
 
@@ -47,8 +48,10 @@ class MemDb {
 /// Infers a column type from the values in a column across *all*
 /// partials (a node whose range matched nothing returns all-NULL
 /// columns). Integer values promote to DOUBLE if any double appears;
-/// all-null columns become STRING.
-ValueType InferColumnType(
+/// all-null columns become STRING. A column mixing numeric and
+/// non-numeric values (or two different non-numeric types) across
+/// partials is InvalidArgument — there is no type every value fits.
+Result<ValueType> InferColumnType(
     const std::vector<const engine::QueryResult*>& partials, size_t col);
 
 }  // namespace apuama::memdb

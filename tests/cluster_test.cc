@@ -57,7 +57,9 @@ TEST(MemDbTest, ReloadReplacesTable) {
 
 TEST(MemDbTest, AllNullColumnGetsStringType) {
   QueryResult p = MakePartial({"x"}, {{Value::Null()}});
-  EXPECT_EQ(memdb::InferColumnType({&p}, 0), ValueType::kString);
+  auto t = memdb::InferColumnType({&p}, 0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, ValueType::kString);
 }
 
 TEST(MemDbTest, ColumnCountMismatchRejected) {

@@ -317,9 +317,45 @@ TEST(PlanCacheTest, NormalizeSqlCollapsesCaseAndWhitespace) {
   EXPECT_EQ(PlanCache::NormalizeSql("  "), "");
 }
 
+// Literal content is part of the plan: queries differing only inside
+// a quoted literal must produce different keys, or the second query
+// would silently replay the first one's cached plan.
+TEST(PlanCacheTest, NormalizeSqlPreservesStringLiterals) {
+  EXPECT_EQ(PlanCache::NormalizeSql("SELECT * FROM t WHERE x = 'ABC'"),
+            "select * from t where x = 'ABC'");
+  EXPECT_NE(PlanCache::NormalizeSql("select 'ABC'"),
+            PlanCache::NormalizeSql("select 'abc'"));
+  EXPECT_NE(PlanCache::NormalizeSql("select 'a  b'"),
+            PlanCache::NormalizeSql("select 'a b'"));
+  // Doubled delimiter stays inside the literal; normalization resumes
+  // after the closing quote.
+  EXPECT_EQ(PlanCache::NormalizeSql("SELECT 'It''S  X'  AS  A"),
+            "select 'It''S  X' as a");
+  // Double-quoted identifiers are preserved verbatim too.
+  EXPECT_EQ(PlanCache::NormalizeSql("SELECT \"Col  A\" FROM T"),
+            "select \"Col  A\" from t");
+}
+
+// An insert carrying a catalog version the cache is not tracking is
+// dropped: it must neither wipe entries built at the current version
+// nor regress the cache's version.
+TEST(PlanCacheTest, StaleVersionInsertDropped) {
+  PlanCache cache(/*capacity=*/4);
+  auto entry = std::make_shared<const PlanCache::Entry>();
+  EXPECT_EQ(cache.Lookup("a", 2), nullptr);  // advances cache to v2
+  cache.Insert("a", 2, entry);
+  cache.Insert("b", 1, entry);  // stale reader racing a catalog bump
+  EXPECT_EQ(cache.Lookup("b", 2), nullptr);  // stale entry not stored
+  EXPECT_NE(cache.Lookup("a", 2), nullptr);  // current entry survives
+  EXPECT_EQ(cache.size(), 1u);
+}
+
 TEST(PlanCacheTest, LruEvictionAndVersionInvalidation) {
   PlanCache cache(/*capacity=*/2);
   auto entry = std::make_shared<const PlanCache::Entry>();
+  // Only Lookup advances the cache's catalog version; engine flow is
+  // always Lookup-miss-then-Insert at the version Lookup saw.
+  EXPECT_EQ(cache.Lookup("a", 1), nullptr);
   cache.Insert("a", 1, entry);
   cache.Insert("b", 1, entry);
   EXPECT_NE(cache.Lookup("a", 1), nullptr);  // refreshes "a"
@@ -396,8 +432,9 @@ TEST(MemDbInferenceTest, AllNullFirstPartialTypedFromLater) {
   partials.push_back(MakePartial(
       {"a0", "g0"}, {{Value::Double(1.5), Value::Str("x")}}));
   auto ptrs = Ptrs(partials);
-  EXPECT_EQ(memdb::InferColumnType(ptrs, 0), ValueType::kDouble);
-  EXPECT_EQ(memdb::InferColumnType(ptrs, 1), ValueType::kString);
+  ASSERT_TRUE(memdb::InferColumnType(ptrs, 0).ok());
+  EXPECT_EQ(*memdb::InferColumnType(ptrs, 0), ValueType::kDouble);
+  EXPECT_EQ(*memdb::InferColumnType(ptrs, 1), ValueType::kString);
   memdb::MemDb db;
   ASSERT_TRUE(db.LoadPartials("partials", ptrs).ok());
   auto r = db.Execute("select sum(a0), min(g0) from partials");
@@ -412,7 +449,8 @@ TEST(MemDbInferenceTest, MixedNumericPromotesToDouble) {
   partials.push_back(MakePartial({"a0"}, {{Value::Int(2)}}));
   partials.push_back(MakePartial({"a0"}, {{Value::Double(0.5)}}));
   auto ptrs = Ptrs(partials);
-  EXPECT_EQ(memdb::InferColumnType(ptrs, 0), ValueType::kDouble);
+  ASSERT_TRUE(memdb::InferColumnType(ptrs, 0).ok());
+  EXPECT_EQ(*memdb::InferColumnType(ptrs, 0), ValueType::kDouble);
   memdb::MemDb db;
   ASSERT_TRUE(db.LoadPartials("partials", ptrs).ok());
   auto r = db.Execute("select sum(a0) from partials");
@@ -424,8 +462,32 @@ TEST(MemDbInferenceTest, AllNullEverywhereStaysString) {
   std::vector<engine::QueryResult> partials;
   partials.push_back(MakePartial({"a0"}, {{Value::Null()}}));
   partials.push_back(MakePartial({"a0"}, {}));
-  EXPECT_EQ(memdb::InferColumnType(Ptrs(partials), 0),
-            ValueType::kString);
+  auto t = memdb::InferColumnType(Ptrs(partials), 0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, ValueType::kString);
+}
+
+// A column mixing numeric and non-numeric values across partials has
+// no type every value fits: inference must reject it, not type it by
+// whichever non-int value happens to scan first.
+TEST(MemDbInferenceTest, MixedNumericAndStringRejected) {
+  std::vector<engine::QueryResult> partials;
+  partials.push_back(MakePartial({"a0"}, {{Value::Int(7)}}));
+  partials.push_back(MakePartial({"a0"}, {{Value::Str("oops")}}));
+  auto ptrs = Ptrs(partials);
+  auto t = memdb::InferColumnType(ptrs, 0);
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  memdb::MemDb db;
+  EXPECT_EQ(db.LoadPartials("partials", ptrs).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MemDbInferenceTest, MixedNonNumericTypesRejected) {
+  std::vector<engine::QueryResult> partials;
+  partials.push_back(MakePartial({"a0"}, {{Value::Str("x")}}));
+  partials.push_back(MakePartial({"a0"}, {{Value::Date(10)}}));
+  EXPECT_EQ(memdb::InferColumnType(Ptrs(partials), 0).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

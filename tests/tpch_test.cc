@@ -534,6 +534,36 @@ TEST(SvpFailoverTest, WritesDuringOutageDoNotDeadlockSvp) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
 }
 
+// A flaky node (fails a statement but is never marked down) stays in
+// AvailableNodes(), so the retry wave must be seeded with the node
+// the interval just failed on: one injected failure, one retry on
+// the *other* survivor, exact results. With two injected failures a
+// retry aimed back at the flaky node would burn a whole extra wave.
+TEST(SvpFailoverTest, FlakyNodeRetryAvoidsFailedNode) {
+  cjdbc::ReplicaSet replicas(
+      2, cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(SharedData().LoadIntoReplicas(&replicas).ok());
+  ApuamaOptions opts;
+  // Route sub-queries through ReplicaSet::ExecuteOn so the injected
+  // fault is visible to the dispatch path.
+  opts.node_options.force_index_for_svp = false;
+  ApuamaEngine engine(&replicas, tpch::MakeTpchCatalog(SharedData()), opts);
+  engine::Database reference(
+      engine::DatabaseOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(SharedData().LoadInto(&reference).ok());
+  auto expected = reference.Execute(*tpch::QuerySql(6));
+  auto parsed = sql::ParseSelect(*tpch::QuerySql(6));
+
+  replicas.FailNextStatements(1, 2);
+  auto r = engine.ExecuteSvp(**parsed);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  testutil::ExpectResultsEqual(*expected, *r);
+  // Node 1's interval was resubmitted exactly once — straight to the
+  // survivor, never back to the node that just failed it.
+  EXPECT_EQ(engine.stats().svp_retries, 1u);
+  replicas.FailNextStatements(1, 0);  // clear the unconsumed fault
+}
+
 TEST(SvpFailoverTest, AllNodesDownIsUnavailable) {
   cjdbc::ReplicaSet replicas(
       2, cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = 0});
