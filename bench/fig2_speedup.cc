@@ -36,6 +36,10 @@ int main() {
   for (int n : nodes) {
     ClusterSimOptions opts;
     opts.num_nodes = n;
+    // Intra-node morsel threads per node: figures default to the
+    // paper's single-threaded executor; set APUAMA_EXEC_THREADS to
+    // measure the intra-node deltas (BENCH_intranode.json).
+    opts.exec_threads = EnvInt("APUAMA_EXEC_THREADS", 1);
     ClusterSim cluster(data, opts);
     pool_pages = cluster.pool_pages();
     for (int q : tpch::PaperQueryNumbers()) {

@@ -171,6 +171,67 @@ void BM_ComposeStreamingPrecompiled(benchmark::State& state) {
 }
 BENCHMARK(BM_ComposeStreamingPrecompiled)->Arg(100)->Arg(2000);
 
+// Morsel-driven parallel aggregation over a 200k-row table.
+// Args: {exec_threads, group cardinality} — 50 groups keeps the merge
+// trivial and isolates scan fan-out; 50k groups stresses the
+// partial-hash-table build and the morsel-order merge.
+//
+// Wall time only shows a speedup when the host has cores to spare; CI
+// boxes are often 1-core, so the counters also report the cost
+// model's critical-path view: `charged` = sequential ops +
+// ceil(parallel ops / threads), and `model_speedup` = total ops /
+// charged — the virtual-time speedup the simulator uses.
+void BM_MorselAggregate(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int groups = static_cast<int>(state.range(1));
+  engine::Database db(engine::DatabaseOptions{.buffer_pool_pages = 0});
+  if (!db.Execute("create table m (g int, v double)").ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  constexpr int kRows = 200000;
+  std::vector<Row> rows;
+  rows.reserve(kRows);
+  for (int i = 0; i < kRows; ++i) {
+    rows.push_back(
+        {Value::Int(i % groups), Value::Double((i % 97) * 0.5)});
+  }
+  auto table = db.catalog()->GetTable("m");
+  if (!table.ok() || !(*table)->BulkLoad(std::move(rows)).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  if (!db.Execute("set exec_threads = " + std::to_string(threads)).ok()) {
+    state.SkipWithError("set exec_threads failed");
+    return;
+  }
+  const std::string sql =
+      "select g, count(*), sum(v), min(v), max(v) from m group by g";
+  engine::ExecStats stats;
+  for (auto _ : state) {
+    auto r = db.Execute(sql);
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    stats = r->stats;
+    benchmark::DoNotOptimize(r);
+  }
+  const uint64_t par = std::min(stats.cpu_ops_parallel, stats.cpu_ops);
+  const uint64_t width = static_cast<uint64_t>(threads);
+  const uint64_t charged =
+      (stats.cpu_ops - par) + (par + width - 1) / width;
+  state.counters["morsels"] = static_cast<double>(stats.morsels);
+  state.counters["cpu_ops"] = static_cast<double>(stats.cpu_ops);
+  state.counters["charged"] = static_cast<double>(charged);
+  state.counters["model_speedup"] =
+      static_cast<double>(stats.cpu_ops) / static_cast<double>(charged);
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_MorselAggregate)
+    ->ArgsProduct({{1, 2, 4, 8}, {50, 50000}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PlanCacheLookup(benchmark::State& state) {
   DataCatalog catalog = tpch::MakeTpchCatalog(BenchData());
   SvpRewriter rewriter(&catalog);

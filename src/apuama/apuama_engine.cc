@@ -1,10 +1,12 @@
 #include "apuama/apuama_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <set>
 
 #include "cjdbc/controller.h"
+#include "engine/database.h"
 #include "sql/analyzer.h"
 #include "sql/parser.h"
 
@@ -18,9 +20,20 @@ ApuamaEngine::ApuamaEngine(cjdbc::ReplicaSet* replicas, DataCatalog catalog,
       consistency_(replicas->num_nodes(), [replicas](int i) {
         return replicas->IsNodeAvailable(i);
       }) {
+  NodeProcessorOptions node_options = options.node_options;
+  if (node_options.exec_threads <= 0) {
+    // Split one machine-wide thread budget across the nodes this
+    // process simulates, instead of letting every node claim the full
+    // hardware concurrency for itself.
+    const int budget = options.exec_thread_budget > 0
+                           ? options.exec_thread_budget
+                           : engine::DefaultExecThreads();
+    node_options.exec_threads =
+        std::max(1, budget / std::max(1, replicas_->num_nodes()));
+  }
   for (int i = 0; i < replicas_->num_nodes(); ++i) {
     processors_.push_back(
-        std::make_unique<NodeProcessor>(i, replicas_, options.node_options));
+        std::make_unique<NodeProcessor>(i, replicas_, node_options));
   }
   int threads = options.dispatch_threads;
   if (threads < replicas_->num_nodes()) threads = replicas_->num_nodes();

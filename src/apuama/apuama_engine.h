@@ -47,6 +47,12 @@ struct ApuamaOptions {
   AvpOptions avp;
   /// Threads used to dispatch sub-queries concurrently.
   int dispatch_threads = 8;
+  /// Total intra-node (morsel) execution threads across the cluster,
+  /// divided evenly per node with a floor of 1. 0 = one machine-wide
+  /// default budget (engine::DefaultExecThreads()) — NOT the per-node
+  /// default, which would oversubscribe the host n_nodes times.
+  /// Ignored when node_options.exec_threads is already set.
+  int exec_thread_budget = 0;
   /// Entries in the parse+rewrite plan cache (0 disables it).
   size_t plan_cache_entries = 128;
 };

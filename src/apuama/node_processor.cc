@@ -32,7 +32,13 @@ class PoolSlot {
 NodeProcessor::NodeProcessor(int node_id, cjdbc::ReplicaSet* replicas,
                              NodeProcessorOptions options)
     : node_id_(node_id), replicas_(replicas), options_(options),
-      pool_available_(options.pool_size < 1 ? 1 : options.pool_size) {}
+      pool_available_(options.pool_size < 1 ? 1 : options.pool_size) {
+  if (options_.exec_threads > 0) {
+    std::lock_guard<std::mutex> node_lock(*replicas_->node_mutex(node_id_));
+    replicas_->node(node_id_)->settings()->exec_threads =
+        options_.exec_threads;
+  }
+}
 
 Result<engine::QueryResult> NodeProcessor::Execute(const std::string& sql) {
   PoolSlot slot(&pool_mu_, &pool_cv_, &pool_available_);

@@ -27,6 +27,12 @@ struct NodeProcessorOptions {
   bool force_index_for_svp = true;
   /// Connections in the pool (bounds concurrent statements per node).
   int pool_size = 2;
+  /// Intra-node morsel-execution threads applied to this node's
+  /// session (third parallelism level). <= 0 leaves the node at its
+  /// own default (APUAMA_EXEC_THREADS / hardware concurrency). The
+  /// engine sets this from its cluster-wide budget so n_nodes nodes
+  /// never oversubscribe the host with n_nodes * default threads.
+  int exec_threads = 0;
 };
 
 class NodeProcessor {

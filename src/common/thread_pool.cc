@@ -1,5 +1,9 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
 namespace apuama {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -33,6 +37,104 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+  }
+}
+
+void WaitGroup::Add(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ += n;
+}
+
+void WaitGroup::Done() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ > 0) --count_;
+  if (count_ == 0) cv_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return count_ == 0; });
+}
+
+namespace {
+
+// Shared state of one ParallelFor. Held by shared_ptr so helper tasks
+// that get scheduled after the caller already returned (pool was
+// busy, all indices were consumed by faster threads) find valid state
+// and exit immediately.
+struct ParallelForState {
+  size_t begin = 0;
+  size_t end = 0;
+  std::function<Status(size_t)> body;
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> stop{false};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;  // indices accounted for (ran or skipped)
+  Status first_error;
+  std::exception_ptr first_exception;
+
+  // Claims and runs indices until none remain. Every claimed index is
+  // counted `done` even when skipped after an error, so the caller's
+  // wait condition (done == end - begin) always completes.
+  void Drain() {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      if (!stop.load(std::memory_order_relaxed)) {
+        Status s;
+        try {
+          s = body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!first_exception) first_exception = std::current_exception();
+          stop.store(true, std::memory_order_relaxed);
+          s = Status::OK();  // recorded as exception, not status
+        }
+        if (!s.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (first_error.ok()) first_error = s;
+          stop.store(true, std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == end - begin) cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+Status ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                   const std::function<Status(size_t)>& body) {
+  if (end <= begin) return Status::OK();
+  const size_t n = end - begin;
+  if (pool == nullptr || pool->num_threads() == 0 || n == 1) {
+    for (size_t i = begin; i < end; ++i) {
+      APUAMA_RETURN_NOT_OK(body(i));
+    }
+    return Status::OK();
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->begin = begin;
+  state->end = end;
+  state->next.store(begin);
+  state->body = body;
+
+  const size_t helpers = std::min(pool->num_threads(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state] { state->Drain(); });
+  }
+  state->Drain();  // caller participates; guarantees progress even
+                   // when every pool worker is busy elsewhere
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->done == n; });
+    if (state->first_exception) std::rethrow_exception(state->first_exception);
+    return state->first_error;
   }
 }
 

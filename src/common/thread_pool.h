@@ -1,6 +1,7 @@
 // Fixed-size worker pool used by the Apuama Intra-Query Executor to
-// dispatch SVP sub-queries to node processors concurrently, and by the
-// workload runner for client streams.
+// dispatch SVP sub-queries to node processors concurrently, by the
+// workload runner for client streams, and (via ParallelFor) by the
+// engine's morsel-driven intra-node executor.
 #ifndef APUAMA_COMMON_THREAD_POOL_H_
 #define APUAMA_COMMON_THREAD_POOL_H_
 
@@ -11,6 +12,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace apuama {
 
@@ -65,6 +68,32 @@ class Latch {
   std::condition_variable cv_;
   int count_;
 };
+
+/// Go-style wait group: Add() before handing work out, Done() as each
+/// piece finishes, Wait() until the count returns to zero. Unlike
+/// Latch the count can grow while waiters are parked.
+class WaitGroup {
+ public:
+  void Add(int n = 1);
+  void Done();
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
+/// Runs body(i) for every i in [begin, end) using `pool` workers as
+/// helpers, with the calling thread participating. Safe to call from
+/// inside a pool task (the caller always makes progress on its own,
+/// so a saturated pool degrades to inline execution instead of
+/// deadlocking). Returns the first non-OK Status produced by any
+/// invocation; once an error is observed, unstarted indices are
+/// skipped. Exceptions thrown by `body` are rethrown on the calling
+/// thread. `pool` may be null: the loop then runs inline.
+Status ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                   const std::function<Status(size_t)>& body);
 
 }  // namespace apuama
 

@@ -1,7 +1,9 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <optional>
+#include <thread>
 
 #include "common/string_util.h"
 #include "engine/eval.h"
@@ -17,14 +19,18 @@ using sql::StmtKind;
 std::string ExecStats::ToString() const {
   return StrFormat(
       "pages_disk=%llu pages_cache=%llu tuples_scanned=%llu "
-      "tuples_output=%llu cpu_ops=%llu rows_affected=%llu seq=%d idx=%d",
+      "tuples_output=%llu cpu_ops=%llu cpu_par=%llu rows_affected=%llu "
+      "morsels=%llu threads=%u seq=%d idx=%d",
       static_cast<unsigned long long>(pages_disk),
       static_cast<unsigned long long>(pages_cache),
       static_cast<unsigned long long>(tuples_scanned),
       static_cast<unsigned long long>(tuples_output),
       static_cast<unsigned long long>(cpu_ops),
+      static_cast<unsigned long long>(cpu_ops_parallel),
       static_cast<unsigned long long>(rows_affected),
-      used_seq_scan ? 1 : 0, used_index_scan ? 1 : 0);
+      static_cast<unsigned long long>(morsels),
+      static_cast<unsigned>(exec_threads), used_seq_scan ? 1 : 0,
+      used_index_scan ? 1 : 0);
 }
 
 std::string QueryResult::ToString(size_t max_rows) const {
@@ -42,8 +48,33 @@ std::string QueryResult::ToString(size_t max_rows) const {
   return out;
 }
 
+int DefaultExecThreads() {
+  if (const char* env = std::getenv("APUAMA_EXEC_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<int>(std::min<long>(v, 128));
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min<unsigned>(hw, 128));
+}
+
 Database::Database(DatabaseOptions options)
-    : options_(options), pool_(options.buffer_pool_pages) {}
+    : options_(options), pool_(options.buffer_pool_pages) {
+  settings_.exec_threads = DefaultExecThreads();
+}
+
+ThreadPool* Database::exec_pool() {
+  const int threads = settings_.exec_threads;
+  if (threads <= 1) return nullptr;
+  if (exec_pool_ == nullptr || exec_pool_threads_ != threads) {
+    exec_pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(threads - 1));
+    exec_pool_threads_ = threads;
+  }
+  return exec_pool_.get();
+}
 
 Result<QueryResult> Database::Execute(const std::string& sql) {
   APUAMA_ASSIGN_OR_RETURN(sql::StmtPtr stmt, sql::Parse(sql));
@@ -520,6 +551,27 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
       settings_.enable_seqscan = true;
     } else {
       return Status::InvalidArgument("bad value for enable_seqscan: " +
+                                     stmt.value);
+    }
+    return QueryResult{};
+  }
+  if (name == "exec_threads") {
+    char* end = nullptr;
+    long v = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || v < 1 || v > 128) {
+      return Status::InvalidArgument("bad value for exec_threads: " +
+                                     stmt.value);
+    }
+    settings_.exec_threads = static_cast<int>(v);
+    return QueryResult{};
+  }
+  if (name == "morsel_exec") {
+    if (value == "off" || value == "false" || value == "0") {
+      settings_.enable_morsel_exec = false;
+    } else if (value == "on" || value == "true" || value == "1") {
+      settings_.enable_morsel_exec = true;
+    } else {
+      return Status::InvalidArgument("bad value for morsel_exec: " +
                                      stmt.value);
     }
     return QueryResult{};

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "engine/exec_stats.h"
 #include "engine/query_result.h"
 #include "sql/ast.h"
@@ -26,7 +27,20 @@ namespace apuama::engine {
 /// enable_seqscan off around SVP sub-queries (paper section 3).
 struct SessionSettings {
   bool enable_seqscan = true;
+  /// Intra-node threads for morsel-parallel aggregates (third level of
+  /// parallelism under inter-query and inter-node). 1 = run the morsel
+  /// pipeline inline. Seeded from DefaultExecThreads(); `SET
+  /// exec_threads = N` overrides per session.
+  int exec_threads = 1;
+  /// Escape hatch: `SET morsel_exec = off` routes every query through
+  /// the sequential pipeline (ablation / legacy comparison).
+  bool enable_morsel_exec = true;
 };
+
+/// Default intra-node execution threads: the APUAMA_EXEC_THREADS
+/// environment variable when set (clamped to [1, 128]), otherwise the
+/// hardware concurrency.
+int DefaultExecThreads();
 
 struct DatabaseOptions {
   /// Buffer pool capacity in 8 KiB pages; 0 = unbounded.
@@ -48,6 +62,13 @@ class Database {
   storage::BufferPool* buffer_pool() { return &pool_; }
   SessionSettings* settings() { return &settings_; }
   const SessionSettings& settings() const { return settings_; }
+
+  /// Shared worker pool for morsel-parallel execution, sized
+  /// exec_threads - 1 (the query thread participates via ParallelFor).
+  /// Null when exec_threads <= 1. Lazily (re)built when the setting
+  /// changes; one pool per node bounds intra-node threads regardless
+  /// of how many statements the node processes over its lifetime.
+  ThreadPool* exec_pool();
 
   /// Count of committed write transactions (INSERT/DELETE/UPDATE
   /// statements outside explicit transactions; one per COMMIT inside).
@@ -81,6 +102,8 @@ class Database {
   storage::Catalog catalog_;
   storage::BufferPool pool_;
   SessionSettings settings_;
+  std::unique_ptr<ThreadPool> exec_pool_;
+  int exec_pool_threads_ = 0;  // exec_threads the pool was built for
   std::atomic<uint64_t> txn_counter_{0};
   bool in_txn_ = false;
   bool txn_wrote_ = false;

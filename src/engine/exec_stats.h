@@ -26,6 +26,15 @@ struct ExecStats {
   uint64_t cpu_ops = 0;
   /// Rows inserted/deleted/updated by DML.
   uint64_t rows_affected = 0;
+  /// Morsels executed by the intra-node parallel pipeline (0 when the
+  /// statement ran the sequential pipeline).
+  uint64_t morsels = 0;
+  /// Subset of cpu_ops incurred inside morsel workers — work the cost
+  /// model may divide by `exec_threads` (everything else is critical-
+  /// path sequential work: planning, merge, finalization).
+  uint64_t cpu_ops_parallel = 0;
+  /// Intra-node threads the morsel region ran with (1 = inline).
+  uint32_t exec_threads = 1;
   /// True when the plan used at least one full (sequential) scan.
   bool used_seq_scan = false;
   /// True when the plan used at least one index path.
@@ -38,6 +47,9 @@ struct ExecStats {
     tuples_output += o.tuples_output;
     cpu_ops += o.cpu_ops;
     rows_affected += o.rows_affected;
+    morsels += o.morsels;
+    cpu_ops_parallel += o.cpu_ops_parallel;
+    if (o.exec_threads > exec_threads) exec_threads = o.exec_threads;
     used_seq_scan = used_seq_scan || o.used_seq_scan;
     used_index_scan = used_index_scan || o.used_index_scan;
     return *this;

@@ -1,12 +1,14 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <map>
 #include <set>
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "engine/database.h"
 #include "storage/table.h"
 
@@ -241,6 +243,93 @@ Value AggFinalize(const AggAcc& acc, const Expr& agg) {
   }
   return Value::Null();
 }
+
+// Folds `src` into `dst` with the same promotion and tie rules
+// AggUpdate applies row-by-row: int sums stay int until either side
+// saw a double, min/max keep the earlier value on ties, DISTINCT sets
+// union. Merging per-morsel partials in morsel order therefore yields
+// the same bits regardless of which thread produced which partial.
+void AggMerge(AggAcc* dst, const AggAcc& src, const Expr& agg) {
+  if (agg.star_arg) {
+    dst->count += src.count;
+    return;
+  }
+  if (agg.distinct) {
+    dst->distinct.insert(src.distinct.begin(), src.distinct.end());
+    return;
+  }
+  dst->count += src.count;
+  if (!src.has_value) return;
+  dst->has_value = true;
+  if (agg.func_name == "min") {
+    if (dst->min_v.is_null() || (!src.min_v.is_null() &&
+                                 src.min_v.Compare(dst->min_v) < 0)) {
+      dst->min_v = src.min_v;
+    }
+    return;
+  }
+  if (agg.func_name == "max") {
+    if (dst->max_v.is_null() || (!src.max_v.is_null() &&
+                                 src.max_v.Compare(dst->max_v) > 0)) {
+      dst->max_v = src.max_v;
+    }
+    return;
+  }
+  if (agg.func_name == "sum" || agg.func_name == "avg") {
+    if (!src.any_double && !dst->any_double) {
+      dst->isum += src.isum;
+    } else {
+      if (!dst->any_double) {
+        dst->dsum = static_cast<double>(dst->isum);
+        dst->any_double = true;
+      }
+      dst->dsum += src.any_double ? src.dsum : static_cast<double>(src.isum);
+    }
+  }
+}
+
+// One group's accumulated state: a copy of the group's first input
+// row (for evaluating non-aggregate expressions) + one accumulator
+// per aggregate node.
+struct AggGroup {
+  Row repr;
+  std::vector<AggAcc> accs;
+};
+// Groups ordered by key so finalization order is deterministic.
+using GroupMap = std::map<Row, AggGroup, storage::KeyLess>;
+
+bool ExprHasSubquery(const Expr& e) {
+  if (e.subquery != nullptr) return true;
+  for (const auto& c : e.children) {
+    if (ExprHasSubquery(*c)) return true;
+  }
+  return e.case_else != nullptr && ExprHasSubquery(*e.case_else);
+}
+
+bool StmtHasSubquery(const SelectStmt& s) {
+  for (const auto& item : s.items) {
+    if (item.expr && ExprHasSubquery(*item.expr)) return true;
+  }
+  if (s.where && ExprHasSubquery(*s.where)) return true;
+  for (const auto& g : s.group_by) {
+    if (ExprHasSubquery(*g)) return true;
+  }
+  if (s.having && ExprHasSubquery(*s.having)) return true;
+  for (const auto& o : s.order_by) {
+    if (ExprHasSubquery(*o.expr)) return true;
+  }
+  return false;
+}
+
+// Rows per intra-node scan morsel. The decomposition is page-aligned
+// (Table::Morsels) and depends only on table contents, never on the
+// thread count.
+constexpr size_t kMorselRows = 1024;
+
+// Hash partitions for the parallel merge of per-morsel aggregation
+// partials. Fixed (never thread-dependent) so the decomposition and
+// all accounting are identical at every thread count.
+constexpr size_t kMergePartitions = 16;
 
 // Collects aggregate call nodes reachable without crossing a subquery.
 void CollectAggNodes(const Expr& e, std::vector<const Expr*>* out) {
@@ -587,15 +676,10 @@ Result<Relation> Executor::ExecuteFromWhere(const SelectStmt& stmt,
 // Table scans with access-path choice
 // ---------------------------------------------------------------------------
 
-Result<Relation> Executor::ScanTable(const FromBinding& fb,
-                                     const std::vector<const Expr*>& preds,
-                                     const EvalScope* outer) {
+Result<Executor::ScanPlan> Executor::PlanScan(
+    const FromBinding& fb, const std::vector<const Expr*>& preds,
+    const EvalScope* outer) {
   const storage::Table& t = *fb.table;
-  Relation rel;
-  rel.columns.reserve(t.schema().num_columns());
-  for (const auto& col : t.schema().columns()) {
-    rel.columns.push_back(ColumnBinding{fb.binding, col.name});
-  }
 
   // Extract sargable bounds per column: conjuncts of shape
   // <col> op <outer-evaluable expr>, or BETWEEN.
@@ -694,9 +778,12 @@ Result<Relation> Executor::ScanTable(const FromBinding& fb,
   // charged kIndexPageCostFactor per page, like a real optimizer
   // penalizing non-sequential I/O.
   const size_t seq_pages = t.num_pages();
-  AccessPath path = AccessPath::kSeqScan;
-  size_t range_begin = 0, range_end = t.num_rows();
-  std::vector<size_t> index_positions;
+  ScanPlan plan;
+  plan.range_end = t.num_rows();
+  AccessPath& path = plan.path;
+  size_t& range_begin = plan.range_begin;
+  size_t& range_end = plan.range_end;
+  std::vector<size_t>& index_positions = plan.index_positions;
   double best_cost = seq_pages == 0 ? 1.0 : static_cast<double>(seq_pages);
   bool have_alt = false;
 
@@ -773,6 +860,20 @@ Result<Relation> Executor::ScanTable(const FromBinding& fb,
   } else {
     stats_->used_index_scan = true;
   }
+  return plan;
+}
+
+Result<Relation> Executor::ScanTable(const FromBinding& fb,
+                                     const std::vector<const Expr*>& preds,
+                                     const EvalScope* outer) {
+  const storage::Table& t = *fb.table;
+  Relation rel;
+  rel.columns.reserve(t.schema().num_columns());
+  for (const auto& col : t.schema().columns()) {
+    rel.columns.push_back(ColumnBinding{fb.binding, col.name});
+  }
+
+  APUAMA_ASSIGN_OR_RETURN(ScanPlan plan, PlanScan(fb, preds, outer));
 
   // Emit rows, touching pages through the buffer pool and applying
   // every predicate (the path is an optimization, not a filter
@@ -805,7 +906,7 @@ Result<Relation> Executor::ScanTable(const FromBinding& fb,
     return Status::OK();
   };
 
-  switch (path) {
+  switch (plan.path) {
     case AccessPath::kSeqScan: {
       size_t rpp = t.rows_per_page();
       for (size_t pos = 0; pos < t.num_rows(); ++pos) {
@@ -817,7 +918,7 @@ Result<Relation> Executor::ScanTable(const FromBinding& fb,
     case AccessPath::kClusteredRange: {
       size_t rpp = t.rows_per_page();
       size_t last_page = SIZE_MAX;
-      for (size_t pos = range_begin; pos < range_end; ++pos) {
+      for (size_t pos = plan.range_begin; pos < plan.range_end; ++pos) {
         size_t pg = pos / rpp;
         if (pg != last_page) {
           touch(pos);
@@ -830,7 +931,7 @@ Result<Relation> Executor::ScanTable(const FromBinding& fb,
     case AccessPath::kSecondaryIndex: {
       size_t rpp = t.rows_per_page();
       size_t last_page = SIZE_MAX;
-      for (size_t pos : index_positions) {
+      for (size_t pos : plan.index_positions) {
         size_t pg = pos / rpp;
         if (pg != last_page) {
           touch(pos);
@@ -1185,8 +1286,6 @@ Result<bool> Executor::SubqueryContains(const SelectStmt& sub,
 
 Result<QueryResult> Executor::ExecuteSelect(const SelectStmt& stmt,
                                             const EvalScope* outer) {
-  APUAMA_ASSIGN_OR_RETURN(Relation rel, ExecuteFromWhere(stmt, outer));
-
   bool has_agg = !stmt.group_by.empty();
   for (const auto& it : stmt.items) {
     if (it.expr && sql::ContainsAggregate(*it.expr)) has_agg = true;
@@ -1196,9 +1295,16 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectStmt& stmt,
     if (sql::ContainsAggregate(*o.expr)) has_agg = true;
   }
 
-  Result<QueryResult> result =
-      has_agg ? AggregateAndProject(stmt, std::move(rel), outer)
-              : ProjectOnly(stmt, std::move(rel), outer);
+  Result<QueryResult> result = QueryResult{};
+  if (has_agg && MorselEligible(stmt, outer)) {
+    // Fused scan + filter + partitioned pre-aggregation. Taken even at
+    // exec_threads = 1 so the result never depends on the knob.
+    result = ExecuteMorselAggregate(stmt);
+  } else {
+    APUAMA_ASSIGN_OR_RETURN(Relation rel, ExecuteFromWhere(stmt, outer));
+    result = has_agg ? AggregateAndProject(stmt, std::move(rel), outer)
+                     : ProjectOnly(stmt, std::move(rel), outer);
+  }
   if (result.ok()) {
     result->stats = *stats_;
     result->stats.tuples_output = result->rows.size();
@@ -1263,6 +1369,73 @@ void DedupePreservingOrder(std::vector<Row>* rows) {
     if (seen.insert(r).second) out.push_back(std::move(r));
   }
   *rows = std::move(out);
+}
+
+// Shared tail of both aggregation paths (sequential and morsel):
+// finalize accumulators, apply HAVING, project, order, dedupe, and
+// offset/limit. `header` must have the column layout the group
+// representatives were drawn from.
+Result<QueryResult> FinalizeGroups(Executor* exec, ExecStats* stats,
+                                   const SelectStmt& stmt,
+                                   const Relation& header, GroupMap* groups,
+                                   const std::vector<const Expr*>& agg_nodes,
+                                   const EvalScope* outer) {
+  QueryResult qr;
+  for (const auto& it : stmt.items) {
+    qr.column_names.push_back(OutputName(it, qr.column_names.size()));
+  }
+  std::vector<bool> desc;
+  for (const auto& o : stmt.order_by) desc.push_back(o.desc);
+
+  ColumnResolver resolver(&header);
+  EvalScope scope{&resolver, nullptr, outer};
+  EvalContext ctx;
+  ctx.scope = &scope;
+  ctx.executor = exec;
+  ctx.cpu_ops = &stats->cpu_ops;
+
+  std::vector<std::pair<Row, Row>> keyed;
+  keyed.reserve(groups->size());
+  for (auto& [key, grp] : *groups) {
+    std::unordered_map<const Expr*, Value> agg_values;
+    for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
+      agg_values[agg_nodes[ai]] = AggFinalize(grp.accs[ai], *agg_nodes[ai]);
+    }
+    scope.row = &grp.repr;
+    EvalContext gctx = ctx;
+    gctx.agg_values = &agg_values;
+
+    if (stmt.having) {
+      APUAMA_ASSIGN_OR_RETURN(Value hv, Eval(*stmt.having, gctx));
+      if (Truthiness(hv) != 1) continue;
+    }
+    Row out;
+    out.reserve(stmt.items.size());
+    for (const auto& it2 : stmt.items) {
+      APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*it2.expr, gctx));
+      out.push_back(std::move(v));
+    }
+    Row skey;
+    for (const auto& o : stmt.order_by) {
+      int slot = OrderOutputSlot(o, qr.column_names);
+      if (slot >= 0) {
+        skey.push_back(out[static_cast<size_t>(slot)]);
+      } else {
+        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*o.expr, gctx));
+        skey.push_back(std::move(v));
+      }
+    }
+    keyed.emplace_back(std::move(skey), std::move(out));
+  }
+
+  if (!stmt.order_by.empty()) {
+    SortRows(&keyed, desc, &stats->cpu_ops);
+  }
+  qr.rows.reserve(keyed.size());
+  for (auto& [k, out] : keyed) qr.rows.push_back(std::move(out));
+  if (stmt.distinct) DedupePreservingOrder(&qr.rows);
+  ApplyOffsetLimit(stmt, &qr.rows);
+  return qr;
 }
 
 }  // namespace
@@ -1350,14 +1523,8 @@ Result<QueryResult> Executor::AggregateAndProject(const SelectStmt& stmt,
   ctx.executor = this;
   ctx.cpu_ops = &stats_->cpu_ops;
 
-  struct Group {
-    size_t repr_index = 0;  // first row of the group
-    std::vector<AggAcc> accs;
-  };
-  std::map<Row, Group, storage::KeyLess> groups;
-
-  for (size_t ri = 0; ri < rel.rows.size(); ++ri) {
-    const Row& r = rel.rows[ri];
+  GroupMap groups;
+  for (const Row& r : rel.rows) {
     scope.row = &r;
     Row key;
     key.reserve(stmt.group_by.size());
@@ -1366,9 +1533,9 @@ Result<QueryResult> Executor::AggregateAndProject(const SelectStmt& stmt,
       key.push_back(std::move(v));
     }
     auto [it, inserted] = groups.try_emplace(std::move(key));
-    Group& grp = it->second;
+    AggGroup& grp = it->second;
     if (inserted) {
-      grp.repr_index = ri;
+      grp.repr = r;
       grp.accs.resize(agg_nodes.size());
     }
     for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
@@ -1384,64 +1551,256 @@ Result<QueryResult> Executor::AggregateAndProject(const SelectStmt& stmt,
   }
 
   // Global aggregate over empty input still yields one group.
-  Row null_repr(rel.columns.size(), Value::Null());
   if (groups.empty() && stmt.group_by.empty()) {
-    Group g;
+    AggGroup g;
+    g.repr = Row(rel.columns.size(), Value::Null());
     g.accs.resize(agg_nodes.size());
     groups.emplace(Row{}, std::move(g));
   }
 
-  QueryResult qr;
-  for (const auto& it : stmt.items) {
-    qr.column_names.push_back(OutputName(it, qr.column_names.size()));
+  return FinalizeGroups(this, stats_, stmt, rel, &groups, agg_nodes, outer);
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven intra-node parallel aggregation
+// ---------------------------------------------------------------------------
+
+bool Executor::MorselEligible(const SelectStmt& stmt,
+                              const EvalScope* outer) const {
+  if (outer != nullptr) return false;  // correlated context
+  if (!db_->settings()->enable_morsel_exec) return false;
+  if (stmt.from.size() != 1) return false;  // joins stay sequential
+  for (const auto& item : stmt.items) {
+    if (item.star) return false;
   }
-  std::vector<bool> desc;
-  for (const auto& o : stmt.order_by) desc.push_back(o.desc);
+  // Morsel workers run without an executor, so any subquery anywhere
+  // in the statement forces the sequential pipeline.
+  return !StmtHasSubquery(stmt);
+}
 
-  std::vector<std::pair<Row, Row>> keyed;
-  keyed.reserve(groups.size());
-  for (auto& [key, grp] : groups) {
-    std::unordered_map<const Expr*, Value> agg_values;
-    for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
-      agg_values[agg_nodes[ai]] = AggFinalize(grp.accs[ai], *agg_nodes[ai]);
-    }
-    const Row& repr =
-        rel.rows.empty() ? null_repr : rel.rows[grp.repr_index];
-    scope.row = &repr;
-    EvalContext gctx = ctx;
-    gctx.agg_values = &agg_values;
+Result<QueryResult> Executor::ExecuteMorselAggregate(const SelectStmt& stmt) {
+  // Resolve the single FROM table.
+  APUAMA_ASSIGN_OR_RETURN(
+      const storage::Table* tp,
+      static_cast<const storage::Catalog*>(db_->catalog())
+          ->GetTable(stmt.from[0].table));
+  const storage::Table& t = *tp;
+  FromBinding fb;
+  fb.binding = ToLower(stmt.from[0].binding());
+  fb.table = tp;
 
-    if (stmt.having) {
-      APUAMA_ASSIGN_OR_RETURN(Value hv, Eval(*stmt.having, gctx));
-      if (Truthiness(hv) != 1) continue;
+  // With one table every WHERE conjunct is a scan predicate (subquery
+  // predicates were ruled out by eligibility).
+  std::vector<const Expr*> preds = sql::SplitConjuncts(stmt.where.get());
+
+  APUAMA_ASSIGN_OR_RETURN(ScanPlan plan, PlanScan(fb, preds, nullptr));
+
+  // Aggregate inventory, same as the sequential pipeline.
+  std::vector<const Expr*> agg_nodes;
+  for (const auto& it : stmt.items) {
+    if (it.expr) CollectAggNodes(*it.expr, &agg_nodes);
+  }
+  if (stmt.having) CollectAggNodes(*stmt.having, &agg_nodes);
+  for (const auto& o : stmt.order_by) CollectAggNodes(*o.expr, &agg_nodes);
+
+  Relation header;
+  header.columns.reserve(t.schema().num_columns());
+  for (const auto& col : t.schema().columns()) {
+    header.columns.push_back(ColumnBinding{fb.binding, col.name});
+  }
+
+  // All buffer-pool traffic happens here on the coordinator, in
+  // exactly the order the sequential scan touches pages: the pool is
+  // not thread-safe, and LRU state must not depend on worker timing.
+  auto touch = [&](size_t pos) {
+    bool hit = db_->buffer_pool()->Touch(t.PageOfPosition(pos));
+    if (hit) {
+      ++stats_->pages_cache;
+    } else {
+      ++stats_->pages_disk;
     }
-    Row out;
-    out.reserve(stmt.items.size());
-    for (const auto& it2 : stmt.items) {
-      APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*it2.expr, gctx));
-      out.push_back(std::move(v));
+  };
+  const size_t rpp = t.rows_per_page();
+  std::vector<storage::Table::Morsel> morsels;
+  switch (plan.path) {
+    case AccessPath::kSeqScan: {
+      for (size_t pos = 0; pos < t.num_rows(); ++pos) {
+        if (pos % rpp == 0) touch(pos);
+      }
+      morsels = t.Morsels(0, t.num_rows(), kMorselRows);
+      break;
     }
-    Row skey;
-    for (const auto& o : stmt.order_by) {
-      int slot = OrderOutputSlot(o, qr.column_names);
-      if (slot >= 0) {
-        skey.push_back(out[static_cast<size_t>(slot)]);
-      } else {
-        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*o.expr, gctx));
-        skey.push_back(std::move(v));
+    case AccessPath::kClusteredRange: {
+      size_t last_page = SIZE_MAX;
+      for (size_t pos = plan.range_begin; pos < plan.range_end; ++pos) {
+        size_t pg = pos / rpp;
+        if (pg != last_page) {
+          touch(pos);
+          last_page = pg;
+        }
+      }
+      morsels = t.Morsels(plan.range_begin, plan.range_end, kMorselRows);
+      break;
+    }
+    case AccessPath::kSecondaryIndex: {
+      size_t last_page = SIZE_MAX;
+      for (size_t pos : plan.index_positions) {
+        size_t pg = pos / rpp;
+        if (pg != last_page) {
+          touch(pos);
+          last_page = pg;
+        }
+      }
+      // Morselize the sorted position list itself.
+      for (size_t i = 0; i < plan.index_positions.size(); i += kMorselRows) {
+        morsels.push_back(storage::Table::Morsel{
+            i, std::min(i + kMorselRows, plan.index_positions.size())});
+      }
+      break;
+    }
+  }
+  const bool by_position_list = plan.path == AccessPath::kSecondaryIndex;
+
+  // Per-morsel partial aggregation: every morsel owns a private set of
+  // hash tables and counters, so workers share no mutable state. Keys
+  // are hash-partitioned at build time so the merge can fan out too;
+  // the partition count is a fixed constant (never thread-dependent)
+  // to keep the decomposition — and thus all accounting — identical at
+  // every thread count.
+  struct MorselPartial {
+    std::array<std::unordered_map<Row, AggGroup, RowHash, RowEq>,
+               kMergePartitions>
+        groups;
+    uint64_t cpu = 0;
+    uint64_t scanned = 0;
+  };
+  std::vector<MorselPartial> partials(morsels.size());
+
+  auto run_morsel = [&](size_t mi) -> Status {
+    MorselPartial& part = partials[mi];
+    ColumnResolver resolver(&header);
+    EvalScope scope{&resolver, nullptr, nullptr};
+    EvalContext ctx;
+    ctx.scope = &scope;
+    ctx.executor = nullptr;  // eligibility guaranteed no subqueries
+    ctx.cpu_ops = &part.cpu;
+    for (size_t j = morsels[mi].begin; j < morsels[mi].end; ++j) {
+      const size_t pos = by_position_list ? plan.index_positions[j] : j;
+      const Row& r = t.row(pos);
+      ++part.scanned;
+      scope.row = &r;
+      bool keep = true;
+      for (const Expr* p : preds) {
+        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*p, ctx));
+        if (Truthiness(v) != 1) {
+          keep = false;
+          break;
+        }
+      }
+      if (!keep) continue;
+      Row key;
+      key.reserve(stmt.group_by.size());
+      for (const auto& g : stmt.group_by) {
+        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*g, ctx));
+        key.push_back(std::move(v));
+      }
+      const size_t bucket = RowHash{}(key) % kMergePartitions;
+      auto [it, inserted] = part.groups[bucket].try_emplace(std::move(key));
+      AggGroup& grp = it->second;
+      if (inserted) {
+        grp.repr = r;
+        grp.accs.resize(agg_nodes.size());
+      }
+      for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
+        const Expr& agg = *agg_nodes[ai];
+        ++part.cpu;
+        if (agg.star_arg) {
+          AggUpdate(&grp.accs[ai], agg, Value::Null());
+        } else {
+          APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*agg.children[0], ctx));
+          AggUpdate(&grp.accs[ai], agg, v);
+        }
       }
     }
-    keyed.emplace_back(std::move(skey), std::move(out));
+    return Status::OK();
+  };
+
+  int want = db_->settings()->exec_threads;
+  if (want < 1) want = 1;
+  const size_t threads =
+      morsels.empty()
+          ? 1
+          : std::min<size_t>(static_cast<size_t>(want), morsels.size());
+  ThreadPool* pool = threads > 1 ? db_->exec_pool() : nullptr;
+  APUAMA_RETURN_NOT_OK(ParallelFor(pool, 0, morsels.size(), run_morsel));
+
+  stats_->morsels += morsels.size();
+  if (static_cast<uint32_t>(threads) > stats_->exec_threads) {
+    stats_->exec_threads = static_cast<uint32_t>(threads);
   }
 
-  if (!stmt.order_by.empty()) {
-    SortRows(&keyed, desc, &stats_->cpu_ops);
+  for (const MorselPartial& part : partials) {
+    stats_->tuples_scanned += part.scanned;
+    stats_->cpu_ops += part.cpu;
+    stats_->cpu_ops_parallel += part.cpu;
   }
-  qr.rows.reserve(keyed.size());
-  for (auto& [k, out] : keyed) qr.rows.push_back(std::move(out));
-  if (stmt.distinct) DedupePreservingOrder(&qr.rows);
-  ApplyOffsetLimit(stmt, &qr.rows);
-  return qr;
+
+  // Partitioned merge: each key lives in exactly one partition (its
+  // hash is the same in every morsel), so partitions are independent
+  // and merge in parallel. Within a partition, partials fold in
+  // morsel-index order — the first morsel to see a key contributes
+  // its accumulators wholesale, later ones fold in via AggMerge — so
+  // values never depend on which thread ran what, and thread count 1
+  // takes the exact same code path.
+  struct PartitionResult {
+    std::unordered_map<Row, AggGroup, RowHash, RowEq> groups;
+    uint64_t cpu = 0;
+  };
+  std::vector<PartitionResult> merged(kMergePartitions);
+  auto merge_partition = [&](size_t p) -> Status {
+    PartitionResult& out = merged[p];
+    for (size_t mi = 0; mi < partials.size(); ++mi) {
+      for (auto& [key, lg] : partials[mi].groups[p]) {
+        auto [it, inserted] = out.groups.try_emplace(key);
+        ++out.cpu;
+        if (inserted) {
+          it->second = std::move(lg);
+          continue;
+        }
+        for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
+          ++out.cpu;
+          AggMerge(&it->second.accs[ai], lg.accs[ai], *agg_nodes[ai]);
+        }
+      }
+    }
+    return Status::OK();
+  };
+  APUAMA_RETURN_NOT_OK(
+      ParallelFor(pool, 0, kMergePartitions, merge_partition));
+
+  // Fold the partitions into the canonical ordered group map. Keys are
+  // unique across partitions, so this is a pure re-sort; it is the
+  // sequential tail of the pipeline and is charged as such.
+  GroupMap groups;
+  for (PartitionResult& pr : merged) {
+    stats_->cpu_ops += pr.cpu;
+    stats_->cpu_ops_parallel += pr.cpu;
+    for (auto& [key, g] : pr.groups) {
+      ++stats_->cpu_ops;
+      groups.emplace(key, std::move(g));
+    }
+  }
+
+  // Global aggregate over empty input still yields one group.
+  if (groups.empty() && stmt.group_by.empty()) {
+    AggGroup g;
+    g.repr = Row(header.columns.size(), Value::Null());
+    g.accs.resize(agg_nodes.size());
+    groups.emplace(Row{}, std::move(g));
+  }
+
+  return FinalizeGroups(this, stats_, stmt, header, &groups, agg_nodes,
+                        nullptr);
 }
 
 }  // namespace apuama::engine

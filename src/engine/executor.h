@@ -65,14 +65,42 @@ class Executor {
  private:
   struct ConjunctInfo;
 
+  /// Access-path decision for one base-table scan: the winning path
+  /// plus the row range (seq / clustered range) or the sorted heap
+  /// positions (secondary index) it covers.
+  struct ScanPlan {
+    AccessPath path = AccessPath::kSeqScan;
+    size_t range_begin = 0;
+    size_t range_end = 0;
+    std::vector<size_t> index_positions;
+  };
+
   /// FROM + WHERE: scans, joins, residual filters, subquery
   /// predicates. Produces the pre-aggregation relation.
   Result<Relation> ExecuteFromWhere(const sql::SelectStmt& stmt,
                                     const EvalScope* outer);
 
+  /// Chooses the access path for one scan (bounds extraction + page
+  /// cost comparison) and records it in scan_paths() / stats.
+  Result<ScanPlan> PlanScan(const FromBinding& fb,
+                            const std::vector<const sql::Expr*>& preds,
+                            const EvalScope* outer);
+
   Result<Relation> ScanTable(const FromBinding& fb,
                              const std::vector<const sql::Expr*>& preds,
                              const EvalScope* outer);
+
+  /// True when `stmt` can run on the fused morsel pipeline: a single
+  /// FROM table, no SELECT *, and no subqueries anywhere (morsel
+  /// workers carry no executor, so they cannot re-enter).
+  bool MorselEligible(const sql::SelectStmt& stmt,
+                      const EvalScope* outer) const;
+
+  /// Morsel-driven scan + filter + partitioned pre-aggregation for
+  /// eligible single-table aggregates. The morsel decomposition and
+  /// the merge order depend only on table contents — never on the
+  /// thread count — so results are bit-identical at any width.
+  Result<QueryResult> ExecuteMorselAggregate(const sql::SelectStmt& stmt);
 
   Result<Relation> ApplySubqueryPredicate(Relation rel, const sql::Expr& e,
                                           const EvalScope* outer);

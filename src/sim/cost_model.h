@@ -29,12 +29,20 @@ struct CostModel {
   /// enforcement grows with the number of replicas notified.
   SimTime write_sync_per_node_us = 2000;
 
-  /// Service time of one statement executed at a node.
+  /// Service time of one statement executed at a node. CPU work done
+  /// inside the morsel-parallel region shrinks by the intra-node
+  /// thread count (critical-path charging); planning, merge, and
+  /// finalization stay sequential.
   SimTime StatementTime(const engine::ExecStats& s) const {
+    const uint64_t par =
+        s.cpu_ops_parallel < s.cpu_ops ? s.cpu_ops_parallel : s.cpu_ops;
+    const uint64_t seq = s.cpu_ops - par;
+    const uint64_t width = s.exec_threads == 0 ? 1 : s.exec_threads;
+    const uint64_t charged_cpu = seq + (par + width - 1) / width;
     return message_us +
            static_cast<SimTime>(s.pages_disk) * disk_page_us +
            static_cast<SimTime>(s.pages_cache) * cache_page_us +
-           static_cast<SimTime>(s.cpu_ops) * cpu_op_us +
+           static_cast<SimTime>(charged_cpu) * cpu_op_us +
            static_cast<SimTime>(s.tuples_output) * row_transfer_us;
   }
 

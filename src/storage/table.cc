@@ -253,6 +253,29 @@ size_t Table::rows_per_page() const {
   return cached_rows_per_page_;
 }
 
+std::vector<Table::Morsel> Table::Morsels(size_t begin, size_t end,
+                                          size_t target_rows) const {
+  std::vector<Morsel> out;
+  if (begin >= end) return out;
+  if (target_rows == 0) target_rows = 1;
+  const size_t rpp = rows_per_page();
+  // Round the morsel size up to whole pages so an interior boundary
+  // always falls on a page boundary.
+  const size_t step = std::max(rpp, (target_rows + rpp - 1) / rpp * rpp);
+  size_t cur = begin;
+  while (cur < end) {
+    // First boundary after `cur` that is page-aligned and at least
+    // `step` rows away (the leading morsel absorbs any unaligned
+    // prefix of the range).
+    size_t next = (cur / rpp) * rpp + step;
+    if (next <= cur) next = cur + step;
+    if (next > end) next = end;
+    out.push_back(Morsel{cur, next});
+    cur = next;
+  }
+  return out;
+}
+
 size_t Table::num_pages() const {
   size_t rpp = rows_per_page();
   return (rows_.size() + rpp - 1) / rpp;

@@ -116,6 +116,21 @@ class Table {
   /// Extracts the clustered-key tuple of a row.
   Row KeyOfRow(const Row& row) const;
 
+  // --- Morsel-range iteration ----------------------------------------------
+
+  /// One scan morsel: a contiguous heap-position range [begin, end).
+  struct Morsel {
+    size_t begin;
+    size_t end;
+  };
+
+  /// Splits [begin, end) into morsels of roughly `target_rows` rows
+  /// each, with interior boundaries aligned to page boundaries so no
+  /// logical page is shared between two morsels (workers then never
+  /// contend on a page's rows). Empty when begin >= end.
+  std::vector<Morsel> Morsels(size_t begin, size_t end,
+                              size_t target_rows) const;
+
   // --- Page accounting -----------------------------------------------------
 
   /// Rows stored per logical page (>=1), derived from average row size.

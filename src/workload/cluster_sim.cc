@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/database.h"
 #include "sql/parser.h"
 #include "storage/catalog.h"
 
@@ -51,6 +52,12 @@ ClusterSim::ClusterSim(const tpch::TpchData& data, ClusterSimOptions options)
       cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = pool_pages_});
   s = data.LoadIntoReplicas(replicas_.get());
   (void)s;
+  const int exec_threads = options.exec_threads > 0
+                               ? options.exec_threads
+                               : engine::DefaultExecThreads();
+  for (int i = 0; i < options.num_nodes; ++i) {
+    replicas_->node(i)->settings()->exec_threads = exec_threads;
+  }
   rewriter_ = std::make_unique<SvpRewriter>(&catalog_);
   for (int i = 0; i < options.num_nodes; ++i) {
     servers_.push_back(

@@ -77,6 +77,12 @@ struct ClusterSimOptions {
   /// Per-node slowdown factors (service time multipliers); empty =
   /// homogeneous cluster. Size must equal num_nodes when set.
   std::vector<double> node_speed_factors;
+  /// Intra-node morsel execution threads per simulated node. Pinned
+  /// (default 1, the paper's single-threaded executor) rather than
+  /// inherited from APUAMA_EXEC_THREADS / the host's core count, so
+  /// simulated figures are bit-reproducible on any machine. <= 0 =
+  /// engine::DefaultExecThreads() (opt-in, used by fig2 deltas).
+  int exec_threads = 1;
 };
 
 /// Outcome of one simulated statement.

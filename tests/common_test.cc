@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -151,6 +153,109 @@ TEST(LatchTest, WaitsForCountdown) {
   }
   latch.Wait();
   EXPECT_EQ(done.load(), 3);
+}
+
+TEST(WaitGroupTest, WaitsForAllDone) {
+  ThreadPool pool(4);
+  WaitGroup wg;
+  std::atomic<int> done{0};
+  wg.Add(8);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      done.fetch_add(1);
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(WaitGroupTest, ZeroCountReturnsImmediately) {
+  WaitGroup wg;
+  wg.Wait();  // must not block
+}
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  Status s = ParallelFor(&pool, 0, 100, [&](size_t i) {
+    hits[i].fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsOk) {
+  ThreadPool pool(2);
+  bool ran = false;
+  EXPECT_TRUE(ParallelFor(&pool, 5, 5, [&](size_t) {
+                ran = true;
+                return Status::OK();
+              }).ok());
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, NullPoolRunsInlineInOrder) {
+  std::vector<size_t> order;
+  Status s = ParallelFor(nullptr, 3, 8, [&](size_t i) {
+    order.push_back(i);  // no pool: same thread, so no race
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(order, (std::vector<size_t>{3, 4, 5, 6, 7}));
+}
+
+TEST(ParallelForTest, FirstErrorIsReturnedAndStopsNewWork) {
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  Status s = ParallelFor(&pool, 0, 1000, [&](size_t i) {
+    started.fetch_add(1);
+    if (i == 3) return Status::Internal("boom");
+    return Status::OK();
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  // Indices claimed after the error are skipped, not run.
+  EXPECT_LT(started.load(), 1000);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      {
+        (void)ParallelFor(&pool, 0, 16, [&](size_t i) -> Status {
+          if (i == 7) throw std::runtime_error("kaput");
+          return Status::OK();
+        });
+      },
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedSubmissionDoesNotDeadlock) {
+  // A ParallelFor issued from inside a pool task must complete even
+  // when every worker is busy: the calling task drains indices itself.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  Status s = ParallelFor(&pool, 0, 4, [&](size_t) {
+    return ParallelFor(&pool, 0, 8, [&](size_t) {
+      inner_total.fetch_add(1);
+      return Status::OK();
+    });
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ParallelForTest, SingleIndexRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> runs{0};
+  EXPECT_TRUE(ParallelFor(&pool, 41, 42, [&](size_t i) {
+                EXPECT_EQ(i, 41u);
+                runs.fetch_add(1);
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(runs.load(), 1);
 }
 
 }  // namespace

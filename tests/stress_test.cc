@@ -98,6 +98,76 @@ TEST(StressTest, MixedTrafficKeepsReplicasIdentical) {
   }
 }
 
+// Intra-node morsel executors under heavy cross-client pressure:
+// 8 clients (7 analysts + a refresh stream) against a cluster whose
+// nodes each fan scans out on a 2-thread morsel pool. Primarily a
+// TSan target (CI runs this suite with APUAMA_EXEC_THREADS=4 under
+// -fsanitize=thread); it also checks the storm leaves answers
+// unchanged once the self-cancelling refresh stream drains.
+TEST(StressTest, ParallelExecutorsUnderConcurrentClients) {
+  const tpch::TpchData data(tpch::DbgenOptions{.scale_factor = 0.001});
+  cjdbc::ReplicaSet replicas(
+      2, cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(data.LoadIntoReplicas(&replicas).ok());
+  ApuamaOptions options;
+  options.node_options.exec_threads = 2;  // force morsel fan-out per node
+  ApuamaEngine engine(&replicas,
+                      tpch::MakeTpchCatalog(data, /*headroom=*/2000),
+                      options);
+  cjdbc::Controller controller(std::make_unique<ApuamaDriver>(&engine));
+
+  // Q1/Q6 take the morsel pipeline inside each node; Q12/Q14 are
+  // joins and exercise the sequential fallback concurrently.
+  const std::vector<int> queries = {1, 6, 12, 14};
+  std::vector<engine::QueryResult> baseline;
+  for (int q : queries) {
+    auto r = controller.Execute(*tpch::QuerySql(q));
+    ASSERT_TRUE(r.ok()) << "Q" << q << ": " << r.status().ToString();
+    baseline.push_back(*std::move(r));
+  }
+
+  std::atomic<bool> failed{false};
+  auto analyst = [&](int which) {
+    for (int i = 0; i < 8 && !failed.load(); ++i) {
+      int q = queries[(i + which) % queries.size()];
+      auto r = controller.Execute(*tpch::QuerySql(q));
+      if (!r.ok() || r->rows.empty()) {
+        failed = true;
+        ADD_FAILURE() << "Q" << q << ": "
+                      << (r.ok() ? "no rows" : r.status().ToString());
+      }
+    }
+  };
+  auto updater = [&] {
+    auto stream = tpch::MakeRefreshStream(data.max_orderkey() + 1, 8, 77);
+    for (const auto& stmt : stream) {
+      if (failed.load()) return;
+      auto r = controller.Execute(stmt.sql);
+      if (!r.ok()) {
+        failed = true;
+        ADD_FAILURE() << stmt.sql << ": " << r.status().ToString();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 7; ++c) threads.emplace_back(analyst, c);
+  threads.emplace_back(updater);
+  for (auto& t : threads) t.join();
+  ASSERT_FALSE(failed.load());
+  EXPECT_TRUE(engine.ReplicasConsistent());
+
+  // The refresh stream restored table contents, so each query must
+  // reproduce its pre-storm answer (tolerance, not bits: the refresh
+  // churn may relocate rows, which reassociates double sums).
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto r = controller.Execute(*tpch::QuerySql(queries[i]));
+    ASSERT_TRUE(r.ok()) << "Q" << queries[i];
+    SCOPED_TRACE("Q" + std::to_string(queries[i]));
+    testutil::ExpectResultsEqual(baseline[i], *r);
+  }
+}
+
 TEST(StressTest, CrashDuringTrafficThenRecover) {
   const tpch::TpchData data(tpch::DbgenOptions{.scale_factor = 0.001});
   cjdbc::ReplicaSet replicas(

@@ -74,6 +74,31 @@ inline void ExpectResultsEqual(const engine::QueryResult& expected,
   }
 }
 
+/// Asserts two results are bit-identical: same columns, same row
+/// order, and every value's exact printed representation matches (no
+/// floating-point tolerance — used by the parallel-determinism tests,
+/// where "close" is not good enough).
+inline void ExpectResultsIdentical(const engine::QueryResult& expected,
+                                   const engine::QueryResult& actual) {
+  ASSERT_EQ(expected.column_names, actual.column_names);
+  ASSERT_EQ(expected.num_rows(), actual.num_rows())
+      << "expected:\n"
+      << expected.ToString(8) << "actual:\n"
+      << actual.ToString(8);
+  for (size_t i = 0; i < expected.rows.size(); ++i) {
+    ASSERT_EQ(expected.rows[i].size(), actual.rows[i].size()) << "row " << i;
+    for (size_t j = 0; j < expected.rows[i].size(); ++j) {
+      const Value& e = expected.rows[i][j];
+      const Value& a = actual.rows[i][j];
+      EXPECT_TRUE(e.is_null() == a.is_null() &&
+                  (e.is_null() || e.Compare(a) == 0) &&
+                  e.ToString() == a.ToString())
+          << "row " << i << " col " << j << ": expected " << e.ToString()
+          << " actual " << a.ToString();
+    }
+  }
+}
+
 }  // namespace apuama::testutil
 
 #endif  // APUAMA_TESTS_TEST_UTIL_H_
