@@ -12,6 +12,22 @@
 
 namespace apuama {
 
+std::string ApuamaStats::ToString() const {
+  auto v = [](const std::atomic<uint64_t>& a) {
+    return std::to_string(a.load(std::memory_order_relaxed));
+  };
+  return "svp=" + v(svp_queries) + " passthrough=" + v(passthrough_reads) +
+         " writes=" + v(writes) + " non_rewritable=" + v(non_rewritable) +
+         " partial_rows=" + v(partial_rows_total) +
+         " compose_ms=" + v(compose_ms_total) +
+         " avp_chunks=" + v(avp_chunks) + " avp_steals=" + v(avp_steals) +
+         " compose_fastpath=" + v(compose_fastpath) +
+         " compose_fallback=" + v(compose_fallback) +
+         " plan_cache_hits=" + v(plan_cache_hits) +
+         " plan_cache_misses=" + v(plan_cache_misses) +
+         " svp_retries=" + v(svp_retries);
+}
+
 ApuamaEngine::ApuamaEngine(cjdbc::ReplicaSet* replicas, DataCatalog catalog,
                            ApuamaOptions options)
     : replicas_(replicas), catalog_(std::move(catalog)),

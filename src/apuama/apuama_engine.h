@@ -76,6 +76,10 @@ struct ApuamaStats {
   std::atomic<uint64_t> plan_cache_hits{0};
   std::atomic<uint64_t> plan_cache_misses{0};
   std::atomic<uint64_t> svp_retries{0};        // failover resubmissions
+
+  /// SHOW-style one-line rendering of every counter (observability:
+  /// benches and operators read cache efficacy off this directly).
+  std::string ToString() const;
 };
 
 class ApuamaEngine {
@@ -100,6 +104,8 @@ class ApuamaEngine {
   const DataCatalog* data_catalog() const { return &catalog_; }
   DataCatalog* mutable_data_catalog() { return &catalog_; }
   const ApuamaStats& stats() const { return stats_; }
+  /// The parse+rewrite plan cache (cache-level hit/miss counters).
+  const PlanCache& plan_cache() const { return plan_cache_; }
   ConsistencyManager* consistency() { return &consistency_; }
 
   /// True when all node transaction counters are equal (replicas in

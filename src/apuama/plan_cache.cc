@@ -50,10 +50,15 @@ std::shared_ptr<const PlanCache::Entry> PlanCache::Lookup(
     lru_.clear();
     map_.clear();
     version_ = catalog_version;
+    ++misses_;
     return nullptr;
   }
   auto it = map_.find(key);
-  if (it == map_.end()) return nullptr;
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);  // touch
   return it->second->second;
 }

@@ -58,6 +58,19 @@ class PlanCache {
     return map_.size();
   }
 
+  /// Lookups that returned a cached entry. Together with misses()
+  /// these make cache efficacy observable (engine stats / SHOW-style
+  /// output) without instrumenting every caller.
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  /// Lookups that found nothing (including version-invalidated ones).
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
   /// Cache key: lower-cased SQL with whitespace runs collapsed —
   /// outside string literals only; quoted content ('…' or "…",
   /// doubled-delimiter escapes included) is preserved verbatim, since
@@ -71,6 +84,8 @@ class PlanCache {
   mutable std::mutex mu_;
   size_t capacity_;
   uint64_t version_ = 0;  // catalog version the entries were built at
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
   LruList lru_;           // front = most recent
   std::unordered_map<std::string, LruList::iterator> map_;
 };

@@ -20,7 +20,8 @@ std::string ExecStats::ToString() const {
   return StrFormat(
       "pages_disk=%llu pages_cache=%llu tuples_scanned=%llu "
       "tuples_output=%llu cpu_ops=%llu cpu_par=%llu rows_affected=%llu "
-      "morsels=%llu threads=%u seq=%d idx=%d",
+      "morsels=%llu threads=%u join_build=%llu join_probe=%llu "
+      "filter_skipped=%llu seq=%d idx=%d",
       static_cast<unsigned long long>(pages_disk),
       static_cast<unsigned long long>(pages_cache),
       static_cast<unsigned long long>(tuples_scanned),
@@ -29,8 +30,11 @@ std::string ExecStats::ToString() const {
       static_cast<unsigned long long>(cpu_ops_parallel),
       static_cast<unsigned long long>(rows_affected),
       static_cast<unsigned long long>(morsels),
-      static_cast<unsigned>(exec_threads), used_seq_scan ? 1 : 0,
-      used_index_scan ? 1 : 0);
+      static_cast<unsigned>(exec_threads),
+      static_cast<unsigned long long>(join_build_rows),
+      static_cast<unsigned long long>(join_probe_rows),
+      static_cast<unsigned long long>(filter_skipped_rows),
+      used_seq_scan ? 1 : 0, used_index_scan ? 1 : 0);
 }
 
 std::string QueryResult::ToString(size_t max_rows) const {
@@ -544,17 +548,18 @@ Result<QueryResult> Database::ExecuteCreateIndex(
 Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
   std::string name = ToLower(stmt.name);
   std::string value = ToLower(stmt.value);
-  if (name == "enable_seqscan") {
+  auto set_bool = [&](bool* target) -> Result<QueryResult> {
     if (value == "off" || value == "false" || value == "0") {
-      settings_.enable_seqscan = false;
+      *target = false;
     } else if (value == "on" || value == "true" || value == "1") {
-      settings_.enable_seqscan = true;
+      *target = true;
     } else {
-      return Status::InvalidArgument("bad value for enable_seqscan: " +
+      return Status::InvalidArgument("bad value for " + name + ": " +
                                      stmt.value);
     }
     return QueryResult{};
-  }
+  };
+  if (name == "enable_seqscan") return set_bool(&settings_.enable_seqscan);
   if (name == "exec_threads") {
     char* end = nullptr;
     long v = std::strtol(value.c_str(), &end, 10);
@@ -565,17 +570,11 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
     settings_.exec_threads = static_cast<int>(v);
     return QueryResult{};
   }
-  if (name == "morsel_exec") {
-    if (value == "off" || value == "false" || value == "0") {
-      settings_.enable_morsel_exec = false;
-    } else if (value == "on" || value == "true" || value == "1") {
-      settings_.enable_morsel_exec = true;
-    } else {
-      return Status::InvalidArgument("bad value for morsel_exec: " +
-                                     stmt.value);
-    }
-    return QueryResult{};
+  if (name == "morsel_exec") return set_bool(&settings_.enable_morsel_exec);
+  if (name == "join_parallel") {
+    return set_bool(&settings_.enable_join_parallel);
   }
+  if (name == "join_filter") return set_bool(&settings_.enable_join_filter);
   return Status::NotFound("unknown setting: " + stmt.name);
 }
 

@@ -35,6 +35,14 @@ struct SessionSettings {
   /// Escape hatch: `SET morsel_exec = off` routes every query through
   /// the sequential pipeline (ablation / legacy comparison).
   bool enable_morsel_exec = true;
+  /// Morsel-parallel partitioned hash joins for multi-table
+  /// aggregates. `SET join_parallel = off` restores the legacy greedy
+  /// sequential hash-join chain (ablation / legacy comparison).
+  bool enable_join_parallel = true;
+  /// Build-side semi-join filter pushdown into the probe scan of the
+  /// parallel join pipeline. `SET join_filter = off` keeps the
+  /// partitioned join but probes every non-null key (ablation).
+  bool enable_join_filter = true;
 };
 
 /// Default intra-node execution threads: the APUAMA_EXEC_THREADS

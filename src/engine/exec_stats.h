@@ -35,6 +35,15 @@ struct ExecStats {
   uint64_t cpu_ops_parallel = 0;
   /// Intra-node threads the morsel region ran with (1 = inline).
   uint32_t exec_threads = 1;
+  /// Rows inserted into join build-side hash tables (morsel join
+  /// pipeline; 0 when joins ran the legacy sequential chain).
+  uint64_t join_build_rows = 0;
+  /// Hash-table probes issued by the morsel join pipeline (join keys
+  /// evaluated, non-null, and past the semi-join filter).
+  uint64_t join_probe_rows = 0;
+  /// Probe-side tuples dropped by a pushed-down build-side semi-join
+  /// filter before ever touching a join hash table.
+  uint64_t filter_skipped_rows = 0;
   /// True when the plan used at least one full (sequential) scan.
   bool used_seq_scan = false;
   /// True when the plan used at least one index path.
@@ -50,6 +59,9 @@ struct ExecStats {
     morsels += o.morsels;
     cpu_ops_parallel += o.cpu_ops_parallel;
     if (o.exec_threads > exec_threads) exec_threads = o.exec_threads;
+    join_build_rows += o.join_build_rows;
+    join_probe_rows += o.join_probe_rows;
+    filter_skipped_rows += o.filter_skipped_rows;
     used_seq_scan = used_seq_scan || o.used_seq_scan;
     used_index_scan = used_index_scan || o.used_index_scan;
     return *this;

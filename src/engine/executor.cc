@@ -341,6 +341,152 @@ void CollectAggNodes(const Expr& e, std::vector<const Expr*>* out) {
   if (e.case_else) CollectAggNodes(*e.case_else, out);
 }
 
+// Aggregate-node inventory across all output clauses, in the fixed
+// clause order every aggregation path shares (items, HAVING, ORDER
+// BY) so accumulator indices line up between build and finalize.
+std::vector<const Expr*> CollectAggInventory(const SelectStmt& stmt) {
+  std::vector<const Expr*> agg_nodes;
+  for (const auto& it : stmt.items) {
+    if (it.expr) CollectAggNodes(*it.expr, &agg_nodes);
+  }
+  if (stmt.having) CollectAggNodes(*stmt.having, &agg_nodes);
+  for (const auto& o : stmt.order_by) CollectAggNodes(*o.expr, &agg_nodes);
+  return agg_nodes;
+}
+
+// Hard ceiling for up-front join-output reservations (satellite of the
+// morsel-join work): a pathological cross join must not turn a size
+// hint into a multi-gigabyte allocation before producing a single row.
+constexpr size_t kMaxJoinReserveRows = size_t{1} << 20;
+
+// Build-side semi-join filter pushed into the probe scan: a fixed
+// 2^16-bit bitmap per hash partition testing two independent bit
+// positions derived from the join-key hash. One partition is built by
+// exactly one merge task, so construction needs no synchronization,
+// and probes consult it read-only. False positives only cost a probe;
+// false negatives are impossible, so skipping on a miss is exact.
+class KeyFilter {
+ public:
+  void Add(size_t h) {
+    Set(Bit1(h));
+    Set(Bit2(h));
+  }
+  bool MayContain(size_t h) const { return Test(Bit1(h)) && Test(Bit2(h)); }
+
+ private:
+  static constexpr size_t kBits = size_t{1} << 16;
+  // Skip the low bits: they pick the partition, so within one
+  // partition they carry no information.
+  static size_t Bit1(size_t h) { return (h >> 4) & (kBits - 1); }
+  static size_t Bit2(size_t h) { return (h >> 24) & (kBits - 1); }
+  void Set(size_t b) { words_[b >> 6] |= uint64_t{1} << (b & 63); }
+  bool Test(size_t b) const { return (words_[b >> 6] >> (b & 63)) & 1; }
+
+  std::array<uint64_t, kBits / 64> words_{};
+};
+
+// Morsel-private partial aggregation state: every morsel owns a
+// private set of hash tables and counters, so workers share no mutable
+// state. Keys are hash-partitioned at build time so the merge can fan
+// out too; the partition count is a fixed constant (never
+// thread-dependent) to keep the decomposition — and thus all
+// accounting — identical at every thread count.
+struct MorselPartial {
+  std::array<std::unordered_map<Row, AggGroup, RowHash, RowEq>,
+             kMergePartitions>
+      groups;
+  uint64_t cpu = 0;
+  uint64_t scanned = 0;
+  uint64_t probed = 0;          // join pipeline only
+  uint64_t filter_skipped = 0;  // join pipeline only
+};
+
+// One row's contribution to a morsel-private partial: evaluate the
+// GROUP BY key against ctx's current scope row, bucket it into its
+// fixed merge partition, and fold every aggregate argument into the
+// group's accumulators. Shared by the single-table morsel pipeline
+// and the tail of the morsel join probe chain. ctx.cpu_ops must point
+// at the morsel's private counter.
+Status AccumulateRow(const SelectStmt& stmt,
+                     const std::vector<const Expr*>& agg_nodes,
+                     const EvalContext& ctx, const Row& repr,
+                     MorselPartial* part) {
+  Row key;
+  key.reserve(stmt.group_by.size());
+  for (const auto& g : stmt.group_by) {
+    APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*g, ctx));
+    key.push_back(std::move(v));
+  }
+  const size_t bucket = RowHash{}(key) % kMergePartitions;
+  auto [it, inserted] = part->groups[bucket].try_emplace(std::move(key));
+  AggGroup& grp = it->second;
+  if (inserted) {
+    grp.repr = repr;
+    grp.accs.resize(agg_nodes.size());
+  }
+  for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
+    const Expr& agg = *agg_nodes[ai];
+    ++*ctx.cpu_ops;
+    if (agg.star_arg) {
+      AggUpdate(&grp.accs[ai], agg, Value::Null());
+    } else {
+      APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*agg.children[0], ctx));
+      AggUpdate(&grp.accs[ai], agg, v);
+    }
+  }
+  return Status::OK();
+}
+
+// Partitioned merge of per-morsel partials into the canonical ordered
+// group map. Each key lives in exactly one partition (its hash is the
+// same in every morsel), so partitions are independent and merge in
+// parallel. Within a partition, partials fold in morsel-index order —
+// the first morsel to see a key contributes its accumulators
+// wholesale, later ones fold in via AggMerge — so values never depend
+// on which thread ran what, and thread count 1 takes the exact same
+// code path. The final fold into the ordered map is the sequential
+// tail of the pipeline and is charged as such.
+Result<GroupMap> MergeMorselPartials(
+    ThreadPool* pool, std::vector<MorselPartial>* partials,
+    const std::vector<const Expr*>& agg_nodes, ExecStats* stats) {
+  struct PartitionResult {
+    std::unordered_map<Row, AggGroup, RowHash, RowEq> groups;
+    uint64_t cpu = 0;
+  };
+  std::vector<PartitionResult> merged(kMergePartitions);
+  auto merge_partition = [&](size_t p) -> Status {
+    PartitionResult& out = merged[p];
+    for (size_t mi = 0; mi < partials->size(); ++mi) {
+      for (auto& [key, lg] : (*partials)[mi].groups[p]) {
+        auto [it, inserted] = out.groups.try_emplace(key);
+        ++out.cpu;
+        if (inserted) {
+          it->second = std::move(lg);
+          continue;
+        }
+        for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
+          ++out.cpu;
+          AggMerge(&it->second.accs[ai], lg.accs[ai], *agg_nodes[ai]);
+        }
+      }
+    }
+    return Status::OK();
+  };
+  APUAMA_RETURN_NOT_OK(
+      ParallelFor(pool, 0, kMergePartitions, merge_partition));
+
+  GroupMap groups;
+  for (PartitionResult& pr : merged) {
+    stats->cpu_ops += pr.cpu;
+    stats->cpu_ops_parallel += pr.cpu;
+    for (auto& [key, g] : pr.groups) {
+      ++stats->cpu_ops;
+      groups.emplace(key, std::move(g));
+    }
+  }
+  return groups;
+}
+
 std::string OutputName(const sql::SelectItem& item, size_t ordinal) {
   if (!item.alias.empty()) return item.alias;
   if (item.expr && item.expr->kind == ExprKind::kColumnRef) {
@@ -353,6 +499,13 @@ std::string OutputName(const sql::SelectItem& item, size_t ordinal) {
 }
 
 }  // namespace
+
+size_t JoinReserveHint(size_t left, size_t right) {
+  if (left == 0 || right == 0) return 0;
+  // left * right would overflow or exceed the cap.
+  if (left > kMaxJoinReserveRows / right) return kMaxJoinReserveRows;
+  return left * right;
+}
 
 // ---------------------------------------------------------------------------
 // FROM/WHERE pipeline
@@ -621,7 +774,8 @@ Result<Relation> Executor::ExecuteFromWhere(const SelectStmt& stmt,
       }
     } else {
       // Cross join.
-      joined.rows.reserve(current.rows.size() * right.rows.size());
+      joined.rows.reserve(
+          JoinReserveHint(current.rows.size(), right.rows.size()));
       for (const Row& a : current.rows) {
         for (const Row& b : right.rows) {
           ++stats_->cpu_ops;
@@ -1296,11 +1450,24 @@ Result<QueryResult> Executor::ExecuteSelect(const SelectStmt& stmt,
   }
 
   Result<QueryResult> result = QueryResult{};
+  bool done = false;
   if (has_agg && MorselEligible(stmt, outer)) {
     // Fused scan + filter + partitioned pre-aggregation. Taken even at
     // exec_threads = 1 so the result never depends on the knob.
     result = ExecuteMorselAggregate(stmt);
-  } else {
+    done = true;
+  } else if (has_agg && MorselJoinEligible(stmt, outer)) {
+    // Morsel-parallel partitioned hash joins. Planning may discover a
+    // shape the pipeline cannot run (cross join, outer references) and
+    // return nullopt; the sequential chain below then takes over.
+    APUAMA_ASSIGN_OR_RETURN(std::optional<QueryResult> qr,
+                            ExecuteMorselJoin(stmt));
+    if (qr.has_value()) {
+      result = std::move(*qr);
+      done = true;
+    }
+  }
+  if (!done) {
     APUAMA_ASSIGN_OR_RETURN(Relation rel, ExecuteFromWhere(stmt, outer));
     result = has_agg ? AggregateAndProject(stmt, std::move(rel), outer)
                      : ProjectOnly(stmt, std::move(rel), outer);
@@ -1503,13 +1670,7 @@ Result<QueryResult> Executor::ProjectOnly(const SelectStmt& stmt,
 Result<QueryResult> Executor::AggregateAndProject(const SelectStmt& stmt,
                                                   Relation rel,
                                                   const EvalScope* outer) {
-  // Inventory of aggregate nodes across output clauses.
-  std::vector<const Expr*> agg_nodes;
-  for (const auto& it : stmt.items) {
-    if (it.expr) CollectAggNodes(*it.expr, &agg_nodes);
-  }
-  if (stmt.having) CollectAggNodes(*stmt.having, &agg_nodes);
-  for (const auto& o : stmt.order_by) CollectAggNodes(*o.expr, &agg_nodes);
+  std::vector<const Expr*> agg_nodes = CollectAggInventory(stmt);
   for (const auto& it : stmt.items) {
     if (it.star) {
       return Status::Unsupported("SELECT * with aggregation");
@@ -1596,12 +1757,7 @@ Result<QueryResult> Executor::ExecuteMorselAggregate(const SelectStmt& stmt) {
   APUAMA_ASSIGN_OR_RETURN(ScanPlan plan, PlanScan(fb, preds, nullptr));
 
   // Aggregate inventory, same as the sequential pipeline.
-  std::vector<const Expr*> agg_nodes;
-  for (const auto& it : stmt.items) {
-    if (it.expr) CollectAggNodes(*it.expr, &agg_nodes);
-  }
-  if (stmt.having) CollectAggNodes(*stmt.having, &agg_nodes);
-  for (const auto& o : stmt.order_by) CollectAggNodes(*o.expr, &agg_nodes);
+  std::vector<const Expr*> agg_nodes = CollectAggInventory(stmt);
 
   Relation header;
   header.columns.reserve(t.schema().num_columns());
@@ -1609,71 +1765,9 @@ Result<QueryResult> Executor::ExecuteMorselAggregate(const SelectStmt& stmt) {
     header.columns.push_back(ColumnBinding{fb.binding, col.name});
   }
 
-  // All buffer-pool traffic happens here on the coordinator, in
-  // exactly the order the sequential scan touches pages: the pool is
-  // not thread-safe, and LRU state must not depend on worker timing.
-  auto touch = [&](size_t pos) {
-    bool hit = db_->buffer_pool()->Touch(t.PageOfPosition(pos));
-    if (hit) {
-      ++stats_->pages_cache;
-    } else {
-      ++stats_->pages_disk;
-    }
-  };
-  const size_t rpp = t.rows_per_page();
-  std::vector<storage::Table::Morsel> morsels;
-  switch (plan.path) {
-    case AccessPath::kSeqScan: {
-      for (size_t pos = 0; pos < t.num_rows(); ++pos) {
-        if (pos % rpp == 0) touch(pos);
-      }
-      morsels = t.Morsels(0, t.num_rows(), kMorselRows);
-      break;
-    }
-    case AccessPath::kClusteredRange: {
-      size_t last_page = SIZE_MAX;
-      for (size_t pos = plan.range_begin; pos < plan.range_end; ++pos) {
-        size_t pg = pos / rpp;
-        if (pg != last_page) {
-          touch(pos);
-          last_page = pg;
-        }
-      }
-      morsels = t.Morsels(plan.range_begin, plan.range_end, kMorselRows);
-      break;
-    }
-    case AccessPath::kSecondaryIndex: {
-      size_t last_page = SIZE_MAX;
-      for (size_t pos : plan.index_positions) {
-        size_t pg = pos / rpp;
-        if (pg != last_page) {
-          touch(pos);
-          last_page = pg;
-        }
-      }
-      // Morselize the sorted position list itself.
-      for (size_t i = 0; i < plan.index_positions.size(); i += kMorselRows) {
-        morsels.push_back(storage::Table::Morsel{
-            i, std::min(i + kMorselRows, plan.index_positions.size())});
-      }
-      break;
-    }
-  }
-  const bool by_position_list = plan.path == AccessPath::kSecondaryIndex;
+  ScanMorsels sm = TouchAndMorselize(t, plan);
+  const std::vector<storage::Table::Morsel>& morsels = sm.morsels;
 
-  // Per-morsel partial aggregation: every morsel owns a private set of
-  // hash tables and counters, so workers share no mutable state. Keys
-  // are hash-partitioned at build time so the merge can fan out too;
-  // the partition count is a fixed constant (never thread-dependent)
-  // to keep the decomposition — and thus all accounting — identical at
-  // every thread count.
-  struct MorselPartial {
-    std::array<std::unordered_map<Row, AggGroup, RowHash, RowEq>,
-               kMergePartitions>
-        groups;
-    uint64_t cpu = 0;
-    uint64_t scanned = 0;
-  };
   std::vector<MorselPartial> partials(morsels.size());
 
   auto run_morsel = [&](size_t mi) -> Status {
@@ -1685,7 +1779,7 @@ Result<QueryResult> Executor::ExecuteMorselAggregate(const SelectStmt& stmt) {
     ctx.executor = nullptr;  // eligibility guaranteed no subqueries
     ctx.cpu_ops = &part.cpu;
     for (size_t j = morsels[mi].begin; j < morsels[mi].end; ++j) {
-      const size_t pos = by_position_list ? plan.index_positions[j] : j;
+      const size_t pos = sm.by_position_list ? plan.index_positions[j] : j;
       const Row& r = t.row(pos);
       ++part.scanned;
       scope.row = &r;
@@ -1698,29 +1792,7 @@ Result<QueryResult> Executor::ExecuteMorselAggregate(const SelectStmt& stmt) {
         }
       }
       if (!keep) continue;
-      Row key;
-      key.reserve(stmt.group_by.size());
-      for (const auto& g : stmt.group_by) {
-        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*g, ctx));
-        key.push_back(std::move(v));
-      }
-      const size_t bucket = RowHash{}(key) % kMergePartitions;
-      auto [it, inserted] = part.groups[bucket].try_emplace(std::move(key));
-      AggGroup& grp = it->second;
-      if (inserted) {
-        grp.repr = r;
-        grp.accs.resize(agg_nodes.size());
-      }
-      for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
-        const Expr& agg = *agg_nodes[ai];
-        ++part.cpu;
-        if (agg.star_arg) {
-          AggUpdate(&grp.accs[ai], agg, Value::Null());
-        } else {
-          APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*agg.children[0], ctx));
-          AggUpdate(&grp.accs[ai], agg, v);
-        }
-      }
+      APUAMA_RETURN_NOT_OK(AccumulateRow(stmt, agg_nodes, ctx, r, &part));
     }
     return Status::OK();
   };
@@ -1745,51 +1817,9 @@ Result<QueryResult> Executor::ExecuteMorselAggregate(const SelectStmt& stmt) {
     stats_->cpu_ops_parallel += part.cpu;
   }
 
-  // Partitioned merge: each key lives in exactly one partition (its
-  // hash is the same in every morsel), so partitions are independent
-  // and merge in parallel. Within a partition, partials fold in
-  // morsel-index order — the first morsel to see a key contributes
-  // its accumulators wholesale, later ones fold in via AggMerge — so
-  // values never depend on which thread ran what, and thread count 1
-  // takes the exact same code path.
-  struct PartitionResult {
-    std::unordered_map<Row, AggGroup, RowHash, RowEq> groups;
-    uint64_t cpu = 0;
-  };
-  std::vector<PartitionResult> merged(kMergePartitions);
-  auto merge_partition = [&](size_t p) -> Status {
-    PartitionResult& out = merged[p];
-    for (size_t mi = 0; mi < partials.size(); ++mi) {
-      for (auto& [key, lg] : partials[mi].groups[p]) {
-        auto [it, inserted] = out.groups.try_emplace(key);
-        ++out.cpu;
-        if (inserted) {
-          it->second = std::move(lg);
-          continue;
-        }
-        for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
-          ++out.cpu;
-          AggMerge(&it->second.accs[ai], lg.accs[ai], *agg_nodes[ai]);
-        }
-      }
-    }
-    return Status::OK();
-  };
-  APUAMA_RETURN_NOT_OK(
-      ParallelFor(pool, 0, kMergePartitions, merge_partition));
-
-  // Fold the partitions into the canonical ordered group map. Keys are
-  // unique across partitions, so this is a pure re-sort; it is the
-  // sequential tail of the pipeline and is charged as such.
-  GroupMap groups;
-  for (PartitionResult& pr : merged) {
-    stats_->cpu_ops += pr.cpu;
-    stats_->cpu_ops_parallel += pr.cpu;
-    for (auto& [key, g] : pr.groups) {
-      ++stats_->cpu_ops;
-      groups.emplace(key, std::move(g));
-    }
-  }
+  APUAMA_ASSIGN_OR_RETURN(
+      GroupMap groups,
+      MergeMorselPartials(pool, &partials, agg_nodes, stats_));
 
   // Global aggregate over empty input still yields one group.
   if (groups.empty() && stmt.group_by.empty()) {
@@ -1801,6 +1831,536 @@ Result<QueryResult> Executor::ExecuteMorselAggregate(const SelectStmt& stmt) {
 
   return FinalizeGroups(this, stats_, stmt, header, &groups, agg_nodes,
                         nullptr);
+}
+
+Executor::ScanMorsels Executor::TouchAndMorselize(const storage::Table& t,
+                                                  const ScanPlan& plan) {
+  // All buffer-pool traffic happens here on the coordinator, in
+  // exactly the order the sequential scan touches pages: the pool is
+  // not thread-safe, and LRU state must not depend on worker timing.
+  auto touch = [&](size_t pos) {
+    bool hit = db_->buffer_pool()->Touch(t.PageOfPosition(pos));
+    if (hit) {
+      ++stats_->pages_cache;
+    } else {
+      ++stats_->pages_disk;
+    }
+  };
+  const size_t rpp = t.rows_per_page();
+  ScanMorsels sm;
+  switch (plan.path) {
+    case AccessPath::kSeqScan: {
+      for (size_t pos = 0; pos < t.num_rows(); ++pos) {
+        if (pos % rpp == 0) touch(pos);
+      }
+      sm.morsels = t.Morsels(0, t.num_rows(), kMorselRows);
+      break;
+    }
+    case AccessPath::kClusteredRange: {
+      size_t last_page = SIZE_MAX;
+      for (size_t pos = plan.range_begin; pos < plan.range_end; ++pos) {
+        size_t pg = pos / rpp;
+        if (pg != last_page) {
+          touch(pos);
+          last_page = pg;
+        }
+      }
+      sm.morsels = t.Morsels(plan.range_begin, plan.range_end, kMorselRows);
+      break;
+    }
+    case AccessPath::kSecondaryIndex: {
+      size_t last_page = SIZE_MAX;
+      for (size_t pos : plan.index_positions) {
+        size_t pg = pos / rpp;
+        if (pg != last_page) {
+          touch(pos);
+          last_page = pg;
+        }
+      }
+      // Morselize the sorted position list itself.
+      for (size_t i = 0; i < plan.index_positions.size(); i += kMorselRows) {
+        sm.morsels.push_back(storage::Table::Morsel{
+            i, std::min(i + kMorselRows, plan.index_positions.size())});
+      }
+      sm.by_position_list = true;
+      break;
+    }
+  }
+  return sm;
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-parallel partitioned hash joins
+// ---------------------------------------------------------------------------
+
+bool Executor::MorselJoinEligible(const SelectStmt& stmt,
+                                  const EvalScope* outer) const {
+  if (outer != nullptr) return false;  // correlated context
+  if (!db_->settings()->enable_morsel_exec) return false;
+  if (!db_->settings()->enable_join_parallel) return false;
+  if (stmt.from.size() < 2) return false;  // single table: MorselEligible
+  for (const auto& item : stmt.items) {
+    if (item.star) return false;
+  }
+  // Morsel workers run without an executor, so any subquery anywhere
+  // in the statement forces the sequential pipeline.
+  return !StmtHasSubquery(stmt);
+}
+
+Result<std::optional<QueryResult>> Executor::ExecuteMorselJoin(
+    const SelectStmt& stmt) {
+  // ---- Plan, side-effect free. Every decision below depends only on
+  // table contents and the statement text — never on the thread count
+  // or the FROM order — and any shape the pipeline cannot run returns
+  // nullopt before stats or scan_paths are touched, so the legacy
+  // fallback starts from a clean slate.
+  std::vector<FromBinding> from;
+  std::vector<std::string> binding_names;
+  for (const auto& ref : stmt.from) {
+    APUAMA_ASSIGN_OR_RETURN(const storage::Table* t,
+                            static_cast<const storage::Catalog*>(
+                                db_->catalog())
+                                ->GetTable(ref.table));
+    FromBinding fb;
+    fb.binding = ToLower(ref.binding());
+    fb.table = t;
+    from.push_back(fb);
+    binding_names.push_back(fb.binding);
+  }
+
+  auto attribute = [&](const Expr& e) -> int {
+    if (!e.table_qualifier.empty()) {
+      for (size_t i = 0; i < from.size(); ++i) {
+        if (EqualsIgnoreCase(from[i].binding, e.table_qualifier)) {
+          return static_cast<int>(i);
+        }
+      }
+      return -1;
+    }
+    int found = -1;
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (from[i].table->schema().FindColumn(e.column_name) >= 0) {
+        if (found >= 0) return found;  // ambiguous: first wins for
+                                       // placement; eval will error
+        found = static_cast<int>(i);
+      }
+    }
+    return found;
+  };
+  auto binding_index = [&](const std::string& b) -> size_t {
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (from[i].binding == b) return i;
+    }
+    return 0;  // unreachable: CollectBindings only emits FROM names
+  };
+
+  // Classify WHERE conjuncts: single-binding conjuncts become scan
+  // predicates, two-binding equalities become join predicates, and
+  // everything else is a residual applied at the earliest probe stage
+  // that covers all its bindings. Conjunct order is WHERE order
+  // throughout, so composite keys and filter order are identical under
+  // permuted FROM lists.
+  struct JoinPredP {
+    const Expr* lhs = nullptr;
+    const Expr* rhs = nullptr;
+    std::string lb, rb;
+    bool applied = false;
+  };
+  struct ResidualP {
+    const Expr* expr = nullptr;
+    std::set<std::string> bindings;
+  };
+  std::vector<std::vector<const Expr*>> scan_preds(from.size());
+  std::vector<JoinPredP> join_preds;
+  std::vector<ResidualP> residual_conjs;
+  for (const Expr* c : sql::SplitConjuncts(stmt.where.get())) {
+    std::set<std::string> bindings;
+    bool uses_outer = false;
+    CollectBindings(*c, db_->catalog(), attribute, &bindings, &uses_outer,
+                    binding_names);
+    if (uses_outer) return std::optional<QueryResult>();
+    if (bindings.size() == 1) {
+      scan_preds[binding_index(*bindings.begin())].push_back(c);
+      continue;
+    }
+    if (bindings.size() == 2 && c->kind == ExprKind::kBinary &&
+        c->binary_op == BinaryOp::kEq) {
+      std::set<std::string> lb, rb;
+      bool lo = false, ro = false;
+      CollectBindings(*c->children[0], db_->catalog(), attribute, &lb, &lo,
+                      binding_names);
+      CollectBindings(*c->children[1], db_->catalog(), attribute, &rb, &ro,
+                      binding_names);
+      if (!lo && !ro && lb.size() == 1 && rb.size() == 1 &&
+          *lb.begin() != *rb.begin()) {
+        JoinPredP jp;
+        jp.lhs = c->children[0].get();
+        jp.rhs = c->children[1].get();
+        jp.lb = *lb.begin();
+        jp.rb = *rb.begin();
+        join_preds.push_back(std::move(jp));
+        continue;
+      }
+    }
+    residual_conjs.push_back(ResidualP{c, std::move(bindings)});
+  }
+
+  // Driver = probe side of the whole chain: the largest raw table
+  // (ties broken by binding name), so the biggest scan is the one that
+  // streams through morsels instead of being materialized into hash
+  // tables.
+  size_t driver = 0;
+  for (size_t i = 1; i < from.size(); ++i) {
+    const size_t a = from[i].table->num_rows();
+    const size_t b = from[driver].table->num_rows();
+    if (a > b || (a == b && from[i].binding < from[driver].binding)) {
+      driver = i;
+    }
+  }
+
+  // Chain order: repeatedly add the smallest raw table connected to
+  // the covered set by an equality predicate (ties by binding name).
+  // Raw sizes make the order independent of scan selectivity and of
+  // the FROM permutation; a disconnected table means a cross join,
+  // which stays on the legacy path.
+  struct BuildStage {
+    size_t from_idx = 0;
+    std::vector<const Expr*> probe_keys;  // over already-covered bindings
+    std::vector<const Expr*> build_keys;  // over the stage's own binding
+    std::vector<const Expr*> residuals;   // conjuncts first covered here
+  };
+  std::vector<BuildStage> stages;
+  std::set<std::string> covered = {from[driver].binding};
+  std::vector<bool> merged(from.size(), false);
+  merged[driver] = true;
+  // Coverage step per FROM index: 0 = driver, k + 1 = after stage k.
+  std::vector<size_t> coverage_order(from.size(), 0);
+  while (stages.size() + 1 < from.size()) {
+    size_t best = from.size();
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (merged[i]) continue;
+      bool connected = false;
+      for (const auto& jp : join_preds) {
+        if (jp.applied) continue;
+        if ((covered.count(jp.lb) && jp.rb == from[i].binding) ||
+            (covered.count(jp.rb) && jp.lb == from[i].binding)) {
+          connected = true;
+          break;
+        }
+      }
+      if (!connected) continue;
+      if (best == from.size() ||
+          from[i].table->num_rows() < from[best].table->num_rows() ||
+          (from[i].table->num_rows() == from[best].table->num_rows() &&
+           from[i].binding < from[best].binding)) {
+        best = i;
+      }
+    }
+    if (best == from.size()) {
+      return std::optional<QueryResult>();  // cross join: legacy path
+    }
+    BuildStage st;
+    st.from_idx = best;
+    const std::string& b = from[best].binding;
+    for (auto& jp : join_preds) {
+      if (jp.applied) continue;
+      if (covered.count(jp.lb) && jp.rb == b) {
+        st.probe_keys.push_back(jp.lhs);
+        st.build_keys.push_back(jp.rhs);
+        jp.applied = true;
+      } else if (covered.count(jp.rb) && jp.lb == b) {
+        st.probe_keys.push_back(jp.rhs);
+        st.build_keys.push_back(jp.lhs);
+        jp.applied = true;
+      }
+    }
+    covered.insert(b);
+    merged[best] = true;
+    coverage_order[best] = stages.size() + 1;
+    stages.push_back(std::move(st));
+  }
+  for (const auto& jp : join_preds) {
+    // Defensive: every pred connects two FROM bindings and both end up
+    // covered, so the chain loop must have consumed it.
+    if (!jp.applied) return std::optional<QueryResult>();
+  }
+  for (const ResidualP& rc : residual_conjs) {
+    size_t latest = 0;
+    for (const auto& rb : rc.bindings) {
+      latest = std::max(latest, coverage_order[binding_index(rb)]);
+    }
+    if (latest == 0) {
+      // Constant (or driver-only shaped): evaluate per driver row.
+      scan_preds[driver].push_back(rc.expr);
+    } else {
+      stages[latest - 1].residuals.push_back(rc.expr);
+    }
+  }
+
+  // Output layouts after each probe stage: driver columns, then each
+  // build table's columns in chain order. Stage k's probe keys
+  // evaluate against layouts[k]; its residuals see layouts[k + 1].
+  std::vector<Relation> layouts(stages.size() + 1);
+  auto append_cols = [](Relation* rel, const FromBinding& fb) {
+    for (const auto& col : fb.table->schema().columns()) {
+      rel->columns.push_back(ColumnBinding{fb.binding, col.name});
+    }
+  };
+  append_cols(&layouts[0], from[driver]);
+  for (size_t k = 0; k < stages.size(); ++k) {
+    layouts[k + 1].columns = layouts[k].columns;
+    append_cols(&layouts[k + 1], from[stages[k].from_idx]);
+  }
+
+  std::vector<const Expr*> agg_nodes = CollectAggInventory(stmt);
+
+  // ---- Plan committed; stats mutations start here.
+  int want = db_->settings()->exec_threads;
+  if (want < 1) want = 1;
+  ThreadPool* pool = want > 1 ? db_->exec_pool() : nullptr;
+  auto note_threads = [&](size_t items) {
+    const size_t th =
+        items == 0 ? 1 : std::min<size_t>(static_cast<size_t>(want), items);
+    if (th > stats_->exec_threads) {
+      stats_->exec_threads = static_cast<uint32_t>(th);
+    }
+  };
+  const bool use_filter = db_->settings()->enable_join_filter;
+
+  // ---- Parallel partitioned builds, one stage at a time. Each build
+  // side is scanned in morsels (filtering + key evaluation fan out),
+  // then the hash partitions are assembled concurrently — each in
+  // morsel-index order, so hash-table iteration order, and therefore
+  // every downstream value, is identical at every thread count.
+  struct BuiltStage {
+    std::array<std::vector<Row>, kMergePartitions> rows;
+    std::array<std::unordered_multimap<Row, size_t, RowHash, RowEq>,
+               kMergePartitions>
+        ht;
+    std::array<KeyFilter, kMergePartitions> filters;
+  };
+  std::vector<BuiltStage> built(stages.size());
+  for (size_t s = 0; s < stages.size(); ++s) {
+    const FromBinding& fb = from[stages[s].from_idx];
+    const storage::Table& t = *fb.table;
+    const std::vector<const Expr*>& preds = scan_preds[stages[s].from_idx];
+    APUAMA_ASSIGN_OR_RETURN(ScanPlan plan, PlanScan(fb, preds, nullptr));
+    ScanMorsels sm = TouchAndMorselize(t, plan);
+    stats_->morsels += sm.morsels.size();
+    note_threads(sm.morsels.size());
+
+    Relation bheader;
+    bheader.columns.reserve(t.schema().num_columns());
+    for (const auto& col : t.schema().columns()) {
+      bheader.columns.push_back(ColumnBinding{fb.binding, col.name});
+    }
+
+    // The key hash is computed once per build row and reused for the
+    // partition choice, the semi-join filter bits, and the insert.
+    struct Keyed {
+      size_t hash = 0;
+      Row key;
+      Row row;
+    };
+    struct BuildChunk {
+      std::array<std::vector<Keyed>, kMergePartitions> keyed;
+      uint64_t cpu = 0;
+      uint64_t scanned = 0;
+    };
+    std::vector<BuildChunk> chunks(sm.morsels.size());
+    const std::vector<const Expr*>& build_keys = stages[s].build_keys;
+    auto scan_morsel = [&](size_t mi) -> Status {
+      BuildChunk& ch = chunks[mi];
+      ColumnResolver resolver(&bheader);
+      EvalScope scope{&resolver, nullptr, nullptr};
+      EvalContext ctx;
+      ctx.scope = &scope;
+      ctx.executor = nullptr;  // eligibility guaranteed no subqueries
+      ctx.cpu_ops = &ch.cpu;
+      for (size_t j = sm.morsels[mi].begin; j < sm.morsels[mi].end; ++j) {
+        const size_t pos = sm.by_position_list ? plan.index_positions[j] : j;
+        const Row& r = t.row(pos);
+        ++ch.scanned;
+        scope.row = &r;
+        bool keep = true;
+        for (const Expr* p : preds) {
+          APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*p, ctx));
+          if (Truthiness(v) != 1) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) continue;
+        Row key;
+        key.reserve(build_keys.size());
+        bool null_key = false;
+        for (const Expr* k : build_keys) {
+          APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*k, ctx));
+          if (v.is_null()) null_key = true;
+          key.push_back(std::move(v));
+        }
+        if (null_key) continue;  // inner join: null keys never match
+        Keyed kd;
+        kd.hash = RowHash{}(key);
+        kd.key = std::move(key);
+        kd.row = r;
+        ch.keyed[kd.hash % kMergePartitions].push_back(std::move(kd));
+      }
+      return Status::OK();
+    };
+    APUAMA_RETURN_NOT_OK(
+        ParallelFor(pool, 0, sm.morsels.size(), scan_morsel));
+
+    BuiltStage& bs = built[s];
+    std::array<uint64_t, kMergePartitions> part_cpu{};
+    auto build_partition = [&](size_t p) -> Status {
+      size_t n = 0;
+      for (const BuildChunk& ch : chunks) n += ch.keyed[p].size();
+      bs.rows[p].reserve(n);
+      bs.ht[p].reserve(n);
+      for (BuildChunk& ch : chunks) {
+        for (Keyed& kd : ch.keyed[p]) {
+          ++part_cpu[p];
+          bs.filters[p].Add(kd.hash);
+          bs.rows[p].push_back(std::move(kd.row));
+          bs.ht[p].emplace(std::move(kd.key), bs.rows[p].size() - 1);
+        }
+      }
+      return Status::OK();
+    };
+    APUAMA_RETURN_NOT_OK(
+        ParallelFor(pool, 0, kMergePartitions, build_partition));
+
+    for (const BuildChunk& ch : chunks) {
+      stats_->tuples_scanned += ch.scanned;
+      stats_->cpu_ops += ch.cpu;
+      stats_->cpu_ops_parallel += ch.cpu;
+    }
+    for (size_t p = 0; p < kMergePartitions; ++p) {
+      stats_->cpu_ops += part_cpu[p];
+      stats_->cpu_ops_parallel += part_cpu[p];
+      stats_->join_build_rows += bs.rows[p].size();
+    }
+  }
+
+  // ---- Morsel-driven probe: driver rows stream through the full
+  // probe chain (filter -> probe -> residuals -> next stage -> partial
+  // aggregate) without materializing intermediate relations.
+  const FromBinding& dfb = from[driver];
+  const storage::Table& dt = *dfb.table;
+  const std::vector<const Expr*>& dpreds = scan_preds[driver];
+  APUAMA_ASSIGN_OR_RETURN(ScanPlan dplan, PlanScan(dfb, dpreds, nullptr));
+  ScanMorsels dsm = TouchAndMorselize(dt, dplan);
+  stats_->morsels += dsm.morsels.size();
+  note_threads(dsm.morsels.size());
+
+  std::vector<MorselPartial> partials(dsm.morsels.size());
+  auto probe_morsel = [&](size_t mi) -> Status {
+    MorselPartial& part = partials[mi];
+    // The scratch row holds the chain's current tuple; its address is
+    // stable, so every per-layout scope can point at it up front.
+    Row scratch;
+    std::vector<ColumnResolver> resolvers;
+    resolvers.reserve(layouts.size());
+    for (const Relation& l : layouts) resolvers.emplace_back(&l);
+    std::vector<EvalScope> scopes(layouts.size());
+    std::vector<EvalContext> ctxs(layouts.size());
+    for (size_t k = 0; k < layouts.size(); ++k) {
+      scopes[k].resolver = &resolvers[k];
+      scopes[k].row = &scratch;
+      ctxs[k].scope = &scopes[k];
+      ctxs[k].executor = nullptr;  // eligibility guaranteed no subqueries
+      ctxs[k].cpu_ops = &part.cpu;
+    }
+
+    std::function<Status(size_t)> descend = [&](size_t k) -> Status {
+      if (k == stages.size()) {
+        return AccumulateRow(stmt, agg_nodes, ctxs[k], scratch, &part);
+      }
+      const BuildStage& st = stages[k];
+      const BuiltStage& bs = built[k];
+      Row key;
+      key.reserve(st.probe_keys.size());
+      bool null_key = false;
+      for (const Expr* e : st.probe_keys) {
+        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*e, ctxs[k]));
+        if (v.is_null()) null_key = true;
+        key.push_back(std::move(v));
+      }
+      if (null_key) return Status::OK();  // inner join semantics
+      const size_t h = RowHash{}(key);
+      const size_t p = h % kMergePartitions;
+      if (use_filter && !bs.filters[p].MayContain(h)) {
+        ++part.filter_skipped;
+        return Status::OK();
+      }
+      ++part.probed;
+      const size_t base = scratch.size();
+      auto [lo, hi] = bs.ht[p].equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        ++part.cpu;
+        const Row& brow = bs.rows[p][it->second];
+        scratch.insert(scratch.end(), brow.begin(), brow.end());
+        bool pass = true;
+        for (const Expr* res : st.residuals) {
+          APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*res, ctxs[k + 1]));
+          if (Truthiness(v) != 1) {
+            pass = false;
+            break;
+          }
+        }
+        Status status = pass ? descend(k + 1) : Status::OK();
+        scratch.resize(base);
+        APUAMA_RETURN_NOT_OK(status);
+      }
+      return Status::OK();
+    };
+
+    for (size_t j = dsm.morsels[mi].begin; j < dsm.morsels[mi].end; ++j) {
+      const size_t pos = dsm.by_position_list ? dplan.index_positions[j] : j;
+      const Row& r = dt.row(pos);
+      ++part.scanned;
+      scratch.assign(r.begin(), r.end());
+      bool keep = true;
+      for (const Expr* pr : dpreds) {
+        APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*pr, ctxs[0]));
+        if (Truthiness(v) != 1) {
+          keep = false;
+          break;
+        }
+      }
+      if (!keep) continue;
+      APUAMA_RETURN_NOT_OK(descend(0));
+    }
+    return Status::OK();
+  };
+  APUAMA_RETURN_NOT_OK(
+      ParallelFor(pool, 0, dsm.morsels.size(), probe_morsel));
+
+  for (const MorselPartial& part : partials) {
+    stats_->tuples_scanned += part.scanned;
+    stats_->cpu_ops += part.cpu;
+    stats_->cpu_ops_parallel += part.cpu;
+    stats_->join_probe_rows += part.probed;
+    stats_->filter_skipped_rows += part.filter_skipped;
+  }
+
+  APUAMA_ASSIGN_OR_RETURN(
+      GroupMap groups,
+      MergeMorselPartials(pool, &partials, agg_nodes, stats_));
+
+  // Global aggregate over empty input still yields one group.
+  if (groups.empty() && stmt.group_by.empty()) {
+    AggGroup g;
+    g.repr = Row(layouts.back().columns.size(), Value::Null());
+    g.accs.resize(agg_nodes.size());
+    groups.emplace(Row{}, std::move(g));
+  }
+
+  APUAMA_ASSIGN_OR_RETURN(
+      QueryResult qr, FinalizeGroups(this, stats_, stmt, layouts.back(),
+                                     &groups, agg_nodes, nullptr));
+  return std::optional<QueryResult>(std::move(qr));
 }
 
 }  // namespace apuama::engine

@@ -12,6 +12,7 @@
 #define APUAMA_ENGINE_EXECUTOR_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "engine/query_result.h"
 #include "sql/analyzer.h"
 #include "sql/ast.h"
+#include "storage/table.h"
 
 namespace apuama::engine {
 
@@ -29,6 +31,11 @@ class Database;
 /// Explains what access path a scan chose (tests / ablations).
 enum class AccessPath { kSeqScan, kClusteredRange, kSecondaryIndex };
 const char* AccessPathName(AccessPath p);
+
+/// Reservation hint for join outputs: left*right, overflow-proof and
+/// capped so a pathological cross join cannot over-allocate up front
+/// (the vector still grows on demand past the hint).
+size_t JoinReserveHint(size_t left, size_t right);
 
 /// One executor per statement. Accumulates stats into `stats`.
 class Executor {
@@ -101,6 +108,42 @@ class Executor {
   /// the merge order depend only on table contents — never on the
   /// thread count — so results are bit-identical at any width.
   Result<QueryResult> ExecuteMorselAggregate(const sql::SelectStmt& stmt);
+
+  /// Cheap gate for the morsel-parallel join pipeline: a multi-table
+  /// aggregate with no SELECT *, no subqueries, not correlated, and
+  /// `join_parallel` / `morsel_exec` enabled. Deeper shape conditions
+  /// (equality-connected join graph, no outer references) are checked
+  /// during planning inside ExecuteMorselJoin.
+  bool MorselJoinEligible(const sql::SelectStmt& stmt,
+                          const EvalScope* outer) const;
+
+  /// Morsel-parallel partitioned hash-join pipeline: every non-driver
+  /// table is scanned in morsels and built into a 16-way hash-
+  /// partitioned table (partitions built concurrently), then the
+  /// driver table streams page-aligned morsels through the full probe
+  /// chain (semi-join filter -> probe -> residual filter -> ... ->
+  /// partial aggregate) without materializing intermediate relations.
+  /// Partials fold in morsel-index order, so results are bit-identical
+  /// at every `exec_threads` setting. Returns nullopt when planning
+  /// finds a shape the pipeline cannot run (cross join, outer
+  /// references, subquery predicates) — the caller then falls back to
+  /// the legacy sequential chain. Planning is side-effect free until
+  /// the plan is committed, so the fallback leaves no stats residue.
+  Result<std::optional<QueryResult>> ExecuteMorselJoin(
+      const sql::SelectStmt& stmt);
+
+  /// Coordinator-side page touching + morsel decomposition for one
+  /// planned scan: touches every page the scan will read, in exactly
+  /// the sequential scan's order (the buffer pool is not thread-safe
+  /// and LRU state must not depend on worker timing), then returns the
+  /// page-aligned morsels. For secondary-index plans the sorted
+  /// position list itself is morselized and `by_position_list` is set.
+  struct ScanMorsels {
+    std::vector<storage::Table::Morsel> morsels;
+    bool by_position_list = false;
+  };
+  ScanMorsels TouchAndMorselize(const storage::Table& t,
+                                const ScanPlan& plan);
 
   Result<Relation> ApplySubqueryPredicate(Relation rel, const sql::Expr& e,
                                           const EvalScope* outer);

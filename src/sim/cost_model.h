@@ -32,7 +32,11 @@ struct CostModel {
   /// Service time of one statement executed at a node. CPU work done
   /// inside the morsel-parallel region shrinks by the intra-node
   /// thread count (critical-path charging); planning, merge, and
-  /// finalization stay sequential.
+  /// finalization stay sequential. Join build and probe work
+  /// (join_build_rows / join_probe_rows) is counted into
+  /// cpu_ops_parallel by the morsel join pipeline, so ClusterSim
+  /// figures reflect intra-node join speedup — and semi-join filter
+  /// pushdown shows up as fewer probe ops, not just fewer tuples.
   SimTime StatementTime(const engine::ExecStats& s) const {
     const uint64_t par =
         s.cpu_ops_parallel < s.cpu_ops ? s.cpu_ops_parallel : s.cpu_ops;

@@ -57,6 +57,8 @@ ClusterSim::ClusterSim(const tpch::TpchData& data, ClusterSimOptions options)
                                : engine::DefaultExecThreads();
   for (int i = 0; i < options.num_nodes; ++i) {
     replicas_->node(i)->settings()->exec_threads = exec_threads;
+    replicas_->node(i)->settings()->enable_join_parallel =
+        options.join_parallel;
   }
   rewriter_ = std::make_unique<SvpRewriter>(&catalog_);
   for (int i = 0; i < options.num_nodes; ++i) {

@@ -368,6 +368,28 @@ TEST(PlanCacheTest, LruEvictionAndVersionInvalidation) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+// The cache's own hit/miss counters: every Lookup is exactly one hit
+// or one miss (version-invalidated lookups count as misses), and the
+// counters only ever grow.
+TEST(PlanCacheTest, HitMissCountersTrackLookups) {
+  PlanCache cache(/*capacity=*/2);
+  auto entry = std::make_shared<const PlanCache::Entry>();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.Lookup("a", 1), nullptr);  // cold miss
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Insert("a", 1, entry);
+  EXPECT_NE(cache.Lookup("a", 1), nullptr);  // hit
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.Lookup("b", 1), nullptr);  // map miss
+  EXPECT_EQ(cache.misses(), 2u);
+  // Catalog bump: the entry is gone, and the lookup is a miss.
+  EXPECT_EQ(cache.Lookup("a", 2), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
 // End to end: repeat submissions hit the cache, a Data Catalog domain
 // update invalidates it, and the replayed plan stays correct across
 // the domain change.
@@ -420,6 +442,15 @@ TEST(PlanCacheTest, CachesNonSvpOutcomes) {
   EXPECT_EQ(engine.stats().plan_cache_misses, 2u);
   EXPECT_EQ(engine.stats().plan_cache_hits, 2u);
   EXPECT_EQ(engine.stats().non_rewritable, 2u);
+  // Cache-level counters agree with the engine's, and the one-line
+  // stats rendering exposes them for operators.
+  EXPECT_EQ(engine.plan_cache().hits(), 2u);
+  EXPECT_EQ(engine.plan_cache().misses(), 2u);
+  const std::string rendered = engine.stats().ToString();
+  EXPECT_NE(rendered.find("plan_cache_hits=2"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("plan_cache_misses=2"), std::string::npos)
+      << rendered;
 }
 
 // MemDb type inference must scan all partials: a node whose range

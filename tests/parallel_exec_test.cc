@@ -4,8 +4,9 @@
 // The core contract under test: for any thread count (including 1),
 // an eligible aggregate produces BIT-IDENTICAL results, because the
 // morsel decomposition and the partial-merge order depend only on
-// table contents, never on scheduling. Queries the morsel pipeline
-// does not cover (joins, subqueries) must take the sequential path
+// table contents, never on scheduling. This covers both the
+// single-table pipeline and the morsel-parallel join pipeline.
+// Queries neither covers (subqueries) must take the sequential path
 // and still agree with it under `SET morsel_exec = off`.
 #include <gtest/gtest.h>
 
@@ -141,10 +142,21 @@ TEST(ParallelExecStatsTest, MorselCountersTrackEligibility) {
   EXPECT_GE(q1->stats.cpu_ops, q1->stats.cpu_ops_parallel);
   EXPECT_GT(q1->stats.exec_threads, 1u);
 
-  auto q3 = db.Execute(*tpch::QuerySql(3));  // 3-way join: sequential
+  auto q3 = db.Execute(*tpch::QuerySql(3));  // 3-way join: morsel join
   ASSERT_TRUE(q3.ok());
-  EXPECT_EQ(q3->stats.morsels, 0u);
-  EXPECT_EQ(q3->stats.cpu_ops_parallel, 0u);
+  EXPECT_GT(q3->stats.morsels, 0u);
+  EXPECT_GT(q3->stats.cpu_ops_parallel, 0u);
+  EXPECT_GT(q3->stats.join_build_rows, 0u);
+  EXPECT_GT(q3->stats.join_probe_rows, 0u);
+
+  // A cross join has no equality predicate to build on: the join
+  // planner falls back to the sequential chain without leaving any
+  // morsel accounting behind.
+  auto cross = db.Execute("select count(*) from nation, region");
+  ASSERT_TRUE(cross.ok());
+  EXPECT_EQ(cross->stats.morsels, 0u);
+  EXPECT_EQ(cross->stats.cpu_ops_parallel, 0u);
+  EXPECT_EQ(cross->stats.join_build_rows, 0u);
 
   ASSERT_TRUE(db.Execute("set morsel_exec = off").ok());
   auto q1_off = db.Execute(*tpch::QuerySql(1));
