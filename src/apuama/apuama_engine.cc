@@ -5,7 +5,9 @@
 #include <future>
 #include <set>
 
+#include "apuama/share/query_fingerprint.h"
 #include "cjdbc/controller.h"
+#include "common/string_util.h"
 #include "engine/database.h"
 #include "sql/analyzer.h"
 #include "sql/parser.h"
@@ -25,8 +27,14 @@ std::string ApuamaStats::ToString() const {
          " compose_fallback=" + v(compose_fallback) +
          " plan_cache_hits=" + v(plan_cache_hits) +
          " plan_cache_misses=" + v(plan_cache_misses) +
-         " svp_retries=" + v(svp_retries);
+         " svp_retries=" + v(svp_retries) +
+         " result_cache_hits=" + v(result_cache_hits) +
+         " result_cache_misses=" + v(result_cache_misses) +
+         " queries_coalesced=" + v(queries_coalesced) +
+         " shared_scans=" + v(shared_scans) +
+         " shared_scan_queries=" + v(shared_scan_queries);
 }
+
 
 ApuamaEngine::ApuamaEngine(cjdbc::ReplicaSet* replicas, DataCatalog catalog,
                            ApuamaOptions options)
@@ -35,7 +43,10 @@ ApuamaEngine::ApuamaEngine(cjdbc::ReplicaSet* replicas, DataCatalog catalog,
       plan_cache_(options.plan_cache_entries),
       consistency_(replicas->num_nodes(), [replicas](int i) {
         return replicas->IsNodeAvailable(i);
-      }) {
+      }),
+      result_cache_(options.result_cache_entries),
+      share_scans_on_(options.enable_share_scans),
+      result_cache_on_(options.enable_result_cache) {
   NodeProcessorOptions node_options = options.node_options;
   if (node_options.exec_threads <= 0) {
     // Split one machine-wide thread budget across the nodes this
@@ -72,42 +83,48 @@ bool ApuamaEngine::ReplicasConsistent() const {
   return true;
 }
 
+Result<std::shared_ptr<const PlanCache::Entry>> ApuamaEngine::RouteRead(
+    const std::string& sql) {
+  // Query Parser + Data Catalog: is this an SVP candidate? The
+  // routing decision (and the rewritten plan prototype) is cached
+  // by normalized SQL — OLAP drivers resubmit the same templates,
+  // so repeats skip parse, analysis and rewrite.
+  const uint64_t catalog_version = catalog_.version();
+  const std::string key = PlanCache::NormalizeSql(sql);
+  std::shared_ptr<const PlanCache::Entry> entry =
+      plan_cache_.Lookup(key, catalog_version);
+  if (entry != nullptr) {
+    stats_.plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return entry;
+  }
+  stats_.plan_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  auto built = std::make_shared<PlanCache::Entry>();
+  auto parsed = sql::ParseSelect(sql);
+  if (!parsed.ok() || !rewriter_.TouchesFactTable(**parsed)) {
+    built->kind = PlanCache::Kind::kPassthrough;
+  } else {
+    auto plan = rewriter_.Rewrite(**parsed);
+    if (plan.ok()) {
+      built->kind = PlanCache::Kind::kSvp;
+      built->plan = std::move(plan).value();
+    } else if (plan.status().code() == StatusCode::kUnsupported) {
+      built->kind = PlanCache::Kind::kNonRewritable;
+    } else {
+      return plan.status();  // real rewrite error: do not cache
+    }
+  }
+  plan_cache_.Insert(key, catalog_version, built);
+  return std::shared_ptr<const PlanCache::Entry>(std::move(built));
+}
+
 Result<engine::QueryResult> ApuamaEngine::ExecuteRead(
     int node_id, const std::string& sql) {
   if (node_id < 0 || node_id >= num_nodes()) {
     return Status::InvalidArgument("bad node id");
   }
   if (options_.enable_intra_query) {
-    // Query Parser + Data Catalog: is this an SVP candidate? The
-    // routing decision (and the rewritten plan prototype) is cached
-    // by normalized SQL — OLAP drivers resubmit the same templates,
-    // so repeats skip parse, analysis and rewrite.
-    const uint64_t catalog_version = catalog_.version();
-    const std::string key = PlanCache::NormalizeSql(sql);
-    std::shared_ptr<const PlanCache::Entry> entry =
-        plan_cache_.Lookup(key, catalog_version);
-    if (entry != nullptr) {
-      stats_.plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      stats_.plan_cache_misses.fetch_add(1, std::memory_order_relaxed);
-      auto built = std::make_shared<PlanCache::Entry>();
-      auto parsed = sql::ParseSelect(sql);
-      if (!parsed.ok() || !rewriter_.TouchesFactTable(**parsed)) {
-        built->kind = PlanCache::Kind::kPassthrough;
-      } else {
-        auto plan = rewriter_.Rewrite(**parsed);
-        if (plan.ok()) {
-          built->kind = PlanCache::Kind::kSvp;
-          built->plan = std::move(plan).value();
-        } else if (plan.status().code() == StatusCode::kUnsupported) {
-          built->kind = PlanCache::Kind::kNonRewritable;
-        } else {
-          return plan.status();  // real rewrite error: do not cache
-        }
-      }
-      plan_cache_.Insert(key, catalog_version, built);
-      entry = std::move(built);
-    }
+    APUAMA_ASSIGN_OR_RETURN(std::shared_ptr<const PlanCache::Entry> entry,
+                            RouteRead(sql));
     switch (entry->kind) {
       case PlanCache::Kind::kSvp: {
         SvpPlan plan = entry->plan.Clone();
@@ -140,13 +157,136 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteWriteOn(
   }
   ConsistencyManager::WriteClass cls =
       consistency_.BeginNodeWrite(node_id, sql);
+  if (cls == ConsistencyManager::WriteClass::kNew) {
+    // Admission bump: epochs move even with the cache knob off —
+    // entries filled while it was on must not survive a write
+    // performed while it was off and then be served after re-enable.
+    std::string table = share::WriteTargetTable(sql);
+    {
+      std::lock_guard<std::mutex> lock(write_table_mu_);
+      open_write_table_ = table;
+    }
+    result_cache_.BeginTableWrite(table);
+  }
   auto result = processors_[static_cast<size_t>(node_id)]->Execute(sql);
-  consistency_.EndNodeWrite(node_id, cls);
+  if (consistency_.EndNodeWrite(node_id, cls)) {
+    // Completion bump: after this, no lookup can return a result
+    // computed before the write (see ResultCache freshness contract).
+    std::string table;
+    {
+      std::lock_guard<std::mutex> lock(write_table_mu_);
+      table = open_write_table_;
+    }
+    result_cache_.EndTableWrite(table);
+  }
   if (node_id == 0) {
     stats_.writes.fetch_add(1, std::memory_order_relaxed);
   }
   return result;
 }
+
+std::vector<Result<engine::QueryResult>> ApuamaEngine::ExecuteSharedRead(
+    int node_id, const std::vector<std::string>& sqls) {
+  std::vector<Result<engine::QueryResult>> out(
+      sqls.size(), Result<engine::QueryResult>(
+                       Status::Internal("shared read not dispatched")));
+  if (node_id < 0 || node_id >= num_nodes()) {
+    for (auto& r : out) r = Status::InvalidArgument("bad node id");
+    return out;
+  }
+  // Partition the batch: SVP-eligible queries keep the composition
+  // path (their results must stay bit-identical to solo execution, so
+  // they never enter a shared scan); the rest run as one shared
+  // batch on the node.
+  std::vector<size_t> batch_idx;
+  batch_idx.reserve(sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    if (!options_.enable_intra_query) {
+      batch_idx.push_back(i);
+      continue;
+    }
+    auto entry = RouteRead(sqls[i]);
+    if (!entry.ok()) {
+      out[i] = entry.status();
+    } else if ((*entry)->kind == PlanCache::Kind::kSvp) {
+      // Re-routes through ExecuteRead (plan-cache hit now), keeping
+      // the SVP retry/fallback semantics intact.
+      out[i] = ExecuteRead(node_id, sqls[i]);
+    } else {
+      batch_idx.push_back(i);
+    }
+  }
+  if (batch_idx.size() == 1) {
+    out[batch_idx[0]] = ExecuteRead(node_id, sqls[batch_idx[0]]);
+    return out;
+  }
+  if (batch_idx.empty()) return out;
+  std::vector<std::string> batch_sqls;
+  batch_sqls.reserve(batch_idx.size());
+  for (size_t i : batch_idx) batch_sqls.push_back(sqls[i]);
+  std::vector<Result<engine::QueryResult>> results =
+      processors_[static_cast<size_t>(node_id)]->ExecuteShared(batch_sqls);
+  stats_.passthrough_reads.fetch_add(batch_idx.size(),
+                                     std::memory_order_relaxed);
+  bool shared = false;
+  for (size_t k = 0; k < results.size() && k < batch_idx.size(); ++k) {
+    if (results[k].ok() && results[k]->stats.shared_scans > 0) shared = true;
+    out[batch_idx[k]] = std::move(results[k]);
+  }
+  if (shared) {
+    stats_.shared_scans.fetch_add(1, std::memory_order_relaxed);
+    stats_.shared_scan_queries.fetch_add(batch_idx.size(),
+                                         std::memory_order_relaxed);
+  }
+  return out;
+}
+
+bool ApuamaEngine::sharing_enabled() const {
+  return share_scans_on_.load(std::memory_order_relaxed);
+}
+
+bool ApuamaEngine::cache_enabled() const {
+  return result_cache_on_.load(std::memory_order_relaxed);
+}
+
+int64_t ApuamaEngine::admission_window_us() const {
+  return options_.admission_window_us;
+}
+
+std::shared_ptr<const engine::QueryResult> ApuamaEngine::CacheLookup(
+    const std::string& fingerprint) {
+  auto hit = result_cache_.Lookup(fingerprint, catalog_.version());
+  (hit != nullptr ? stats_.result_cache_hits : stats_.result_cache_misses)
+      .fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
+std::optional<share::ResultCache::FillTicket> ApuamaEngine::CacheBeginFill(
+    const std::string& fingerprint, const std::set<std::string>& tables) {
+  if (!cache_enabled()) return std::nullopt;
+  return result_cache_.BeginFill(fingerprint, catalog_.version(), tables,
+                                 consistency_.logical_writes());
+}
+
+void ApuamaEngine::CacheInsert(
+    const share::ResultCache::FillTicket& ticket,
+    std::shared_ptr<const engine::QueryResult> result) {
+  result_cache_.Insert(ticket, std::move(result));
+}
+
+void ApuamaEngine::NoteCoalesced(uint64_t n) {
+  stats_.queries_coalesced.fetch_add(n, std::memory_order_relaxed);
+}
+
+void ApuamaEngine::SetShareScans(bool on) {
+  share_scans_on_.store(on, std::memory_order_relaxed);
+}
+
+void ApuamaEngine::SetResultCache(bool on) {
+  result_cache_on_.store(on, std::memory_order_relaxed);
+}
+
+void ApuamaEngine::InvalidateResultCache() { result_cache_.InvalidateAll(); }
 
 Result<engine::QueryResult> ApuamaEngine::ExecuteSvp(
     const sql::SelectStmt& query) {
@@ -380,6 +520,32 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAvpPlan(SvpPlan plan) {
 
 namespace {
 
+// SET share_scans / SET result_cache also flip engine-level state:
+// the controller's admission gate reads those flags before any node
+// session sees a query. Idempotent, so the per-node broadcast calling
+// this once per backend is harmless.
+void MaybeFlipSharingKnob(ApuamaEngine* engine, const std::string& sql) {
+  auto parsed = sql::Parse(sql);
+  if (!parsed.ok() || (*parsed)->kind() != sql::StmtKind::kSet) return;
+  const auto& set = static_cast<const sql::SetStmt&>(**parsed);
+  const std::string name = ToLower(set.name);
+  if (name != "share_scans" && name != "result_cache") return;
+  const std::string value = ToLower(set.value);
+  bool on;
+  if (value == "on" || value == "true" || value == "1") {
+    on = true;
+  } else if (value == "off" || value == "false" || value == "0") {
+    on = false;
+  } else {
+    return;  // the node's own ExecuteSet reports the bad value
+  }
+  if (name == "share_scans") {
+    engine->SetShareScans(on);
+  } else {
+    engine->SetResultCache(on);
+  }
+}
+
 class ApuamaConnection : public cjdbc::Connection {
  public:
   ApuamaConnection(ApuamaEngine* engine, int node_id)
@@ -390,6 +556,9 @@ class ApuamaConnection : public cjdbc::Connection {
     // Replay goes straight to the node: the controller already holds
     // the write order and this statement is not a broadcast.
     auto result = engine_->processor(node_id_)->Execute(sql);
+    // Replayed writes bypass the per-table epoch bracketing, so the
+    // cache cannot attribute them: drop everything.
+    engine_->InvalidateResultCache();
     engine_->consistency()->NotifyStateChange();
     return result;
   }
@@ -402,13 +571,24 @@ class ApuamaConnection : public cjdbc::Connection {
         return engine_->ExecuteRead(node_id_, sql);
       case cjdbc::RequestKind::kWrite:
         return engine_->ExecuteWriteOn(node_id_, sql);
-      case cjdbc::RequestKind::kDdl:
+      case cjdbc::RequestKind::kDdl: {
+        // Schema statements pass straight through to the node (the
+        // controller broadcasts them to every backend); any cached
+        // result may now name dropped tables or miss new data.
+        auto result = engine_->processor(node_id_)->Execute(sql);
+        engine_->InvalidateResultCache();
+        return result;
+      }
       case cjdbc::RequestKind::kControl:
-        // Schema / session statements pass straight through to the
-        // node (the controller broadcasts them to every backend).
+        MaybeFlipSharingKnob(engine_, sql);
         return engine_->processor(node_id_)->Execute(sql);
     }
     return Status::Internal("unreachable");
+  }
+
+  std::vector<Result<engine::QueryResult>> ExecuteShared(
+      const std::vector<std::string>& sqls) override {
+    return engine_->ExecuteSharedRead(node_id_, sqls);
   }
 
   int node_id() const override { return node_id_; }

@@ -25,6 +25,8 @@
 #include "apuama/node_processor.h"
 #include "apuama/plan_cache.h"
 #include "apuama/result_composer.h"
+#include "apuama/share/result_cache.h"
+#include "apuama/share/work_sharing.h"
 #include "apuama/svp_rewriter.h"
 #include "cjdbc/connection.h"
 #include "common/status.h"
@@ -55,6 +57,15 @@ struct ApuamaOptions {
   int exec_thread_budget = 0;
   /// Entries in the parse+rewrite plan cache (0 disables it).
   size_t plan_cache_entries = 128;
+  /// Initial state of the versioned result cache (SET result_cache
+  /// flips it at runtime) and its capacity in entries.
+  bool enable_result_cache = false;
+  size_t result_cache_entries = 256;
+  /// Initial state of shared-scan admission batching (SET share_scans
+  /// flips it at runtime) and how long the controller's gate holds a
+  /// batch open for more arrivals.
+  bool enable_share_scans = false;
+  int64_t admission_window_us = 200;
 };
 
 /// Cumulative engine statistics (observability / tests / benches).
@@ -76,13 +87,18 @@ struct ApuamaStats {
   std::atomic<uint64_t> plan_cache_hits{0};
   std::atomic<uint64_t> plan_cache_misses{0};
   std::atomic<uint64_t> svp_retries{0};        // failover resubmissions
+  std::atomic<uint64_t> result_cache_hits{0};  // reads served from cache
+  std::atomic<uint64_t> result_cache_misses{0};
+  std::atomic<uint64_t> queries_coalesced{0};  // rode another's admission
+  std::atomic<uint64_t> shared_scans{0};       // batches that shared a scan
+  std::atomic<uint64_t> shared_scan_queries{0};  // queries in those batches
 
   /// SHOW-style one-line rendering of every counter (observability:
   /// benches and operators read cache efficacy off this directly).
   std::string ToString() const;
 };
 
-class ApuamaEngine {
+class ApuamaEngine : public share::WorkSharingHooks {
  public:
   ApuamaEngine(cjdbc::ReplicaSet* replicas, DataCatalog catalog,
                ApuamaOptions options = ApuamaOptions());
@@ -98,6 +114,37 @@ class ApuamaEngine {
   /// recognizes the broadcast and brackets it as one logical write.
   Result<engine::QueryResult> ExecuteWriteOn(int node_id,
                                              const std::string& sql);
+
+  /// Batch read entry point for backend `node_id` — the controller's
+  /// admission gate hands a whole batch here. SVP-eligible queries
+  /// keep their composition path (bit-identity with solo execution);
+  /// the rest run as one shared morsel scan on the node, falling back
+  /// to one-by-one execution when the batch is not shareable. Results
+  /// align with `sqls`.
+  std::vector<Result<engine::QueryResult>> ExecuteSharedRead(
+      int node_id, const std::vector<std::string>& sqls);
+
+  // share::WorkSharingHooks — driven by the controller's gate.
+  bool sharing_enabled() const override;
+  bool cache_enabled() const override;
+  int64_t admission_window_us() const override;
+  std::shared_ptr<const engine::QueryResult> CacheLookup(
+      const std::string& fingerprint) override;
+  std::optional<share::ResultCache::FillTicket> CacheBeginFill(
+      const std::string& fingerprint,
+      const std::set<std::string>& tables) override;
+  void CacheInsert(
+      const share::ResultCache::FillTicket& ticket,
+      std::shared_ptr<const engine::QueryResult> result) override;
+  void NoteCoalesced(uint64_t n) override;
+
+  /// Runtime knob flips (the connection layer intercepts the
+  /// SET share_scans / SET result_cache broadcasts).
+  void SetShareScans(bool on);
+  void SetResultCache(bool on);
+  /// Drops every cached result (DDL, recovery replay).
+  void InvalidateResultCache();
+  share::ResultCache* result_cache() { return &result_cache_; }
 
   int num_nodes() const { return static_cast<int>(processors_.size()); }
   NodeProcessor* processor(int i) { return processors_[static_cast<size_t>(i)].get(); }
@@ -122,6 +169,12 @@ class ApuamaEngine {
   Result<engine::QueryResult> ExecuteAvp(const sql::SelectStmt& query);
 
  private:
+  /// Plan-cache routing for one read: lookup, or build + insert the
+  /// entry on a miss (counts cache hit/miss stats). Errors only on a
+  /// real rewrite failure, which is never cached.
+  Result<std::shared_ptr<const PlanCache::Entry>> RouteRead(
+      const std::string& sql);
+
   /// Runs a rewritten plan end to end. Composition is per-query and
   /// streaming: no shared composer, no global lock.
   Result<engine::QueryResult> ExecuteSvpPlan(SvpPlan plan);
@@ -146,6 +199,16 @@ class ApuamaEngine {
   ConsistencyManager consistency_;
   std::unique_ptr<ThreadPool> dispatch_pool_;
   ApuamaStats stats_;
+  share::ResultCache result_cache_;
+  // Knobs read on every gated read; atomics because SET broadcasts
+  // race with concurrent readers of the flags.
+  std::atomic<bool> share_scans_on_;
+  std::atomic<bool> result_cache_on_;
+  // Target table of the open logical write: recorded at admission
+  // (the consistency manager keeps one broadcast open at a time),
+  // consumed by the completion epoch bump.
+  std::mutex write_table_mu_;
+  std::string open_write_table_;
 };
 
 /// cjdbc::Driver implementation that interposes the Apuama Engine —
@@ -157,6 +220,7 @@ class ApuamaDriver : public cjdbc::Driver {
 
   Result<std::unique_ptr<cjdbc::Connection>> Connect(int node_id) override;
   int num_nodes() const override { return engine_->num_nodes(); }
+  share::WorkSharingHooks* work_sharing() override { return engine_; }
 
  private:
   ApuamaEngine* engine_;

@@ -57,7 +57,8 @@ ConsistencyManager::WriteClass ConsistencyManager::BeginNodeWrite(
   return WriteClass::kNew;
 }
 
-void ConsistencyManager::EndNodeWrite(int node, WriteClass cls) {
+bool ConsistencyManager::EndNodeWrite(int node, WriteClass cls) {
+  bool closed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     --nodes_executing_;
@@ -71,9 +72,11 @@ void ConsistencyManager::EndNodeWrite(int node, WriteClass cls) {
     }
     if (write_open_ && cls != WriteClass::kTail && BroadcastComplete()) {
       CloseBroadcastLocked();
+      closed = true;
     }
   }
   cv_.notify_all();
+  return closed;
 }
 
 void ConsistencyManager::BeginSvpPrepare(

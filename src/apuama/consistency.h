@@ -56,7 +56,11 @@ class ConsistencyManager {
   /// statement continues (or tails) an existing broadcast. Pass the
   /// returned class back to EndNodeWrite.
   WriteClass BeginNodeWrite(int node, const std::string& statement);
-  void EndNodeWrite(int node, WriteClass cls);
+  /// Returns true when this call closed the logical broadcast (every
+  /// reachable node has applied the write). The engine uses this to
+  /// bump the result cache's completion epoch exactly once per
+  /// logical write; tail statements never close a broadcast.
+  bool EndNodeWrite(int node, WriteClass cls);
 
   /// Brackets SVP dispatch: Begin blocks new logical writes and waits
   /// until no logical write is open, no per-node statement is
@@ -70,10 +74,20 @@ class ConsistencyManager {
   /// state change (e.g. a recovery replay advanced a node's counter).
   void NotifyStateChange() { cv_.notify_all(); }
 
-  // Observability.
-  uint64_t writes_blocked() const { return writes_blocked_; }
-  uint64_t svp_waits() const { return svp_waits_; }
-  uint64_t logical_writes() const { return logical_writes_; }
+  // Observability. Locked: the cache-fill path reads these counters
+  // while writers are bumping them.
+  uint64_t writes_blocked() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return writes_blocked_;
+  }
+  uint64_t svp_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return svp_waits_;
+  }
+  uint64_t logical_writes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return logical_writes_;
+  }
 
  private:
   bool BroadcastComplete() const;

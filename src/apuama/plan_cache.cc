@@ -1,46 +1,14 @@
 #include "apuama/plan_cache.h"
 
-#include <cctype>
+#include "apuama/share/query_fingerprint.h"
 
 namespace apuama {
 
 std::string PlanCache::NormalizeSql(const std::string& sql) {
-  std::string out;
-  out.reserve(sql.size());
-  bool pending_space = false;
-  char quote = '\0';  // active literal delimiter, or 0 when outside
-  for (size_t i = 0; i < sql.size(); ++i) {
-    const char ch = sql[i];
-    if (quote != '\0') {
-      // Literal content is part of the plan ('ABC' and 'abc' are
-      // different queries): copy verbatim, no tolower, no collapsing.
-      out.push_back(ch);
-      if (ch == quote) {
-        if (i + 1 < sql.size() && sql[i + 1] == quote) {
-          out.push_back(sql[++i]);  // doubled delimiter ('It''s')
-        } else {
-          quote = '\0';
-        }
-      }
-      continue;
-    }
-    unsigned char c = static_cast<unsigned char>(ch);
-    if (std::isspace(c)) {
-      pending_space = !out.empty();
-      continue;
-    }
-    if (pending_space) {
-      out.push_back(' ');
-      pending_space = false;
-    }
-    if (ch == '\'' || ch == '"') {
-      quote = ch;
-      out.push_back(ch);
-    } else {
-      out.push_back(static_cast<char>(std::tolower(c)));
-    }
-  }
-  return out;
+  // One normalization for both the plan cache and the result cache
+  // (apuama/share/result_cache.h): the two must never drift, or a
+  // query could hit one cache and miss the other under the same key.
+  return share::NormalizeSql(sql);
 }
 
 std::shared_ptr<const PlanCache::Entry> PlanCache::Lookup(

@@ -1,0 +1,88 @@
+#include "apuama/share/query_fingerprint.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+
+namespace apuama::share {
+
+std::string NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool pending_space = false;
+  char quote = '\0';  // active literal delimiter, or 0 when outside
+  for (size_t i = 0; i < sql.size(); ++i) {
+    const char ch = sql[i];
+    if (quote != '\0') {
+      // Literal content is part of the query's meaning ('ABC' and
+      // 'abc' are different queries): copy verbatim, no tolower, no
+      // collapsing.
+      out.push_back(ch);
+      if (ch == quote) {
+        if (i + 1 < sql.size() && sql[i + 1] == quote) {
+          out.push_back(sql[++i]);  // doubled delimiter ('It''s')
+        } else {
+          quote = '\0';
+        }
+      }
+      continue;
+    }
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isspace(c)) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    if (ch == '\'' || ch == '"') {
+      quote = ch;
+      out.push_back(ch);
+    } else {
+      out.push_back(static_cast<char>(std::tolower(c)));
+    }
+  }
+  return out;
+}
+
+uint64_t FingerprintHash(const std::string& normalized) {
+  uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (unsigned char c : normalized) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::optional<std::set<std::string>> ReadTableSet(const std::string& sql) {
+  auto parsed = sql::Parse(sql);
+  if (!parsed.ok() || (*parsed)->kind() != sql::StmtKind::kSelect) {
+    return std::nullopt;
+  }
+  std::set<std::string> tables;
+  for (const auto& t : sql::AllReferencedTables(
+           static_cast<const sql::SelectStmt&>(**parsed))) {
+    tables.insert(ToLower(t));
+  }
+  return tables;
+}
+
+std::string WriteTargetTable(const std::string& sql) {
+  auto parsed = sql::Parse(sql);
+  if (!parsed.ok()) return std::string();
+  switch ((*parsed)->kind()) {
+    case sql::StmtKind::kInsert:
+      return ToLower(static_cast<const sql::InsertStmt&>(**parsed).table);
+    case sql::StmtKind::kDelete:
+      return ToLower(static_cast<const sql::DeleteStmt&>(**parsed).table);
+    case sql::StmtKind::kUpdate:
+      return ToLower(static_cast<const sql::UpdateStmt&>(**parsed).table);
+    default:
+      return std::string();
+  }
+}
+
+}  // namespace apuama::share

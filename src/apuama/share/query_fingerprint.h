@@ -1,0 +1,47 @@
+// Query fingerprinting — the single source of truth for normalizing
+// SQL text into a cache key. Both the plan cache (src/apuama/
+// plan_cache.*) and the result cache (src/apuama/share/result_cache.*)
+// key on this normalization; keeping it here means they cannot drift.
+//
+// Normalization is deliberately conservative: whitespace collapses to
+// one space and identifiers/keywords lowercase, but literal content
+// between quotes is preserved verbatim (including doubled-delimiter
+// escapes). Two queries that could produce different results MUST map
+// to different fingerprints — a collision is a wrong-results bug for
+// the result cache, not just a perf bug.
+#ifndef APUAMA_SHARE_QUERY_FINGERPRINT_H_
+#define APUAMA_SHARE_QUERY_FINGERPRINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace apuama::share {
+
+/// Normalizes SQL for cache keying: lowercases and collapses runs of
+/// whitespace outside quoted literals; literal content (between ' or
+/// ") is copied verbatim, honoring doubled-delimiter escapes
+/// ('It''s'). Idempotent: NormalizeSql(NormalizeSql(s)) ==
+/// NormalizeSql(s).
+std::string NormalizeSql(const std::string& sql);
+
+/// Stable 64-bit hash of a normalized fingerprint (FNV-1a). Used for
+/// backend affinity routing, never for equality: the full normalized
+/// string remains the cache key.
+uint64_t FingerprintHash(const std::string& normalized);
+
+/// Tables a SELECT references (including inside subqueries),
+/// lowercased to match the write side's epoch keys; nullopt when
+/// `sql` is not a plain SELECT — such reads (e.g. EXPLAIN) bypass the
+/// result cache and the admission gate entirely.
+std::optional<std::set<std::string>> ReadTableSet(const std::string& sql);
+
+/// Target table of a write statement (lowercased), or "" when the
+/// statement cannot be attributed to one table — the result cache
+/// then bumps its global epoch, invalidating every entry.
+std::string WriteTargetTable(const std::string& sql);
+
+}  // namespace apuama::share
+
+#endif  // APUAMA_SHARE_QUERY_FINGERPRINT_H_

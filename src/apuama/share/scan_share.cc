@@ -1,0 +1,81 @@
+#include "apuama/share/scan_share.h"
+
+namespace apuama::share {
+
+ScanShareManager::Admission ScanShareManager::Admit(
+    const std::string& group, const std::string& fingerprint,
+    const std::string& sql) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(group);
+  if (it != open_.end() && !it->second->closed) {
+    auto& batch = it->second;
+    // Identical fingerprint already aboard: pure coalescing.
+    for (size_t i = 0; i < batch->fingerprints.size(); ++i) {
+      if (batch->fingerprints[i] == fingerprint) {
+        ++queries_coalesced_;
+        return Admission{batch, i, /*leader=*/false};
+      }
+    }
+    if (batch->sqls.size() < options_.max_batch) {
+      batch->fingerprints.push_back(fingerprint);
+      batch->sqls.push_back(sql);
+      ++queries_coalesced_;
+      const size_t index = batch->sqls.size() - 1;
+      if (batch->sqls.size() >= options_.max_batch) {
+        batch->cv.notify_all();  // wake the leader early: batch full
+      }
+      return Admission{batch, index, /*leader=*/false};
+    }
+    // Full but not yet closed: fall through and open a successor.
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->group = group;
+  batch->fingerprints.push_back(fingerprint);
+  batch->sqls.push_back(sql);
+  open_[group] = batch;
+  return Admission{std::move(batch), 0, /*leader=*/true};
+}
+
+std::vector<std::string> ScanShareManager::WaitWindow(
+    const Admission& admission) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Batch* b = admission.batch.get();
+  b->cv.wait_for(lock, std::chrono::microseconds(options_.window_us),
+                 [&] { return b->sqls.size() >= options_.max_batch; });
+  b->closed = true;
+  auto it = open_.find(b->group);
+  if (it != open_.end() && it->second.get() == b) open_.erase(it);
+  return b->sqls;  // stable now: no one joins a closed batch
+}
+
+void ScanShareManager::Publish(
+    const Admission& admission,
+    std::vector<Result<engine::QueryResult>> results) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Batch* b = admission.batch.get();
+  b->results = std::move(results);
+  b->done = true;
+  ++batches_;
+  b->cv.notify_all();
+}
+
+Result<engine::QueryResult> ScanShareManager::Await(
+    const Admission& admission) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Batch* b = admission.batch.get();
+  b->cv.wait(lock, [&] { return b->done; });
+  if (admission.index < b->results.size()) return b->results[admission.index];
+  return Status::Internal("scan-share leader published no result");
+}
+
+uint64_t ScanShareManager::batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+uint64_t ScanShareManager::queries_coalesced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_coalesced_;
+}
+
+}  // namespace apuama::share

@@ -1,0 +1,99 @@
+// Scan-share admission batching (SharedDB-style, adapted to the
+// Apuama read path): queries arriving within a small admission window
+// that read the same table set are collected into one batch. The
+// first arrival becomes the batch LEADER — it holds the window open,
+// then executes every distinct query of the batch (one shared morsel
+// scan downstream when the engine finds a common access path), and
+// publishes the results. Arrivals with a fingerprint already in the
+// batch become FOLLOWERS: they block until the leader publishes and
+// never touch a backend (pure coalescing). Arrivals with a new
+// fingerprint join the batch as extra MEMBERS the leader executes on
+// their behalf.
+//
+// The manager is pure rendezvous bookkeeping — it never executes SQL
+// and has no engine dependencies, so the C-JDBC controller and tests
+// can drive it directly. Liveness contract: a leader MUST call
+// Publish exactly once (with per-entry statuses on failure); every
+// waiting member then wakes.
+#ifndef APUAMA_SHARE_SCAN_SHARE_H_
+#define APUAMA_SHARE_SCAN_SHARE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/query_result.h"
+
+namespace apuama::share {
+
+class ScanShareManager {
+ public:
+  struct Options {
+    /// How long a leader holds the batch open for more arrivals.
+    int64_t window_us = 200;
+    /// Distinct queries per batch; a full batch closes early.
+    size_t max_batch = 16;
+  };
+
+  explicit ScanShareManager(Options options) : options_(options) {}
+
+  struct Batch;
+
+  /// One admitted query's handle into its batch.
+  struct Admission {
+    std::shared_ptr<Batch> batch;
+    size_t index = 0;       // which distinct entry this query maps to
+    bool leader = false;    // true: run WaitWindow + Publish
+  };
+
+  /// Joins (or opens) the batch for `group` (a canonical table-set
+  /// key). `fingerprint` dedupes identical queries inside the batch;
+  /// `sql` is the text the leader will execute for this entry.
+  Admission Admit(const std::string& group, const std::string& fingerprint,
+                  const std::string& sql);
+
+  /// Leader only: holds the window open (returns early if the batch
+  /// fills), closes the batch, and returns the distinct SQL texts to
+  /// execute, ordered by arrival. Index i corresponds to entry i.
+  std::vector<std::string> WaitWindow(const Admission& admission);
+
+  /// Leader only: publishes one result per distinct entry (same order
+  /// WaitWindow returned) and wakes every waiting member.
+  void Publish(const Admission& admission,
+               std::vector<Result<engine::QueryResult>> results);
+
+  /// Non-leader members: blocks until the leader publishes, then
+  /// returns this member's result.
+  Result<engine::QueryResult> Await(const Admission& admission);
+
+  // Observability.
+  uint64_t batches() const;
+  uint64_t queries_coalesced() const;
+
+  struct Batch {
+    std::string group;
+    std::vector<std::string> fingerprints;
+    std::vector<std::string> sqls;
+    std::vector<Result<engine::QueryResult>> results;
+    bool closed = false;
+    bool done = false;
+    std::condition_variable cv;
+  };
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Batch>> open_;
+  uint64_t batches_ = 0;
+  uint64_t queries_coalesced_ = 0;
+};
+
+}  // namespace apuama::share
+
+#endif  // APUAMA_SHARE_SCAN_SHARE_H_

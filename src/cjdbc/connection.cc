@@ -40,6 +40,36 @@ Result<engine::QueryResult> ReplicaSet::ExecuteOn(int node_id,
   return n.db->Execute(sql);
 }
 
+std::vector<Result<engine::QueryResult>> ReplicaSet::ExecuteSharedOn(
+    int node_id, const std::vector<std::string>& sqls) {
+  std::vector<Result<engine::QueryResult>> out;
+  auto fail_all = [&](const Status& s) {
+    out.clear();
+    out.reserve(sqls.size());
+    for (size_t i = 0; i < sqls.size(); ++i) out.push_back(s);
+    return out;
+  };
+  if (node_id < 0 || node_id >= num_nodes()) {
+    return fail_all(Status::InvalidArgument("bad node id"));
+  }
+  NodeState& n = *nodes_[static_cast<size_t>(node_id)];
+  if (!n.available.load()) {
+    return fail_all(Status::Unavailable("node " + std::to_string(node_id) +
+                                        " is down"));
+  }
+  // The batch counts as one statement for fault injection: it reaches
+  // the node as one shared dispatch.
+  for (int cur = n.fail_next.load(); cur > 0;) {
+    if (n.fail_next.compare_exchange_weak(cur, cur - 1)) {
+      return fail_all(
+          Status::Unavailable("node " + std::to_string(node_id) +
+                              " dropped statement (injected fault)"));
+    }
+  }
+  std::lock_guard<std::mutex> lock(n.mu);
+  return std::move(n.db->ExecuteSharedSelects(sqls).results);
+}
+
 void ReplicaSet::SetNodeAvailable(int node_id, bool available) {
   if (node_id >= 0 && node_id < num_nodes()) {
     nodes_[static_cast<size_t>(node_id)]->available.store(available);
@@ -73,6 +103,11 @@ class DirectConnection : public Connection {
 
   Result<engine::QueryResult> Execute(const std::string& sql) override {
     return replicas_->ExecuteOn(node_id_, sql);
+  }
+
+  std::vector<Result<engine::QueryResult>> ExecuteShared(
+      const std::vector<std::string>& sqls) override {
+    return replicas_->ExecuteSharedOn(node_id_, sqls);
   }
 
   int node_id() const override { return node_id_; }

@@ -20,6 +20,10 @@
 #include "engine/database.h"
 #include "engine/query_result.h"
 
+namespace apuama::share {
+class WorkSharingHooks;
+}  // namespace apuama::share
+
 namespace apuama::cjdbc {
 
 /// One logical connection to one backend DBMS.
@@ -40,6 +44,18 @@ class Connection {
     return Execute(sql);
   }
 
+  /// Executes a batch of read statements admitted together by the
+  /// controller's work-sharing gate. Results align with `sqls`.
+  /// Default: one-by-one execution (no sharing). Drivers that can
+  /// run the batch over one shared scan override this.
+  virtual std::vector<Result<engine::QueryResult>> ExecuteShared(
+      const std::vector<std::string>& sqls) {
+    std::vector<Result<engine::QueryResult>> out;
+    out.reserve(sqls.size());
+    for (const auto& sql : sqls) out.push_back(Execute(sql));
+    return out;
+  }
+
   /// The node this connection is bound to.
   virtual int node_id() const = 0;
 };
@@ -50,6 +66,11 @@ class Driver {
   virtual ~Driver() = default;
   virtual Result<std::unique_ptr<Connection>> Connect(int node_id) = 0;
   virtual int num_nodes() const = 0;
+
+  /// Work-sharing hooks (result cache + knobs) the controller's
+  /// admission gate uses. Null (the default) leaves the gate inert —
+  /// a driver without a middleware layer shares nothing.
+  virtual share::WorkSharingHooks* work_sharing() { return nullptr; }
 };
 
 /// The replicated database: owns one engine::Database per node, each
@@ -74,6 +95,12 @@ class ReplicaSet {
   /// Executes on one node under its mutex. Unavailable when the node
   /// is marked down.
   Result<engine::QueryResult> ExecuteOn(int node_id, const std::string& sql);
+
+  /// Executes a read batch on one node under its mutex, via the
+  /// node's shared-scan pipeline when its session settings allow
+  /// (Database::ExecuteSharedSelects). Results align with `sqls`.
+  std::vector<Result<engine::QueryResult>> ExecuteSharedOn(
+      int node_id, const std::vector<std::string>& sqls);
 
   /// Failure injection: a node marked unavailable refuses statements
   /// until brought back. Its data is untouched (a crashed-but-

@@ -1,5 +1,8 @@
 #include "cjdbc/controller.h"
 
+#include <set>
+
+#include "apuama/share/query_fingerprint.h"
 #include "sql/parser.h"
 
 namespace apuama::cjdbc {
@@ -39,6 +42,12 @@ Controller::Controller(std::unique_ptr<Driver> driver, BalancePolicy policy)
       backends_[static_cast<size_t>(i)].enabled = false;
     }
   }
+  sharing_ = driver_->work_sharing();
+  share::ScanShareManager::Options gate_options;
+  if (sharing_ != nullptr) {
+    gate_options.window_us = sharing_->admission_window_us();
+  }
+  gate_ = std::make_unique<share::ScanShareManager>(gate_options);
 }
 
 Result<engine::QueryResult> Controller::Execute(const std::string& sql) {
@@ -74,7 +83,16 @@ Result<engine::QueryResult> Controller::Execute(const std::string& sql) {
 }
 
 Result<engine::QueryResult> Controller::ExecuteRead(const std::string& sql) {
-  int node = balancer_.Acquire();
+  if (sharing_ != nullptr &&
+      (sharing_->sharing_enabled() || sharing_->cache_enabled())) {
+    return ExecuteSharedRead(sql);
+  }
+  return ExecuteReadDirect(sql, std::nullopt);
+}
+
+Result<engine::QueryResult> Controller::ExecuteReadDirect(
+    const std::string& sql, std::optional<uint64_t> affinity) {
+  int node = balancer_.Acquire(affinity);
   if (!backends_[static_cast<size_t>(node)].enabled) {
     // Balancer picked a disabled backend: fail over to the first
     // enabled one, bypassing balancer bookkeeping for this request.
@@ -89,6 +107,104 @@ Result<engine::QueryResult> Controller::ExecuteRead(const std::string& sql) {
   auto result = backends_[static_cast<size_t>(node)].conn->Execute(sql);
   balancer_.Release(node);
   return result;
+}
+
+Result<engine::QueryResult> Controller::ExecuteSharedRead(
+    const std::string& sql) {
+  auto tables = share::ReadTableSet(sql);
+  if (!tables.has_value()) {
+    return ExecuteReadDirect(sql, std::nullopt);
+  }
+  const std::string fingerprint = share::NormalizeSql(sql);
+  const uint64_t affinity = share::FingerprintHash(fingerprint);
+  // Cache hits are served immediately — no window, no backend.
+  if (sharing_->cache_enabled()) {
+    if (auto hit = sharing_->CacheLookup(fingerprint)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.result_cache_hits;
+      return *hit;
+    }
+  }
+  if (!sharing_->sharing_enabled()) {
+    // Cache-only mode: solo execution under a fill ticket (the ticket
+    // snapshots write epochs BEFORE the read runs, so a racing write
+    // rejects the fill).
+    auto ticket = sharing_->CacheBeginFill(fingerprint, *tables);
+    auto result = ExecuteReadDirect(sql, affinity);
+    if (result.ok() && ticket.has_value()) {
+      sharing_->CacheInsert(
+          *ticket, std::make_shared<engine::QueryResult>(*result));
+    }
+    return result;
+  }
+  // Admission gate: rendezvous with concurrent reads over the same
+  // table set. Non-leaders block until the leader publishes.
+  std::string group;
+  for (const auto& t : *tables) group += t + ",";
+  auto admission = gate_->Admit(group, fingerprint, sql);
+  if (!admission.leader) {
+    sharing_->NoteCoalesced(1);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.queries_coalesced;
+    }
+    return gate_->Await(admission);
+  }
+  std::vector<std::string> batch = gate_->WaitWindow(admission);
+  std::vector<Result<engine::QueryResult>> results =
+      ExecuteGateBatch(batch, affinity);
+  if (batch.size() > 1) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shared_batches;
+  }
+  Result<engine::QueryResult> own = results[admission.index];
+  gate_->Publish(admission, std::move(results));
+  return own;
+}
+
+std::vector<Result<engine::QueryResult>> Controller::ExecuteGateBatch(
+    const std::vector<std::string>& sqls, uint64_t affinity) {
+  // Snapshot cache epochs per entry before anything executes.
+  std::vector<std::optional<share::ResultCache::FillTicket>> tickets(
+      sqls.size());
+  if (sharing_->cache_enabled()) {
+    for (size_t i = 0; i < sqls.size(); ++i) {
+      if (auto tables = share::ReadTableSet(sqls[i])) {
+        tickets[i] = sharing_->CacheBeginFill(
+            share::NormalizeSql(sqls[i]), *tables);
+      }
+    }
+  }
+  std::vector<Result<engine::QueryResult>> results;
+  int node = balancer_.Acquire(affinity);
+  if (!backends_[static_cast<size_t>(node)].enabled) {
+    balancer_.Release(node);
+    int fallback = -1;
+    for (int i = 0; i < num_backends(); ++i) {
+      if (backends_[static_cast<size_t>(i)].enabled) {
+        fallback = i;
+        break;
+      }
+    }
+    if (fallback < 0) {
+      for (size_t i = 0; i < sqls.size(); ++i) {
+        results.push_back(Status::Unavailable("no backend available"));
+      }
+      return results;
+    }
+    results = backends_[static_cast<size_t>(fallback)].conn->ExecuteShared(
+        sqls);
+  } else {
+    results = backends_[static_cast<size_t>(node)].conn->ExecuteShared(sqls);
+    balancer_.Release(node);
+  }
+  for (size_t i = 0; i < results.size() && i < tickets.size(); ++i) {
+    if (results[i].ok() && tickets[i].has_value()) {
+      sharing_->CacheInsert(
+          *tickets[i], std::make_shared<engine::QueryResult>(*results[i]));
+    }
+  }
+  return results;
 }
 
 Result<engine::QueryResult> Controller::ExecuteBroadcast(

@@ -11,9 +11,12 @@
 #define APUAMA_CJDBC_CONTROLLER_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "apuama/share/scan_share.h"
+#include "apuama/share/work_sharing.h"
 #include "cjdbc/connection.h"
 #include "cjdbc/load_balancer.h"
 #include "cjdbc/scheduler.h"
@@ -34,6 +37,9 @@ struct ControllerStats {
   uint64_t broadcast_statements = 0;  // write * nodes
   uint64_t failovers = 0;             // backends auto-disabled
   uint64_t recovered_statements = 0;  // statements replayed on rejoin
+  uint64_t result_cache_hits = 0;     // reads served without a backend
+  uint64_t queries_coalesced = 0;     // reads that rode another's batch
+  uint64_t shared_batches = 0;        // gate batches with > 1 query
 };
 
 class Controller {
@@ -72,12 +78,27 @@ class Controller {
   };
 
   Result<engine::QueryResult> ExecuteRead(const std::string& sql);
+  /// The pre-sharing read path: acquire a backend, execute, release.
+  /// `affinity` biases least-pending ties toward one backend.
+  Result<engine::QueryResult> ExecuteReadDirect(
+      const std::string& sql, std::optional<uint64_t> affinity);
+  /// Work-sharing read path: cache probe, admission gate, batch
+  /// execution with cache fills.
+  Result<engine::QueryResult> ExecuteSharedRead(const std::string& sql);
+  /// Executes a gate batch on one affinity-chosen backend and
+  /// publishes cacheable results. Results align with `sqls`.
+  std::vector<Result<engine::QueryResult>> ExecuteGateBatch(
+      const std::vector<std::string>& sqls, uint64_t affinity);
   Result<engine::QueryResult> ExecuteBroadcast(const std::string& sql);
 
   std::unique_ptr<Driver> driver_;
   std::vector<Backend> backends_;
   Scheduler scheduler_;
   LoadBalancer balancer_;
+  /// Hooks into the middleware's work-sharing state (null when the
+  /// driver has no middleware layer — the gate stays inert).
+  share::WorkSharingHooks* sharing_ = nullptr;
+  std::unique_ptr<share::ScanShareManager> gate_;
   // Total-ordered log of every broadcast statement (writes + DDL),
   // kept for recovering rejoining backends. Guarded by the write
   // ticket (one broadcast at a time) plus log_mu_ for readers.

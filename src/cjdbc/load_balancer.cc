@@ -2,19 +2,39 @@
 
 namespace apuama::cjdbc {
 
-int LoadBalancer::Acquire() {
+int LoadBalancer::LeastPendingLocked(
+    const std::vector<int>& counts,
+    const std::optional<uint64_t>& affinity) {
+  int best = counts[0];
+  for (size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] < best) best = counts[i];
+  }
+  std::vector<int> tied;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == best) tied.push_back(static_cast<int>(i));
+  }
+  if (tied.size() == 1) return tied[0];
+  if (affinity.has_value()) {
+    // Fingerprint affinity: identical queries keep landing on the
+    // same backend (warms its caches) as long as load allows.
+    return tied[static_cast<size_t>(*affinity % tied.size())];
+  }
+  // Rotate across the tied set so equal load spreads instead of
+  // hot-spotting the lowest index.
+  int chosen = tied[static_cast<size_t>(rr_tie_) % tied.size()];
+  rr_tie_ = (rr_tie_ + 1) % static_cast<int>(counts.size());
+  return chosen;
+}
+
+int LoadBalancer::Acquire(std::optional<uint64_t> affinity) {
   std::lock_guard<std::mutex> lock(mu_);
   int chosen = 0;
   switch (policy_) {
     case BalancePolicy::kLeastPending: {
-      int best = pending_[0].load();
-      for (int i = 1; i < num_nodes(); ++i) {
-        int p = pending_[static_cast<size_t>(i)].load();
-        if (p < best) {
-          best = p;
-          chosen = i;
-        }
-      }
+      std::vector<int> counts;
+      counts.reserve(pending_.size());
+      for (const auto& p : pending_) counts.push_back(p.load());
+      chosen = LeastPendingLocked(counts, affinity);
       break;
     }
     case BalancePolicy::kRoundRobin:
@@ -33,18 +53,12 @@ void LoadBalancer::Release(int node_id) {
   --pending_[static_cast<size_t>(node_id)];
 }
 
-int LoadBalancer::Choose(const std::vector<int>& pending_counts) {
+int LoadBalancer::Choose(const std::vector<int>& pending_counts,
+                         std::optional<uint64_t> affinity) {
   std::lock_guard<std::mutex> lock(mu_);
   switch (policy_) {
-    case BalancePolicy::kLeastPending: {
-      int chosen = 0;
-      for (size_t i = 1; i < pending_counts.size(); ++i) {
-        if (pending_counts[i] < pending_counts[static_cast<size_t>(chosen)]) {
-          chosen = static_cast<int>(i);
-        }
-      }
-      return chosen;
-    }
+    case BalancePolicy::kLeastPending:
+      return LeastPendingLocked(pending_counts, affinity);
     case BalancePolicy::kRoundRobin: {
       int chosen = rr_next_;
       rr_next_ = (rr_next_ + 1) % static_cast<int>(pending_counts.size());

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
@@ -28,7 +29,15 @@ class LoadBalancer {
 
   /// Chooses the backend for a read request and increments its
   /// pending count. Pair with Release() when the request completes.
-  int Acquire();
+  ///
+  /// Least-pending ties rotate round-robin across the tied nodes
+  /// (resolving by lowest index hot-spotted node 0 under bursts,
+  /// when every node sat at zero pending). When `affinity` is set —
+  /// the work-sharing gate passes the query's fingerprint hash — ties
+  /// break toward affinity % ties instead, so repeats of the same
+  /// query land on the same backend and warm its caches; an actual
+  /// load imbalance still trumps affinity.
+  int Acquire(std::optional<uint64_t> affinity = std::nullopt);
   void Release(int node_id);
 
   /// Pending count of a node (introspection; also used by the sim
@@ -40,13 +49,21 @@ class LoadBalancer {
 
   /// Pure decision given external pending counts (used by the
   /// discrete-event driver where queue lengths live in SimServers).
-  int Choose(const std::vector<int>& pending_counts);
+  /// Same tie-breaking contract as Acquire().
+  int Choose(const std::vector<int>& pending_counts,
+             std::optional<uint64_t> affinity = std::nullopt);
 
  private:
+  /// Least-pending winner over `counts` with rotation/affinity
+  /// tie-breaking. Caller holds mu_.
+  int LeastPendingLocked(const std::vector<int>& counts,
+                         const std::optional<uint64_t>& affinity);
+
   std::vector<std::atomic<int>> pending_;
   BalancePolicy policy_;
   std::mutex mu_;
   int rr_next_ = 0;
+  int rr_tie_ = 0;  // rotation cursor for least-pending ties
   Rng rng_;
 };
 

@@ -21,7 +21,8 @@ std::string ExecStats::ToString() const {
       "pages_disk=%llu pages_cache=%llu tuples_scanned=%llu "
       "tuples_output=%llu cpu_ops=%llu cpu_par=%llu rows_affected=%llu "
       "morsels=%llu threads=%u join_build=%llu join_probe=%llu "
-      "filter_skipped=%llu seq=%d idx=%d",
+      "filter_skipped=%llu shared_scans=%llu shared_queries=%llu "
+      "seq=%d idx=%d",
       static_cast<unsigned long long>(pages_disk),
       static_cast<unsigned long long>(pages_cache),
       static_cast<unsigned long long>(tuples_scanned),
@@ -34,6 +35,8 @@ std::string ExecStats::ToString() const {
       static_cast<unsigned long long>(join_build_rows),
       static_cast<unsigned long long>(join_probe_rows),
       static_cast<unsigned long long>(filter_skipped_rows),
+      static_cast<unsigned long long>(shared_scans),
+      static_cast<unsigned long long>(shared_scan_queries),
       used_seq_scan ? 1 : 0, used_index_scan ? 1 : 0);
 }
 
@@ -83,6 +86,54 @@ ThreadPool* Database::exec_pool() {
 Result<QueryResult> Database::Execute(const std::string& sql) {
   APUAMA_ASSIGN_OR_RETURN(sql::StmtPtr stmt, sql::Parse(sql));
   return ExecuteStmt(*stmt);
+}
+
+Database::SharedExecResult Database::ExecuteSharedSelects(
+    const std::vector<std::string>& sqls) {
+  SharedExecResult out;
+  if (settings_.enable_share_scans && settings_.enable_morsel_exec &&
+      sqls.size() >= 2) {
+    // Parse + fold every statement exactly as the solo path would; any
+    // non-SELECT or parse failure sends the whole batch to fallback
+    // (where each statement surfaces its own error).
+    std::vector<std::unique_ptr<sql::SelectStmt>> selects;
+    selects.reserve(sqls.size());
+    bool all_selects = true;
+    for (const auto& sql : sqls) {
+      auto parsed = sql::Parse(sql);
+      if (!parsed.ok() ||
+          (*parsed)->kind() != sql::StmtKind::kSelect) {
+        all_selects = false;
+        break;
+      }
+      auto select =
+          static_cast<const sql::SelectStmt&>(**parsed).Clone();
+      sql::FoldConstants(select.get());
+      selects.push_back(std::move(select));
+    }
+    if (all_selects) {
+      std::vector<const sql::SelectStmt*> ptrs;
+      ptrs.reserve(selects.size());
+      for (const auto& s : selects) ptrs.push_back(s.get());
+      auto shared =
+          Executor::ExecuteSharedAggregates(this, ptrs, &out.batch_stats);
+      if (shared.has_value()) {
+        out.results = std::move(*shared);
+        out.shared = true;
+        return out;
+      }
+      out.batch_stats = ExecStats{};  // aborted attempt leaves no residue
+    }
+  }
+  // Fallback: solo execution; the batch's physical work is the sum of
+  // the solo runs (no sharing happened, charge full price).
+  out.results.reserve(sqls.size());
+  for (const auto& sql : sqls) {
+    auto r = Execute(sql);
+    if (r.ok()) out.batch_stats += r->stats;
+    out.results.push_back(std::move(r));
+  }
+  return out;
 }
 
 Result<QueryResult> Database::ExecuteStmt(const Stmt& stmt) {
@@ -575,6 +626,10 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
     return set_bool(&settings_.enable_join_parallel);
   }
   if (name == "join_filter") return set_bool(&settings_.enable_join_filter);
+  if (name == "share_scans") return set_bool(&settings_.enable_share_scans);
+  if (name == "result_cache") {
+    return set_bool(&settings_.enable_result_cache);
+  }
   return Status::NotFound("unknown setting: " + stmt.name);
 }
 

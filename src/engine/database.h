@@ -43,6 +43,16 @@ struct SessionSettings {
   /// parallel join pipeline. `SET join_filter = off` keeps the
   /// partitioned join but probes every non-null key (ablation).
   bool enable_join_filter = true;
+  /// Inter-query work sharing: `SET share_scans = on` lets a batch of
+  /// concurrent single-table aggregates over the same access path run
+  /// one shared morsel scan (ExecuteSharedSelects). Off by default —
+  /// the off position is byte-for-byte today's solo execution.
+  bool enable_share_scans = false;
+  /// `SET result_cache = on` enables the middleware's versioned
+  /// result cache for this session's reads. The engine only records
+  /// the knob (caching happens above the node, in apuama/share);
+  /// keeping it a session setting gives SET a uniform surface.
+  bool enable_result_cache = false;
 };
 
 /// Default intra-node execution threads: the APUAMA_EXEC_THREADS
@@ -64,6 +74,26 @@ class Database {
 
   /// Executes an already-parsed statement.
   Result<QueryResult> ExecuteStmt(const sql::Stmt& stmt);
+
+  /// Result of executing a batch of SELECTs, possibly over one shared
+  /// scan. `results[i]` corresponds to `sqls[i]` and is bit-identical
+  /// to solo execution; `batch_stats` charges the batch's actual
+  /// physical work ONCE (pages touched once, every query's cpu) so
+  /// the cost model sees the saving. Per-query stats inside results
+  /// keep solo semantics for the counters tests assert on.
+  struct SharedExecResult {
+    std::vector<Result<QueryResult>> results;
+    ExecStats batch_stats;
+    /// True when a shared morsel scan actually ran (vs. fallback
+    /// one-by-one execution).
+    bool shared = false;
+  };
+
+  /// Executes a batch of SELECT statements. When `share_scans` is on
+  /// and every statement is a morsel-eligible aggregate over the same
+  /// table and access path, they run as N consumers of ONE morsel
+  /// scan; otherwise each executes solo (fallback, still correct).
+  SharedExecResult ExecuteSharedSelects(const std::vector<std::string>& sqls);
 
   storage::Catalog* catalog() { return &catalog_; }
   const storage::Catalog* catalog() const { return &catalog_; }

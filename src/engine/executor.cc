@@ -1890,6 +1890,220 @@ Executor::ScanMorsels Executor::TouchAndMorselize(const storage::Table& t,
 }
 
 // ---------------------------------------------------------------------------
+// Inter-query shared morsel scans
+// ---------------------------------------------------------------------------
+
+namespace {
+// Same aggregation test ExecuteSelect applies before choosing a
+// pipeline; the shared scan only handles aggregate consumers.
+bool StmtHasAggregation(const SelectStmt& stmt) {
+  if (!stmt.group_by.empty()) return true;
+  for (const auto& it : stmt.items) {
+    if (it.expr && sql::ContainsAggregate(*it.expr)) return true;
+  }
+  if (stmt.having && sql::ContainsAggregate(*stmt.having)) return true;
+  for (const auto& o : stmt.order_by) {
+    if (sql::ContainsAggregate(*o.expr)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+std::optional<std::vector<Result<QueryResult>>>
+Executor::ExecuteSharedAggregates(
+    Database* db, const std::vector<const sql::SelectStmt*>& stmts,
+    ExecStats* batch_stats) {
+  const size_t n = stmts.size();
+  if (n < 2) return std::nullopt;
+
+  // Per-query stats keep solo counter semantics (cpu, scanned,
+  // morsels, access-path flags); only page traffic lands exclusively
+  // in batch_stats, because pages really are touched once.
+  std::vector<ExecStats> qstats(n);
+  std::vector<Executor> execs;
+  execs.reserve(n);
+  for (size_t i = 0; i < n; ++i) execs.emplace_back(db, &qstats[i]);
+
+  // Every statement must be a morsel-eligible aggregate over one
+  // common table. All checks up to TouchAndMorselize are free of
+  // observable side effects, so a nullopt here leaves no residue.
+  const std::string table_name = stmts[0]->from.empty()
+                                     ? std::string()
+                                     : ToLower(stmts[0]->from[0].table);
+  if (table_name.empty()) return std::nullopt;
+  for (size_t i = 0; i < n; ++i) {
+    if (!StmtHasAggregation(*stmts[i])) return std::nullopt;
+    if (!execs[i].MorselEligible(*stmts[i], nullptr)) return std::nullopt;
+    if (ToLower(stmts[i]->from[0].table) != table_name) return std::nullopt;
+  }
+
+  auto table_result =
+      static_cast<const storage::Catalog*>(db->catalog())
+          ->GetTable(table_name);
+  if (!table_result.ok()) return std::nullopt;
+  const storage::Table& t = **table_result;
+
+  std::vector<FromBinding> fbs(n);
+  std::vector<std::vector<const Expr*>> preds(n);
+  std::vector<ScanPlan> plans;
+  plans.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    fbs[i].binding = ToLower(stmts[i]->from[0].binding());
+    fbs[i].table = &t;
+    preds[i] = sql::SplitConjuncts(stmts[i]->where.get());
+    auto plan = execs[i].PlanScan(fbs[i], preds[i], nullptr);
+    if (!plan.ok()) return std::nullopt;
+    plans.push_back(std::move(plan).value());
+  }
+  // One scan can only feed consumers that read the same positions in
+  // the same order: identical access path, range, and position list.
+  for (size_t i = 1; i < n; ++i) {
+    if (plans[i].path != plans[0].path ||
+        plans[i].range_begin != plans[0].range_begin ||
+        plans[i].range_end != plans[0].range_end ||
+        plans[i].index_positions != plans[0].index_positions) {
+      return std::nullopt;
+    }
+  }
+  const ScanPlan& plan = plans[0];
+
+  std::vector<std::vector<const Expr*>> agg_nodes(n);
+  std::vector<Relation> headers(n);
+  for (size_t i = 0; i < n; ++i) {
+    agg_nodes[i] = CollectAggInventory(*stmts[i]);
+    headers[i].columns.reserve(t.schema().num_columns());
+    for (const auto& col : t.schema().columns()) {
+      headers[i].columns.push_back(ColumnBinding{fbs[i].binding, col.name});
+    }
+  }
+
+  // The point of no return: pages are touched (once, into
+  // batch_stats, in the sequential scan's order).
+  Executor batch_exec(db, batch_stats);
+  ScanMorsels sm = batch_exec.TouchAndMorselize(t, plan);
+  const std::vector<storage::Table::Morsel>& morsels = sm.morsels;
+
+  // partials[i][mi]: query i's private state for morsel mi — the
+  // exact decomposition solo execution uses, so merges are
+  // bit-identical.
+  std::vector<std::vector<MorselPartial>> partials(n);
+  for (auto& p : partials) p.resize(morsels.size());
+
+  auto run_morsel = [&](size_t mi) -> Status {
+    std::vector<ColumnResolver> resolvers;
+    std::vector<EvalScope> scopes(n);
+    std::vector<EvalContext> ctxs(n);
+    resolvers.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      resolvers.emplace_back(&headers[i]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      scopes[i].resolver = &resolvers[i];
+      ctxs[i].scope = &scopes[i];
+      ctxs[i].executor = nullptr;  // eligibility guaranteed no subqueries
+      ctxs[i].cpu_ops = &partials[i][mi].cpu;
+    }
+    for (size_t j = morsels[mi].begin; j < morsels[mi].end; ++j) {
+      const size_t pos = sm.by_position_list ? plan.index_positions[j] : j;
+      const Row& r = t.row(pos);
+      for (size_t i = 0; i < n; ++i) {
+        MorselPartial& part = partials[i][mi];
+        ++part.scanned;
+        scopes[i].row = &r;
+        bool keep = true;
+        for (const Expr* p : preds[i]) {
+          APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*p, ctxs[i]));
+          if (Truthiness(v) != 1) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) continue;
+        APUAMA_RETURN_NOT_OK(
+            AccumulateRow(*stmts[i], agg_nodes[i], ctxs[i], r, &part));
+      }
+    }
+    return Status::OK();
+  };
+
+  int want = db->settings()->exec_threads;
+  if (want < 1) want = 1;
+  const size_t threads =
+      morsels.empty()
+          ? 1
+          : std::min<size_t>(static_cast<size_t>(want), morsels.size());
+  ThreadPool* pool = threads > 1 ? db->exec_pool() : nullptr;
+  if (!ParallelFor(pool, 0, morsels.size(), run_morsel).ok()) {
+    // A row-level evaluation error aborts the whole batch; solo
+    // fallback re-runs each query and surfaces its own error.
+    return std::nullopt;
+  }
+
+  std::vector<Result<QueryResult>> results;
+  results.reserve(n);
+  uint64_t rows_scanned_once = 0;
+  for (const MorselPartial& part : partials[0]) {
+    rows_scanned_once += part.scanned;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ExecStats& qs = qstats[i];
+    qs.morsels += morsels.size();
+    if (static_cast<uint32_t>(threads) > qs.exec_threads) {
+      qs.exec_threads = static_cast<uint32_t>(threads);
+    }
+    for (const MorselPartial& part : partials[i]) {
+      qs.tuples_scanned += part.scanned;
+      qs.cpu_ops += part.cpu;
+      qs.cpu_ops_parallel += part.cpu;
+    }
+    qs.shared_scans = 1;
+    qs.shared_scan_queries = n;
+
+    auto run_tail = [&]() -> Result<QueryResult> {
+      APUAMA_ASSIGN_OR_RETURN(
+          GroupMap groups,
+          MergeMorselPartials(pool, &partials[i], agg_nodes[i], &qs));
+      if (groups.empty() && stmts[i]->group_by.empty()) {
+        AggGroup g;
+        g.repr = Row(headers[i].columns.size(), Value::Null());
+        g.accs.resize(agg_nodes[i].size());
+        groups.emplace(Row{}, std::move(g));
+      }
+      return FinalizeGroups(&execs[i], &qs, *stmts[i], headers[i], &groups,
+                            agg_nodes[i], nullptr);
+    };
+    Result<QueryResult> r = run_tail();
+    if (r.ok()) {
+      r->stats = qs;
+      r->stats.tuples_output = r->rows.size();
+      qs.tuples_output = r->rows.size();
+    }
+    results.push_back(std::move(r));
+  }
+
+  // Batch accounting: the physical work actually performed. Pages and
+  // the scan itself happened once; every query's evaluation and merge
+  // cpu happened for real.
+  batch_stats->morsels += morsels.size();
+  batch_stats->tuples_scanned += rows_scanned_once;
+  if (static_cast<uint32_t>(threads) > batch_stats->exec_threads) {
+    batch_stats->exec_threads = static_cast<uint32_t>(threads);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    batch_stats->cpu_ops += qstats[i].cpu_ops;
+    batch_stats->cpu_ops_parallel += qstats[i].cpu_ops_parallel;
+    batch_stats->tuples_output += qstats[i].tuples_output;
+    batch_stats->used_seq_scan =
+        batch_stats->used_seq_scan || qstats[i].used_seq_scan;
+    batch_stats->used_index_scan =
+        batch_stats->used_index_scan || qstats[i].used_index_scan;
+  }
+  batch_stats->shared_scans += 1;
+  batch_stats->shared_scan_queries += n;
+  return results;
+}
+
+// ---------------------------------------------------------------------------
 // Morsel-parallel partitioned hash joins
 // ---------------------------------------------------------------------------
 

@@ -69,6 +69,21 @@ class Executor {
     return scan_paths_;
   }
 
+  /// Inter-query work sharing: runs a batch of independently issued
+  /// statements as N consumers of ONE morsel scan when every
+  /// statement is a morsel-eligible aggregate over the same table and
+  /// the planner picks the same access path for all of them. Pages
+  /// are touched once (into `batch_stats`); each query keeps its own
+  /// predicates, aggregation state, merge, and finalization, so every
+  /// result is bit-identical to solo execution at any `exec_threads`.
+  /// Returns nullopt when the batch cannot share — planning up to
+  /// that decision is side-effect free, so the caller can fall back
+  /// to solo execution with no stats or buffer-pool residue.
+  static std::optional<std::vector<Result<QueryResult>>>
+  ExecuteSharedAggregates(Database* db,
+                          const std::vector<const sql::SelectStmt*>& stmts,
+                          ExecStats* batch_stats);
+
  private:
   struct ConjunctInfo;
 

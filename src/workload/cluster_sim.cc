@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "apuama/share/query_fingerprint.h"
 #include "engine/database.h"
 #include "sql/parser.h"
 #include "storage/catalog.h"
@@ -20,14 +21,22 @@ struct ClusterSim::SvpTicket {
                                      // AVP: nodes still pumping chunks
   std::unique_ptr<AvpScheduler> avp;
   SimOutcome outcome;
-  Callback done;
+  ReadFinish finish;
 };
 
 struct ClusterSim::WriteTicket {
   std::string sql;
+  std::string target_table;  // for result-cache epoch bumps
   int remaining = 0;
   SimOutcome outcome;
   Callback done;
+};
+
+struct ClusterSim::ShareBatch {
+  // Followers complete when the leader does, with the leader's
+  // outcome (identical fingerprint = identical query = identical
+  // result, so coalescing cannot change any client's bits).
+  std::vector<std::pair<SimOutcome, ReadFinish>> followers;
 };
 
 ClusterSim::ClusterSim(const tpch::TpchData& data, ClusterSimOptions options)
@@ -65,6 +74,10 @@ ClusterSim::ClusterSim(const tpch::TpchData& data, ClusterSimOptions options)
     servers_.push_back(
         std::make_unique<sim::SimServer>(&sim_, options.node_mpl));
   }
+  if (options.result_cache) {
+    result_cache_ =
+        std::make_unique<share::ResultCache>(options.result_cache_entries);
+  }
 }
 
 ClusterSim::~ClusterSim() = default;
@@ -97,7 +110,102 @@ bool ClusterSim::ReplicasConverged() const {
 void ClusterSim::SubmitRead(const std::string& sql, Callback done) {
   SimOutcome outcome;
   outcome.submitted = sim_.now();
+  ReadFinish finish = [done = std::move(done)](
+                          const SimOutcome& o, const QueryResult*) {
+    if (done) done(o);
+  };
 
+  if (!options_.result_cache && !options_.share_scans) {
+    SubmitReadCore(sql, outcome, std::move(finish), std::nullopt);
+    return;
+  }
+
+  // Work-sharing front end — the sim mirror of the controller's
+  // admission gate. Non-SELECT reads bypass it entirely.
+  auto tables = share::ReadTableSet(sql);
+  if (!tables.has_value()) {
+    SubmitReadCore(sql, outcome, std::move(finish), std::nullopt);
+    return;
+  }
+  const std::string fingerprint = share::NormalizeSql(sql);
+  const uint64_t affinity = share::FingerprintHash(fingerprint);
+
+  if (result_cache_) {
+    if (auto hit = result_cache_->Lookup(fingerprint, catalog_.version())) {
+      // Served from the controller: one message round-trip, no node.
+      ++result_cache_hits_;
+      sim_.After(options_.cost.message_us,
+                 [this, outcome, hit, finish]() mutable {
+                   outcome.completed = sim_.now();
+                   finish(outcome, hit.get());
+                 });
+      return;
+    }
+  }
+
+  if (!options_.share_scans) {
+    // Cache-only mode: solo execution under a fill ticket.
+    SubmitReadCore(sql, outcome,
+                   WithCacheFill(sql, fingerprint, std::move(finish)),
+                   affinity);
+    return;
+  }
+
+  // Admission batching: identical fingerprints arriving within the
+  // window ride one execution.
+  auto it = open_shares_.find(fingerprint);
+  if (it != open_shares_.end()) {
+    ++queries_coalesced_;
+    it->second->followers.emplace_back(outcome, std::move(finish));
+    return;
+  }
+  auto batch = std::make_shared<ShareBatch>();
+  open_shares_[fingerprint] = batch;
+  sim_.After(options_.admission_window_us,
+             [this, sql, fingerprint, affinity, outcome, batch,
+              finish = std::move(finish)] {
+               open_shares_.erase(fingerprint);
+               ReadFinish fan_out =
+                   [batch, finish](const SimOutcome& o,
+                                   const QueryResult* r) {
+                     finish(o, r);
+                     for (auto& [fo, ff] : batch->followers) {
+                       fo.completed = o.completed;
+                       fo.status = o.status;
+                       fo.used_svp = o.used_svp;
+                       ff(fo, r);
+                     }
+                   };
+               SubmitReadCore(sql, outcome,
+                              WithCacheFill(sql, fingerprint,
+                                            std::move(fan_out)),
+                              affinity);
+             });
+}
+
+ClusterSim::ReadFinish ClusterSim::WithCacheFill(
+    const std::string& sql, const std::string& fingerprint,
+    ReadFinish finish) {
+  if (!result_cache_) return finish;
+  auto tables = share::ReadTableSet(sql);
+  if (!tables.has_value()) return finish;
+  // Epochs snapshot BEFORE execution: a write overlapping the read
+  // rejects the fill inside Insert.
+  share::ResultCache::FillTicket ticket = result_cache_->BeginFill(
+      fingerprint, catalog_.version(), *tables, writes_completed_);
+  return [this, ticket = std::move(ticket), finish = std::move(finish)](
+             const SimOutcome& o, const QueryResult* r) {
+    if (r != nullptr && o.status.ok()) {
+      result_cache_->Insert(ticket,
+                            std::make_shared<QueryResult>(*r));
+    }
+    finish(o, r);
+  };
+}
+
+void ClusterSim::SubmitReadCore(const std::string& sql, SimOutcome outcome,
+                                ReadFinish finish,
+                                std::optional<uint64_t> affinity) {
   if (options_.enable_intra_query) {
     auto parsed = sql::ParseSelect(sql);
     if (parsed.ok() && rewriter_->TouchesFactTable(**parsed)) {
@@ -108,7 +216,7 @@ void ClusterSim::SubmitRead(const std::string& sql, Callback done) {
         ticket->plan = std::move(plan).value();
         ticket->outcome = outcome;
         ticket->outcome.used_svp = true;
-        ticket->done = std::move(done);
+        ticket->finish = std::move(finish);
         if (options_.replication == ReplicationMode::kEager &&
             writes_in_flight_ > 0) {
           // Consistency barrier: wait for in-flight writes to land on
@@ -130,19 +238,24 @@ void ClusterSim::SubmitRead(const std::string& sql, Callback done) {
 
   // Inter-query path: the C-JDBC load balancer picks one node.
   ++passthrough_reads_;
-  int node = balancer_.Choose(PendingCounts());
-  auto shared_done = std::make_shared<Callback>(std::move(done));
+  int node = balancer_.Choose(PendingCounts(), affinity);
+  auto shared_finish = std::make_shared<ReadFinish>(std::move(finish));
   auto shared_outcome = std::make_shared<SimOutcome>(outcome);
+  auto res = std::make_shared<Result<QueryResult>>(QueryResult{});
   servers_[static_cast<size_t>(node)]->Enqueue(sim::SimServer::Job{
-      [this, node, sql, shared_outcome] {
-        auto r = replicas_->ExecuteOn(node, sql);
-        shared_outcome->status = r.status();
-        return Scaled(node, r.ok() ? options_.cost.StatementTime(r->stats)
-                                   : options_.cost.message_us);
+      [this, node, sql, res, shared_outcome] {
+        *res = replicas_->ExecuteOn(node, sql);
+        shared_outcome->status = res->status();
+        return Scaled(node,
+                      res->ok() ? options_.cost.StatementTime((*res)->stats)
+                                : options_.cost.message_us);
       },
-      [shared_done, shared_outcome](SimTime t) {
+      [shared_finish, shared_outcome, res](SimTime t) {
         shared_outcome->completed = t;
-        if (*shared_done) (*shared_done)(*shared_outcome);
+        if (*shared_finish) {
+          (*shared_finish)(*shared_outcome,
+                           res->ok() ? &**res : nullptr);
+        }
       }});
 }
 
@@ -250,25 +363,28 @@ void ClusterSim::StartAvpChunk(std::shared_ptr<SvpTicket> ticket,
 void ClusterSim::ComposeAndFinish(std::shared_ptr<SvpTicket> ticket) {
   if (!ticket->outcome.status.ok()) {
     ticket->outcome.completed = sim_.now();
-    if (ticket->done) ticket->done(ticket->outcome);
+    if (ticket->finish) ticket->finish(ticket->outcome, nullptr);
     return;
   }
   std::vector<const QueryResult*> ptrs;
   ptrs.reserve(ticket->partials.size());
   for (const auto& p : ticket->partials) ptrs.push_back(&p);
   CompositionStats cstats;
-  auto final_result = composer_.ComposeWithPlan(ptrs, ticket->plan, &cstats);
-  ticket->outcome.status = final_result.status();
+  auto final_result = std::make_shared<Result<QueryResult>>(
+      composer_.ComposeWithPlan(ptrs, ticket->plan, &cstats));
+  ticket->outcome.status = final_result->status();
   SimTime compose_time =
-      final_result.ok()
+      final_result->ok()
           ? options_.cost.CompositionTime(cstats.compose_exec,
                                           cstats.partial_rows)
           : 0;
-  auto done = ticket->done;
+  auto finish = ticket->finish;
   auto outcome = std::make_shared<SimOutcome>(ticket->outcome);
-  sim_.After(compose_time, [this, done, outcome] {
+  sim_.After(compose_time, [this, finish, outcome, final_result] {
     outcome->completed = sim_.now();
-    if (done) done(*outcome);
+    if (finish) {
+      finish(*outcome, final_result->ok() ? &**final_result : nullptr);
+    }
   });
 }
 
@@ -291,6 +407,14 @@ void ClusterSim::SubmitWrite(const std::string& sql, Callback done) {
 void ClusterSim::DispatchWrite(std::shared_ptr<WriteTicket> ticket) {
   const int n = options_.num_nodes;
 
+  if (result_cache_) {
+    // Admission bump: fills snapshotted before this point are
+    // rejected; the completion bump below re-invalidates anything
+    // filled while the write was applying.
+    ticket->target_table = share::WriteTargetTable(ticket->sql);
+    result_cache_->BeginTableWrite(ticket->target_table);
+  }
+
   if (options_.replication == ReplicationMode::kLazy) {
     // Primary commit: the client returns once node 0 applied the
     // write; secondaries apply asynchronously after a propagation
@@ -306,6 +430,9 @@ void ClusterSim::DispatchWrite(std::shared_ptr<WriteTicket> ticket) {
           ++writes_completed_;
           ticket->outcome.completed = t;
           write_latency_total_ += ticket->outcome.latency();
+          if (result_cache_) {
+            result_cache_->EndTableWrite(ticket->target_table);
+          }
           if (ticket->done) ticket->done(ticket->outcome);
         }});
     for (int i = 1; i < n; ++i) {
@@ -317,7 +444,14 @@ void ClusterSim::DispatchWrite(std::shared_ptr<WriteTicket> ticket) {
                                    ? options_.cost.StatementTime(r->stats)
                                    : options_.cost.message_us);
             },
-            nullptr});
+            [this, ticket](SimTime) {
+              // Each secondary apply re-bumps: conservative (extra
+              // invalidations), never stale (a fill racing any
+              // replica's apply is rejected).
+              if (result_cache_) {
+                result_cache_->EndTableWrite(ticket->target_table);
+              }
+            }});
       });
     }
     return;
@@ -348,6 +482,11 @@ void ClusterSim::DispatchWrite(std::shared_ptr<WriteTicket> ticket) {
           ++writes_completed_;
           ticket->outcome.completed = t;
           write_latency_total_ += ticket->outcome.latency();
+          if (result_cache_) {
+            // Completion bump: after this, no lookup can return a
+            // result computed before the write.
+            result_cache_->EndTableWrite(ticket->target_table);
+          }
           if (ticket->done) ticket->done(ticket->outcome);
           MaybeReleaseBarrier();
         }});

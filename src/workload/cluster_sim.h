@@ -25,11 +25,14 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "apuama/avp.h"
 #include "apuama/result_composer.h"
+#include "apuama/share/result_cache.h"
 #include "apuama/svp_rewriter.h"
 #include "cjdbc/load_balancer.h"
 #include "common/status.h"
@@ -87,6 +90,15 @@ struct ClusterSimOptions {
   /// (`SET join_parallel`). Off = the legacy sequential join chain,
   /// for ablation figures isolating the join pipeline's contribution.
   bool join_parallel = true;
+  /// Inter-query work sharing, mirroring `SET result_cache` /
+  /// `SET share_scans` on the real stack. Both off = byte-for-byte
+  /// today's behavior.
+  bool result_cache = false;
+  bool share_scans = false;
+  /// How long an admission batch stays open for more arrivals
+  /// (virtual time) before its leader dispatches.
+  SimTime admission_window_us = 200;
+  size_t result_cache_entries = 256;
 };
 
 /// Outcome of one simulated statement.
@@ -140,6 +152,13 @@ class ClusterSim {
   /// AVP mode: chunks issued / ranges stolen across all queries.
   uint64_t avp_chunks() const { return avp_chunks_; }
   uint64_t avp_steals() const { return avp_steals_; }
+  /// Work sharing: reads served straight from the result cache,
+  /// cache misses, and reads that rode another query's admission.
+  uint64_t result_cache_hits() const { return result_cache_hits_; }
+  uint64_t result_cache_misses() const {
+    return result_cache_ ? result_cache_->misses() : 0;
+  }
+  uint64_t queries_coalesced() const { return queries_coalesced_; }
   /// Mean virtual write (commit) latency so far.
   SimTime mean_write_latency() const {
     return writes_completed_ == 0
@@ -154,7 +173,23 @@ class ClusterSim {
  private:
   struct SvpTicket;  // one in-flight intra-parallel query
   struct WriteTicket;
+  struct ShareBatch;  // one open admission batch (by fingerprint)
 
+  /// Read completion hook carrying the computed result (null on
+  /// error) so the sharing layer can fill the cache and fan results
+  /// out to coalesced followers.
+  using ReadFinish =
+      std::function<void(const SimOutcome&, const engine::QueryResult*)>;
+
+  /// The pre-sharing read path (SVP/AVP or load-balanced
+  /// passthrough). `affinity` biases least-pending ties.
+  void SubmitReadCore(const std::string& sql, SimOutcome outcome,
+                      ReadFinish finish,
+                      std::optional<uint64_t> affinity);
+  /// Wraps `finish` with a cache fill under a ticket snapshotted now.
+  ReadFinish WithCacheFill(const std::string& sql,
+                           const std::string& fingerprint,
+                           ReadFinish finish);
   void DispatchIntraQuery(std::shared_ptr<SvpTicket> ticket);
   void DispatchSvp(std::shared_ptr<SvpTicket> ticket);
   void DispatchAvp(std::shared_ptr<SvpTicket> ticket);
@@ -190,6 +225,14 @@ class ClusterSim {
   uint64_t avp_chunks_ = 0;
   uint64_t avp_steals_ = 0;
   SimTime write_latency_total_ = 0;
+
+  // Work-sharing mirror: versioned result cache (allocated only when
+  // the knob is on) plus open admission batches by fingerprint.
+  std::unique_ptr<share::ResultCache> result_cache_;
+  std::unordered_map<std::string, std::shared_ptr<ShareBatch>>
+      open_shares_;
+  uint64_t result_cache_hits_ = 0;
+  uint64_t queries_coalesced_ = 0;
 };
 
 }  // namespace apuama::workload

@@ -1,6 +1,7 @@
 // Unit tests for memdb, sim, cjdbc, and the Apuama components.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
 
 #include "apuama/apuama_engine.h"
@@ -293,7 +294,29 @@ TEST(LoadBalancerTest, LeastPendingPicksIdleNode) {
 TEST(LoadBalancerTest, ChooseWithExternalCounts) {
   cjdbc::LoadBalancer lb(4, cjdbc::BalancePolicy::kLeastPending);
   EXPECT_EQ(lb.Choose({3, 0, 2, 5}), 1);
-  EXPECT_EQ(lb.Choose({1, 1, 0, 0}), 2);  // first minimum
+  EXPECT_EQ(lb.Choose({1, 1, 0, 0}), 2);  // tie {2,3}: rotation starts at 2
+}
+
+TEST(LoadBalancerTest, LeastPendingTiesRotateInsteadOfHotSpotting) {
+  cjdbc::LoadBalancer lb(4, cjdbc::BalancePolicy::kLeastPending);
+  // All nodes idle: repeated decisions must not pile onto node 0.
+  std::set<int> seen;
+  for (int i = 0; i < 4; ++i) seen.insert(lb.Choose({0, 0, 0, 0}));
+  EXPECT_EQ(seen.size(), 4u);  // every node got a turn
+}
+
+TEST(LoadBalancerTest, AffinityBreaksTiesConsistently) {
+  cjdbc::LoadBalancer lb(4, cjdbc::BalancePolicy::kLeastPending);
+  // Same fingerprint hash keeps landing on the same tied node.
+  const uint64_t fp = 0xfeedULL;
+  int first = lb.Choose({0, 0, 0, 0}, fp);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(lb.Choose({0, 0, 0, 0}, fp), first);
+  }
+  // Actual load imbalance still trumps affinity.
+  std::vector<int> loaded = {9, 9, 9, 9};
+  loaded[static_cast<size_t>((first + 1) % 4)] = 0;
+  EXPECT_EQ(lb.Choose(loaded, fp), (first + 1) % 4);
 }
 
 TEST(LoadBalancerTest, RoundRobinCycles) {

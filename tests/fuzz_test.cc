@@ -3,6 +3,10 @@
 // return ParseError (or parse cleanly), never UB.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
+#include "apuama/share/query_fingerprint.h"
 #include "common/rng.h"
 #include "engine/database.h"
 #include "sql/parser.h"
@@ -147,6 +151,64 @@ TEST(UnparseFuzz, DmlRoundTrips) {
     auto p2 = Parse(text1);
     ASSERT_TRUE(p2.ok()) << "re-parse failed: " << text1;
     EXPECT_EQ(UnparseStmt(**p2), text1);
+  }
+}
+
+// The result cache keys on share::NormalizeSql: a collision between
+// queries with different literals would serve one query's rows as
+// the other's. Sweep randomized literal variations and require every
+// distinct raw literal to yield a distinct fingerprint — and the
+// fingerprint to be a fixed point of normalization.
+TEST(FingerprintFuzz, DistinctLiteralsNeverCollide) {
+  Rng rng(0xCAFE);
+  std::set<std::string> raw_seen;
+  std::set<std::string> fingerprints;
+  for (int i = 0; i < 2000; ++i) {
+    std::string sql = "SELECT   sum(V)  FROM t WHERE";
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        sql += " a = " + std::to_string(rng.Uniform(0, 1'000'000));
+        break;
+      case 1: {
+        std::string lit;
+        size_t len = static_cast<size_t>(rng.Uniform(0, 12));
+        for (size_t k = 0; k < len; ++k) {
+          char c = static_cast<char>(rng.Uniform(32, 126));
+          lit += c;
+          if (c == '\'') lit += c;  // doubled-delimiter escape
+        }
+        sql += " b = '" + lit + "'";
+        break;
+      }
+      default:
+        sql += " c = " + std::to_string(rng.Uniform(0, 9999)) + "." +
+               std::to_string(rng.Uniform(0, 99));
+        break;
+    }
+    std::string fp = apuama::share::NormalizeSql(sql);
+    EXPECT_EQ(apuama::share::NormalizeSql(fp), fp) << sql;
+    bool fresh_raw = raw_seen.insert(sql).second;
+    bool fresh_fp = fingerprints.insert(fp).second;
+    // Same normalized text may legitimately recur (duplicate draw);
+    // what must never happen is two DIFFERENT raw literals mapping to
+    // one fingerprint — which is exactly a raw/fp set-size mismatch.
+    EXPECT_EQ(fresh_raw, fresh_fp);
+  }
+  EXPECT_EQ(raw_seen.size(), fingerprints.size());
+}
+
+// Normalization itself must be total: any byte soup in, no crash,
+// and idempotent out.
+TEST(FingerprintFuzz, NormalizationTotalAndIdempotentOnByteSoup) {
+  Rng rng(0xD00D);
+  for (int i = 0; i < 2000; ++i) {
+    size_t len = static_cast<size_t>(rng.Uniform(0, 120));
+    std::string s;
+    for (size_t k = 0; k < len; ++k) {
+      s += static_cast<char>(rng.Uniform(1, 255));
+    }
+    std::string once = apuama::share::NormalizeSql(s);
+    EXPECT_EQ(apuama::share::NormalizeSql(once), once);
   }
 }
 

@@ -205,5 +205,78 @@ TEST(StressTest, CrashDuringTrafficThenRecover) {
   testutil::ExpectResultsEqual(*fp0, *fp1);
 }
 
+// Result-cache freshness under fire: a writer advances a counter
+// through the controller (broadcast, epoch-bracketed) while readers
+// with `result_cache = on` hammer the same query. The invariant is
+// monotone freshness — a read ISSUED after update i's broadcast
+// completed must observe v >= i; a cached result computed before the
+// write must never be served after it. Primarily a TSan target (the
+// cache, the epoch table, and the fill tickets are all cross-thread),
+// but the freshness assertion is the point even unsanitized.
+TEST(StressTest, CachedReadsNeverGoStaleAcrossWrites) {
+  const tpch::TpchData data(tpch::DbgenOptions{.scale_factor = 0.001});
+  cjdbc::ReplicaSet replicas(
+      3, cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(data.LoadIntoReplicas(&replicas).ok());
+  ApuamaEngine engine(&replicas, tpch::MakeTpchCatalog(data));
+  cjdbc::Controller controller(std::make_unique<ApuamaDriver>(&engine));
+  ASSERT_TRUE(
+      controller.Execute("create table counter (k int, v int)").ok());
+  ASSERT_TRUE(controller.Execute("insert into counter values (0, 0)").ok());
+  ASSERT_TRUE(controller.Execute("set result_cache = on").ok());
+
+  constexpr int kUpdates = 120;
+  std::atomic<int> published{0};  // highest fully-broadcast value
+  std::atomic<bool> done{false};
+  std::atomic<int> stale_reads{0};
+  std::atomic<bool> failed{false};
+
+  std::thread writer([&] {
+    for (int i = 1; i <= kUpdates; ++i) {
+      auto r = controller.Execute(
+          "update counter set v = " + std::to_string(i) + " where k = 0");
+      if (!r.ok()) {
+        failed = true;
+        ADD_FAILURE() << r.status().ToString();
+        break;
+      }
+      // Execute returned, so the broadcast is complete: every read
+      // issued from here on must see at least i.
+      published.store(i, std::memory_order_release);
+    }
+    done = true;
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load() && !failed.load()) {
+        const int floor = published.load(std::memory_order_acquire);
+        auto r = controller.Execute("select v from counter where k = 0");
+        if (!r.ok() || r->num_rows() != 1) {
+          failed = true;
+          return;
+        }
+        if (r->rows[0][0].int_val() < floor) stale_reads.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  ASSERT_FALSE(failed.load());
+  EXPECT_EQ(stale_reads.load(), 0);
+  EXPECT_TRUE(engine.ReplicasConsistent());
+
+  // Quiescent coda: with no writer racing, a repeat read must be a
+  // hit AND carry the final value.
+  const uint64_t hits_before = engine.stats().result_cache_hits.load();
+  auto r1 = controller.Execute("select v from counter where k = 0");
+  auto r2 = controller.Execute("select v from counter where k = 0");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->rows[0][0].int_val(), kUpdates);
+  EXPECT_EQ(r2->rows[0][0].int_val(), kUpdates);
+  EXPECT_GT(engine.stats().result_cache_hits.load(), hits_before);
+}
+
 }  // namespace
 }  // namespace apuama
