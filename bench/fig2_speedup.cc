@@ -10,9 +10,12 @@
 // the mean of (reps-1) repetitions after one warm-up run, as in the
 // paper. Normalized time = T(n)/T(1); Linear column = 1/n.
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "bench/bench_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 #include "workload/cluster_sim.h"
@@ -25,6 +28,11 @@ int main() {
   const double sf = EnvDouble("APUAMA_BENCH_SF", 0.01);
   const int max_nodes = EnvInt("APUAMA_BENCH_NODES", 32);
   const int reps = EnvInt("APUAMA_BENCH_REPS", 4);
+  // APUAMA_TRACE turns on virtual-time span recording in every
+  // simulated configuration; the trace + metrics JSON land next to
+  // the binary after the run (stdout is unaffected, so traced and
+  // untraced runs stay diffable).
+  const bool tracing = std::getenv("APUAMA_TRACE") != nullptr;
   std::printf("Fig 2: speedup, isolated queries (SF=%g, reps=%d)\n", sf,
               reps);
   tpch::TpchData data(tpch::DbgenOptions{.scale_factor = sf});
@@ -40,6 +48,7 @@ int main() {
     // paper's single-threaded executor; set APUAMA_EXEC_THREADS to
     // measure the intra-node deltas (BENCH_intranode.json).
     opts.exec_threads = EnvInt("APUAMA_EXEC_THREADS", 1);
+    opts.trace = tracing;
     ClusterSim cluster(data, opts);
     pool_pages = cluster.pool_pages();
     for (int q : tpch::PaperQueryNumbers()) {
@@ -113,5 +122,29 @@ int main() {
     sp.AddRow(row);
   }
   sp.Print();
+
+  if (tracing) {
+    obs::Tracer& tracer = obs::Tracer::Global();
+    std::string trace_path = tracer.output_path();
+    if (trace_path.empty()) trace_path = "fig2_trace.json";
+    Status ws = tracer.WriteChromeTrace(trace_path);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "trace dump failed: %s\n",
+                   ws.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "wrote %s (%zu spans)\n", trace_path.c_str(),
+                   tracer.num_spans());
+    }
+    const std::string metrics = obs::Registry::Global().JsonDump();
+    const char* metrics_path = "fig2_metrics.json";
+    if (std::FILE* f = std::fopen(metrics_path, "wb")) {
+      std::fwrite(metrics.data(), 1, metrics.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s\n", metrics_path);
+    } else {
+      std::fprintf(stderr, "metrics dump failed: cannot open %s\n",
+                   metrics_path);
+    }
+  }
   return 0;
 }

@@ -9,31 +9,47 @@
 #include "cjdbc/controller.h"
 #include "common/string_util.h"
 #include "engine/database.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 #include "sql/analyzer.h"
 #include "sql/parser.h"
+#include "sql/unparse.h"
 
 namespace apuama {
 
-std::string ApuamaStats::ToString() const {
-  auto v = [](const std::atomic<uint64_t>& a) {
-    return std::to_string(a.load(std::memory_order_relaxed));
-  };
-  return "svp=" + v(svp_queries) + " passthrough=" + v(passthrough_reads) +
-         " writes=" + v(writes) + " non_rewritable=" + v(non_rewritable) +
-         " partial_rows=" + v(partial_rows_total) +
-         " compose_ms=" + v(compose_ms_total) +
-         " avp_chunks=" + v(avp_chunks) + " avp_steals=" + v(avp_steals) +
-         " compose_fastpath=" + v(compose_fastpath) +
-         " compose_fallback=" + v(compose_fallback) +
-         " plan_cache_hits=" + v(plan_cache_hits) +
-         " plan_cache_misses=" + v(plan_cache_misses) +
-         " svp_retries=" + v(svp_retries) +
-         " result_cache_hits=" + v(result_cache_hits) +
-         " result_cache_misses=" + v(result_cache_misses) +
-         " queries_coalesced=" + v(queries_coalesced) +
-         " shared_scans=" + v(shared_scans) +
-         " shared_scan_queries=" + v(shared_scan_queries);
+namespace {
+int64_t SteadyUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
+}  // namespace
+
+std::vector<std::pair<std::string, uint64_t>> ApuamaStats::Kv() const {
+  auto v = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  return {{"svp", v(svp_queries)},
+          {"passthrough", v(passthrough_reads)},
+          {"writes", v(writes)},
+          {"non_rewritable", v(non_rewritable)},
+          {"partial_rows", v(partial_rows_total)},
+          {"compose_ms", v(compose_ms_total)},
+          {"avp_chunks", v(avp_chunks)},
+          {"avp_steals", v(avp_steals)},
+          {"compose_fastpath", v(compose_fastpath)},
+          {"compose_fallback", v(compose_fallback)},
+          {"plan_cache_hits", v(plan_cache_hits)},
+          {"plan_cache_misses", v(plan_cache_misses)},
+          {"svp_retries", v(svp_retries)},
+          {"result_cache_hits", v(result_cache_hits)},
+          {"result_cache_misses", v(result_cache_misses)},
+          {"queries_coalesced", v(queries_coalesced)},
+          {"shared_scans", v(shared_scans)},
+          {"shared_scan_queries", v(shared_scan_queries)}};
+}
+
+std::string ApuamaStats::ToString() const { return obs::RenderKvText(Kv()); }
 
 
 ApuamaEngine::ApuamaEngine(cjdbc::ReplicaSet* replicas, DataCatalog catalog,
@@ -65,6 +81,8 @@ ApuamaEngine::ApuamaEngine(cjdbc::ReplicaSet* replicas, DataCatalog catalog,
   int threads = options.dispatch_threads;
   if (threads < replicas_->num_nodes()) threads = replicas_->num_nodes();
   dispatch_pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+  metrics_provider_ = obs::Registry::Global().RegisterProvider(
+      "apuama", [this] { return stats_.Kv(); });
 }
 
 bool ApuamaEngine::ReplicasConsistent() const {
@@ -362,7 +380,8 @@ Status ApuamaEngine::RetryFailedIntervals(
   return Status::OK();
 }
 
-Result<engine::QueryResult> ApuamaEngine::ExecuteSvpPlan(SvpPlan plan) {
+Result<engine::QueryResult> ApuamaEngine::ExecuteSvpPlan(
+    SvpPlan plan, SvpProfile* profile) {
   // Intra-Query Executor. Partition over the *available* nodes: a
   // crashed replica's key range is redistributed across the
   // survivors (full replication makes any node able to serve any
@@ -372,6 +391,14 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteSvpPlan(SvpPlan plan) {
   const int n = static_cast<int>(alive.size());
   auto intervals = plan.MakeIntervals(n);
 
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const bool tracing = tracer.enabled();
+  const bool timed = profile != nullptr;
+  obs::Span svp_span = tracer.StartSpan("engine.svp", "engine");
+  if (svp_span.active()) svp_span.AddAttr("nodes", n);
+  const uint64_t dispatch_parent =
+      svp_span.active() ? svp_span.id() : tracer.current_span_id();
+
   // Render all sub-queries before dispatch (SubquerySql mutates the
   // plan's template; rendering is not thread-safe, dispatch is).
   std::vector<std::string> sub_sql;
@@ -379,17 +406,50 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteSvpPlan(SvpPlan plan) {
   for (const auto& [lo, hi] : intervals) {
     sub_sql.push_back(plan.SubquerySql(lo, hi));
   }
+  if (timed) {
+    profile->node_times_us.assign(static_cast<size_t>(n), 0);
+    profile->node_ids.assign(alive.begin(), alive.end());
+  }
 
   // Consistency barrier: block new updates, wait for replicas to be
   // mutually consistent, dispatch everything, then unblock (updates
   // may overlap sub-query *execution*, per the paper).
   std::vector<std::future<Result<engine::QueryResult>>> futures;
-  consistency_.BeginSvpPrepare([this] { return ReplicasConsistent(); });
+  {
+    const int64_t barrier_t0 = (timed || tracing) ? SteadyUs() : 0;
+    obs::Span barrier_span = tracer.StartSpan("engine.barrier", "engine");
+    consistency_.BeginSvpPrepare([this] { return ReplicasConsistent(); });
+    const int64_t barrier_us =
+        (timed || tracing) ? SteadyUs() - barrier_t0 : 0;
+    if (timed) profile->barrier_wait_us = barrier_us;
+    if (tracing) {
+      obs::Registry::Global()
+          .GetHistogram("engine.barrier_wait_us",
+                        obs::Histogram::DefaultLatencyBoundsUs())
+          ->Observe(barrier_us);
+    }
+  }
   for (int i = 0; i < n; ++i) {
     NodeProcessor* np = processors_[static_cast<size_t>(alive[i])].get();
     std::string stmt = sub_sql[static_cast<size_t>(i)];
+    const int node = alive[static_cast<size_t>(i)];
+    int64_t* time_slot =
+        timed ? &profile->node_times_us[static_cast<size_t>(i)] : nullptr;
     futures.push_back(dispatch_pool_->Submit(
-        [np, stmt = std::move(stmt)] { return np->ExecuteSubquery(stmt); }));
+        [np, stmt = std::move(stmt), &tracer, tracing, dispatch_parent, node,
+         time_slot] {
+          obs::Span span =
+              tracing ? tracer.StartSpanUnder(dispatch_parent,
+                                              "node.subquery", "node")
+                      : obs::Span();
+          if (span.active()) span.AddAttr("node", node);
+          const int64_t t0 = time_slot != nullptr ? SteadyUs() : 0;
+          auto r = np->ExecuteSubquery(stmt);
+          // Each worker owns exactly its preallocated slot; the
+          // futures join below publishes the writes.
+          if (time_slot != nullptr) *time_slot = SteadyUs() - t0;
+          return r;
+        }));
   }
   consistency_.EndSvpPrepare();  // all sub-queries dispatched
 
@@ -402,6 +462,7 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteSvpPlan(SvpPlan plan) {
   for (size_t i = 0; i < futures.size(); ++i) {
     Result<engine::QueryResult> r = futures[i].get();
     if (r.ok()) {
+      if (timed) profile->node_stats += r->stats;
       APUAMA_RETURN_NOT_OK(sink.Add(std::move(r).value()));
     } else if (r.status().code() == StatusCode::kUnavailable) {
       // Node died after dispatch: retry its interval elsewhere.
@@ -412,12 +473,19 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteSvpPlan(SvpPlan plan) {
   }
   if (!first_error.ok()) return first_error;
   if (!failed_intervals.empty()) {
+    if (timed) profile->retries += failed_intervals.size();
     APUAMA_RETURN_NOT_OK(RetryFailedIntervals(
         sub_sql, alive, std::move(failed_intervals), &sink));
   }
 
   CompositionStats cstats;
+  obs::Span compose_span = tracer.StartSpan("engine.compose", "engine");
   Result<engine::QueryResult> final_result = sink.Finish(&cstats);
+  compose_span.End();
+  if (timed) {
+    profile->compose_us = sink.compose_micros();
+    profile->partial_rows = cstats.partial_rows;
+  }
   if (final_result.ok()) {
     stats_.svp_queries.fetch_add(1, std::memory_order_relaxed);
     stats_.partial_rows_total.fetch_add(cstats.partial_rows,
@@ -437,10 +505,25 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAvp(
   return ExecuteAvpPlan(std::move(plan));
 }
 
-Result<engine::QueryResult> ApuamaEngine::ExecuteAvpPlan(SvpPlan plan) {
+Result<engine::QueryResult> ApuamaEngine::ExecuteAvpPlan(
+    SvpPlan plan, SvpProfile* profile) {
   std::vector<int> alive = replicas_->AvailableNodes();
   if (alive.empty()) return Status::Unavailable("no node available");
   const int n = static_cast<int>(alive.size());
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const bool tracing = tracer.enabled();
+  const bool timed = profile != nullptr;
+  obs::Span avp_span = tracer.StartSpan("engine.avp", "engine");
+  if (avp_span.active()) avp_span.AddAttr("nodes", n);
+  const uint64_t dispatch_parent =
+      avp_span.active() ? avp_span.id() : tracer.current_span_id();
+  if (timed) {
+    // AVP workers pull chunks dynamically; per-worker wall time is
+    // the per-"node" figure (one worker per alive node).
+    profile->node_times_us.assign(static_cast<size_t>(n), 0);
+    profile->node_ids.assign(alive.begin(), alive.end());
+  }
 
   // Shared adaptive state: the scheduler hands out chunks; the plan
   // template is mutated per render; chunk partials stream into the
@@ -453,6 +536,11 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAvpPlan(SvpPlan plan) {
 
   auto worker = [&, this](int slot) {
     NodeProcessor* np = processors_[static_cast<size_t>(alive[slot])].get();
+    obs::Span worker_span =
+        tracing ? tracer.StartSpanUnder(dispatch_parent, "node.avp_worker",
+                                        "node")
+                : obs::Span();
+    if (worker_span.active()) worker_span.AddAttr("node", alive[slot]);
     while (true) {
       std::string sub;
       int64_t keys = 0;
@@ -474,6 +562,7 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAvpPlan(SvpPlan plan) {
       }
       // Merge this chunk now (fast path) instead of buffering it:
       // composition overlaps the other workers' execution.
+      if (timed) profile->node_stats += r->stats;
       Status s = sink.Add(std::move(r).value());
       if (!s.ok()) {
         if (first_error.ok()) first_error = s;
@@ -490,16 +579,41 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAvpPlan(SvpPlan plan) {
   // all of them are queued (each chunk then executes under statement
   // isolation, like SVP sub-queries).
   std::vector<std::future<void>> futures;
-  consistency_.BeginSvpPrepare([this] { return ReplicasConsistent(); });
+  {
+    const int64_t barrier_t0 = (timed || tracing) ? SteadyUs() : 0;
+    obs::Span barrier_span = tracer.StartSpan("engine.barrier", "engine");
+    consistency_.BeginSvpPrepare([this] { return ReplicasConsistent(); });
+    const int64_t barrier_us =
+        (timed || tracing) ? SteadyUs() - barrier_t0 : 0;
+    if (timed) profile->barrier_wait_us = barrier_us;
+    if (tracing) {
+      obs::Registry::Global()
+          .GetHistogram("engine.barrier_wait_us",
+                        obs::Histogram::DefaultLatencyBoundsUs())
+          ->Observe(barrier_us);
+    }
+  }
   for (int i = 0; i < n; ++i) {
-    futures.push_back(dispatch_pool_->Submit([worker, i] { worker(i); }));
+    int64_t* time_slot =
+        timed ? &profile->node_times_us[static_cast<size_t>(i)] : nullptr;
+    futures.push_back(dispatch_pool_->Submit([worker, i, time_slot] {
+      const int64_t t0 = time_slot != nullptr ? SteadyUs() : 0;
+      worker(i);
+      if (time_slot != nullptr) *time_slot = SteadyUs() - t0;
+    }));
   }
   consistency_.EndSvpPrepare();
   for (auto& f : futures) f.get();
   APUAMA_RETURN_NOT_OK(first_error);
 
   CompositionStats cstats;
+  obs::Span compose_span = tracer.StartSpan("engine.compose", "engine");
   Result<engine::QueryResult> final_result = sink.Finish(&cstats);
+  compose_span.End();
+  if (timed) {
+    profile->compose_us = sink.compose_micros();
+    profile->partial_rows = cstats.partial_rows;
+  }
   if (final_result.ok()) {
     stats_.svp_queries.fetch_add(1, std::memory_order_relaxed);
     stats_.partial_rows_total.fetch_add(cstats.partial_rows,
@@ -518,16 +632,103 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAvpPlan(SvpPlan plan) {
   return final_result;
 }
 
+Result<engine::QueryResult> ApuamaEngine::ExecuteAnalyze(
+    int node_id, const sql::ExplainStmt& stmt) {
+  if (node_id < 0 || node_id >= num_nodes()) {
+    return Status::InvalidArgument("bad node id");
+  }
+  const std::string inner_sql = sql::UnparseSelect(*stmt.query);
+  SvpProfile profile;
+  std::string path = "passthrough";
+  const int64_t t_begin = SteadyUs();
+  Result<engine::QueryResult> result =
+      Status::Internal("analyze not dispatched");
+  bool dispatched = false;
+  if (options_.enable_intra_query) {
+    APUAMA_ASSIGN_OR_RETURN(std::shared_ptr<const PlanCache::Entry> entry,
+                            RouteRead(inner_sql));
+    if (entry->kind == PlanCache::Kind::kSvp) {
+      SvpPlan plan = entry->plan.Clone();
+      const bool avp = options_.technique == IntraQueryTechnique::kAvp;
+      result = avp ? ExecuteAvpPlan(std::move(plan), &profile)
+                   : ExecuteSvpPlan(std::move(plan), &profile);
+      if (result.ok() ||
+          result.status().code() != StatusCode::kUnsupported) {
+        path = avp ? "avp" : "svp";
+        dispatched = true;
+      } else {
+        stats_.non_rewritable.fetch_add(1, std::memory_order_relaxed);
+        profile = SvpProfile{};  // discard the aborted attempt
+      }
+    } else if (entry->kind == PlanCache::Kind::kNonRewritable) {
+      stats_.non_rewritable.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!dispatched) {
+    stats_.passthrough_reads.fetch_add(1, std::memory_order_relaxed);
+    const int64_t t0 = SteadyUs();
+    result = processors_[static_cast<size_t>(node_id)]->Execute(inner_sql);
+    profile.node_times_us = {SteadyUs() - t0};
+    profile.node_ids = {node_id};
+    if (result.ok()) profile.node_stats = result->stats;
+  }
+  APUAMA_RETURN_NOT_OK(result.status());
+  const int64_t elapsed_us = SteadyUs() - t_begin;
+
+  // Fixed-shape breakdown: every (level, metric) row is present on
+  // every path, so clients and the golden-shape test can rely on it.
+  int64_t sub_min = 0, sub_max = 0;
+  for (size_t i = 0; i < profile.node_times_us.size(); ++i) {
+    int64_t t = profile.node_times_us[i];
+    if (i == 0 || t < sub_min) sub_min = t;
+    if (t > sub_max) sub_max = t;
+  }
+  int64_t admission_us = 0;
+  if (const obs::RequestTimeline* tl = obs::CurrentTimeline()) {
+    admission_us = tl->admission_wait_us;
+  }
+  engine::QueryResult qr;
+  qr.column_names = {"level", "metric", "value"};
+  auto add = [&qr](const char* level, const char* metric, int64_t value) {
+    qr.rows.push_back(
+        {Value::Str(level), Value::Str(metric), Value::Int(value)});
+  };
+  qr.rows.push_back({Value::Str("query"), Value::Str("path"),
+                     Value::Str(path)});
+  add("controller", "admission_wait_us", admission_us);
+  add("engine", "barrier_wait_us", profile.barrier_wait_us);
+  add("engine", "subqueries",
+      static_cast<int64_t>(profile.node_times_us.size()));
+  add("engine", "subquery_min_us", sub_min);
+  add("engine", "subquery_max_us", sub_max);
+  add("engine", "subquery_skew_us", sub_max - sub_min);
+  add("engine", "retries", static_cast<int64_t>(profile.retries));
+  add("node", "morsels", static_cast<int64_t>(profile.node_stats.morsels));
+  add("node", "pages_disk",
+      static_cast<int64_t>(profile.node_stats.pages_disk));
+  add("node", "pages_cache",
+      static_cast<int64_t>(profile.node_stats.pages_cache));
+  add("node", "tuples_scanned",
+      static_cast<int64_t>(profile.node_stats.tuples_scanned));
+  add("compose", "compose_us", profile.compose_us);
+  add("compose", "partial_rows", static_cast<int64_t>(profile.partial_rows));
+  add("compose", "output_rows", static_cast<int64_t>(result->rows.size()));
+  add("share", "result_cache_on", cache_enabled() ? 1 : 0);
+  add("share", "share_scans_on", sharing_enabled() ? 1 : 0);
+  add("query", "elapsed_us", elapsed_us);
+  qr.stats = result->stats;
+  return qr;
+}
+
 namespace {
 
 // SET share_scans / SET result_cache also flip engine-level state:
 // the controller's admission gate reads those flags before any node
 // session sees a query. Idempotent, so the per-node broadcast calling
 // this once per backend is harmless.
-void MaybeFlipSharingKnob(ApuamaEngine* engine, const std::string& sql) {
-  auto parsed = sql::Parse(sql);
-  if (!parsed.ok() || (*parsed)->kind() != sql::StmtKind::kSet) return;
-  const auto& set = static_cast<const sql::SetStmt&>(**parsed);
+void MaybeFlipSharingKnob(ApuamaEngine* engine, const sql::Stmt& stmt) {
+  if (stmt.kind() != sql::StmtKind::kSet) return;
+  const auto& set = static_cast<const sql::SetStmt&>(stmt);
   const std::string name = ToLower(set.name);
   if (name != "share_scans" && name != "result_cache") return;
   const std::string value = ToLower(set.value);
@@ -564,11 +765,15 @@ class ApuamaConnection : public cjdbc::Connection {
   }
 
   Result<engine::QueryResult> Execute(const std::string& sql) override {
-    APUAMA_ASSIGN_OR_RETURN(cjdbc::RequestKind kind,
-                            cjdbc::ClassifyRequest(sql));
-    switch (kind) {
-      case cjdbc::RequestKind::kRead:
+    APUAMA_ASSIGN_OR_RETURN(sql::StmtPtr parsed, sql::Parse(sql));
+    switch (cjdbc::ClassifyStmt(*parsed)) {
+      case cjdbc::RequestKind::kRead: {
+        if (parsed->kind() == sql::StmtKind::kExplain) {
+          const auto& ex = static_cast<const sql::ExplainStmt&>(*parsed);
+          if (ex.analyze) return engine_->ExecuteAnalyze(node_id_, ex);
+        }
         return engine_->ExecuteRead(node_id_, sql);
+      }
       case cjdbc::RequestKind::kWrite:
         return engine_->ExecuteWriteOn(node_id_, sql);
       case cjdbc::RequestKind::kDdl: {
@@ -580,7 +785,7 @@ class ApuamaConnection : public cjdbc::Connection {
         return result;
       }
       case cjdbc::RequestKind::kControl:
-        MaybeFlipSharingKnob(engine_, sql);
+        MaybeFlipSharingKnob(engine_, *parsed);
         return engine_->processor(node_id_)->Execute(sql);
     }
     return Status::Internal("unreachable");

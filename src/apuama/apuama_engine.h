@@ -31,6 +31,9 @@
 #include "cjdbc/connection.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "engine/exec_stats.h"
+#include "obs/metrics.h"
+#include "sql/ast.h"
 
 namespace apuama {
 
@@ -96,6 +99,24 @@ struct ApuamaStats {
   /// SHOW-style one-line rendering of every counter (observability:
   /// benches and operators read cache efficacy off this directly).
   std::string ToString() const;
+  /// The counters as ordered key/value pairs — the single source
+  /// ToString(), the JSON export, and the obs::Registry provider all
+  /// render from.
+  std::vector<std::pair<std::string, uint64_t>> Kv() const;
+};
+
+/// Per-query timing profile collected by EXPLAIN ANALYZE. The
+/// intra-query path crosses threads (dispatch pool), so these numbers
+/// travel in an explicit struct rather than the thread-local
+/// timeline: each dispatch worker writes its own preallocated slot.
+struct SvpProfile {
+  int64_t barrier_wait_us = 0;
+  std::vector<int64_t> node_times_us;  // one slot per sub-query
+  std::vector<int> node_ids;           // node that ran each sub-query
+  int64_t compose_us = 0;
+  uint64_t partial_rows = 0;
+  uint64_t retries = 0;
+  engine::ExecStats node_stats;  // summed over all partials
 };
 
 class ApuamaEngine : public share::WorkSharingHooks {
@@ -123,6 +144,16 @@ class ApuamaEngine : public share::WorkSharingHooks {
   /// align with `sqls`.
   std::vector<Result<engine::QueryResult>> ExecuteSharedRead(
       int node_id, const std::vector<std::string>& sqls);
+
+  /// EXPLAIN ANALYZE entry point: runs the statement's query through
+  /// the normal read routing while collecting an SvpProfile, and
+  /// returns the per-level breakdown table (level, metric, value) —
+  /// admission wait (from the active obs::RequestTimeline, stamped by
+  /// the controller), barrier wait, per-node sub-query min/max/skew,
+  /// morsels and pages, composition time. The row *shape* is fixed
+  /// regardless of path so clients can rely on it.
+  Result<engine::QueryResult> ExecuteAnalyze(int node_id,
+                                             const sql::ExplainStmt& stmt);
 
   // share::WorkSharingHooks — driven by the controller's gate.
   bool sharing_enabled() const override;
@@ -176,9 +207,13 @@ class ApuamaEngine : public share::WorkSharingHooks {
       const std::string& sql);
 
   /// Runs a rewritten plan end to end. Composition is per-query and
-  /// streaming: no shared composer, no global lock.
-  Result<engine::QueryResult> ExecuteSvpPlan(SvpPlan plan);
-  Result<engine::QueryResult> ExecuteAvpPlan(SvpPlan plan);
+  /// streaming: no shared composer, no global lock. A non-null
+  /// `profile` additionally collects EXPLAIN ANALYZE timings (the
+  /// normal path passes null and pays nothing).
+  Result<engine::QueryResult> ExecuteSvpPlan(SvpPlan plan,
+                                             SvpProfile* profile = nullptr);
+  Result<engine::QueryResult> ExecuteAvpPlan(SvpPlan plan,
+                                             SvpProfile* profile = nullptr);
 
   /// Resubmits failed intervals in parallel across the survivors,
   /// rotating to a different node when a retry target dies too.
@@ -209,6 +244,9 @@ class ApuamaEngine : public share::WorkSharingHooks {
   // consumed by the completion epoch bump.
   std::mutex write_table_mu_;
   std::string open_write_table_;
+  // Contributes stats_ to obs::Registry dumps; the handle unregisters
+  // on destruction so a dump never reads a freed engine.
+  obs::Registry::ProviderHandle metrics_provider_;
 };
 
 /// cjdbc::Driver implementation that interposes the Apuama Engine —

@@ -2,6 +2,8 @@
 
 #include <condition_variable>
 
+#include "obs/trace.h"
+
 namespace apuama {
 
 namespace {
@@ -41,6 +43,9 @@ NodeProcessor::NodeProcessor(int node_id, cjdbc::ReplicaSet* replicas,
 }
 
 Result<engine::QueryResult> NodeProcessor::Execute(const std::string& sql) {
+  obs::Span span =
+      obs::Tracer::Global().StartSpan("node.execute", "node");
+  if (span.active()) span.AddAttr("node", node_id_);
   PoolSlot slot(&pool_mu_, &pool_cv_, &pool_available_);
   statements_.fetch_add(1, std::memory_order_relaxed);
   return replicas_->ExecuteOn(node_id_, sql);

@@ -1,15 +1,60 @@
 #include "cjdbc/controller.h"
 
+#include <cctype>
+#include <chrono>
+#include <cstring>
 #include <set>
 
 #include "apuama/share/query_fingerprint.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 #include "sql/parser.h"
 
 namespace apuama::cjdbc {
 
-Result<RequestKind> ClassifyRequest(const std::string& sql) {
-  APUAMA_ASSIGN_OR_RETURN(sql::StmtPtr stmt, sql::Parse(sql));
-  switch (stmt->kind()) {
+namespace {
+
+int64_t SteadyUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Cheap detection of "EXPLAIN ANALYZE ..." without lexing: decides
+// whether to activate the per-request timeline before classification.
+// False positives are harmless (an inert timeline on the stack);
+// normal queries fail the first keyword compare immediately.
+bool IsExplainAnalyzeText(const std::string& sql) {
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < sql.size() &&
+           std::isspace(static_cast<unsigned char>(sql[i]))) {
+      ++i;
+    }
+  };
+  auto match_kw = [&](const char* kw) {
+    size_t n = std::strlen(kw);
+    if (sql.size() - i < n) return false;
+    for (size_t k = 0; k < n; ++k) {
+      if (std::toupper(static_cast<unsigned char>(sql[i + k])) != kw[k]) {
+        return false;
+      }
+    }
+    i += n;
+    return true;
+  };
+  skip_ws();
+  if (!match_kw("EXPLAIN")) return false;
+  size_t before = i;
+  skip_ws();
+  if (i == before) return false;  // EXPLAINANALYZE is not the verb
+  return match_kw("ANALYZE");
+}
+
+}  // namespace
+
+RequestKind ClassifyStmt(const sql::Stmt& stmt) {
+  switch (stmt.kind()) {
     case sql::StmtKind::kSelect:
     case sql::StmtKind::kExplain:
       return RequestKind::kRead;
@@ -27,7 +72,30 @@ Result<RequestKind> ClassifyRequest(const std::string& sql) {
     case sql::StmtKind::kRollback:
       return RequestKind::kControl;
   }
-  return Status::Internal("unclassifiable statement");
+  return RequestKind::kControl;  // unreachable: all kinds enumerated
+}
+
+Result<RequestKind> ClassifyRequest(const std::string& sql) {
+  APUAMA_ASSIGN_OR_RETURN(sql::StmtPtr stmt, sql::Parse(sql));
+  return ClassifyStmt(*stmt);
+}
+
+std::vector<std::pair<std::string, uint64_t>> ControllerStats::Kv() const {
+  auto v = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  return {{"reads", v(reads)},
+          {"writes", v(writes)},
+          {"broadcast_statements", v(broadcast_statements)},
+          {"failovers", v(failovers)},
+          {"recovered_statements", v(recovered_statements)},
+          {"result_cache_hits", v(result_cache_hits)},
+          {"queries_coalesced", v(queries_coalesced)},
+          {"shared_batches", v(shared_batches)}};
+}
+
+std::string ControllerStats::ToString() const {
+  return obs::RenderKvText(Kv());
 }
 
 Controller::Controller(std::unique_ptr<Driver> driver, BalancePolicy policy)
@@ -48,29 +116,37 @@ Controller::Controller(std::unique_ptr<Driver> driver, BalancePolicy policy)
     gate_options.window_us = sharing_->admission_window_us();
   }
   gate_ = std::make_unique<share::ScanShareManager>(gate_options);
+  metrics_provider_ = obs::Registry::Global().RegisterProvider(
+      "controller", [this] { return stats_.Kv(); });
 }
 
 Result<engine::QueryResult> Controller::Execute(const std::string& sql) {
   APUAMA_ASSIGN_OR_RETURN(RequestKind kind, ClassifyRequest(sql));
+  obs::Tracer& tracer = obs::Tracer::Global();
   switch (kind) {
     case RequestKind::kRead: {
       scheduler_.NoteRead();
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.reads;
+      stats_.reads.fetch_add(1, std::memory_order_relaxed);
+      obs::Span span = tracer.StartSpan("controller.read", "controller");
+      if (IsExplainAnalyzeText(sql)) {
+        // EXPLAIN ANALYZE: give the layers below a timeline to stamp
+        // (admission wait) — it lives on this stack frame and the
+        // whole request runs on this thread.
+        obs::RequestTimeline timeline;
+        obs::TimelineScope scope(&timeline);
+        return ExecuteRead(sql);
       }
       return ExecuteRead(sql);
     }
     case RequestKind::kWrite: {
+      obs::Span span = tracer.StartSpan("controller.write", "controller");
       uint64_t seq = 0;
       Scheduler::WriteTicket ticket = scheduler_.BeginWrite(&seq);
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.writes;
-      }
+      stats_.writes.fetch_add(1, std::memory_order_relaxed);
       return ExecuteBroadcast(sql);
     }
     case RequestKind::kDdl: {
+      obs::Span span = tracer.StartSpan("controller.ddl", "controller");
       uint64_t seq = 0;
       Scheduler::WriteTicket ticket = scheduler_.BeginWrite(&seq);
       return ExecuteBroadcast(sql);
@@ -92,7 +168,15 @@ Result<engine::QueryResult> Controller::ExecuteRead(const std::string& sql) {
 
 Result<engine::QueryResult> Controller::ExecuteReadDirect(
     const std::string& sql, std::optional<uint64_t> affinity) {
+  // Admission wait = time to obtain a backend slot. Only measured
+  // when an EXPLAIN ANALYZE timeline is active (one thread-local read
+  // on the normal path).
+  obs::RequestTimeline* tl = obs::CurrentTimeline();
+  const int64_t admit_t0 = (tl != nullptr) ? SteadyUs() : 0;
   int node = balancer_.Acquire(affinity);
+  if (tl != nullptr) obs::NoteAdmissionWait(SteadyUs() - admit_t0);
+  obs::Tracer::Global().Instant("balancer.acquire", "controller", "node",
+                                node);
   if (!backends_[static_cast<size_t>(node)].enabled) {
     // Balancer picked a disabled backend: fail over to the first
     // enabled one, bypassing balancer bookkeeping for this request.
@@ -120,8 +204,8 @@ Result<engine::QueryResult> Controller::ExecuteSharedRead(
   // Cache hits are served immediately — no window, no backend.
   if (sharing_->cache_enabled()) {
     if (auto hit = sharing_->CacheLookup(fingerprint)) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.result_cache_hits;
+      stats_.result_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      obs::Tracer::Global().Instant("cache.hit", "share");
       return *hit;
     }
   }
@@ -144,18 +228,20 @@ Result<engine::QueryResult> Controller::ExecuteSharedRead(
   auto admission = gate_->Admit(group, fingerprint, sql);
   if (!admission.leader) {
     sharing_->NoteCoalesced(1);
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.queries_coalesced;
-    }
+    stats_.queries_coalesced.fetch_add(1, std::memory_order_relaxed);
+    obs::Tracer::Global().Instant("gate.coalesced", "share");
     return gate_->Await(admission);
   }
+  obs::Span window_span =
+      obs::Tracer::Global().StartSpan("gate.window", "share");
   std::vector<std::string> batch = gate_->WaitWindow(admission);
+  window_span.End();
   std::vector<Result<engine::QueryResult>> results =
       ExecuteGateBatch(batch, affinity);
   if (batch.size() > 1) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.shared_batches;
+    stats_.shared_batches.fetch_add(1, std::memory_order_relaxed);
+    obs::Tracer::Global().Instant("gate.batch", "share", "size",
+                                  static_cast<int64_t>(batch.size()));
   }
   Result<engine::QueryResult> own = results[admission.index];
   gate_->Publish(admission, std::move(results));
@@ -228,16 +314,15 @@ Result<engine::QueryResult> Controller::ExecuteBroadcast(
       last = std::move(r).value();
       b.applied_up_to = log_index;
       any = true;
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.broadcast_statements;
+      stats_.broadcast_statements.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     if (r.status().code() == StatusCode::kUnavailable) {
       // Failure detection: drop the backend from rotation; the write
       // succeeds on the survivors and the log covers the rejoin.
       b.enabled = false;
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.failovers;
+      stats_.failovers.fetch_add(1, std::memory_order_relaxed);
+      obs::Tracer::Global().Instant("backend.failover", "controller");
       continue;
     }
     if (first_error.ok()) first_error = r.status();
@@ -280,8 +365,7 @@ Status Controller::RecoverBackend(int node_id) {
     }
     APUAMA_RETURN_NOT_OK(b.conn->ExecuteRecovery(stmt).status());
     ++b.applied_up_to;
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.recovered_statements;
+    stats_.recovered_statements.fetch_add(1, std::memory_order_relaxed);
   }
   b.enabled = true;
   return Status::OK();

@@ -10,9 +10,11 @@
 #ifndef APUAMA_CJDBC_CONTROLLER_H_
 #define APUAMA_CJDBC_CONTROLLER_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apuama/share/scan_share.h"
@@ -21,6 +23,8 @@
 #include "cjdbc/load_balancer.h"
 #include "cjdbc/scheduler.h"
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "sql/ast.h"
 
 namespace apuama::cjdbc {
 
@@ -31,15 +35,28 @@ enum class RequestKind { kRead, kWrite, kDdl, kControl };
 /// write but does not advance transaction counters.
 Result<RequestKind> ClassifyRequest(const std::string& sql);
 
+/// Classification of an already-parsed statement — connection layers
+/// that parse anyway (ApuamaConnection) use this to avoid a second
+/// parse of every request.
+RequestKind ClassifyStmt(const sql::Stmt& stmt);
+
+/// Lock-free atomics: counters are bumped on every request while
+/// stats() readers (tests, benches, the metrics registry) poll them
+/// concurrently — a mutex here would serialize independent clients.
 struct ControllerStats {
-  uint64_t reads = 0;
-  uint64_t writes = 0;
-  uint64_t broadcast_statements = 0;  // write * nodes
-  uint64_t failovers = 0;             // backends auto-disabled
-  uint64_t recovered_statements = 0;  // statements replayed on rejoin
-  uint64_t result_cache_hits = 0;     // reads served without a backend
-  uint64_t queries_coalesced = 0;     // reads that rode another's batch
-  uint64_t shared_batches = 0;        // gate batches with > 1 query
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> broadcast_statements{0};  // write * nodes
+  std::atomic<uint64_t> failovers{0};             // backends auto-disabled
+  std::atomic<uint64_t> recovered_statements{0};  // replayed on rejoin
+  std::atomic<uint64_t> result_cache_hits{0};     // served without a backend
+  std::atomic<uint64_t> queries_coalesced{0};     // rode another's batch
+  std::atomic<uint64_t> shared_batches{0};        // batches with > 1 query
+
+  /// The counters as ordered key/value pairs (registry provider,
+  /// text/JSON export).
+  std::vector<std::pair<std::string, uint64_t>> Kv() const;
+  std::string ToString() const;
 };
 
 class Controller {
@@ -73,8 +90,16 @@ class Controller {
  private:
   struct Backend {
     std::unique_ptr<Connection> conn;
-    bool enabled = true;
+    // Atomic: failover on one request's thread flips it while other
+    // readers consult it lock-free.
+    std::atomic<bool> enabled{true};
     size_t applied_up_to = 0;  // prefix of recovery_log_ applied
+
+    Backend() = default;
+    Backend(Backend&& o) noexcept
+        : conn(std::move(o.conn)),
+          enabled(o.enabled.load()),
+          applied_up_to(o.applied_up_to) {}
   };
 
   Result<engine::QueryResult> ExecuteRead(const std::string& sql);
@@ -105,7 +130,7 @@ class Controller {
   std::vector<std::string> recovery_log_;
   mutable std::mutex log_mu_;
   ControllerStats stats_;
-  std::mutex stats_mu_;
+  obs::Registry::ProviderHandle metrics_provider_;
 };
 
 }  // namespace apuama::cjdbc

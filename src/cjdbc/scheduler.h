@@ -9,6 +9,7 @@
 #ifndef APUAMA_CJDBC_SCHEDULER_H_
 #define APUAMA_CJDBC_SCHEDULER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -42,7 +43,7 @@ class Scheduler {
   /// Registers a read (reads are concurrent; this only counts them).
   void NoteRead() { ++reads_scheduled_; }
 
-  uint64_t writes_scheduled() const { return write_seq_; }
+  uint64_t writes_scheduled() const { return write_seq_.load(); }
   uint64_t reads_scheduled() const { return reads_scheduled_.load(); }
 
  private:
@@ -52,7 +53,9 @@ class Scheduler {
   std::mutex mu_;
   std::condition_variable cv_;
   bool write_active_ = false;
-  uint64_t write_seq_ = 0;
+  // Atomic: writes_scheduled() is an observability read that must not
+  // take mu_ (and would race unlocked otherwise).
+  std::atomic<uint64_t> write_seq_{0};
   std::atomic<uint64_t> reads_scheduled_{0};
 };
 

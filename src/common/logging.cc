@@ -1,14 +1,32 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+
+#include "common/thread_ident.h"
 
 namespace apuama {
 
 namespace {
+// Seeded from APUAMA_LOG_LEVEL exactly once, before the first read or
+// explicit SetLogLevel — whichever comes first wins thereafter.
+std::once_flag g_env_once;
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_mu;
+
+void InitLevelFromEnv() {
+  std::call_once(g_env_once, [] {
+    if (const char* env = std::getenv("APUAMA_LOG_LEVEL")) {
+      if (auto level = ParseLogLevel(env)) {
+        g_level.store(static_cast<int>(*level));
+      }
+    }
+  });
+}
 
 const char* LevelName(LogLevel l) {
   switch (l) {
@@ -25,16 +43,46 @@ const char* LevelName(LogLevel l) {
   }
   return "?";
 }
+
+double MonotonicSeconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void SetLogLevel(LogLevel level) {
+  InitLevelFromEnv();
+  g_level.store(static_cast<int>(level));
+}
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel GetLogLevel() {
+  InitLevelFromEnv();
+  return static_cast<LogLevel>(g_level.load());
+}
+
+std::optional<LogLevel> ParseLogLevel(const std::string& name) {
+  std::string low;
+  low.reserve(name.size());
+  for (char c : name) {
+    low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (low == "debug") return LogLevel::kDebug;
+  if (low == "info") return LogLevel::kInfo;
+  if (low == "warn" || low == "warning") return LogLevel::kWarn;
+  if (low == "error") return LogLevel::kError;
+  if (low == "off" || low == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
 
 namespace internal {
 void LogMessage(LogLevel level, const std::string& msg) {
+  const double t = MonotonicSeconds();
+  const uint32_t tid = ThreadOrdinal();
   std::lock_guard<std::mutex> lock(g_mu);
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  std::fprintf(stderr, "[%10.6f] [t%u] [%s] %s\n", t, tid, LevelName(level),
+               msg.c_str());
 }
 }  // namespace internal
 

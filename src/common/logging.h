@@ -1,8 +1,13 @@
 // Minimal leveled logging. Off by default below kWarn so tests and
 // benches stay quiet; examples turn on kInfo to narrate behaviour.
+// Runtime-configurable: the APUAMA_LOG_LEVEL environment variable
+// seeds the threshold at first use and `SET log_level = <level>`
+// flips it live. Each line carries monotonic seconds since process
+// start and the emitting thread's ordinal.
 #ifndef APUAMA_COMMON_LOGGING_H_
 #define APUAMA_COMMON_LOGGING_H_
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -13,6 +18,9 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global threshold; messages below it are discarded.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (any case).
+std::optional<LogLevel> ParseLogLevel(const std::string& name);
 
 namespace internal {
 void LogMessage(LogLevel level, const std::string& msg);

@@ -1,0 +1,14 @@
+#include "common/thread_ident.h"
+
+#include <atomic>
+
+namespace apuama {
+
+uint32_t ThreadOrdinal() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace apuama

@@ -1,0 +1,17 @@
+// Small dense thread ids. std::this_thread::get_id() is opaque and
+// unstable across runs; logging and tracing want a compact ordinal
+// ("thread 3") assigned in first-use order instead.
+#ifndef APUAMA_COMMON_THREAD_IDENT_H_
+#define APUAMA_COMMON_THREAD_IDENT_H_
+
+#include <cstdint>
+
+namespace apuama {
+
+/// Dense per-process ordinal of the calling thread, starting at 0 for
+/// the first thread that asks. Stable for the thread's lifetime.
+uint32_t ThreadOrdinal();
+
+}  // namespace apuama
+
+#endif  // APUAMA_COMMON_THREAD_IDENT_H_

@@ -1,13 +1,18 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <optional>
 #include <thread>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "engine/eval.h"
 #include "engine/executor.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 #include "sql/analyzer.h"
 #include "sql/parser.h"
 
@@ -16,29 +21,28 @@ namespace apuama::engine {
 using sql::Stmt;
 using sql::StmtKind;
 
-std::string ExecStats::ToString() const {
-  return StrFormat(
-      "pages_disk=%llu pages_cache=%llu tuples_scanned=%llu "
-      "tuples_output=%llu cpu_ops=%llu cpu_par=%llu rows_affected=%llu "
-      "morsels=%llu threads=%u join_build=%llu join_probe=%llu "
-      "filter_skipped=%llu shared_scans=%llu shared_queries=%llu "
-      "seq=%d idx=%d",
-      static_cast<unsigned long long>(pages_disk),
-      static_cast<unsigned long long>(pages_cache),
-      static_cast<unsigned long long>(tuples_scanned),
-      static_cast<unsigned long long>(tuples_output),
-      static_cast<unsigned long long>(cpu_ops),
-      static_cast<unsigned long long>(cpu_ops_parallel),
-      static_cast<unsigned long long>(rows_affected),
-      static_cast<unsigned long long>(morsels),
-      static_cast<unsigned>(exec_threads),
-      static_cast<unsigned long long>(join_build_rows),
-      static_cast<unsigned long long>(join_probe_rows),
-      static_cast<unsigned long long>(filter_skipped_rows),
-      static_cast<unsigned long long>(shared_scans),
-      static_cast<unsigned long long>(shared_scan_queries),
-      used_seq_scan ? 1 : 0, used_index_scan ? 1 : 0);
+std::vector<std::pair<std::string, uint64_t>> ExecStats::Kv() const {
+  return {{"pages_disk", pages_disk},
+          {"pages_cache", pages_cache},
+          {"tuples_scanned", tuples_scanned},
+          {"tuples_output", tuples_output},
+          {"cpu_ops", cpu_ops},
+          {"cpu_par", cpu_ops_parallel},
+          {"rows_affected", rows_affected},
+          {"morsels", morsels},
+          {"threads", exec_threads},
+          {"join_build", join_build_rows},
+          {"join_probe", join_probe_rows},
+          {"filter_skipped", filter_skipped_rows},
+          {"shared_scans", shared_scans},
+          {"shared_queries", shared_scan_queries},
+          {"seq", used_seq_scan ? 1u : 0u},
+          {"idx", used_index_scan ? 1u : 0u}};
 }
+
+std::string ExecStats::ToString() const { return obs::RenderKvText(Kv()); }
+
+std::string ExecStats::ToJson() const { return obs::RenderKvJson(Kv()); }
 
 std::string QueryResult::ToString(size_t max_rows) const {
   std::string out = Join(column_names, "\t") + "\n";
@@ -260,7 +264,44 @@ Result<QueryResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt) {
   sql::FoldConstants(select.get());
   ExecStats stats;
   Executor exec(this, &stats);
+  const int64_t t0 =
+      stmt.analyze
+          ? std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count()
+          : 0;
   APUAMA_ASSIGN_OR_RETURN(QueryResult inner, exec.ExecuteSelect(*select));
+  if (stmt.analyze) {
+    // Standalone EXPLAIN ANALYZE: one node, so the breakdown is the
+    // node level plus whatever the controller stamped into the
+    // thread-local timeline (zero when there is no controller above).
+    const int64_t elapsed_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count() -
+        t0;
+    int64_t admission_us = 0;
+    if (const obs::RequestTimeline* tl = obs::CurrentTimeline()) {
+      admission_us = tl->admission_wait_us;
+    }
+    QueryResult qr;
+    qr.column_names = {"level", "metric", "value"};
+    auto add = [&qr](const char* level, const char* metric, int64_t value) {
+      qr.rows.push_back(
+          {Value::Str(level), Value::Str(metric), Value::Int(value)});
+    };
+    add("controller", "admission_wait_us", admission_us);
+    add("node", "elapsed_us", elapsed_us);
+    add("node", "threads", stats.exec_threads);
+    add("node", "morsels", static_cast<int64_t>(stats.morsels));
+    add("node", "pages_disk", static_cast<int64_t>(stats.pages_disk));
+    add("node", "pages_cache", static_cast<int64_t>(stats.pages_cache));
+    add("node", "tuples_scanned",
+        static_cast<int64_t>(stats.tuples_scanned));
+    add("node", "output_rows", static_cast<int64_t>(inner.rows.size()));
+    qr.stats = stats;
+    return qr;
+  }
   QueryResult qr;
   qr.column_names = {"plan"};
   for (const auto& [binding, path] : exec.scan_paths()) {
@@ -629,6 +670,33 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
   if (name == "share_scans") return set_bool(&settings_.enable_share_scans);
   if (name == "result_cache") {
     return set_bool(&settings_.enable_result_cache);
+  }
+  // Observability knobs flip process-wide state (the tracer and the
+  // logger are global), so a clustered SET broadcast applying them
+  // once per backend stays idempotent.
+  if (name == "trace") {
+    bool on = false;
+    if (value == "on" || value == "true" || value == "1") {
+      on = true;
+    } else if (value != "off" && value != "false" && value != "0") {
+      return Status::InvalidArgument("bad value for trace: " + stmt.value);
+    }
+    obs::Tracer::Global().SetEnabled(on);
+    return QueryResult{};
+  }
+  if (name == "trace_output") {
+    // Keep the caller's case: this is a filesystem path.
+    obs::Tracer::Global().SetOutputPath(stmt.value);
+    return QueryResult{};
+  }
+  if (name == "log_level") {
+    std::optional<LogLevel> level = ParseLogLevel(value);
+    if (!level.has_value()) {
+      return Status::InvalidArgument("bad value for log_level: " +
+                                     stmt.value);
+    }
+    SetLogLevel(*level);
+    return QueryResult{};
   }
   return Status::NotFound("unknown setting: " + stmt.name);
 }

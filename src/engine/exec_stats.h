@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace apuama::engine {
 
@@ -74,7 +76,12 @@ struct ExecStats {
     return *this;
   }
 
+  /// The counters as ordered key/value pairs; ToString() (the classic
+  /// "k=v" line, byte-identical to its historical format) and
+  /// ToJson() both render from this single list.
+  std::vector<std::pair<std::string, uint64_t>> Kv() const;
   std::string ToString() const;
+  std::string ToJson() const;
 };
 
 }  // namespace apuama::engine

@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "engine/database.h"
+#include "obs/trace.h"
 #include "storage/table.h"
 
 namespace apuama::engine {
@@ -1765,8 +1766,17 @@ Result<QueryResult> Executor::ExecuteMorselAggregate(const SelectStmt& stmt) {
     header.columns.push_back(ColumnBinding{fb.binding, col.name});
   }
 
+  // Coordinator-only spans: per-morsel worker spans would make trace
+  // shape depend on thread timing, so only the pipeline phases are
+  // traced (identical at any exec_threads).
+  obs::Span agg_span =
+      obs::Tracer::Global().StartSpan("morsel.aggregate", "morsel");
+
   ScanMorsels sm = TouchAndMorselize(t, plan);
   const std::vector<storage::Table::Morsel>& morsels = sm.morsels;
+  if (agg_span.active()) {
+    agg_span.AddAttr("morsels", static_cast<int64_t>(morsels.size()));
+  }
 
   std::vector<MorselPartial> partials(morsels.size());
 
@@ -1804,7 +1814,11 @@ Result<QueryResult> Executor::ExecuteMorselAggregate(const SelectStmt& stmt) {
           ? 1
           : std::min<size_t>(static_cast<size_t>(want), morsels.size());
   ThreadPool* pool = threads > 1 ? db_->exec_pool() : nullptr;
-  APUAMA_RETURN_NOT_OK(ParallelFor(pool, 0, morsels.size(), run_morsel));
+  {
+    obs::Span scan_span =
+        obs::Tracer::Global().StartSpan("morsel.scan", "morsel");
+    APUAMA_RETURN_NOT_OK(ParallelFor(pool, 0, morsels.size(), run_morsel));
+  }
 
   stats_->morsels += morsels.size();
   if (static_cast<uint32_t>(threads) > stats_->exec_threads) {
@@ -1817,9 +1831,12 @@ Result<QueryResult> Executor::ExecuteMorselAggregate(const SelectStmt& stmt) {
     stats_->cpu_ops_parallel += part.cpu;
   }
 
+  obs::Span merge_span =
+      obs::Tracer::Global().StartSpan("morsel.merge", "morsel");
   APUAMA_ASSIGN_OR_RETURN(
       GroupMap groups,
       MergeMorselPartials(pool, &partials, agg_nodes, stats_));
+  merge_span.End();
 
   // Global aggregate over empty input still yields one group.
   if (groups.empty() && stmt.group_by.empty()) {
@@ -2328,7 +2345,14 @@ Result<std::optional<QueryResult>> Executor::ExecuteMorselJoin(
 
   std::vector<const Expr*> agg_nodes = CollectAggInventory(stmt);
 
-  // ---- Plan committed; stats mutations start here.
+  // ---- Plan committed; stats mutations start here. Spans cover the
+  // pipeline phases only (coordinator thread) so trace shape does not
+  // depend on worker scheduling.
+  obs::Span join_span =
+      obs::Tracer::Global().StartSpan("morsel.join", "morsel");
+  if (join_span.active()) {
+    join_span.AddAttr("stages", static_cast<int64_t>(stages.size()));
+  }
   int want = db_->settings()->exec_threads;
   if (want < 1) want = 1;
   ThreadPool* pool = want > 1 ? db_->exec_pool() : nullptr;
@@ -2354,6 +2378,8 @@ Result<std::optional<QueryResult>> Executor::ExecuteMorselJoin(
     std::array<KeyFilter, kMergePartitions> filters;
   };
   std::vector<BuiltStage> built(stages.size());
+  obs::Span build_span =
+      obs::Tracer::Global().StartSpan("morsel.build", "morsel");
   for (size_t s = 0; s < stages.size(); ++s) {
     const FromBinding& fb = from[stages[s].from_idx];
     const storage::Table& t = *fb.table;
@@ -2456,6 +2482,7 @@ Result<std::optional<QueryResult>> Executor::ExecuteMorselJoin(
       stats_->join_build_rows += bs.rows[p].size();
     }
   }
+  build_span.End();
 
   // ---- Morsel-driven probe: driver rows stream through the full
   // probe chain (filter -> probe -> residuals -> next stage -> partial
@@ -2548,8 +2575,12 @@ Result<std::optional<QueryResult>> Executor::ExecuteMorselJoin(
     }
     return Status::OK();
   };
-  APUAMA_RETURN_NOT_OK(
-      ParallelFor(pool, 0, dsm.morsels.size(), probe_morsel));
+  {
+    obs::Span probe_span =
+        obs::Tracer::Global().StartSpan("morsel.probe", "morsel");
+    APUAMA_RETURN_NOT_OK(
+        ParallelFor(pool, 0, dsm.morsels.size(), probe_morsel));
+  }
 
   for (const MorselPartial& part : partials) {
     stats_->tuples_scanned += part.scanned;
@@ -2559,9 +2590,12 @@ Result<std::optional<QueryResult>> Executor::ExecuteMorselJoin(
     stats_->filter_skipped_rows += part.filter_skipped;
   }
 
+  obs::Span join_merge_span =
+      obs::Tracer::Global().StartSpan("morsel.merge", "morsel");
   APUAMA_ASSIGN_OR_RETURN(
       GroupMap groups,
       MergeMorselPartials(pool, &partials, agg_nodes, stats_));
+  join_merge_span.End();
 
   // Global aggregate over empty input still yields one group.
   if (groups.empty() && stmt.group_by.empty()) {

@@ -1,0 +1,204 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace apuama::obs {
+
+std::string RenderKvText(
+    const std::vector<std::pair<std::string, uint64_t>>& kv) {
+  std::string out;
+  for (const auto& [k, v] : kv) {
+    if (!out.empty()) out += " ";
+    out += StrFormat("%s=%llu", k.c_str(),
+                     static_cast<unsigned long long>(v));
+  }
+  return out;
+}
+
+std::string RenderKvJson(
+    const std::vector<std::pair<std::string, uint64_t>>& kv) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : kv) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("\"%s\":%llu", k.c_str(),
+                     static_cast<unsigned long long>(v));
+  }
+  out += "}";
+  return out;
+}
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(int64_t value) {
+  // First bucket whose upper bound covers the value; past the last
+  // bound it is the overflow bucket.
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::Percentile(double p) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  // Rank of the p-th percentile observation (1-based, nearest-rank).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      if (i < bounds_.size()) return bounds_[i];
+      return max_.load(std::memory_order_relaxed);
+    }
+  }
+  return max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::DefaultLatencyBoundsUs() {
+  std::vector<int64_t> bounds;
+  for (int64_t decade = 1; decade <= 10'000'000; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2);
+    bounds.push_back(decade * 5);
+  }
+  bounds.push_back(100'000'000);
+  return bounds;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+Registry::ProviderHandle& Registry::ProviderHandle::operator=(
+    ProviderHandle&& o) noexcept {
+  if (this != &o) {
+    if (registry_ != nullptr) registry_->Unregister(id_);
+    registry_ = o.registry_;
+    id_ = o.id_;
+    o.registry_ = nullptr;
+  }
+  return *this;
+}
+
+Registry::ProviderHandle::~ProviderHandle() {
+  if (registry_ != nullptr) registry_->Unregister(id_);
+}
+
+Registry::ProviderHandle Registry::RegisterProvider(std::string prefix,
+                                                    ProviderFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_provider_id_++;
+  providers_.push_back({id, std::move(prefix), std::move(fn)});
+  return ProviderHandle(this, id);
+}
+
+void Registry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = providers_.begin(); it != providers_.end(); ++it) {
+    if (it->id == id) {
+      providers_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<std::pair<std::string, int64_t>> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (const auto& [name, c] : counters_) {
+    out.emplace_back(name, static_cast<int64_t>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name + ".count", static_cast<int64_t>(h->count()));
+    out.emplace_back(name + ".sum", h->sum());
+    out.emplace_back(name + ".p50", h->Percentile(50));
+    out.emplace_back(name + ".p95", h->Percentile(95));
+    out.emplace_back(name + ".p99", h->Percentile(99));
+  }
+  for (const auto& p : providers_) {
+    for (const auto& [key, value] : p.fn()) {
+      out.emplace_back(p.prefix + "." + key, static_cast<int64_t>(value));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Registry::TextDump() const {
+  std::string out;
+  for (const auto& [name, value] : Snapshot()) {
+    out += StrFormat("%s %lld\n", name.c_str(),
+                     static_cast<long long>(value));
+  }
+  return out;
+}
+
+std::string Registry::JsonDump() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("\"%s\":%lld", name.c_str(),
+                     static_cast<long long>(value));
+  }
+  out += "}";
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace apuama::obs

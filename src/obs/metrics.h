@@ -1,0 +1,162 @@
+// Metrics registry — the observability subsystem's second pillar.
+//
+// One process-wide `Registry` owns every counter, gauge, and
+// histogram by name. Hot-path updates are a single relaxed atomic op
+// (histograms: one atomic per fixed bucket — no allocation, no lock);
+// the mutex only guards instrument *creation* and export. Components
+// that keep their own stat structs (`ExecStats`, `ApuamaStats`,
+// `ControllerStats`) register a provider callback instead of
+// duplicating counters, so TextDump()/JsonDump() is the one place all
+// numbers surface.
+#ifndef APUAMA_OBS_METRICS_H_
+#define APUAMA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace apuama::obs {
+
+/// Renders ordered key/value stats as the classic one-line
+/// "k1=v1 k2=v2 ..." form. The stat structs' ToString() methods all
+/// route through this so the text shape lives in exactly one place.
+std::string RenderKvText(
+    const std::vector<std::pair<std::string, uint64_t>>& kv);
+/// Same pairs as one flat JSON object ({"k1":v1,...}).
+std::string RenderKvJson(
+    const std::vector<std::pair<std::string, uint64_t>>& kv);
+
+/// Monotonically increasing count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (queue depths, open windows).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket bounds are chosen at creation; an
+/// observation lands in the first bucket whose upper bound is >= the
+/// value (the last bucket is an implicit +inf overflow). Percentile()
+/// answers with the upper bound of the bucket holding that rank —
+/// exact whenever observed values coincide with bucket bounds, and
+/// never worse than one bucket's width otherwise.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Observe(int64_t value);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Upper bound of the bucket containing the p-th percentile
+  /// (0 < p <= 100). Returns 0 on an empty histogram; the overflow
+  /// bucket reports the max observed value.
+  int64_t Percentile(double p) const;
+  void Reset();
+
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// Latency-shaped default: 1us .. ~100s in 1-2-5 steps.
+  static std::vector<int64_t> DefaultLatencyBoundsUs();
+
+ private:
+  const std::vector<int64_t> bounds_;
+  // buckets_[i] counts values <= bounds_[i]; buckets_.back() is the
+  // overflow bucket.
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+class Registry {
+ public:
+  static Registry& Global();
+
+  Registry() = default;
+
+  /// Returns the named instrument, creating it on first use. Pointers
+  /// stay valid for the registry's lifetime — cache them at setup and
+  /// update lock-free afterwards.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds);
+
+  /// A provider contributes externally owned key/value metrics (the
+  /// engine's ApuamaStats, the controller's ControllerStats) to every
+  /// dump. The handle unregisters on destruction — components whose
+  /// lifetime is shorter than the process (engines built per test)
+  /// MUST hold it so dumps never call into freed objects. Callbacks
+  /// run under the registry mutex and must not call back into it.
+  using ProviderFn =
+      std::function<std::vector<std::pair<std::string, uint64_t>>()>;
+  class ProviderHandle {
+   public:
+    ProviderHandle() = default;
+    ProviderHandle(ProviderHandle&& o) noexcept
+        : registry_(o.registry_), id_(o.id_) {
+      o.registry_ = nullptr;
+    }
+    ProviderHandle& operator=(ProviderHandle&& o) noexcept;
+    ProviderHandle(const ProviderHandle&) = delete;
+    ProviderHandle& operator=(const ProviderHandle&) = delete;
+    ~ProviderHandle();
+
+   private:
+    friend class Registry;
+    ProviderHandle(Registry* r, uint64_t id) : registry_(r), id_(id) {}
+    Registry* registry_ = nullptr;
+    uint64_t id_ = 0;
+  };
+  [[nodiscard]] ProviderHandle RegisterProvider(std::string prefix,
+                                                ProviderFn fn);
+
+  /// "name value" per line, sorted by name; histograms expand to
+  /// name.count/.sum/.p50/.p95/.p99.
+  std::string TextDump() const;
+  /// One flat JSON object, same keys as TextDump.
+  std::string JsonDump() const;
+
+  /// Zeroes every instrument (providers are external and untouched).
+  void Reset();
+
+ private:
+  void Unregister(uint64_t id);
+  std::vector<std::pair<std::string, int64_t>> Snapshot() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  struct Provider {
+    uint64_t id;
+    std::string prefix;
+    ProviderFn fn;
+  };
+  std::vector<Provider> providers_;
+  uint64_t next_provider_id_ = 1;
+};
+
+}  // namespace apuama::obs
+
+#endif  // APUAMA_OBS_METRICS_H_

@@ -1,0 +1,23 @@
+#include "obs/timeline.h"
+
+namespace apuama::obs {
+
+namespace {
+thread_local RequestTimeline* t_timeline = nullptr;
+}  // namespace
+
+TimelineScope::TimelineScope(RequestTimeline* timeline) : prev_(t_timeline) {
+  t_timeline = timeline;
+}
+
+TimelineScope::~TimelineScope() { t_timeline = prev_; }
+
+RequestTimeline* CurrentTimeline() { return t_timeline; }
+
+void NoteAdmissionWait(int64_t wait_us) {
+  if (t_timeline == nullptr) return;
+  t_timeline->admission_wait_us += wait_us;
+  t_timeline->have_admission = true;
+}
+
+}  // namespace apuama::obs

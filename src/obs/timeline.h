@@ -1,0 +1,49 @@
+// Per-request timeline for EXPLAIN ANALYZE.
+//
+// The controller and the engine sit in different libraries and talk
+// through the Connection interface — there is no request struct to
+// hang timings on without widening every signature. EXPLAIN ANALYZE
+// instead activates a thread-local RequestTimeline for the duration
+// of one request: the controller stamps admission wait into it, the
+// engine reads the stamps when it builds the breakdown table. All
+// stamping calls are no-ops (one thread-local pointer test) when no
+// timeline is active, so normal queries pay nothing.
+//
+// The timeline is strictly single-thread: it covers the layers that
+// run on the caller's thread (classify → admission → dispatch →
+// compose). Cross-thread timings (per-node sub-query times) travel in
+// an explicit SvpProfile instead.
+#ifndef APUAMA_OBS_TIMELINE_H_
+#define APUAMA_OBS_TIMELINE_H_
+
+#include <cstdint>
+
+namespace apuama::obs {
+
+struct RequestTimeline {
+  int64_t admission_wait_us = 0;  // load-balancer acquire + gate wait
+  bool have_admission = false;
+};
+
+/// RAII activation: constructing makes `timeline` the calling
+/// thread's active timeline; destruction restores the previous one.
+class TimelineScope {
+ public:
+  explicit TimelineScope(RequestTimeline* timeline);
+  ~TimelineScope();
+  TimelineScope(const TimelineScope&) = delete;
+  TimelineScope& operator=(const TimelineScope&) = delete;
+
+ private:
+  RequestTimeline* prev_;
+};
+
+/// The calling thread's active timeline, or null.
+RequestTimeline* CurrentTimeline();
+
+/// Adds an admission-wait measurement to the active timeline, if any.
+void NoteAdmissionWait(int64_t wait_us);
+
+}  // namespace apuama::obs
+
+#endif  // APUAMA_OBS_TIMELINE_H_

@@ -1,0 +1,369 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "common/thread_ident.h"
+
+namespace apuama::obs {
+
+namespace {
+
+// Per-thread stack of open span ids — gives StartSpan its implicit
+// parent and current_span_id() its answer. Only mutated by the owning
+// thread; the tracer mutex covers the shared event buffer.
+thread_local std::vector<uint64_t> t_span_stack;
+
+int64_t SteadyNowUs() {
+  // Microseconds since the first call, so real traces start near 0
+  // like virtual-time ones.
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    switch (*s) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(*s) < 0x20) {
+          *out += StrFormat("\\u%04x", *s);
+        } else {
+          *out += *s;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Span& Span::operator=(Span&& o) noexcept {
+  if (this != &o) {
+    End();
+    tracer_ = o.tracer_;
+    id_ = o.id_;
+    o.tracer_ = nullptr;
+    o.id_ = 0;
+  }
+  return *this;
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  tracer_->EndSpan(id_);
+  tracer_ = nullptr;
+  id_ = 0;
+}
+
+void Span::AddAttr(const char* key, int64_t value) {
+  if (tracer_ != nullptr) tracer_->AddAttrTo(id_, key, value);
+}
+
+void Span::AddAttr(const char* key, const std::string& value) {
+  if (tracer_ != nullptr) tracer_->AddAttrTo(id_, key, value);
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();
+    const char* env = std::getenv("APUAMA_TRACE");
+    if (env != nullptr && env[0] != '\0') {
+      if (std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
+          std::strcmp(env, "false") != 0) {
+        if (std::strcmp(env, "1") != 0 && std::strcmp(env, "on") != 0 &&
+            std::strcmp(env, "true") != 0) {
+          t->SetOutputPath(env);
+        }
+        t->SetEnabled(true);
+      }
+    }
+    // Flush at process exit so APUAMA_TRACE=<path> works without an
+    // explicit SET trace = off. Leaked on purpose: other static
+    // destructors may still be tracing.
+    std::atexit([] { Tracer::Global().SetEnabled(false); });
+    return t;
+  }();
+  return *tracer;
+}
+
+Tracer::~Tracer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked();
+}
+
+void Tracer::SetEnabled(bool on) {
+  bool was = enabled_.exchange(on, std::memory_order_relaxed);
+  if (was && !on) {
+    std::lock_guard<std::mutex> lock(mu_);
+    FlushLocked();
+    events_.clear();
+  }
+}
+
+void Tracer::SetOutputPath(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  output_path_ = std::move(path);
+}
+
+std::string Tracer::output_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return output_path_;
+}
+
+void Tracer::SetClock(std::function<int64_t()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
+
+int64_t Tracer::NowUs() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (clock_) return clock_();
+  }
+  return SteadyNowUs();
+}
+
+uint64_t Tracer::current_span_id() const {
+  return t_span_stack.empty() ? 0 : t_span_stack.back();
+}
+
+Span Tracer::StartSpanSlow(const char* name, const char* category,
+                           std::optional<uint64_t> parent) {
+  uint64_t parent_id = parent.value_or(current_span_id());
+  uint64_t id = Open(name, category, parent_id);
+  if (id == 0) return Span();
+  t_span_stack.push_back(id);
+  return Span(this, id);
+}
+
+void Tracer::InstantSlow(const char* name, const char* category,
+                         const char* key, int64_t value) {
+  int64_t now = NowUs();
+  uint64_t id = Record(name, category, current_span_id(), now, now);
+  if (id != 0 && key != nullptr) AddAttrTo(id, key, value);
+}
+
+uint64_t Tracer::Open(const char* name, const char* category, uint64_t parent,
+                      std::optional<int64_t> start_us) {
+  if (!enabled()) return 0;
+  int64_t start = start_us.has_value() ? *start_us : NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  Event e;
+  e.name = name;
+  e.category = category;
+  e.id = next_id_++;
+  e.parent = parent;
+  e.start_us = start;
+  e.tid = ThreadOrdinal();
+  events_.push_back(std::move(e));
+  return events_.back().id;
+}
+
+void Tracer::Close(uint64_t id, std::optional<int64_t> end_us) {
+  if (id == 0) return;
+  int64_t end = end_us.has_value() ? *end_us : NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Event* e = FindLocked(id);
+  if (e != nullptr && e->end_us < 0) e->end_us = end;
+}
+
+void Tracer::EndSpan(uint64_t id) {
+  // Pop the thread-local stack even if the event itself was dropped
+  // or already closed — the RAII guard always pushed exactly once.
+  for (auto it = t_span_stack.rbegin(); it != t_span_stack.rend(); ++it) {
+    if (*it == id) {
+      t_span_stack.erase(std::next(it).base());
+      break;
+    }
+  }
+  Close(id);
+}
+
+void Tracer::AddAttrTo(uint64_t id, const char* key, int64_t value) {
+  AddAttrTo(id, key, StrFormat("%lld", static_cast<long long>(value)));
+}
+
+void Tracer::AddAttrTo(uint64_t id, const char* key,
+                       const std::string& value) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Event* e = FindLocked(id);
+  if (e != nullptr) e->attrs.emplace_back(key, value);
+}
+
+uint64_t Tracer::Record(const char* name, const char* category,
+                        uint64_t parent, int64_t start_us, int64_t end_us) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  Event e;
+  e.name = name;
+  e.category = category;
+  e.id = next_id_++;
+  e.parent = parent;
+  e.start_us = start_us;
+  e.end_us = end_us;
+  e.tid = ThreadOrdinal();
+  events_.push_back(std::move(e));
+  return events_.back().id;
+}
+
+Tracer::Event* Tracer::FindLocked(uint64_t id) {
+  // Ids are dense and issued in insertion order, so the event for id
+  // k sits at index k - id_of_first_event when nothing was cleared in
+  // between; fall back to scanning from the guess.
+  if (events_.empty()) return nullptr;
+  uint64_t first = events_.front().id;
+  if (id < first) return nullptr;
+  size_t guess = static_cast<size_t>(id - first);
+  if (guess < events_.size() && events_[guess].id == id) {
+    return &events_[guess];
+  }
+  for (auto& e : events_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::string Tracer::DumpChromeTrace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RenderChromeTraceLocked();
+}
+
+std::string Tracer::RenderChromeTraceLocked() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    int64_t end = e.end_us < 0 ? e.start_us : e.end_us;
+    int64_t dur = end - e.start_us;
+    out += StrFormat(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%lld,"
+        "\"dur\":%lld,\"pid\":1,\"tid\":%u",
+        e.name, e.category, static_cast<long long>(e.start_us),
+        static_cast<long long>(dur), e.tid);
+    if (!e.attrs.empty() || e.parent != 0) {
+      out += ",\"args\":{";
+      bool first_attr = true;
+      if (e.parent != 0) {
+        out += StrFormat("\"parent\":%llu",
+                         static_cast<unsigned long long>(e.parent));
+        first_attr = false;
+      }
+      for (const auto& [k, v] : e.attrs) {
+        if (!first_attr) out += ",";
+        first_attr = false;
+        out += "\"";
+        AppendJsonEscaped(&out, k);
+        out += "\":\"";
+        AppendJsonEscaped(&out, v.c_str());
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+namespace {
+Status WriteFileAll(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output: " + path);
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return Status::IOError("short write to trace output: " + path);
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  return WriteFileAll(path, DumpChromeTrace());
+}
+
+std::string Tracer::DumpTree() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Children in creation (= event-buffer) order, which in virtual time
+  // is deterministic.
+  std::unordered_map<uint64_t, std::vector<const Event*>> children;
+  std::vector<const Event*> roots;
+  for (const auto& e : events_) {
+    if (e.parent == 0) {
+      roots.push_back(&e);
+    } else {
+      children[e.parent].push_back(&e);
+    }
+  }
+  std::string out;
+  std::function<void(const Event*, int)> emit = [&](const Event* e,
+                                                    int depth) {
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += e->name;
+    out += StrFormat(" [%s] (%lld..%lld)", e->category,
+                     static_cast<long long>(e->start_us),
+                     static_cast<long long>(e->end_us < 0 ? e->start_us
+                                                          : e->end_us));
+    for (const auto& [k, v] : e->attrs) {
+      out += StrFormat(" %s=%s", k, v.c_str());
+    }
+    out += "\n";
+    auto it = children.find(e->id);
+    if (it != children.end()) {
+      for (const Event* c : it->second) emit(c, depth + 1);
+    }
+  };
+  for (const Event* r : roots) emit(r, 0);
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+size_t Tracer::num_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::FlushLocked() {
+  if (output_path_.empty() || events_.empty()) return;
+  Status s = WriteFileAll(output_path_, RenderChromeTraceLocked());
+  if (!s.ok()) {
+    std::fprintf(stderr, "[obs] trace flush failed: %s\n",
+                 s.message().c_str());
+  }
+}
+
+}  // namespace apuama::obs

@@ -1,0 +1,204 @@
+// Hierarchical tracing spans — the observability subsystem's first
+// pillar (docs/architecture.md "Observability").
+//
+// A query's journey crosses all three parallelism levels: C-JDBC
+// admission (inter-query), SVP/AVP sub-query fan-out (inter-node),
+// and the morsel pipeline (intra-node). Each hop opens a Span; the
+// resulting tree says exactly where the latency went. Design rules:
+//
+//  * Zero cost when off. Tracing defaults to off; every entry point
+//    checks one relaxed atomic and returns an inert guard, so the
+//    off position is byte-for-byte identical to an uninstrumented
+//    build (asserted by tests/obs_test.cc).
+//  * Two clocks. Real execution stamps steady_clock microseconds;
+//    the virtual-time cluster simulator installs its own clock
+//    (EventSim::now), making span trees a pure function of the
+//    workload — deterministic and diffable across runs.
+//  * Two exports. DumpChromeTrace() emits Chrome trace-event JSON
+//    (load in about://tracing or https://ui.perfetto.dev);
+//    DumpTree() emits a canonical indented tree used by the
+//    determinism tests.
+//
+// Spans nest through a thread-local stack; work handed to another
+// thread (the SVP dispatch pool, morsel workers) passes the parent id
+// explicitly via StartSpanUnder.
+#ifndef APUAMA_OBS_TRACE_H_
+#define APUAMA_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace apuama::obs {
+
+class Tracer;
+
+/// RAII guard for one span. Inert (all methods no-ops) when obtained
+/// while tracing is off — the hot path never branches again after the
+/// initial enabled check. Movable, not copyable.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& o) noexcept : tracer_(o.tracer_), id_(o.id_) {
+    o.tracer_ = nullptr;
+    o.id_ = 0;
+  }
+  Span& operator=(Span&& o) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  /// Closes the span now (idempotent; the destructor calls it).
+  void End();
+
+  /// Attaches a key/value attribute (query fingerprint, node id...).
+  void AddAttr(const char* key, int64_t value);
+  void AddAttr(const char* key, const std::string& value);
+
+  bool active() const { return tracer_ != nullptr; }
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, uint64_t id) : tracer_(tracer), id_(id) {}
+
+  Tracer* tracer_ = nullptr;  // null = inert
+  uint64_t id_ = 0;
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer. First use applies the APUAMA_TRACE
+  /// environment variable: "1"/"on"/"true" enables tracing; any other
+  /// non-empty value enables tracing AND sets it as the Chrome-trace
+  /// output path (flushed when tracing is turned off or at exit).
+  static Tracer& Global();
+
+  Tracer() = default;
+  ~Tracer();
+
+  /// Flips tracing. Turning it off flushes to the configured output
+  /// path (if any spans were recorded) and clears the buffer.
+  void SetEnabled(bool on);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Where SetEnabled(false) / the destructor write the Chrome trace.
+  /// Empty (default) disables the automatic dump.
+  void SetOutputPath(std::string path);
+  std::string output_path() const;
+
+  /// Installs a virtual clock (the simulator passes EventSim::now so
+  /// span timestamps are virtual microseconds). Null restores
+  /// steady_clock. Affects spans opened after the call.
+  void SetClock(std::function<int64_t()> clock);
+
+  /// Current trace timestamp in microseconds (virtual or steady).
+  int64_t NowUs() const;
+
+  /// Opens a span under the calling thread's current span.
+  Span StartSpan(const char* name, const char* category) {
+    if (!enabled()) return Span();
+    return StartSpanSlow(name, category, std::nullopt);
+  }
+
+  /// Opens a span under an explicit parent (cross-thread dispatch:
+  /// capture parent with current_span_id() before handing off work).
+  Span StartSpanUnder(uint64_t parent, const char* name,
+                      const char* category) {
+    if (!enabled()) return Span();
+    return StartSpanSlow(name, category, parent);
+  }
+
+  /// Records a zero-duration event under the current span (cache
+  /// hits, coalesce decisions, knob flips).
+  void Instant(const char* name, const char* category) {
+    if (!enabled()) return;
+    InstantSlow(name, category, nullptr, 0);
+  }
+  void Instant(const char* name, const char* category, const char* key,
+               int64_t value) {
+    if (!enabled()) return;
+    InstantSlow(name, category, key, value);
+  }
+
+  /// Id of the calling thread's innermost open span (0 = none).
+  uint64_t current_span_id() const;
+
+  // Manual span surface for event-driven code (the discrete-event
+  // simulator opens a span when a job starts service and closes it in
+  // the completion event — no scope to hold a guard in).
+  /// Returns 0 when tracing is off (Close/AddAttrTo ignore id 0).
+  uint64_t Open(const char* name, const char* category, uint64_t parent,
+                std::optional<int64_t> start_us = std::nullopt);
+  void Close(uint64_t id, std::optional<int64_t> end_us = std::nullopt);
+  void AddAttrTo(uint64_t id, const char* key, int64_t value);
+  void AddAttrTo(uint64_t id, const char* key, const std::string& value);
+
+  /// Records a complete span with explicit timestamps (the simulator's
+  /// compose step knows its virtual duration up front).
+  uint64_t Record(const char* name, const char* category, uint64_t parent,
+                  int64_t start_us, int64_t end_us);
+
+  /// Chrome trace-event JSON (the "traceEvents" array format).
+  std::string DumpChromeTrace() const;
+  /// Writes DumpChromeTrace() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Canonical indented tree: one line per span —
+  /// "name [category] (start..end) k=v ..." — children in creation
+  /// order. Thread ids are omitted so the dump is a pure function of
+  /// span structure; the virtual-time determinism tests diff it.
+  std::string DumpTree() const;
+
+  /// Drops every recorded span.
+  void Clear();
+  size_t num_spans() const;
+  /// Spans dropped because the buffer hit its cap.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Event {
+    const char* name;
+    const char* category;
+    uint64_t id = 0;
+    uint64_t parent = 0;
+    int64_t start_us = 0;
+    int64_t end_us = -1;  // -1 = still open
+    uint32_t tid = 0;
+    std::vector<std::pair<const char*, std::string>> attrs;
+  };
+
+  Span StartSpanSlow(const char* name, const char* category,
+                     std::optional<uint64_t> parent);
+  std::string RenderChromeTraceLocked() const;
+  void InstantSlow(const char* name, const char* category, const char* key,
+                   int64_t value);
+  void EndSpan(uint64_t id);
+  Event* FindLocked(uint64_t id);
+  void FlushLocked();
+
+  friend class Span;
+
+  // Spans recorded after the buffer reaches this cap are counted in
+  // dropped() instead of stored (a runaway trace cannot OOM the host).
+  static constexpr size_t kMaxEvents = 1 << 20;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  uint64_t next_id_ = 1;
+  std::function<int64_t()> clock_;  // null = steady_clock
+  std::string output_path_;
+};
+
+}  // namespace apuama::obs
+
+#endif  // APUAMA_OBS_TRACE_H_

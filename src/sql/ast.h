@@ -250,10 +250,13 @@ struct SetStmt : Stmt {
 };
 
 /// EXPLAIN <select> — executes the query and reports the plan
-/// actually used (access path per table, page/tuple counts), like
-/// EXPLAIN ANALYZE.
+/// actually used (access path per table, page/tuple counts).
+/// EXPLAIN ANALYZE <select> additionally reports a per-level timing
+/// breakdown (admission wait, barrier wait, per-node sub-query
+/// min/max, composition) collected while the query ran.
 struct ExplainStmt : Stmt {
   StmtKind kind() const override { return StmtKind::kExplain; }
+  bool analyze = false;
   std::unique_ptr<SelectStmt> query;
 };
 

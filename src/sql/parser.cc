@@ -98,6 +98,7 @@ class Parser {
     if (t.text == "EXPLAIN") {
       Advance();
       auto stmt = std::make_unique<ExplainStmt>();
+      stmt->analyze = AcceptKeyword("ANALYZE");
       APUAMA_ASSIGN_OR_RETURN(stmt->query, ParseSelectStmt());
       return StmtPtr(std::move(stmt));
     }

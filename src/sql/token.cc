@@ -22,7 +22,7 @@ const std::unordered_set<std::string>& Keywords() {
           "MONTH",  "YEAR",   "PRIMARY",  "KEY",     "INT",     "INTEGER",
           "BIGINT", "DOUBLE", "DECIMAL",  "VARCHAR", "CHAR",    "TEXT",
           "DISTINCT", "JOIN", "INNER",    "CROSS",   "USING",   "CLUSTERED",
-          "TRUE",   "FALSE",  "EXPLAIN", "OFFSET",
+          "TRUE",   "FALSE",  "EXPLAIN", "OFFSET",  "ANALYZE",
       };
   return *kw;
 }

@@ -230,9 +230,11 @@ std::string UnparseStmt(const Stmt& s) {
       const auto& st = static_cast<const SetStmt&>(s);
       return "SET " + st.name + " = " + st.value;
     }
-    case StmtKind::kExplain:
-      return "EXPLAIN " +
-             UnparseSelect(*static_cast<const ExplainStmt&>(s).query);
+    case StmtKind::kExplain: {
+      const auto& st = static_cast<const ExplainStmt&>(s);
+      return std::string("EXPLAIN ") + (st.analyze ? "ANALYZE " : "") +
+             UnparseSelect(*st.query);
+    }
     case StmtKind::kBegin:
       return "BEGIN";
     case StmtKind::kCommit:

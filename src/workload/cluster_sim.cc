@@ -4,6 +4,8 @@
 
 #include "apuama/share/query_fingerprint.h"
 #include "engine/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/parser.h"
 #include "storage/catalog.h"
 
@@ -22,6 +24,8 @@ struct ClusterSim::SvpTicket {
   std::unique_ptr<AvpScheduler> avp;
   SimOutcome outcome;
   ReadFinish finish;
+  uint64_t span = 0;          // sim.read, parent for the spans below
+  uint64_t barrier_span = 0;  // sim.barrier_wait, open while queued
 };
 
 struct ClusterSim::WriteTicket {
@@ -30,6 +34,7 @@ struct ClusterSim::WriteTicket {
   int remaining = 0;
   SimOutcome outcome;
   Callback done;
+  uint64_t span = 0;  // sim.write
 };
 
 struct ClusterSim::ShareBatch {
@@ -78,9 +83,35 @@ ClusterSim::ClusterSim(const tpch::TpchData& data, ClusterSimOptions options)
     result_cache_ =
         std::make_unique<share::ResultCache>(options.result_cache_entries);
   }
+  if (options_.trace) {
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.SetClock([this] { return static_cast<int64_t>(sim_.now()); });
+    tracer.SetEnabled(true);
+  }
 }
 
-ClusterSim::~ClusterSim() = default;
+ClusterSim::~ClusterSim() {
+  if (options_.trace) {
+    // Fold the protocol counters into the registry so the traced
+    // benches' metrics dump has the numbers (they accumulate across
+    // simulated configurations in one process).
+    obs::Registry& reg = obs::Registry::Global();
+    reg.GetCounter("sim.svp_queries")->Add(svp_queries_);
+    reg.GetCounter("sim.passthrough_reads")->Add(passthrough_reads_);
+    reg.GetCounter("sim.writes_completed")->Add(writes_completed_);
+    reg.GetCounter("sim.svp_barrier_waits")->Add(svp_barrier_waits_);
+    reg.GetCounter("sim.writes_blocked")->Add(writes_blocked_count_);
+    reg.GetCounter("sim.stale_svp_queries")->Add(stale_svp_queries_);
+    reg.GetCounter("sim.avp_chunks")->Add(avp_chunks_);
+    reg.GetCounter("sim.avp_steals")->Add(avp_steals_);
+    reg.GetCounter("sim.result_cache_hits")->Add(result_cache_hits_);
+    reg.GetCounter("sim.queries_coalesced")->Add(queries_coalesced_);
+    // Restore the steady clock; leave the tracer enabled so span
+    // trees recorded in virtual time stay dumpable after the sim is
+    // gone.
+    obs::Tracer::Global().SetClock(nullptr);
+  }
+}
 
 std::vector<int> ClusterSim::PendingCounts() const {
   std::vector<int> out;
@@ -137,6 +168,9 @@ void ClusterSim::SubmitRead(const std::string& sql, Callback done) {
       sim_.After(options_.cost.message_us,
                  [this, outcome, hit, finish]() mutable {
                    outcome.completed = sim_.now();
+                   obs::Tracer::Global().Record(
+                       "sim.cache_hit", "sim", 0, outcome.submitted,
+                       outcome.completed);
                    finish(outcome, hit.get());
                  });
       return;
@@ -156,6 +190,8 @@ void ClusterSim::SubmitRead(const std::string& sql, Callback done) {
   auto it = open_shares_.find(fingerprint);
   if (it != open_shares_.end()) {
     ++queries_coalesced_;
+    obs::Tracer::Global().Record("sim.coalesced", "sim", 0, sim_.now(),
+                                 sim_.now());
     it->second->followers.emplace_back(outcome, std::move(finish));
     return;
   }
@@ -206,6 +242,17 @@ ClusterSim::ReadFinish ClusterSim::WithCacheFill(
 void ClusterSim::SubmitReadCore(const std::string& sql, SimOutcome outcome,
                                 ReadFinish finish,
                                 std::optional<uint64_t> affinity) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const uint64_t read_span =
+      tracer.Open("sim.read", "sim", 0, outcome.submitted);
+  if (read_span != 0) {
+    finish = [read_span, finish = std::move(finish)](
+                 const SimOutcome& o, const QueryResult* r) {
+      obs::Tracer::Global().Close(read_span, o.completed);
+      finish(o, r);
+    };
+  }
+
   if (options_.enable_intra_query) {
     auto parsed = sql::ParseSelect(sql);
     if (parsed.ok() && rewriter_->TouchesFactTable(**parsed)) {
@@ -217,11 +264,14 @@ void ClusterSim::SubmitReadCore(const std::string& sql, SimOutcome outcome,
         ticket->outcome = outcome;
         ticket->outcome.used_svp = true;
         ticket->finish = std::move(finish);
+        ticket->span = read_span;
         if (options_.replication == ReplicationMode::kEager &&
             writes_in_flight_ > 0) {
           // Consistency barrier: wait for in-flight writes to land on
           // every replica before dispatching sub-queries.
           ++svp_barrier_waits_;
+          ticket->barrier_span = tracer.Open("sim.barrier_wait", "sim",
+                                             read_span, sim_.now());
           waiting_svp_.push_back(std::move(ticket));
         } else {
           if (options_.replication == ReplicationMode::kLazy &&
@@ -239,6 +289,7 @@ void ClusterSim::SubmitReadCore(const std::string& sql, SimOutcome outcome,
   // Inter-query path: the C-JDBC load balancer picks one node.
   ++passthrough_reads_;
   int node = balancer_.Choose(PendingCounts(), affinity);
+  tracer.AddAttrTo(read_span, "node", static_cast<int64_t>(node));
   auto shared_finish = std::make_shared<ReadFinish>(std::move(finish));
   auto shared_outcome = std::make_shared<SimOutcome>(outcome);
   auto res = std::make_shared<Result<QueryResult>>(QueryResult{});
@@ -261,6 +312,10 @@ void ClusterSim::SubmitReadCore(const std::string& sql, SimOutcome outcome,
 
 void ClusterSim::DispatchIntraQuery(std::shared_ptr<SvpTicket> ticket) {
   ++svp_queries_;
+  if (ticket->barrier_span != 0) {
+    obs::Tracer::Global().Close(ticket->barrier_span, sim_.now());
+    ticket->barrier_span = 0;
+  }
   if (options_.intra_mode == IntraQueryMode::kAvp) {
     DispatchAvp(std::move(ticket));
   } else {
@@ -286,8 +341,10 @@ void ClusterSim::DispatchSvp(std::shared_ptr<SvpTicket> ticket) {
   ticket->remaining = n;
 
   for (int i = 0; i < n; ++i) {
+    auto started = std::make_shared<SimTime>(0);
     servers_[static_cast<size_t>(i)]->Enqueue(sim::SimServer::Job{
-        [this, ticket, i] {
+        [this, ticket, i, started] {
+          *started = sim_.now();
           engine::Database* db = replicas_->node(i);
           const bool saved = db->settings()->enable_seqscan;
           if (options_.force_index_for_svp) {
@@ -303,7 +360,11 @@ void ClusterSim::DispatchSvp(std::shared_ptr<SvpTicket> ticket) {
           ticket->outcome.status = r.status();
           return Scaled(i, options_.cost.message_us);
         },
-        [this, ticket](SimTime) {
+        [this, ticket, i, started](SimTime t) {
+          obs::Tracer& tracer = obs::Tracer::Global();
+          uint64_t sid = tracer.Record("sim.subquery", "sim", ticket->span,
+                                       *started, t);
+          tracer.AddAttrTo(sid, "node", static_cast<int64_t>(i));
           if (--ticket->remaining > 0) return;
           ComposeAndFinish(ticket);
         }});
@@ -355,6 +416,10 @@ void ClusterSim::StartAvpChunk(std::shared_ptr<SvpTicket> ticket,
         return Scaled(node, options_.cost.message_us);
       },
       [this, ticket, node, keys, started](SimTime t) {
+        obs::Tracer& tracer = obs::Tracer::Global();
+        uint64_t sid = tracer.Record("sim.avp_chunk", "sim", ticket->span,
+                                     *started, t);
+        tracer.AddAttrTo(sid, "node", static_cast<int64_t>(node));
         ticket->avp->ReportChunkTime(node, keys, t - *started);
         StartAvpChunk(ticket, node);
       }});
@@ -380,8 +445,13 @@ void ClusterSim::ComposeAndFinish(std::shared_ptr<SvpTicket> ticket) {
           : 0;
   auto finish = ticket->finish;
   auto outcome = std::make_shared<SimOutcome>(ticket->outcome);
-  sim_.After(compose_time, [this, finish, outcome, final_result] {
+  const uint64_t parent_span = ticket->span;
+  const SimTime compose_start = sim_.now();
+  sim_.After(compose_time, [this, finish, outcome, final_result,
+                            parent_span, compose_start] {
     outcome->completed = sim_.now();
+    obs::Tracer::Global().Record("sim.compose", "sim", parent_span,
+                                 compose_start, outcome->completed);
     if (finish) {
       finish(*outcome, final_result->ok() ? &**final_result : nullptr);
     }
@@ -393,6 +463,8 @@ void ClusterSim::SubmitWrite(const std::string& sql, Callback done) {
   ticket->sql = sql;
   ticket->outcome.submitted = sim_.now();
   ticket->done = std::move(done);
+  ticket->span = obs::Tracer::Global().Open("sim.write", "sim", 0,
+                                            ticket->outcome.submitted);
   if (options_.replication == ReplicationMode::kEager &&
       !waiting_svp_.empty()) {
     // An SVP query is preparing: new updates are blocked until its
@@ -430,6 +502,7 @@ void ClusterSim::DispatchWrite(std::shared_ptr<WriteTicket> ticket) {
           ++writes_completed_;
           ticket->outcome.completed = t;
           write_latency_total_ += ticket->outcome.latency();
+          obs::Tracer::Global().Close(ticket->span, t);
           if (result_cache_) {
             result_cache_->EndTableWrite(ticket->target_table);
           }
@@ -482,6 +555,7 @@ void ClusterSim::DispatchWrite(std::shared_ptr<WriteTicket> ticket) {
           ++writes_completed_;
           ticket->outcome.completed = t;
           write_latency_total_ += ticket->outcome.latency();
+          obs::Tracer::Global().Close(ticket->span, t);
           if (result_cache_) {
             // Completion bump: after this, no lookup can return a
             // result computed before the write.

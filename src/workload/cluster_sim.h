@@ -99,6 +99,12 @@ struct ClusterSimOptions {
   /// (virtual time) before its leader dispatches.
   SimTime admission_window_us = 200;
   size_t result_cache_entries = 256;
+  /// Record obs::Tracer spans stamped with *virtual* time. The sim
+  /// installs its clock on the global tracer for its lifetime, so at
+  /// most one traced ClusterSim should exist at a time. The
+  /// destructor restores the steady clock but leaves the tracer
+  /// enabled (spans intact) so callers can dump the tree afterwards.
+  bool trace = false;
 };
 
 /// Outcome of one simulated statement.

@@ -12,6 +12,7 @@
 
 #include "apuama/apuama_engine.h"
 #include "cjdbc/controller.h"
+#include "obs/metrics.h"
 #include "tests/test_util.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
@@ -166,6 +167,66 @@ TEST(StressTest, ParallelExecutorsUnderConcurrentClients) {
     SCOPED_TRACE("Q" + std::to_string(queries[i]));
     testutil::ExpectResultsEqual(baseline[i], *r);
   }
+}
+
+// Observability race sweep: stat readers (the registry dump path, the
+// stats structs' ToString, the scheduler counter) hammered from
+// dedicated threads while mixed traffic mutates every counter. This
+// is the TSan assertion that no unlocked stat read remains — counters
+// are atomics, dumps take the registry mutex, and nothing tears.
+TEST(StressTest, StatReadersRaceFreeAgainstTraffic) {
+  const tpch::TpchData data(tpch::DbgenOptions{.scale_factor = 0.001});
+  cjdbc::ReplicaSet replicas(
+      2, cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(data.LoadIntoReplicas(&replicas).ok());
+  ApuamaEngine engine(&replicas,
+                      tpch::MakeTpchCatalog(data, /*headroom=*/2000));
+  cjdbc::Controller controller(std::make_unique<ApuamaDriver>(&engine));
+
+  std::atomic<bool> failed{false};
+  std::atomic<bool> done{false};
+  auto analyst = [&] {
+    const int queries[] = {6, 1, 14};
+    for (int i = 0; i < 9 && !failed.load(); ++i) {
+      auto r = controller.Execute(*tpch::QuerySql(queries[i % 3]));
+      if (!r.ok()) failed = true;
+    }
+  };
+  auto updater = [&] {
+    auto stream = tpch::MakeRefreshStream(data.max_orderkey() + 1, 6, 5);
+    for (const auto& stmt : stream) {
+      if (failed.load()) return;
+      if (!controller.Execute(stmt.sql).ok()) failed = true;
+    }
+  };
+  auto reader = [&] {
+    uint64_t sink = 0;
+    while (!done.load()) {
+      sink += controller.stats().reads.load(std::memory_order_relaxed);
+      sink += controller.stats().ToString().size();
+      sink += engine.stats().ToString().size();
+      sink += obs::Registry::Global().TextDump().size();
+      sink += obs::Registry::Global().JsonDump().size();
+    }
+    // Keep the loop observable so it cannot be optimized away.
+    volatile uint64_t keep = sink;
+    (void)keep;
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(analyst);
+  threads.emplace_back(analyst);
+  threads.emplace_back(updater);
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) readers.emplace_back(reader);
+  for (auto& t : threads) t.join();
+  done = true;
+  for (auto& t : readers) t.join();
+  ASSERT_FALSE(failed.load());
+  // The provider-backed dump surfaces the live counters.
+  const std::string dump = obs::Registry::Global().TextDump();
+  EXPECT_NE(dump.find("controller.reads"), std::string::npos);
+  EXPECT_NE(dump.find("apuama.svp"), std::string::npos);
 }
 
 TEST(StressTest, CrashDuringTrafficThenRecover) {
