@@ -312,6 +312,84 @@ BENCHMARK(BM_HashJoin)
     ->ArgsProduct({{1000, 100000}, {1, 2, 4, 8}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
+// Columnar vectorized aggregation vs. the row-at-a-time morsel path.
+// Args: {exec_threads, group cardinality}. The table scales with the
+// group count so 500k groups is a real high-cardinality merge, not a
+// capped one. The headline counter is `model_speedup` = row-path
+// 1-thread cpu_ops / columnar charged ops — how much cheaper the
+// vectorized kernels plus the adaptive merge make the query in the
+// simulator's virtual-time view. `merge_strategy` reports what the
+// adaptive chooser picked (1=central, 2=partitioned, 3=radix).
+void BM_ColumnarAggregate(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int groups = static_cast<int>(state.range(1));
+  const int rows_n = std::max(200000, groups);
+  engine::Database db(engine::DatabaseOptions{.buffer_pool_pages = 0});
+  if (!db.Execute("create table c (g int, v double)").ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(rows_n));
+  for (int i = 0; i < rows_n; ++i) {
+    rows.push_back(
+        {Value::Int(i % groups), Value::Double((i % 97) * 0.5)});
+  }
+  auto table = db.catalog()->GetTable("c");
+  if (!table.ok() || !(*table)->BulkLoad(std::move(rows)).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  const std::string sql =
+      "select g, count(*), sum(v), avg(v), min(v), max(v) from c "
+      "group by g";
+  // Row-path single-thread baseline: the denominator every columnar
+  // configuration is judged against.
+  if (!db.Execute("set exec_threads = 1").ok() ||
+      !db.Execute("set columnar_exec = off").ok()) {
+    state.SkipWithError("set failed");
+    return;
+  }
+  auto base = db.Execute(sql);
+  if (!base.ok()) {
+    state.SkipWithError("baseline failed");
+    return;
+  }
+  const uint64_t row_ops = base->stats.cpu_ops;
+  if (!db.Execute("set exec_threads = " + std::to_string(threads)).ok() ||
+      !db.Execute("set columnar_exec = on").ok()) {
+    state.SkipWithError("set failed");
+    return;
+  }
+  engine::ExecStats stats;
+  for (auto _ : state) {
+    auto r = db.Execute(sql);
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    stats = r->stats;
+    benchmark::DoNotOptimize(r);
+  }
+  const uint64_t par = std::min(stats.cpu_ops_parallel, stats.cpu_ops);
+  const uint64_t width = static_cast<uint64_t>(threads);
+  const uint64_t charged =
+      (stats.cpu_ops - par) + (par + width - 1) / width;
+  state.counters["row_cpu_ops"] = static_cast<double>(row_ops);
+  state.counters["cpu_ops"] = static_cast<double>(stats.cpu_ops);
+  state.counters["charged"] = static_cast<double>(charged);
+  state.counters["model_speedup"] =
+      static_cast<double>(row_ops) / static_cast<double>(charged);
+  state.counters["vec_rows"] =
+      static_cast<double>(stats.vectorized_rows);
+  state.counters["merge_strategy"] =
+      static_cast<double>(stats.MergeStrategyCode());
+  state.SetItemsProcessed(state.iterations() * rows_n);
+}
+BENCHMARK(BM_ColumnarAggregate)
+    ->ArgsProduct({{1, 2, 4, 8}, {50, 5000, 50000, 500000}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PlanCacheLookup(benchmark::State& state) {
   DataCatalog catalog = tpch::MakeTpchCatalog(BenchData());
   SvpRewriter rewriter(&catalog);

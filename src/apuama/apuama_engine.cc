@@ -46,7 +46,13 @@ std::vector<std::pair<std::string, uint64_t>> ApuamaStats::Kv() const {
           {"result_cache_misses", v(result_cache_misses)},
           {"queries_coalesced", v(queries_coalesced)},
           {"shared_scans", v(shared_scans)},
-          {"shared_scan_queries", v(shared_scan_queries)}};
+          {"shared_scan_queries", v(shared_scan_queries)},
+          {"vectorized_rows", v(vectorized_rows)},
+          {"columnar_chunks", v(columnar_chunks)},
+          {"columnar_rebuilds", v(columnar_rebuilds)},
+          {"merge_central", v(merge_central)},
+          {"merge_partitioned", v(merge_partitioned)},
+          {"merge_radix", v(merge_radix)}};
 }
 
 std::string ApuamaStats::ToString() const { return obs::RenderKvText(Kv()); }
@@ -165,7 +171,9 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteRead(
     }
   }
   stats_.passthrough_reads.fetch_add(1, std::memory_order_relaxed);
-  return processors_[static_cast<size_t>(node_id)]->Execute(sql);
+  auto result = processors_[static_cast<size_t>(node_id)]->Execute(sql);
+  if (result.ok()) stats_.NoteNodeStats(result->stats);
+  return result;
 }
 
 Result<engine::QueryResult> ApuamaEngine::ExecuteWriteOn(
@@ -248,7 +256,10 @@ std::vector<Result<engine::QueryResult>> ApuamaEngine::ExecuteSharedRead(
                                      std::memory_order_relaxed);
   bool shared = false;
   for (size_t k = 0; k < results.size() && k < batch_idx.size(); ++k) {
-    if (results[k].ok() && results[k]->stats.shared_scans > 0) shared = true;
+    if (results[k].ok()) {
+      if (results[k]->stats.shared_scans > 0) shared = true;
+      stats_.NoteNodeStats(results[k]->stats);
+    }
     out[batch_idx[k]] = std::move(results[k]);
   }
   if (shared) {
@@ -462,6 +473,7 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteSvpPlan(
   for (size_t i = 0; i < futures.size(); ++i) {
     Result<engine::QueryResult> r = futures[i].get();
     if (r.ok()) {
+      stats_.NoteNodeStats(r->stats);
       if (timed) profile->node_stats += r->stats;
       APUAMA_RETURN_NOT_OK(sink.Add(std::move(r).value()));
     } else if (r.status().code() == StatusCode::kUnavailable) {
@@ -562,6 +574,7 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAvpPlan(
       }
       // Merge this chunk now (fast path) instead of buffering it:
       // composition overlaps the other workers' execution.
+      stats_.NoteNodeStats(r->stats);
       if (timed) profile->node_stats += r->stats;
       Status s = sink.Add(std::move(r).value());
       if (!s.ok()) {
@@ -670,7 +683,10 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAnalyze(
     result = processors_[static_cast<size_t>(node_id)]->Execute(inner_sql);
     profile.node_times_us = {SteadyUs() - t0};
     profile.node_ids = {node_id};
-    if (result.ok()) profile.node_stats = result->stats;
+    if (result.ok()) {
+      stats_.NoteNodeStats(result->stats);
+      profile.node_stats = result->stats;
+    }
   }
   APUAMA_RETURN_NOT_OK(result.status());
   const int64_t elapsed_us = SteadyUs() - t_begin;
@@ -710,6 +726,9 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAnalyze(
       static_cast<int64_t>(profile.node_stats.pages_cache));
   add("node", "tuples_scanned",
       static_cast<int64_t>(profile.node_stats.tuples_scanned));
+  add("node", "vectorized_rows",
+      static_cast<int64_t>(profile.node_stats.vectorized_rows));
+  add("node", "merge_strategy", profile.node_stats.MergeStrategyCode());
   add("compose", "compose_us", profile.compose_us);
   add("compose", "partial_rows", static_cast<int64_t>(profile.partial_rows));
   add("compose", "output_rows", static_cast<int64_t>(result->rows.size()));

@@ -95,6 +95,30 @@ struct ApuamaStats {
   std::atomic<uint64_t> queries_coalesced{0};  // rode another's admission
   std::atomic<uint64_t> shared_scans{0};       // batches that shared a scan
   std::atomic<uint64_t> shared_scan_queries{0};  // queries in those batches
+  // Columnar execution, summed over every node result the engine saw
+  // (SVP partials, passthrough reads, shared batches):
+  std::atomic<uint64_t> vectorized_rows{0};    // row-slots through kernels
+  std::atomic<uint64_t> columnar_chunks{0};    // chunks built first-time
+  std::atomic<uint64_t> columnar_rebuilds{0};  // chunks rebuilt after writes
+  std::atomic<uint64_t> merge_central{0};      // adaptive-merge decisions
+  std::atomic<uint64_t> merge_partitioned{0};
+  std::atomic<uint64_t> merge_radix{0};
+
+  /// Folds one node result's columnar counters into the engine-wide
+  /// totals (called wherever a node ExecStats crosses the middleware
+  /// boundary, so ToString(), the metrics registry, and EXPLAIN
+  /// ANALYZE all agree on what the columnar path did).
+  void NoteNodeStats(const engine::ExecStats& s) {
+    auto bump = [](std::atomic<uint64_t>& a, uint64_t d) {
+      if (d != 0) a.fetch_add(d, std::memory_order_relaxed);
+    };
+    bump(vectorized_rows, s.vectorized_rows);
+    bump(columnar_chunks, s.columnar_chunks_built);
+    bump(columnar_rebuilds, s.columnar_chunk_rebuilds);
+    bump(merge_central, s.merge_central);
+    bump(merge_partitioned, s.merge_partitioned);
+    bump(merge_radix, s.merge_radix);
+  }
 
   /// SHOW-style one-line rendering of every counter (observability:
   /// benches and operators read cache efficacy off this directly).

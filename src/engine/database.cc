@@ -37,7 +37,13 @@ std::vector<std::pair<std::string, uint64_t>> ExecStats::Kv() const {
           {"shared_scans", shared_scans},
           {"shared_queries", shared_scan_queries},
           {"seq", used_seq_scan ? 1u : 0u},
-          {"idx", used_index_scan ? 1u : 0u}};
+          {"idx", used_index_scan ? 1u : 0u},
+          {"vec_rows", vectorized_rows},
+          {"col_chunks", columnar_chunks_built},
+          {"col_rebuilds", columnar_chunk_rebuilds},
+          {"merge_central", merge_central},
+          {"merge_part", merge_partitioned},
+          {"merge_radix", merge_radix}};
 }
 
 std::string ExecStats::ToString() const { return obs::RenderKvText(Kv()); }
@@ -71,9 +77,18 @@ int DefaultExecThreads() {
   return hw == 0 ? 1 : static_cast<int>(std::min<unsigned>(hw, 128));
 }
 
+bool DefaultColumnarExec() {
+  if (const char* env = std::getenv("APUAMA_COLUMNAR")) {
+    const std::string v = ToLower(env);
+    if (v == "off" || v == "false" || v == "0") return false;
+  }
+  return true;
+}
+
 Database::Database(DatabaseOptions options)
     : options_(options), pool_(options.buffer_pool_pages) {
   settings_.exec_threads = DefaultExecThreads();
+  settings_.enable_columnar_exec = DefaultColumnarExec();
 }
 
 ThreadPool* Database::exec_pool() {
@@ -162,8 +177,15 @@ Result<QueryResult> Database::ExecuteStmt(const Stmt& stmt) {
       return ExecuteCreateIndex(
           static_cast<const sql::CreateIndexStmt&>(stmt));
     case StmtKind::kDropTable: {
-      APUAMA_RETURN_NOT_OK(catalog_.DropTable(
-          static_cast<const sql::DropTableStmt&>(stmt).table));
+      const auto& drop = static_cast<const sql::DropTableStmt&>(stmt);
+      // Release the columnar mirror with the heap (ids are never
+      // reused, so this is hygiene, not correctness).
+      if (auto t = static_cast<const storage::Catalog&>(catalog_)
+                       .GetTable(drop.table);
+          t.ok()) {
+        column_store_.Evict((*t)->id());
+      }
+      APUAMA_RETURN_NOT_OK(catalog_.DropTable(drop.table));
       return QueryResult{};
     }
     case StmtKind::kSet:
@@ -298,6 +320,9 @@ Result<QueryResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt) {
     add("node", "pages_cache", static_cast<int64_t>(stats.pages_cache));
     add("node", "tuples_scanned",
         static_cast<int64_t>(stats.tuples_scanned));
+    add("node", "vectorized_rows",
+        static_cast<int64_t>(stats.vectorized_rows));
+    add("node", "merge_strategy", stats.MergeStrategyCode());
     add("node", "output_rows", static_cast<int64_t>(inner.rows.size()));
     qr.stats = stats;
     return qr;
@@ -670,6 +695,24 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
   if (name == "share_scans") return set_bool(&settings_.enable_share_scans);
   if (name == "result_cache") {
     return set_bool(&settings_.enable_result_cache);
+  }
+  if (name == "columnar_exec") {
+    return set_bool(&settings_.enable_columnar_exec);
+  }
+  if (name == "merge_strategy") {
+    if (value == "auto") {
+      settings_.merge_strategy = MergeStrategy::kAuto;
+    } else if (value == "central") {
+      settings_.merge_strategy = MergeStrategy::kCentral;
+    } else if (value == "partitioned") {
+      settings_.merge_strategy = MergeStrategy::kPartitioned;
+    } else if (value == "radix") {
+      settings_.merge_strategy = MergeStrategy::kRadix;
+    } else {
+      return Status::InvalidArgument("bad value for merge_strategy: " +
+                                     stmt.value);
+    }
+    return QueryResult{};
   }
   // Observability knobs flip process-wide state (the tracer and the
   // logger are global), so a clustered SET broadcast applying them

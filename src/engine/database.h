@@ -20,8 +20,17 @@
 #include "sql/ast.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
+#include "storage/column_store.h"
 
 namespace apuama::engine {
+
+/// How a columnar aggregate merges its per-morsel partial groups.
+enum class MergeStrategy {
+  kAuto = 0,         // pick from observed partial-group cardinality
+  kCentral = 1,      // single-threaded fold (few groups)
+  kPartitioned = 2,  // 16-way hash-partitioned fold (medium)
+  kRadix = 3,        // 64-way radix fold + parallel finalize (many)
+};
 
 /// Session-level settings, PostgreSQL-style. Apuama flips
 /// enable_seqscan off around SVP sub-queries (paper section 3).
@@ -53,12 +62,30 @@ struct SessionSettings {
   /// the knob (caching happens above the node, in apuama/share);
   /// keeping it a session setting gives SET a uniform surface.
   bool enable_result_cache = false;
+  /// Column-major vectorized execution for morsel-eligible
+  /// aggregates. On by default (seeded from DefaultColumnarExec(),
+  /// i.e. the APUAMA_COLUMNAR environment variable); `SET
+  /// columnar_exec = off` restores the row-at-a-time morsel pipeline
+  /// byte for byte. Results are bit-identical either way — the knob
+  /// exists for ablations and as an escape hatch.
+  bool enable_columnar_exec = true;
+  /// Adaptive aggregation-merge override: `SET merge_strategy =
+  /// auto | central | partitioned | radix`. Auto picks from the
+  /// partial-group cardinality observed after the first wave of
+  /// morsels; forcing a strategy changes scheduling and accounting
+  /// only, never result bits.
+  MergeStrategy merge_strategy = MergeStrategy::kAuto;
 };
 
 /// Default intra-node execution threads: the APUAMA_EXEC_THREADS
 /// environment variable when set (clamped to [1, 128]), otherwise the
 /// hardware concurrency.
 int DefaultExecThreads();
+
+/// Default for SessionSettings::enable_columnar_exec: the
+/// APUAMA_COLUMNAR environment variable when set (off/0/false
+/// disables), otherwise on.
+bool DefaultColumnarExec();
 
 struct DatabaseOptions {
   /// Buffer pool capacity in 8 KiB pages; 0 = unbounded.
@@ -108,6 +135,11 @@ class Database {
   /// of how many statements the node processes over its lifetime.
   ThreadPool* exec_pool();
 
+  /// Cache of columnar chunks for this node's tables (lazy build,
+  /// write-epoch invalidation). Only the coordinator thread of a
+  /// columnar scan touches it, before morsels fan out.
+  storage::ColumnStore* column_store() { return &column_store_; }
+
   /// Count of committed write transactions (INSERT/DELETE/UPDATE
   /// statements outside explicit transactions; one per COMMIT inside).
   /// Atomic: the Apuama consistency manager reads it cross-thread.
@@ -139,6 +171,7 @@ class Database {
   DatabaseOptions options_;
   storage::Catalog catalog_;
   storage::BufferPool pool_;
+  storage::ColumnStore column_store_;
   SessionSettings settings_;
   std::unique_ptr<ThreadPool> exec_pool_;
   int exec_pool_threads_ = 0;  // exec_threads the pool was built for

@@ -10,7 +10,9 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "engine/database.h"
+#include "engine/vectorized.h"
 #include "obs/trace.h"
+#include "storage/column_store.h"
 #include "storage/table.h"
 
 namespace apuama::engine {
@@ -1608,6 +1610,558 @@ Result<QueryResult> FinalizeGroups(Executor* exec, ExecStats* stats,
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Columnar vectorized aggregation
+// ---------------------------------------------------------------------------
+namespace {
+
+// Merge buckets for the columnar path. A superset of the row path's
+// 16 partitions: the radix strategy merges all 64 in parallel, the
+// partitioned strategy assigns 4 buckets to each of 16 tasks, and the
+// central strategy folds them on the coordinator. Fixed (never
+// thread-dependent) so the decomposition is identical at every
+// exec_threads.
+constexpr size_t kRadixBuckets = 64;
+
+// Auto-strategy thresholds on the maximum partial-group count any
+// morsel in the first wave observed. A 1024-row morsel caps the
+// observable count at 1024, so the radix trigger asks for morsels
+// that are ~3/4 distinct — the signature of high global cardinality.
+// Clustered tables can under-report (each morsel sees few of many
+// global groups) and land on central: results are unaffected, only
+// scheduling, and `SET merge_strategy` overrides the guess.
+constexpr size_t kCentralMaxGroups = 128;
+constexpr size_t kRadixMinGroups = 768;
+
+// Wrapping add via unsigned arithmetic: same bits as the row path's
+// int64 `+=` for every non-overflowing input, defined behavior when
+// a SUM does overflow (the row path relies on -fwrapv semantics).
+int64_t ColWrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+
+// Aggregate function, resolved once at compile time instead of
+// string-comparing per row.
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax, kOther };
+
+AggFunc AggFuncOf(const Expr& e) {
+  if (e.func_name == "count") return AggFunc::kCount;
+  if (e.func_name == "sum") return AggFunc::kSum;
+  if (e.func_name == "avg") return AggFunc::kAvg;
+  if (e.func_name == "min") return AggFunc::kMin;
+  if (e.func_name == "max") return AggFunc::kMax;
+  return AggFunc::kOther;
+}
+
+// One aggregate in the columnar plan. `arg` is the vectorized
+// argument kernel; null means the argument did not compile and the
+// morsel loop falls back to row-wise Eval + AggUpdate for this one
+// aggregate (everything else stays vectorized).
+struct ColAggSpec {
+  const Expr* agg = nullptr;
+  AggFunc func = AggFunc::kOther;
+  bool star = false;
+  bool distinct = false;
+  std::unique_ptr<VecExpr> arg;
+};
+
+// One GROUP BY key: a direct slot gather when the key is a resolvable
+// bare column ref, otherwise a row-wise Eval fallback.
+struct ColKeySpec {
+  int slot = -1;
+  const Expr* expr = nullptr;
+};
+
+struct ColumnarPlan {
+  const storage::ColumnarTable* chunk = nullptr;
+  // WHERE conjuncts in SplitConjuncts order; exactly one of vec/row
+  // is set per step. Order is preserved so each conjunct evaluates
+  // over precisely the survivors of the previous ones — the same row
+  // set (and the same error behavior) as the row path's short-circuit.
+  struct PredStep {
+    std::unique_ptr<VecPredicate> vec;
+    const Expr* row = nullptr;
+  };
+  std::vector<PredStep> preds;
+  std::vector<ColKeySpec> keys;
+  std::vector<ColAggSpec> aggs;
+  // True when at least one predicate or aggregate argument (or a
+  // count(*)) vectorized; otherwise the columnar path would be the
+  // row path with extra steps and the caller stays row-wise.
+  bool any_vec = false;
+};
+
+ColumnarPlan CompileColumnar(const SelectStmt& stmt, const Relation& header,
+                             const storage::ColumnarTable& chunk,
+                             const std::vector<const Expr*>& preds,
+                             const std::vector<const Expr*>& agg_nodes) {
+  ColumnarPlan cp;
+  cp.chunk = &chunk;
+  for (const Expr* p : preds) {
+    ColumnarPlan::PredStep step;
+    step.vec = CompileVecPredicate(*p, header, chunk);
+    if (step.vec != nullptr) {
+      cp.any_vec = true;
+    } else {
+      step.row = p;
+    }
+    cp.preds.push_back(std::move(step));
+  }
+  for (const auto& g : stmt.group_by) {
+    ColKeySpec ks;
+    if (g->kind == ExprKind::kColumnRef) {
+      int slot = header.FindSlot(g->table_qualifier, g->column_name);
+      if (slot >= 0) ks.slot = slot;
+    }
+    if (ks.slot < 0) ks.expr = g.get();
+    cp.keys.push_back(std::move(ks));
+  }
+  for (const Expr* a : agg_nodes) {
+    ColAggSpec spec;
+    spec.agg = a;
+    spec.func = AggFuncOf(*a);
+    spec.star = a->star_arg;
+    spec.distinct = a->distinct;
+    if (spec.star) {
+      cp.any_vec = true;  // count(*) folds as a bulk add
+    } else if (!a->children.empty()) {
+      spec.arg = CompileVecExpr(*a->children[0], header, chunk);
+      if (spec.arg != nullptr) cp.any_vec = true;
+    }
+    cp.aggs.push_back(std::move(spec));
+  }
+  return cp;
+}
+
+// Morsel-private columnar partial: 64-way bucketed group maps (the
+// radix superset; every coarser strategy folds subsets of these) plus
+// the global-aggregate accumulator for GROUP BY-less queries.
+struct ColumnarPartial {
+  std::array<std::unordered_map<Row, AggGroup, RowHash, RowEq>, kRadixBuckets>
+      buckets;
+  size_t group_n = 0;  // distinct groups this morsel saw
+  AggGroup global;
+  bool global_any = false;
+  uint64_t cpu = 0;
+  uint64_t scanned = 0;
+  uint64_t vec_rows = 0;
+};
+
+// AggUpdate specialized on a vectorized argument lane: identical
+// state transitions (count/has_value/promotion/tie rules), minus the
+// Value boxing for the numeric cases.
+void UpdateAccFromVec(const ColAggSpec& spec, const VecData& vd, size_t k,
+                      AggAcc* acc) {
+  if (spec.star) {
+    ++acc->count;
+    return;
+  }
+  if (vd.IsNull(k)) return;
+  if (spec.distinct) {
+    acc->distinct.insert(vd.ValueAt(k));
+    return;
+  }
+  ++acc->count;
+  acc->has_value = true;
+  switch (spec.func) {
+    case AggFunc::kMin: {
+      Value v = vd.ValueAt(k);
+      if (acc->min_v.is_null() || v.Compare(acc->min_v) < 0) {
+        acc->min_v = std::move(v);
+      }
+      return;
+    }
+    case AggFunc::kMax: {
+      Value v = vd.ValueAt(k);
+      if (acc->max_v.is_null() || v.Compare(acc->max_v) > 0) {
+        acc->max_v = std::move(v);
+      }
+      return;
+    }
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (vd.type == ValueType::kInt64 && !acc->any_double) {
+        acc->isum = ColWrapAdd(acc->isum, vd.i64[k]);
+      } else {
+        if (!acc->any_double) {
+          acc->dsum = static_cast<double>(acc->isum);
+          acc->any_double = true;
+        }
+        acc->dsum += vd.DoubleAt(k);
+      }
+      return;
+    default:
+      return;  // count(x) and unknowns only track count/has_value
+  }
+}
+
+// Whole-slice fold of one aggregate over a global (GROUP BY-less)
+// accumulator: the branch-light inner loops of the columnar path.
+// Double sums still add element-by-element in selection order so the
+// bits match the row path's sequential `dsum +=` exactly (no
+// reassociation); the int64 SUM lane accumulates in a 128-bit-wide
+// register and folds once — the same wrapped 64-bit result as n
+// sequential wrapping adds, by modular arithmetic.
+void FoldVecGlobal(const ColAggSpec& spec, const VecData& vd, size_t n,
+                   AggAcc* acc) {
+  if (spec.star) {
+    acc->count += n;
+    return;
+  }
+  if (spec.distinct) {
+    for (size_t k = 0; k < n; ++k) {
+      if (!vd.IsNull(k)) acc->distinct.insert(vd.ValueAt(k));
+    }
+    return;
+  }
+  switch (spec.func) {
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      // Only true kInt64 stays in the int lane: the row path sends
+      // kDate sums down the double-promotion branch.
+      if (vd.type == ValueType::kInt64 && !acc->any_double) {
+        unsigned __int128 wide = 0;
+        uint64_t nn = 0;
+        if (vd.has_nulls) {
+          for (size_t k = 0; k < n; ++k) {
+            if (vd.nulls[k]) continue;
+            wide += static_cast<uint64_t>(vd.i64[k]);
+            ++nn;
+          }
+        } else {
+          for (size_t k = 0; k < n; ++k) {
+            wide += static_cast<uint64_t>(vd.i64[k]);
+          }
+          nn = n;
+        }
+        acc->count += nn;
+        if (nn > 0) {
+          acc->has_value = true;
+          acc->isum = ColWrapAdd(
+              acc->isum, static_cast<int64_t>(static_cast<uint64_t>(wide)));
+        }
+        return;
+      }
+      // Double lane (or an already-promoted accumulator): element
+      // order must match the row path's per-row adds.
+      uint64_t nn = 0;
+      for (size_t k = 0; k < n; ++k) {
+        if (vd.IsNull(k)) continue;
+        ++nn;
+        if (!acc->any_double) {
+          acc->dsum = static_cast<double>(acc->isum);
+          acc->any_double = true;
+        }
+        acc->dsum += vd.DoubleAt(k);
+      }
+      acc->count += nn;
+      if (nn > 0) acc->has_value = true;
+      return;
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      const bool want_min = spec.func == AggFunc::kMin;
+      uint64_t nn = 0;
+      bool have = false;
+      if (vd.type != ValueType::kDouble) {
+        int64_t best = 0;
+        for (size_t k = 0; k < n; ++k) {
+          if (vd.IsNull(k)) continue;
+          ++nn;
+          const int64_t x = vd.i64[k];
+          // Strict compare keeps the earliest value on ties, the row
+          // path's rule.
+          if (!have || (want_min ? x < best : x > best)) {
+            best = x;
+            have = true;
+          }
+        }
+        if (have) {
+          Value bv = vd.type == ValueType::kDate ? Value::Date(best)
+                                                 : Value::Int(best);
+          Value& slot = want_min ? acc->min_v : acc->max_v;
+          if (slot.is_null() ||
+              (want_min ? bv.Compare(slot) < 0 : bv.Compare(slot) > 0)) {
+            slot = std::move(bv);
+          }
+        }
+      } else {
+        double best = 0;
+        for (size_t k = 0; k < n; ++k) {
+          if (vd.IsNull(k)) continue;
+          ++nn;
+          const double x = vd.f64[k];
+          // `x < best` / `x > best` is false for NaN on either side,
+          // mirroring Value::Compare's "NaN compares equal" => keep
+          // the earlier value.
+          if (!have || (want_min ? x < best : x > best)) {
+            best = x;
+            have = true;
+          }
+        }
+        if (have) {
+          Value bv = Value::Double(best);
+          Value& slot = want_min ? acc->min_v : acc->max_v;
+          if (slot.is_null() ||
+              (want_min ? bv.Compare(slot) < 0 : bv.Compare(slot) > 0)) {
+            slot = std::move(bv);
+          }
+        }
+      }
+      acc->count += nn;
+      if (nn > 0) acc->has_value = true;
+      return;
+    }
+    default: {  // count(x) and unknown funcs
+      uint64_t nn = 0;
+      if (vd.has_nulls) {
+        for (size_t k = 0; k < n; ++k) {
+          if (!vd.nulls[k]) ++nn;
+        }
+      } else {
+        nn = n;
+      }
+      acc->count += nn;
+      if (nn > 0) acc->has_value = true;
+      return;
+    }
+  }
+}
+
+// Picks the merge fanout from the first wave of morsels (the first
+// `threads` in morsel order — the set that completes earliest under
+// any scheduling). Uses the MAX partial-group count: the most
+// discriminating single-morsel signal a 1024-row window can give.
+MergeStrategy ChooseMergeStrategy(const SessionSettings& settings,
+                                  const std::vector<ColumnarPartial>& partials,
+                                  size_t threads) {
+  if (settings.merge_strategy != MergeStrategy::kAuto) {
+    return settings.merge_strategy;
+  }
+  const size_t wave = std::min(threads < 1 ? size_t{1} : threads,
+                               partials.size());
+  size_t est = 0;
+  for (size_t i = 0; i < wave; ++i) {
+    est = std::max(est, partials[i].group_n);
+  }
+  if (est <= kCentralMaxGroups) return MergeStrategy::kCentral;
+  if (est >= kRadixMinGroups) return MergeStrategy::kRadix;
+  return MergeStrategy::kPartitioned;
+}
+
+// Folds every partial's bucket `b` into one ordered per-bucket group
+// map, in morsel-index order — the same op-for-op discipline (and the
+// same charge structure) as MergeMorselPartials, so the bits never
+// depend on thread count or strategy.
+void MergeColumnarBucket(std::vector<ColumnarPartial>* partials,
+                         const std::vector<const Expr*>& agg_nodes, size_t b,
+                         GroupMap* gm, uint64_t* cpu) {
+  for (size_t mi = 0; mi < partials->size(); ++mi) {
+    for (auto& [key, lg] : (*partials)[mi].buckets[b]) {
+      ++*cpu;
+      auto [it, inserted] = gm->try_emplace(key);
+      if (inserted) {
+        it->second = std::move(lg);
+        continue;
+      }
+      for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
+        ++*cpu;
+        AggMerge(&it->second.accs[ai], lg.accs[ai], *agg_nodes[ai]);
+      }
+    }
+  }
+  // Ordered-map residency charge, the analogue of the row path's
+  // sequential fold into the canonical GroupMap.
+  *cpu += gm->size();
+}
+
+struct ColumnarMerged {
+  std::array<GroupMap, kRadixBuckets> buckets;
+  std::array<uint64_t, kRadixBuckets> cpu{};
+};
+
+// Runs the bucket merges under the chosen strategy. Central charges
+// the work as sequential critical path; partitioned and radix charge
+// it as parallel (the cost model divides by exec_threads).
+Status MergeColumnarPartials(ThreadPool* pool, MergeStrategy strat,
+                             std::vector<ColumnarPartial>* partials,
+                             const std::vector<const Expr*>& agg_nodes,
+                             ColumnarMerged* merged, ExecStats* stats) {
+  auto merge_bucket = [&](size_t b) {
+    MergeColumnarBucket(partials, agg_nodes, b, &merged->buckets[b],
+                        &merged->cpu[b]);
+  };
+  switch (strat) {
+    case MergeStrategy::kCentral: {
+      for (size_t b = 0; b < kRadixBuckets; ++b) merge_bucket(b);
+      for (uint64_t c : merged->cpu) stats->cpu_ops += c;
+      return Status::OK();
+    }
+    case MergeStrategy::kPartitioned: {
+      APUAMA_RETURN_NOT_OK(ParallelFor(
+          pool, 0, kMergePartitions, [&](size_t p) -> Status {
+            for (size_t b = p; b < kRadixBuckets; b += kMergePartitions) {
+              merge_bucket(b);
+            }
+            return Status::OK();
+          }));
+      break;
+    }
+    default: {  // kRadix (kAuto resolved before this point)
+      APUAMA_RETURN_NOT_OK(
+          ParallelFor(pool, 0, kRadixBuckets, [&](size_t b) -> Status {
+            merge_bucket(b);
+            return Status::OK();
+          }));
+      break;
+    }
+  }
+  for (uint64_t c : merged->cpu) {
+    stats->cpu_ops += c;
+    stats->cpu_ops_parallel += c;
+  }
+  return Status::OK();
+}
+
+// One output expression (or ORDER BY key) the fast finalize tail can
+// compute without Eval: a finalized aggregate, a group-key column
+// gathered from the representative row, a literal, or (order keys
+// only) a copy of an already-computed output slot.
+struct FastItem {
+  enum class Kind { kAgg, kSlot, kLit, kOutSlot };
+  Kind kind = Kind::kLit;
+  size_t idx = 0;  // agg index / header slot / output slot
+  const Expr* lit = nullptr;
+};
+
+struct FastFinalizePlan {
+  std::vector<FastItem> items;
+  std::vector<FastItem> okeys;
+  std::vector<bool> desc;
+};
+
+// The fast tail covers the common aggregate shapes (bare aggregates,
+// group columns, literals, no HAVING); anything richer falls back to
+// the shared FinalizeGroups, which is sequential but fully general.
+bool PlanFastFinalize(const SelectStmt& stmt, const Relation& header,
+                      const std::vector<const Expr*>& agg_nodes,
+                      const std::vector<std::string>& out_names,
+                      FastFinalizePlan* fp) {
+  if (stmt.having) return false;
+  auto classify = [&](const Expr& e, FastItem* fi) -> bool {
+    for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
+      if (agg_nodes[ai] == &e) {
+        fi->kind = FastItem::Kind::kAgg;
+        fi->idx = ai;
+        return true;
+      }
+    }
+    if (e.kind == ExprKind::kColumnRef) {
+      int slot = header.FindSlot(e.table_qualifier, e.column_name);
+      if (slot >= 0) {
+        fi->kind = FastItem::Kind::kSlot;
+        fi->idx = static_cast<size_t>(slot);
+        return true;
+      }
+      return false;
+    }
+    if (e.kind == ExprKind::kLiteral) {
+      fi->kind = FastItem::Kind::kLit;
+      fi->lit = &e;
+      return true;
+    }
+    return false;
+  };
+  for (const auto& it : stmt.items) {
+    FastItem fi;
+    if (!it.expr || !classify(*it.expr, &fi)) return false;
+    fp->items.push_back(fi);
+  }
+  for (const auto& o : stmt.order_by) {
+    FastItem fk;
+    int slot = OrderOutputSlot(o, out_names);
+    if (slot >= 0) {
+      fk.kind = FastItem::Kind::kOutSlot;
+      fk.idx = static_cast<size_t>(slot);
+    } else if (!classify(*o.expr, &fk)) {
+      return false;
+    }
+    fp->okeys.push_back(fk);
+    fp->desc.push_back(o.desc);
+  }
+  return true;
+}
+
+// One finalized output row plus its sort key and a pointer to its
+// group key (stable: the per-bucket maps outlive the k-way merge).
+struct FastRow {
+  Row skey;
+  const Row* gkey = nullptr;
+  Row out;
+};
+
+// Finalizes one merged bucket into sorted FastRows. Projection is
+// charged at the vectorized slice rate; the bucket-local sort charges
+// one op per comparison, exactly like SortRows.
+uint64_t FastFinalizeBucket(const GroupMap& gm, const FastFinalizePlan& fp,
+                            const std::vector<const Expr*>& agg_nodes,
+                            std::vector<FastRow>* rows) {
+  uint64_t cpu = 0;
+  rows->reserve(gm.size());
+  for (const auto& [key, grp] : gm) {
+    Row out;
+    out.reserve(fp.items.size());
+    auto value_of = [&](const FastItem& fi) -> Value {
+      switch (fi.kind) {
+        case FastItem::Kind::kAgg:
+          return AggFinalize(grp.accs[fi.idx], *agg_nodes[fi.idx]);
+        case FastItem::Kind::kSlot:
+          return grp.repr[fi.idx];
+        case FastItem::Kind::kOutSlot:
+          return out[fi.idx];
+        default:
+          return fi.lit->literal;
+      }
+    };
+    for (const FastItem& fi : fp.items) out.push_back(value_of(fi));
+    Row skey;
+    skey.reserve(fp.okeys.size());
+    for (const FastItem& fk : fp.okeys) skey.push_back(value_of(fk));
+    rows->push_back(FastRow{std::move(skey), &key, std::move(out)});
+  }
+  cpu += (fp.items.size() + fp.okeys.size()) *
+         VecOps(gm.size());
+  if (!fp.okeys.empty()) {
+    std::stable_sort(rows->begin(), rows->end(),
+                     [&fp, &cpu](const FastRow& a, const FastRow& b) {
+                       ++cpu;
+                       for (size_t i = 0; i < a.skey.size(); ++i) {
+                         int c = a.skey[i].Compare(b.skey[i]);
+                         if (c != 0) return fp.desc[i] ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+  return cpu;
+}
+
+// True when `a` orders strictly before `b` under (sort key with
+// per-key direction, then group key). Buckets are sorted by sort key
+// with a STABLE sort of group-key-ordered input, so this comparator
+// makes the k-way bucket merge reproduce FinalizeGroups' order
+// exactly: group keys are unique, so the tie-break is total.
+bool FastRowBefore(const FastRow& a, const FastRow& b,
+                   const std::vector<bool>& desc) {
+  for (size_t i = 0; i < a.skey.size(); ++i) {
+    int c = a.skey[i].Compare(b.skey[i]);
+    if (c != 0) return desc[i] ? c > 0 : c < 0;
+  }
+  return storage::KeyLess{}(*a.gkey, *b.gkey);
+}
+
+}  // namespace
+
 Result<QueryResult> Executor::ProjectOnly(const SelectStmt& stmt,
                                           Relation rel,
                                           const EvalScope* outer) {
@@ -1766,6 +2320,19 @@ Result<QueryResult> Executor::ExecuteMorselAggregate(const SelectStmt& stmt) {
     header.columns.push_back(ColumnBinding{fb.binding, col.name});
   }
 
+  // Column-major fast path: when enabled and anything in the query
+  // vectorizes, process the morsels as column slices. Falls through
+  // to the row pipeline (byte-for-byte the pre-columnar behavior)
+  // when disabled, when nothing vectorizes, or for index-order scans
+  // (their position lists defeat contiguous column slices).
+  if (db_->settings()->enable_columnar_exec &&
+      plan.path != AccessPath::kSecondaryIndex) {
+    APUAMA_ASSIGN_OR_RETURN(
+        std::optional<QueryResult> cqr,
+        ExecuteColumnarAggregate(stmt, t, plan, preds, agg_nodes, header));
+    if (cqr.has_value()) return std::move(*cqr);
+  }
+
   // Coordinator-only spans: per-morsel worker spans would make trace
   // shape depend on thread timing, so only the pipeline phases are
   // traced (identical at any exec_threads).
@@ -1848,6 +2415,315 @@ Result<QueryResult> Executor::ExecuteMorselAggregate(const SelectStmt& stmt) {
 
   return FinalizeGroups(this, stats_, stmt, header, &groups, agg_nodes,
                         nullptr);
+}
+
+Result<std::optional<QueryResult>> Executor::ExecuteColumnarAggregate(
+    const SelectStmt& stmt, const storage::Table& t, const ScanPlan& plan,
+    const std::vector<const Expr*>& preds,
+    const std::vector<const Expr*>& agg_nodes, const Relation& header) {
+  // Chunk lookup + compilation are side-effect free until the plan
+  // commits, so a fallback leaves no stats residue. The chunk itself
+  // is (re)built here on the coordinator — the cache is not
+  // thread-safe and must not be touched after morsels fan out.
+  storage::ColumnStore::GetResult chunk = db_->column_store()->Get(t);
+  ColumnarPlan cp =
+      CompileColumnar(stmt, header, *chunk.chunk, preds, agg_nodes);
+  if (!cp.any_vec) return std::optional<QueryResult>();
+
+  if (chunk.built) ++stats_->columnar_chunks_built;
+  if (chunk.rebuilt) ++stats_->columnar_chunk_rebuilds;
+
+  obs::Span agg_span =
+      obs::Tracer::Global().StartSpan("morsel.aggregate.columnar", "morsel");
+
+  ScanMorsels sm = TouchAndMorselize(t, plan);
+  const std::vector<storage::Table::Morsel>& morsels = sm.morsels;
+  if (agg_span.active()) {
+    agg_span.AddAttr("morsels", static_cast<int64_t>(morsels.size()));
+  }
+
+  const bool global = stmt.group_by.empty();
+  std::vector<ColumnarPartial> partials(morsels.size());
+
+  auto run_morsel = [&](size_t mi) -> Status {
+    ColumnarPartial& part = partials[mi];
+    // Selection vector: heap positions surviving the predicates so
+    // far. Seq and clustered-range morsels are contiguous position
+    // ranges, so the initial selection is dense.
+    std::vector<uint32_t> sel;
+    sel.reserve(morsels[mi].end - morsels[mi].begin);
+    for (size_t pos = morsels[mi].begin; pos < morsels[mi].end; ++pos) {
+      sel.push_back(static_cast<uint32_t>(pos));
+    }
+    part.scanned += sel.size();
+
+    // Row-wise fallback machinery, used only by non-vectorizable
+    // predicates / arguments / key expressions.
+    ColumnResolver resolver(&header);
+    EvalScope scope{&resolver, nullptr, nullptr};
+    EvalContext ctx;
+    ctx.scope = &scope;
+    ctx.executor = nullptr;  // eligibility guaranteed no subqueries
+    ctx.cpu_ops = &part.cpu;
+
+    for (const ColumnarPlan::PredStep& step : cp.preds) {
+      if (sel.empty()) break;
+      if (step.vec != nullptr) {
+        APUAMA_RETURN_NOT_OK(FilterVec(*step.vec, *cp.chunk, &sel, &part.cpu,
+                                       &part.vec_rows));
+      } else {
+        std::vector<uint32_t> keep;
+        keep.reserve(sel.size());
+        for (uint32_t pos : sel) {
+          scope.row = &t.row(pos);
+          APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*step.row, ctx));
+          if (Truthiness(v) == 1) keep.push_back(pos);
+        }
+        sel = std::move(keep);
+      }
+    }
+    if (sel.empty()) return Status::OK();
+    const size_t n = sel.size();
+
+    // One kernel pass per vectorized aggregate argument over the
+    // final selection — computed once, shared by every group.
+    std::vector<VecData> argv(cp.aggs.size());
+    for (size_t ai = 0; ai < cp.aggs.size(); ++ai) {
+      if (cp.aggs[ai].arg != nullptr) {
+        APUAMA_RETURN_NOT_OK(EvalVec(*cp.aggs[ai].arg, *cp.chunk, sel,
+                                     &argv[ai], &part.cpu, &part.vec_rows));
+      }
+    }
+
+    if (global) {
+      AggGroup& g = part.global;
+      if (!part.global_any) {
+        g.repr = t.row(sel[0]);
+        g.accs.resize(cp.aggs.size());
+        part.global_any = true;
+      }
+      for (size_t ai = 0; ai < cp.aggs.size(); ++ai) {
+        const ColAggSpec& spec = cp.aggs[ai];
+        if (spec.star || spec.arg != nullptr) {
+          part.cpu += VecOps(n);
+          part.vec_rows += spec.star ? n : 0;
+          FoldVecGlobal(spec, argv[ai], n, &g.accs[ai]);
+        } else {
+          for (uint32_t pos : sel) {
+            scope.row = &t.row(pos);
+            ++part.cpu;
+            APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*spec.agg->children[0], ctx));
+            AggUpdate(&g.accs[ai], *spec.agg, v);
+          }
+        }
+      }
+      return Status::OK();
+    }
+
+    // Grouped: gather the key per row (slot copy or Eval fallback),
+    // bucket it, and fold each aggregate from its argument vector.
+    for (size_t k = 0; k < n; ++k) {
+      const uint32_t pos = sel[k];
+      const Row& r = t.row(pos);
+      Row key;
+      key.reserve(cp.keys.size());
+      for (const ColKeySpec& ks : cp.keys) {
+        if (ks.slot >= 0) {
+          key.push_back(r[static_cast<size_t>(ks.slot)]);
+        } else {
+          scope.row = &r;
+          APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*ks.expr, ctx));
+          key.push_back(std::move(v));
+        }
+      }
+      // Key gather + hash + group lookup: one op per row, same rate
+      // as the row path's AccumulateRow bucketing.
+      ++part.cpu;
+      const size_t bucket = RowHash{}(key) % kRadixBuckets;
+      auto [it, inserted] = part.buckets[bucket].try_emplace(std::move(key));
+      AggGroup& grp = it->second;
+      if (inserted) {
+        grp.repr = r;
+        grp.accs.resize(cp.aggs.size());
+        ++part.group_n;
+      }
+      for (size_t ai = 0; ai < cp.aggs.size(); ++ai) {
+        const ColAggSpec& spec = cp.aggs[ai];
+        if (spec.star || spec.arg != nullptr) {
+          UpdateAccFromVec(spec, argv[ai], k, &grp.accs[ai]);
+        } else {
+          scope.row = &r;
+          ++part.cpu;
+          APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*spec.agg->children[0], ctx));
+          AggUpdate(&grp.accs[ai], *spec.agg, v);
+        }
+      }
+    }
+    // Vectorized accumulator updates charge at the slice rate, one
+    // pass per vectorized aggregate.
+    for (const ColAggSpec& spec : cp.aggs) {
+      if (spec.star || spec.arg != nullptr) {
+        part.cpu += VecOps(n);
+        part.vec_rows += spec.star ? n : 0;
+      }
+    }
+    return Status::OK();
+  };
+
+  int want = db_->settings()->exec_threads;
+  if (want < 1) want = 1;
+  const size_t threads =
+      morsels.empty()
+          ? 1
+          : std::min<size_t>(static_cast<size_t>(want), morsels.size());
+  ThreadPool* pool = threads > 1 ? db_->exec_pool() : nullptr;
+  {
+    obs::Span scan_span =
+        obs::Tracer::Global().StartSpan("morsel.scan.columnar", "morsel");
+    APUAMA_RETURN_NOT_OK(ParallelFor(pool, 0, morsels.size(), run_morsel));
+  }
+
+  stats_->morsels += morsels.size();
+  if (static_cast<uint32_t>(threads) > stats_->exec_threads) {
+    stats_->exec_threads = static_cast<uint32_t>(threads);
+  }
+  for (const ColumnarPartial& part : partials) {
+    stats_->tuples_scanned += part.scanned;
+    stats_->cpu_ops += part.cpu;
+    stats_->cpu_ops_parallel += part.cpu;
+    stats_->vectorized_rows += part.vec_rows;
+  }
+
+  if (global) {
+    // GROUP BY-less: one accumulator per morsel, folded sequentially
+    // in morsel order (a central merge by definition).
+    ++stats_->merge_central;
+    GroupMap groups;
+    AggGroup g;
+    bool any = false;
+    uint64_t mcpu = 0;
+    for (ColumnarPartial& part : partials) {
+      if (!part.global_any) continue;
+      ++mcpu;
+      if (!any) {
+        g = std::move(part.global);
+        any = true;
+        continue;
+      }
+      for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
+        ++mcpu;
+        AggMerge(&g.accs[ai], part.global.accs[ai], *agg_nodes[ai]);
+      }
+    }
+    stats_->cpu_ops += mcpu;
+    if (!any) {
+      // Global aggregate over empty input still yields one group.
+      g.repr = Row(header.columns.size(), Value::Null());
+      g.accs.resize(agg_nodes.size());
+    }
+    ++stats_->cpu_ops;
+    groups.emplace(Row{}, std::move(g));
+    APUAMA_ASSIGN_OR_RETURN(
+        QueryResult fq, FinalizeGroups(this, stats_, stmt, header, &groups,
+                                       agg_nodes, nullptr));
+    return std::optional<QueryResult>(std::move(fq));
+  }
+
+  const MergeStrategy strat =
+      ChooseMergeStrategy(*db_->settings(), partials, threads);
+  switch (strat) {
+    case MergeStrategy::kCentral:
+      ++stats_->merge_central;
+      break;
+    case MergeStrategy::kPartitioned:
+      ++stats_->merge_partitioned;
+      break;
+    default:
+      ++stats_->merge_radix;
+      break;
+  }
+
+  obs::Span merge_span =
+      obs::Tracer::Global().StartSpan("morsel.merge.columnar", "morsel");
+  if (merge_span.active()) {
+    merge_span.AddAttr("strategy", static_cast<int64_t>(strat));
+  }
+  auto merged = std::make_unique<ColumnarMerged>();
+  APUAMA_RETURN_NOT_OK(MergeColumnarPartials(pool, strat, &partials,
+                                             agg_nodes, merged.get(), stats_));
+  merge_span.End();
+
+  std::vector<std::string> out_names;
+  for (const auto& it : stmt.items) {
+    out_names.push_back(OutputName(it, out_names.size()));
+  }
+  FastFinalizePlan fp;
+  if (!PlanFastFinalize(stmt, header, agg_nodes, out_names, &fp)) {
+    // General tail: fold the buckets into the canonical ordered map
+    // (bucket order is irrelevant — the map sorts) and run the shared
+    // sequential finalizer.
+    GroupMap groups;
+    for (GroupMap& gm : merged->buckets) {
+      for (auto& [key, g] : gm) {
+        ++stats_->cpu_ops;
+        groups.emplace(key, std::move(g));
+      }
+    }
+    APUAMA_ASSIGN_OR_RETURN(
+        QueryResult fq, FinalizeGroups(this, stats_, stmt, header, &groups,
+                                       agg_nodes, nullptr));
+    return std::optional<QueryResult>(std::move(fq));
+  }
+
+  // Fast tail: per-bucket projection + sort runs under the same
+  // parallel structure as the merge (central stays sequential), then
+  // a sequential k-way merge stitches the bucket runs together.
+  auto frows = std::make_unique<std::array<std::vector<FastRow>,
+                                           kRadixBuckets>>();
+  std::array<uint64_t, kRadixBuckets> fcpu{};
+  auto finalize_bucket = [&](size_t b) {
+    fcpu[b] =
+        FastFinalizeBucket(merged->buckets[b], fp, agg_nodes, &(*frows)[b]);
+  };
+  if (strat == MergeStrategy::kCentral) {
+    for (size_t b = 0; b < kRadixBuckets; ++b) finalize_bucket(b);
+    for (uint64_t c : fcpu) stats_->cpu_ops += c;
+  } else {
+    const size_t tasks =
+        strat == MergeStrategy::kPartitioned ? kMergePartitions : kRadixBuckets;
+    APUAMA_RETURN_NOT_OK(ParallelFor(pool, 0, tasks, [&](size_t p) -> Status {
+      for (size_t b = p; b < kRadixBuckets; b += tasks) finalize_bucket(b);
+      return Status::OK();
+    }));
+    for (uint64_t c : fcpu) {
+      stats_->cpu_ops += c;
+      stats_->cpu_ops_parallel += c;
+    }
+  }
+
+  QueryResult qr;
+  qr.column_names = std::move(out_names);
+  size_t total = 0;
+  for (const auto& v : *frows) total += v.size();
+  qr.rows.reserve(total);
+  std::array<size_t, kRadixBuckets> cursor{};
+  for (size_t produced = 0; produced < total; ++produced) {
+    size_t best = kRadixBuckets;
+    for (size_t b = 0; b < kRadixBuckets; ++b) {
+      if (cursor[b] >= (*frows)[b].size()) continue;
+      if (best == kRadixBuckets ||
+          FastRowBefore((*frows)[b][cursor[b]], (*frows)[best][cursor[best]],
+                        fp.desc)) {
+        best = b;
+      }
+    }
+    qr.rows.push_back(std::move((*frows)[best][cursor[best]].out));
+    ++cursor[best];
+    ++stats_->cpu_ops;
+  }
+  if (stmt.distinct) DedupePreservingOrder(&qr.rows);
+  ApplyOffsetLimit(stmt, &qr.rows);
+  return std::optional<QueryResult>(std::move(qr));
 }
 
 Executor::ScanMorsels Executor::TouchAndMorselize(const storage::Table& t,

@@ -124,6 +124,23 @@ class Executor {
   /// thread count — so results are bit-identical at any width.
   Result<QueryResult> ExecuteMorselAggregate(const sql::SelectStmt& stmt);
 
+  /// Column-major variant of the morsel aggregate: morsels process
+  /// per-column slices through vectorized kernels (selection vectors,
+  /// typed accumulation) instead of calling Eval per row, and the
+  /// partial-group merge picks its fanout adaptively (central /
+  /// partitioned / radix) from the cardinality the first wave of
+  /// morsels observed. Shares the scan plan, page touching, and
+  /// morsel decomposition with the row path and produces bit-
+  /// identical results at every `exec_threads`. Returns nullopt when
+  /// nothing in the query vectorizes (e.g. string-only predicates) —
+  /// the caller then continues on the row path, which remains
+  /// byte-for-byte the pre-columnar pipeline.
+  Result<std::optional<QueryResult>> ExecuteColumnarAggregate(
+      const sql::SelectStmt& stmt, const storage::Table& t,
+      const ScanPlan& plan, const std::vector<const sql::Expr*>& preds,
+      const std::vector<const sql::Expr*>& agg_nodes,
+      const Relation& header);
+
   /// Cheap gate for the morsel-parallel join pipeline: a multi-table
   /// aggregate with no SELECT *, no subqueries, not correlated, and
   /// `join_parallel` / `morsel_exec` enabled. Deeper shape conditions

@@ -1,0 +1,130 @@
+// Vectorized expression kernels over columnar chunks.
+//
+// A VecExpr is a scalar expression compiled against one table's
+// columnar chunk: column refs become typed array reads, arithmetic
+// becomes tight loops over selection vectors. Compilation is
+// best-effort — anything the kernels cannot reproduce bit-for-bit
+// (strings, subqueries, CASE, unmaterialized columns) simply fails to
+// compile and the executor falls back to row-wise Eval for that
+// sub-expression, so the columnar path never changes results.
+//
+// Semantics mirror eval.cc exactly:
+//   - result types follow EvalArithmetic's lattice (date +/- int is a
+//     date, int op int is an int except division, everything else is
+//     double), decided at compile time — sound because a materialized
+//     column is type-homogeneous across its non-null values;
+//   - integer arithmetic wraps via unsigned casts (defined behavior,
+//     same bits as the row path for every non-overflowing input);
+//   - NULL propagates through arithmetic and drops rows at filters
+//     (three-valued WHERE);
+//   - division by zero on a *selected, non-null* lane errors the
+//     statement, exactly like the row path reaching that row.
+//
+// Cost accounting: each kernel pass charges one cpu op per
+// kVecLane-row slice, the vectorized analogue of Eval's one op per
+// node per row, so the sim cost model sees vectorized work on the
+// same critical path at 1/kVecLane the per-row price.
+#ifndef APUAMA_ENGINE_VECTORIZED_H_
+#define APUAMA_ENGINE_VECTORIZED_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/eval.h"
+#include "sql/ast.h"
+#include "storage/column_store.h"
+#include "types/value.h"
+
+namespace apuama::engine {
+
+/// Rows a single vectorized cpu op covers (charge granularity).
+inline constexpr uint64_t kVecLane = 8;
+
+/// Charge for one kernel pass over n row-slots.
+inline uint64_t VecOps(size_t n) {
+  return (static_cast<uint64_t>(n) + kVecLane - 1) / kVecLane;
+}
+
+/// Result of evaluating a VecExpr over a selection: element k belongs
+/// to selection position k (not heap position k).
+struct VecData {
+  ValueType type = ValueType::kNull;  // kInt64 / kDate => i64, kDouble => f64
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<uint8_t> nulls;  // parallel to the selection; may be empty
+  bool has_nulls = false;
+
+  bool IsNull(size_t k) const { return has_nulls && nulls[k] != 0; }
+  double DoubleAt(size_t k) const {
+    return type == ValueType::kDouble ? f64[k]
+                                      : static_cast<double>(i64[k]);
+  }
+  /// Boxes element k back into the row path's value model.
+  Value ValueAt(size_t k) const {
+    if (IsNull(k)) return Value::Null();
+    switch (type) {
+      case ValueType::kInt64:
+        return Value::Int(i64[k]);
+      case ValueType::kDate:
+        return Value::Date(i64[k]);
+      default:
+        return Value::Double(f64[k]);
+    }
+  }
+};
+
+/// Compiled scalar expression.
+struct VecExpr {
+  enum class Kind { kCol, kLit, kArith, kNeg };
+  Kind kind = Kind::kLit;
+  ValueType type = ValueType::kNull;  // result type of every non-null lane
+  sql::BinaryOp op = sql::BinaryOp::kAdd;  // kArith
+  bool both_int = false;    // kArith: int64 lane (EvalArithmetic's rule)
+  bool date_shift = false;  // kArith: date +/- int lane
+  int slot = -1;            // kCol: schema column index
+  int64_t lit_i = 0;        // kLit: int/date payload
+  double lit_d = 0.0;       // kLit: double payload
+  bool lit_null = false;    // kLit: NULL literal
+  std::unique_ptr<VecExpr> a, b;  // kArith children; kNeg uses a
+};
+
+/// One compiled WHERE conjunct: `a op b` or `a BETWEEN b AND c`.
+struct VecPredicate {
+  enum class Kind { kCmp, kBetween };
+  Kind kind = Kind::kCmp;
+  sql::BinaryOp op = sql::BinaryOp::kEq;  // kCmp
+  bool negated = false;                   // kBetween ... NOT BETWEEN
+  std::unique_ptr<VecExpr> a, b, c;
+};
+
+/// Compiles `e` against `chunk`, resolving column refs through
+/// `header` (the scan's output relation). Returns nullptr when any
+/// part of the expression is not vectorizable.
+std::unique_ptr<VecExpr> CompileVecExpr(const sql::Expr& e,
+                                        const Relation& header,
+                                        const storage::ColumnarTable& chunk);
+
+/// Compiles one WHERE conjunct (comparison or BETWEEN over
+/// vectorizable operands). Returns nullptr when not vectorizable.
+std::unique_ptr<VecPredicate> CompileVecPredicate(
+    const sql::Expr& e, const Relation& header,
+    const storage::ColumnarTable& chunk);
+
+/// Evaluates `e` for the heap positions in `sel`. Charges *cpu per
+/// node per slice and counts processed row-slots into *vec_rows.
+Status EvalVec(const VecExpr& e, const storage::ColumnarTable& chunk,
+               const std::vector<uint32_t>& sel, VecData* out,
+               uint64_t* cpu, uint64_t* vec_rows);
+
+/// Applies one compiled conjunct, shrinking `sel` to the positions
+/// where it is TRUE (NULL and FALSE both drop, per three-valued
+/// WHERE).
+Status FilterVec(const VecPredicate& p, const storage::ColumnarTable& chunk,
+                 std::vector<uint32_t>* sel, uint64_t* cpu,
+                 uint64_t* vec_rows);
+
+}  // namespace apuama::engine
+
+#endif  // APUAMA_ENGINE_VECTORIZED_H_

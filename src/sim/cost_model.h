@@ -37,6 +37,11 @@ struct CostModel {
   /// cpu_ops_parallel by the morsel join pipeline, so ClusterSim
   /// figures reflect intra-node join speedup — and semi-join filter
   /// pushdown shows up as fewer probe ops, not just fewer tuples.
+  /// Vectorized kernels charge one op per 8-row slice into BOTH
+  /// cpu_ops and cpu_ops_parallel (they run inside morsel workers),
+  /// so the columnar path's saving lands on this same critical path:
+  /// fewer ops per row AND divided by the thread width. Only the
+  /// adaptive merge's central strategy keeps its fold sequential.
   SimTime StatementTime(const engine::ExecStats& s) const {
     const uint64_t par =
         s.cpu_ops_parallel < s.cpu_ops ? s.cpu_ops_parallel : s.cpu_ops;

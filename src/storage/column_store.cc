@@ -1,0 +1,89 @@
+#include "storage/column_store.h"
+
+namespace apuama::storage {
+
+namespace {
+
+// Materializes one schema column out of the row heap. Returns the
+// column with materialized == false when the column's runtime values
+// cannot be represented losslessly in a single typed array.
+ColumnVector BuildColumn(const Table& t, size_t col) {
+  ColumnVector out;
+  const ValueType decl = t.schema().column(col).type;
+  const size_t n = t.num_rows();
+  out.type = decl;
+  switch (decl) {
+    case ValueType::kInt64:
+    case ValueType::kDate: {
+      out.i64.resize(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        const Value& v = t.row(i)[col];
+        if (v.is_null()) {
+          if (!out.has_nulls) {
+            out.has_nulls = true;
+            out.nulls.assign(n, 0);
+          }
+          out.nulls[i] = 1;
+          continue;
+        }
+        out.i64[i] = decl == ValueType::kDate ? v.date_val() : v.int_val();
+      }
+      out.materialized = true;
+      return out;
+    }
+    case ValueType::kDouble: {
+      out.f64.resize(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        const Value& v = t.row(i)[col];
+        if (v.is_null()) {
+          if (!out.has_nulls) {
+            out.has_nulls = true;
+            out.nulls.assign(n, 0);
+          }
+          out.nulls[i] = 1;
+          continue;
+        }
+        if (v.type() != ValueType::kDouble) {
+          // ValidateRow admits kInt64 into kDouble columns. A double
+          // array would erase that distinction and change the row
+          // path's int->double promotion decisions, so keep this
+          // column row-wise.
+          return ColumnVector{};
+        }
+        out.f64[i] = v.double_val();
+      }
+      out.materialized = true;
+      return out;
+    }
+    default:
+      // Strings (and anything else) stay row-wise: group keys and
+      // string predicates gather Values from the heap instead.
+      return out;
+  }
+}
+
+}  // namespace
+
+ColumnStore::GetResult ColumnStore::Get(const Table& t) {
+  GetResult r;
+  auto it = chunks_.find(t.id());
+  const bool have = it != chunks_.end();
+  if (have && it->second->data_version == t.data_version()) {
+    r.chunk = it->second.get();
+    return r;
+  }
+  auto chunk = std::make_unique<ColumnarTable>();
+  chunk->data_version = t.data_version();
+  chunk->num_rows = t.num_rows();
+  chunk->cols.reserve(t.schema().num_columns());
+  for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+    chunk->cols.push_back(BuildColumn(t, c));
+  }
+  r.built = !have;
+  r.rebuilt = have;
+  r.chunk = chunk.get();
+  chunks_[t.id()] = std::move(chunk);
+  return r;
+}
+
+}  // namespace apuama::storage

@@ -1,0 +1,79 @@
+// Column-major mirrors of row-store tables for vectorized execution.
+//
+// The row heap stays the source of truth (writes, indexes, clustered
+// order all live there). A ColumnarTable is a read-only, per-column
+// contiguous copy of the numeric columns, built lazily on the first
+// columnar scan and kept in sync with the heap through the table's
+// data_version() write epoch: any insert / delete / bulk load /
+// recluster bumps the epoch, and the next columnar scan rebuilds the
+// chunk before using it. Heap position i in the row store is element
+// i of every materialized column, so selection vectors carry plain
+// heap positions and the row path and column path address the same
+// tuples.
+#ifndef APUAMA_STORAGE_COLUMN_STORE_H_
+#define APUAMA_STORAGE_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "types/value.h"
+
+namespace apuama::storage {
+
+/// One materialized column. Integer-family columns (kInt64, kDate)
+/// land in `i64`, kDouble columns in `f64`. String columns and
+/// kDouble columns that actually hold integer values (the schema
+/// accepts ints where doubles are declared) are left unmaterialized
+/// (`materialized == false`): expressions over them fall back to
+/// row-wise evaluation, which keeps int->double promotion decisions
+/// byte-for-byte identical to the row path.
+struct ColumnVector {
+  ValueType type = ValueType::kNull;
+  bool materialized = false;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  /// Per-row null flags; empty (and has_nulls false) when the column
+  /// holds no NULLs, so the common case costs no mask reads.
+  std::vector<uint8_t> nulls;
+  bool has_nulls = false;
+
+  bool IsNull(size_t i) const { return has_nulls && nulls[i] != 0; }
+};
+
+/// Column-major snapshot of one table at one write epoch.
+struct ColumnarTable {
+  uint64_t data_version = 0;
+  size_t num_rows = 0;
+  std::vector<ColumnVector> cols;  // positionally matches the schema
+};
+
+/// Cache of columnar chunks, keyed by table id (catalog ids are
+/// monotonic and never reused). Not thread-safe, same contract as
+/// Table: callers (simulated nodes) serialize, and the executor only
+/// consults the store on the coordinator before fanning morsels out
+/// to worker threads.
+class ColumnStore {
+ public:
+  struct GetResult {
+    const ColumnarTable* chunk = nullptr;
+    bool built = false;    // first materialization for this table
+    bool rebuilt = false;  // re-materialization after a write epoch bump
+  };
+
+  /// Returns the chunk for `t`, (re)building it if the table has no
+  /// chunk yet or the heap moved past the chunk's write epoch.
+  GetResult Get(const Table& t);
+
+  /// Drops the cached chunk for a table id (e.g. DROP TABLE).
+  void Evict(uint32_t table_id) { chunks_.erase(table_id); }
+
+ private:
+  std::unordered_map<uint32_t, std::unique_ptr<ColumnarTable>> chunks_;
+};
+
+}  // namespace apuama::storage
+
+#endif  // APUAMA_STORAGE_COLUMN_STORE_H_

@@ -76,6 +76,9 @@ Status Table::SetClusteredKey(std::vector<int> key_columns) {
                      });
     ReindexAll();
   }
+  // Reclustering reorders heap positions, which invalidates any
+  // position-addressed derived structure just like a write would.
+  ++data_version_;
   return Status::OK();
 }
 
@@ -127,6 +130,7 @@ Status Table::Insert(Row row) {
   }
   rows_.insert(rows_.begin() + static_cast<ptrdiff_t>(pos), std::move(row));
   cached_at_rows_ = SIZE_MAX;
+  ++data_version_;
   return Status::OK();
 }
 
@@ -144,6 +148,7 @@ Status Table::BulkLoad(std::vector<Row> rows) {
   }
   ReindexAll();
   cached_at_rows_ = SIZE_MAX;
+  ++data_version_;
   return Status::OK();
 }
 
@@ -169,6 +174,7 @@ void Table::DeleteAt(const std::vector<size_t>& positions) {
   }
   rows_ = std::move(kept);
   cached_at_rows_ = SIZE_MAX;
+  ++data_version_;
 }
 
 std::pair<size_t, size_t> Table::ClusteredRange(const Value* lo,

@@ -79,6 +79,12 @@ class Table {
   const Row& row(size_t i) const { return rows_[i]; }
   const std::vector<Row>& rows() const { return rows_; }
 
+  /// Monotonic write epoch: bumped by every heap mutation (insert,
+  /// bulk load, delete, reclustering). Derived read-side structures —
+  /// the columnar chunk cache — compare this against the version they
+  /// were built at to decide whether a lazy rebuild is due.
+  uint64_t data_version() const { return data_version_; }
+
   /// Declares the clustered key (column indices). Re-sorts the heap if
   /// data is already present and rebuilds secondary indexes.
   Status SetClusteredKey(std::vector<int> key_columns);
@@ -155,6 +161,8 @@ class Table {
   std::vector<int> key_cols_;
   std::vector<Row> rows_;
   std::vector<std::unique_ptr<Index>> indexes_;
+
+  uint64_t data_version_ = 0;
 
   mutable size_t cached_rows_per_page_ = 0;
   mutable size_t cached_at_rows_ = SIZE_MAX;

@@ -1,0 +1,292 @@
+// Columnar vectorized execution: bit-identity with the row path,
+// adaptive-merge strategy forcing, chunk invalidation after writes,
+// and knob validation.
+//
+// The core contract: with `columnar_exec = on` (the default) every
+// morsel-eligible aggregate must return results BIT-IDENTICAL to
+// `columnar_exec = off` (the pre-columnar row pipeline) at every
+// exec_threads setting. The vectorized kernels preserve the row
+// path's value semantics exactly — int->double promotion order,
+// NULL handling, min/max tie rules, NaN comparisons — so this holds
+// with no floating-point tolerance.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "tests/test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace apuama {
+namespace {
+
+const std::vector<int>& ReadSet() {
+  static const std::vector<int> qs = {1, 3, 4, 5, 6, 10, 12, 14, 17, 18, 19, 21};
+  return qs;
+}
+
+const tpch::TpchData& DataAtSf(double sf) {
+  static std::map<double, const tpch::TpchData*>* cache =
+      new std::map<double, const tpch::TpchData*>();
+  auto it = cache->find(sf);
+  if (it == cache->end()) {
+    it = cache->emplace(sf, new tpch::TpchData(
+                                tpch::DbgenOptions{.scale_factor = sf}))
+             .first;
+  }
+  return *it->second;
+}
+
+void Set(engine::Database* db, const std::string& knob,
+         const std::string& value) {
+  auto r = db->Execute("set " + knob + " = " + value);
+  ASSERT_TRUE(r.ok()) << knob << "=" << value << ": "
+                      << r.status().ToString();
+}
+
+// Acceptance criterion: the columnar path is bit-identical to the
+// row path over the TPC-H read set at thread counts 1 / 2 / 8 and
+// two scale factors.
+TEST(ColumnarTest, ReadSetBitIdenticalToRowPath) {
+  for (double sf : {0.001, 0.002}) {
+    engine::Database db(engine::DatabaseOptions{.buffer_pool_pages = 0});
+    ASSERT_TRUE(DataAtSf(sf).LoadInto(&db).ok());
+    for (int q : ReadSet()) {
+      auto sql = tpch::QuerySql(q);
+      ASSERT_TRUE(sql.ok()) << "Q" << q;
+      for (int threads : {1, 2, 8}) {
+        Set(&db, "exec_threads", std::to_string(threads));
+        Set(&db, "columnar_exec", "off");
+        auto row = db.Execute(*sql);
+        ASSERT_TRUE(row.ok()) << "Q" << q << ": " << row.status().ToString();
+        Set(&db, "columnar_exec", "on");
+        auto col = db.Execute(*sql);
+        ASSERT_TRUE(col.ok()) << "Q" << q << ": " << col.status().ToString();
+        SCOPED_TRACE("sf=" + std::to_string(sf) + " Q" + std::to_string(q) +
+                     " threads=" + std::to_string(threads));
+        testutil::ExpectResultsIdentical(*row, *col);
+      }
+    }
+  }
+}
+
+// Q1/Q6-style scans actually take the columnar path (they would be
+// silently meaningless bit-identity tests otherwise): vectorized row
+// counters light up when the knob is on and stay zero when off.
+TEST(ColumnarTest, VectorizedCountersLightUpOnTheColumnarPath) {
+  engine::Database db(engine::DatabaseOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(DataAtSf(0.001).LoadInto(&db).ok());
+  for (int q : {1, 6}) {
+    auto sql = tpch::QuerySql(q);
+    ASSERT_TRUE(sql.ok());
+    Set(&db, "columnar_exec", "on");
+    auto on = db.Execute(*sql);
+    ASSERT_TRUE(on.ok()) << on.status().ToString();
+    EXPECT_GT(on->stats.vectorized_rows, 0u) << "Q" << q;
+    EXPECT_GT(on->stats.merge_central + on->stats.merge_partitioned +
+                  on->stats.merge_radix,
+              0u)
+        << "Q" << q;
+    Set(&db, "columnar_exec", "off");
+    auto off = db.Execute(*sql);
+    ASSERT_TRUE(off.ok()) << off.status().ToString();
+    EXPECT_EQ(off->stats.vectorized_rows, 0u) << "Q" << q;
+    EXPECT_EQ(off->stats.columnar_chunks_built, 0u) << "Q" << q;
+    EXPECT_EQ(off->stats.MergeStrategyCode(), 0) << "Q" << q;
+  }
+}
+
+engine::Database* MakeGroupedDb(int rows, int groups) {
+  auto* db =
+      new engine::Database(engine::DatabaseOptions{.buffer_pool_pages = 0});
+  EXPECT_TRUE(db->Execute("create table t (k int, g int, v double)").ok());
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(db->Execute("insert into t values (" + std::to_string(i) +
+                            ", " + std::to_string(i % groups) + ", " +
+                            std::to_string(i) + ".25)")
+                    .ok());
+  }
+  return db;
+}
+
+// Every forced merge strategy must return the row path's exact bits
+// — the strategy changes scheduling and accounting only — and the
+// forcing knob must actually pick the strategy it names.
+TEST(ColumnarTest, ForcedMergeStrategiesAreBitIdentical) {
+  std::unique_ptr<engine::Database> db(MakeGroupedDb(6000, 400));
+  const std::string sql =
+      "select g, count(*), sum(v), avg(v), min(v), max(v) from t "
+      "group by g order by g";
+  Set(db.get(), "columnar_exec", "off");
+  auto row = db->Execute(sql);
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  Set(db.get(), "columnar_exec", "on");
+  const std::vector<std::pair<std::string, int>> strategies = {
+      {"central", 1}, {"partitioned", 2}, {"radix", 3}};
+  for (int threads : {1, 4}) {
+    Set(db.get(), "exec_threads", std::to_string(threads));
+    for (const auto& [name, code] : strategies) {
+      Set(db.get(), "merge_strategy", name);
+      auto col = db->Execute(sql);
+      ASSERT_TRUE(col.ok()) << col.status().ToString();
+      SCOPED_TRACE(name + " threads=" + std::to_string(threads));
+      EXPECT_EQ(col->stats.MergeStrategyCode(), code);
+      testutil::ExpectResultsIdentical(*row, *col);
+    }
+    Set(db.get(), "merge_strategy", "auto");
+    auto col = db->Execute(sql);
+    ASSERT_TRUE(col.ok());
+    testutil::ExpectResultsIdentical(*row, *col);
+  }
+}
+
+// The auto decision follows observed partial-group cardinality: few
+// groups fold centrally, morsels that are mostly-distinct go radix.
+TEST(ColumnarTest, AutoStrategyTracksGroupCardinality) {
+  std::unique_ptr<engine::Database> few(MakeGroupedDb(4000, 10));
+  auto r = few->Execute("select g, sum(v) from t group by g");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.MergeStrategyCode(), 1);  // central
+
+  std::unique_ptr<engine::Database> many(MakeGroupedDb(4000, 2000));
+  r = many->Execute("select g, sum(v) from t group by g");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.MergeStrategyCode(), 3);  // radix
+}
+
+// Chunks build lazily on the first columnar scan and rebuild (never
+// serve stale data) after any write moves the table's write epoch.
+TEST(ColumnarTest, ChunkInvalidationAfterWrites) {
+  engine::Database db(engine::DatabaseOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(db.Execute("create table t (k int, v int)").ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.Execute("insert into t values (" + std::to_string(i) +
+                           ", " + std::to_string(i) + ")")
+                    .ok());
+  }
+  auto r = db.Execute("select sum(v), count(*) from t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.columnar_chunks_built, 1u);
+  EXPECT_EQ(r->stats.columnar_chunk_rebuilds, 0u);
+  EXPECT_EQ(r->rows[0][0].int_val(), 4950);
+
+  // Cached chunk: a second read builds nothing.
+  r = db.Execute("select sum(v), count(*) from t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.columnar_chunks_built, 0u);
+  EXPECT_EQ(r->stats.columnar_chunk_rebuilds, 0u);
+
+  // Insert invalidates; the next scan rebuilds and sees the new row.
+  ASSERT_TRUE(db.Execute("insert into t values (100, 1000)").ok());
+  r = db.Execute("select sum(v), count(*) from t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.columnar_chunk_rebuilds, 1u);
+  EXPECT_EQ(r->rows[0][0].int_val(), 5950);
+  EXPECT_EQ(r->rows[0][1].int_val(), 101);
+
+  // Update and delete invalidate too.
+  ASSERT_TRUE(db.Execute("update t set v = 0 where k = 100").ok());
+  r = db.Execute("select sum(v) from t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.columnar_chunk_rebuilds, 1u);
+  EXPECT_EQ(r->rows[0][0].int_val(), 4950);
+  ASSERT_TRUE(db.Execute("delete from t where k < 50").ok());
+  r = db.Execute("select sum(v), count(*) from t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.columnar_chunk_rebuilds, 1u);
+  EXPECT_EQ(r->rows[0][0].int_val(), 4950 - 1225);
+  EXPECT_EQ(r->rows[0][1].int_val(), 51);
+}
+
+// Satellite: int->double promotion parity. A sum over an int column
+// stays an int64 (wide-accumulator lane); mixing int-typed values
+// into a double column makes the row path promote mid-stream, and
+// the columnar path must produce the same type and bits — it does so
+// by refusing to materialize such columns and falling back to
+// row-wise accumulation inside the columnar pipeline.
+TEST(ColumnarTest, PromotionParityAndIntSums) {
+  engine::Database db(engine::DatabaseOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(db.Execute("create table p (k int, i int, d double)").ok());
+  for (int r = 0; r < 2000; ++r) {
+    // d receives an int literal on even rows (the validator accepts
+    // int-typed values in double columns) and a real double on odd.
+    std::string dv = (r % 2 == 0) ? std::to_string(r)
+                                  : std::to_string(r) + ".5";
+    ASSERT_TRUE(db.Execute("insert into p values (" + std::to_string(r) +
+                           ", " + std::to_string(r * 1000003) + ", " + dv +
+                           ")")
+                    .ok());
+  }
+  const std::vector<std::string> queries = {
+      "select sum(i), avg(i), min(i), max(i) from p",
+      "select sum(d), avg(d) from p",
+      "select k, sum(d) from p group by k order by sum(d) desc limit 7",
+      "select sum(i + d), avg(i * 2) from p where i > 1000",
+  };
+  for (const std::string& sql : queries) {
+    Set(&db, "columnar_exec", "off");
+    auto row = db.Execute(sql);
+    ASSERT_TRUE(row.ok()) << row.status().ToString();
+    Set(&db, "columnar_exec", "on");
+    auto col = db.Execute(sql);
+    ASSERT_TRUE(col.ok()) << col.status().ToString();
+    SCOPED_TRACE(sql);
+    testutil::ExpectResultsIdentical(*row, *col);
+  }
+  // Type check, not just printed bits: an all-int sum is an Int.
+  Set(&db, "columnar_exec", "on");
+  auto r = db.Execute("select sum(i) from p");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].type(), ValueType::kInt64);
+  r = db.Execute("select avg(i) from p");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].type(), ValueType::kDouble);
+}
+
+// Errors surface identically: a division by zero on a selected row
+// fails the statement on both paths.
+TEST(ColumnarTest, DivisionByZeroErrorsOnBothPaths) {
+  engine::Database db(engine::DatabaseOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(db.Execute("create table z (a int, b int)").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.Execute("insert into z values (" + std::to_string(i) +
+                           ", " + std::to_string(i % 3) + ")")
+                    .ok());
+  }
+  for (const char* knob : {"off", "on"}) {
+    Set(&db, "columnar_exec", knob);
+    auto r = db.Execute("select sum(a / b) from z");
+    EXPECT_FALSE(r.ok()) << "columnar_exec=" << knob;
+  }
+}
+
+TEST(ColumnarTest, KnobValidationAndDefaults) {
+  engine::Database db;
+  EXPECT_TRUE(db.settings()->enable_columnar_exec);
+  EXPECT_EQ(db.settings()->merge_strategy, engine::MergeStrategy::kAuto);
+  EXPECT_FALSE(db.Execute("set columnar_exec = sideways").ok());
+  EXPECT_FALSE(db.Execute("set merge_strategy = diagonal").ok());
+  ASSERT_TRUE(db.Execute("set columnar_exec = off").ok());
+  EXPECT_FALSE(db.settings()->enable_columnar_exec);
+  ASSERT_TRUE(db.Execute("set merge_strategy = radix").ok());
+  EXPECT_EQ(db.settings()->merge_strategy, engine::MergeStrategy::kRadix);
+  ASSERT_TRUE(db.Execute("set merge_strategy = auto").ok());
+  EXPECT_EQ(db.settings()->merge_strategy, engine::MergeStrategy::kAuto);
+}
+
+// APUAMA_COLUMNAR environment seed for the session default.
+TEST(ColumnarTest, EnvironmentVariableSeedsTheDefault) {
+  ::setenv("APUAMA_COLUMNAR", "off", 1);
+  EXPECT_FALSE(engine::DefaultColumnarExec());
+  ::setenv("APUAMA_COLUMNAR", "on", 1);
+  EXPECT_TRUE(engine::DefaultColumnarExec());
+  ::unsetenv("APUAMA_COLUMNAR");
+  EXPECT_TRUE(engine::DefaultColumnarExec());
+}
+
+}  // namespace
+}  // namespace apuama

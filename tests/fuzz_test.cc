@@ -120,6 +120,90 @@ TEST(EngineFuzz, RandomStatementsAgainstRealSchema) {
   EXPECT_GE(sanity->rows[0][0].int_val(), 2);
 }
 
+// Row/column agreement sweep: random numeric predicates and
+// aggregate lists over a randomly generated table (with NULLs and
+// int-typed values hiding in the double column, the promotion edge
+// case) must return bit-identical results with columnar execution on
+// and off, at a couple of thread counts.
+TEST(EngineFuzz, ColumnarAgreesWithRowPathOnRandomPredicates) {
+  Rng rng(0xC01A);
+  engine::Database db(engine::DatabaseOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(
+      db.Execute("create table f (a int, b int, c double, g int)").ok());
+  for (int i = 0; i < 3000; ++i) {
+    std::string a = rng.Bernoulli(0.04)
+                        ? "null"
+                        : std::to_string(rng.Uniform(-1000, 1000));
+    std::string c;
+    if (rng.Bernoulli(0.04)) {
+      c = "null";
+    } else if (rng.Bernoulli(0.2)) {
+      c = std::to_string(rng.Uniform(-500, 500));  // int in a double col
+    } else {
+      c = std::to_string(rng.UniformDouble(-500.0, 500.0));
+    }
+    ASSERT_TRUE(db.Execute("insert into f values (" + a + ", " +
+                           std::to_string(rng.Uniform(0, 100)) + ", " + c +
+                           ", " + std::to_string(rng.Uniform(0, 40)) + ")")
+                    .ok());
+  }
+  static const char* kOperands[] = {"a",     "b",     "c",     "g",
+                                    "a + b", "c * 2", "b - a", "a * a"};
+  static const char* kCmps[] = {"<", "<=", ">", ">=", "=", "<>"};
+  static const char* kAggs[] = {"count(*)",   "count(a)", "sum(a)",
+                                "sum(c)",     "avg(c)",   "min(b)",
+                                "max(c)",     "sum(a + b)", "avg(b * c)",
+                                "min(c)",     "max(a)",   "sum(b)"};
+  auto operand = [&] { return std::string(kOperands[rng.Uniform(0, 7)]); };
+  for (int iter = 0; iter < 120; ++iter) {
+    std::string aggs;
+    const int na = static_cast<int>(rng.Uniform(1, 4));
+    for (int i = 0; i < na; ++i) {
+      if (!aggs.empty()) aggs += ", ";
+      aggs += kAggs[rng.Uniform(0, 11)];
+    }
+    std::string where;
+    const int np = static_cast<int>(rng.Uniform(0, 3));
+    for (int i = 0; i < np; ++i) {
+      where += where.empty() ? " where " : " and ";
+      if (rng.Bernoulli(0.25)) {
+        where += operand() + " between " + std::to_string(rng.Uniform(-900, 0)) +
+                 " and " + std::to_string(rng.Uniform(1, 900));
+      } else {
+        where += operand() + " " + kCmps[rng.Uniform(0, 5)] + " " +
+                 std::to_string(rng.Uniform(-400, 400));
+      }
+    }
+    const bool grouped = rng.Bernoulli(0.5);
+    std::string sql = grouped ? "select g, " + aggs + " from f" + where +
+                                    " group by g order by g"
+                              : "select " + aggs + " from f" + where;
+    const int threads = rng.Bernoulli(0.5) ? 1 : 8;
+    ASSERT_TRUE(
+        db.Execute("set exec_threads = " + std::to_string(threads)).ok());
+    ASSERT_TRUE(db.Execute("set columnar_exec = off").ok());
+    auto row = db.Execute(sql);
+    ASSERT_TRUE(row.ok()) << sql << ": " << row.status().ToString();
+    ASSERT_TRUE(db.Execute("set columnar_exec = on").ok());
+    auto col = db.Execute(sql);
+    ASSERT_TRUE(col.ok()) << sql << ": " << col.status().ToString();
+    ASSERT_EQ(row->column_names, col->column_names) << sql;
+    ASSERT_EQ(row->rows.size(), col->rows.size()) << sql;
+    for (size_t r = 0; r < row->rows.size(); ++r) {
+      ASSERT_EQ(row->rows[r].size(), col->rows[r].size()) << sql;
+      for (size_t j = 0; j < row->rows[r].size(); ++j) {
+        const Value& e = row->rows[r][j];
+        const Value& g = col->rows[r][j];
+        ASSERT_TRUE(e.is_null() == g.is_null() &&
+                    (e.is_null() || e.Compare(g) == 0) &&
+                    e.ToString() == g.ToString())
+            << sql << " row " << r << " col " << j << ": row-path "
+            << e.ToString() << " columnar " << g.ToString();
+      }
+    }
+  }
+}
+
 TEST(UnparseFuzz, AllTpchQueriesRoundTrip) {
   std::vector<int> all = tpch::PaperQueryNumbers();
   for (int q : tpch::ExtendedQueryNumbers()) all.push_back(q);
