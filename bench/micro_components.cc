@@ -390,6 +390,168 @@ BENCHMARK(BM_ColumnarAggregate)
     ->ArgsProduct({{1, 2, 4, 8}, {50, 5000, 50000, 500000}})
     ->Unit(benchmark::kMillisecond);
 
+// Dictionary-encoded string predicates vs row-wise string compares.
+// Args: {exec_threads, predicate kind} — 0 equality, 1 IN-list,
+// 2 BETWEEN (all three compile to dict-code kernels), 3 LIKE (stays
+// on the row-wise per-conjunct fallback, the honesty check). The
+// headline counter follows BM_ColumnarAggregate's convention:
+// `model_speedup` = row-path 1-thread cpu_ops / columnar charged ops.
+void BM_DictPredicate(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int kind = static_cast<int>(state.range(1));
+  engine::Database db(engine::DatabaseOptions{.buffer_pool_pages = 0});
+  if (!db.Execute("create table strtab (v varchar(8), x double)").ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  constexpr int kRows = 200000;
+  std::vector<Row> rows;
+  rows.reserve(kRows);
+  for (int i = 0; i < kRows; ++i) {
+    // 100 distinct tags; predicates select a few percent of rows.
+    rows.push_back({Value::Str("tag" + std::to_string(i % 100)),
+                    Value::Double((i % 89) * 0.25)});
+  }
+  auto table = db.catalog()->GetTable("strtab");
+  if (!table.ok() || !(*table)->BulkLoad(std::move(rows)).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  static const char* kPreds[] = {
+      "v = 'tag42'",
+      "v in ('tag7', 'tag42', 'tag93')",
+      "v between 'tag40' and 'tag49'",
+      "v like 'tag4%'",
+  };
+  const std::string sql = std::string("select count(*), sum(x) from "
+                                      "strtab where ") +
+                          kPreds[kind];
+  if (!db.Execute("set exec_threads = 1").ok() ||
+      !db.Execute("set columnar_exec = off").ok()) {
+    state.SkipWithError("set failed");
+    return;
+  }
+  auto base = db.Execute(sql);
+  if (!base.ok()) {
+    state.SkipWithError("baseline failed");
+    return;
+  }
+  const uint64_t row_ops = base->stats.cpu_ops;
+  if (!db.Execute("set exec_threads = " + std::to_string(threads)).ok() ||
+      !db.Execute("set columnar_exec = on").ok()) {
+    state.SkipWithError("set failed");
+    return;
+  }
+  engine::ExecStats stats;
+  for (auto _ : state) {
+    auto r = db.Execute(sql);
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    stats = r->stats;
+    benchmark::DoNotOptimize(r);
+  }
+  const uint64_t par = std::min(stats.cpu_ops_parallel, stats.cpu_ops);
+  const uint64_t width = static_cast<uint64_t>(threads);
+  const uint64_t charged =
+      (stats.cpu_ops - par) + (par + width - 1) / width;
+  state.counters["row_cpu_ops"] = static_cast<double>(row_ops);
+  state.counters["cpu_ops"] = static_cast<double>(stats.cpu_ops);
+  state.counters["charged"] = static_cast<double>(charged);
+  state.counters["model_speedup"] =
+      static_cast<double>(row_ops) / static_cast<double>(charged);
+  state.counters["dict_hits"] = static_cast<double>(stats.dict_hits);
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_DictPredicate)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+// Vectorized probe side of the morsel partitioned hash join vs the
+// row-at-a-time probe. Same fact/dim shape as BM_HashJoin (1k-row
+// build side, ~99% of probes pruned by the semi-join filter — the
+// slice filter kernel's best case). Args: {exec_threads}. Baseline
+// convention matches BM_ColumnarAggregate: `model_speedup` =
+// row-probe 1-thread cpu_ops / vectorized charged ops.
+void BM_VectorizedProbe(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  engine::Database db(engine::DatabaseOptions{.buffer_pool_pages = 0});
+  if (!db.Execute("create table dim (k int, tag int)").ok() ||
+      !db.Execute("create table fact (fk int, v double)").ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  constexpr int kFactRows = 200000;
+  constexpr int kKeySpace = 100000;
+  constexpr int kBuildRows = 1000;
+  std::vector<Row> dim;
+  dim.reserve(kBuildRows);
+  for (int i = 0; i < kBuildRows; ++i) {
+    dim.push_back({Value::Int((i * (kKeySpace / kBuildRows)) % kKeySpace),
+                   Value::Int(i % 7)});
+  }
+  std::vector<Row> fact;
+  fact.reserve(kFactRows);
+  for (int i = 0; i < kFactRows; ++i) {
+    fact.push_back(
+        {Value::Int(i % kKeySpace), Value::Double((i % 89) * 0.25)});
+  }
+  auto dim_t = db.catalog()->GetTable("dim");
+  auto fact_t = db.catalog()->GetTable("fact");
+  if (!dim_t.ok() || !(*dim_t)->BulkLoad(std::move(dim)).ok() ||
+      !fact_t.ok() || !(*fact_t)->BulkLoad(std::move(fact)).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  const std::string sql =
+      "select tag, count(*), sum(v) from fact, dim"
+      " where fk = k group by tag";
+  if (!db.Execute("set exec_threads = 1").ok() ||
+      !db.Execute("set columnar_join = off").ok()) {
+    state.SkipWithError("set failed");
+    return;
+  }
+  auto base = db.Execute(sql);
+  if (!base.ok()) {
+    state.SkipWithError("baseline failed");
+    return;
+  }
+  const uint64_t row_ops = base->stats.cpu_ops;
+  if (!db.Execute("set exec_threads = " + std::to_string(threads)).ok() ||
+      !db.Execute("set columnar_join = on").ok()) {
+    state.SkipWithError("set failed");
+    return;
+  }
+  engine::ExecStats stats;
+  for (auto _ : state) {
+    auto r = db.Execute(sql);
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    stats = r->stats;
+    benchmark::DoNotOptimize(r);
+  }
+  const uint64_t par = std::min(stats.cpu_ops_parallel, stats.cpu_ops);
+  const uint64_t width = static_cast<uint64_t>(threads);
+  const uint64_t charged =
+      (stats.cpu_ops - par) + (par + width - 1) / width;
+  state.counters["row_cpu_ops"] = static_cast<double>(row_ops);
+  state.counters["cpu_ops"] = static_cast<double>(stats.cpu_ops);
+  state.counters["charged"] = static_cast<double>(charged);
+  state.counters["model_speedup"] =
+      static_cast<double>(row_ops) / static_cast<double>(charged);
+  state.counters["probe_vec"] =
+      static_cast<double>(stats.probe_vectorized_rows);
+  state.counters["filter_skipped"] =
+      static_cast<double>(stats.filter_skipped_rows);
+  state.SetItemsProcessed(state.iterations() * kFactRows);
+}
+BENCHMARK(BM_VectorizedProbe)
+    ->ArgsProduct({{1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PlanCacheLookup(benchmark::State& state) {
   DataCatalog catalog = tpch::MakeTpchCatalog(BenchData());
   SvpRewriter rewriter(&catalog);

@@ -48,6 +48,8 @@ std::vector<std::pair<std::string, uint64_t>> ApuamaStats::Kv() const {
           {"shared_scans", v(shared_scans)},
           {"shared_scan_queries", v(shared_scan_queries)},
           {"vectorized_rows", v(vectorized_rows)},
+          {"dict_hits", v(dict_hits)},
+          {"probe_vectorized_rows", v(probe_vectorized_rows)},
           {"columnar_chunks", v(columnar_chunks)},
           {"columnar_rebuilds", v(columnar_rebuilds)},
           {"merge_central", v(merge_central)},
@@ -418,6 +420,11 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteSvpPlan(
     sub_sql.push_back(plan.SubquerySql(lo, hi));
   }
   if (timed) {
+    // Per-statement reset: a reused profile (same connection running
+    // several EXPLAIN ANALYZEs) must not accumulate the previous
+    // run's node_stats / retries, or merge-strategy and
+    // vectorized-row goldens become order-dependent.
+    *profile = SvpProfile{};
     profile->node_times_us.assign(static_cast<size_t>(n), 0);
     profile->node_ids.assign(alive.begin(), alive.end());
   }
@@ -531,6 +538,9 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAvpPlan(
   const uint64_t dispatch_parent =
       avp_span.active() ? avp_span.id() : tracer.current_span_id();
   if (timed) {
+    // Per-statement reset (see ExecuteSvpPlan): never accumulate a
+    // previous run's counters into a reused profile.
+    *profile = SvpProfile{};
     // AVP workers pull chunks dynamically; per-worker wall time is
     // the per-"node" figure (one worker per alive node).
     profile->node_times_us.assign(static_cast<size_t>(n), 0);
@@ -728,6 +738,10 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAnalyze(
       static_cast<int64_t>(profile.node_stats.tuples_scanned));
   add("node", "vectorized_rows",
       static_cast<int64_t>(profile.node_stats.vectorized_rows));
+  add("node", "dict_hits",
+      static_cast<int64_t>(profile.node_stats.dict_hits));
+  add("node", "probe_vectorized_rows",
+      static_cast<int64_t>(profile.node_stats.probe_vectorized_rows));
   add("node", "merge_strategy", profile.node_stats.MergeStrategyCode());
   add("compose", "compose_us", profile.compose_us);
   add("compose", "partial_rows", static_cast<int64_t>(profile.partial_rows));

@@ -98,6 +98,8 @@ struct ApuamaStats {
   // Columnar execution, summed over every node result the engine saw
   // (SVP partials, passthrough reads, shared batches):
   std::atomic<uint64_t> vectorized_rows{0};    // row-slots through kernels
+  std::atomic<uint64_t> dict_hits{0};          // slots through dict kernels
+  std::atomic<uint64_t> probe_vectorized_rows{0};  // vectorized join probes
   std::atomic<uint64_t> columnar_chunks{0};    // chunks built first-time
   std::atomic<uint64_t> columnar_rebuilds{0};  // chunks rebuilt after writes
   std::atomic<uint64_t> merge_central{0};      // adaptive-merge decisions
@@ -113,6 +115,8 @@ struct ApuamaStats {
       if (d != 0) a.fetch_add(d, std::memory_order_relaxed);
     };
     bump(vectorized_rows, s.vectorized_rows);
+    bump(dict_hits, s.dict_hits);
+    bump(probe_vectorized_rows, s.probe_vectorized_rows);
     bump(columnar_chunks, s.columnar_chunks_built);
     bump(columnar_rebuilds, s.columnar_chunk_rebuilds);
     bump(merge_central, s.merge_central);

@@ -43,7 +43,9 @@ std::vector<std::pair<std::string, uint64_t>> ExecStats::Kv() const {
           {"col_rebuilds", columnar_chunk_rebuilds},
           {"merge_central", merge_central},
           {"merge_part", merge_partitioned},
-          {"merge_radix", merge_radix}};
+          {"merge_radix", merge_radix},
+          {"dict_hits", dict_hits},
+          {"probe_vec", probe_vectorized_rows}};
 }
 
 std::string ExecStats::ToString() const { return obs::RenderKvText(Kv()); }
@@ -322,6 +324,9 @@ Result<QueryResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt) {
         static_cast<int64_t>(stats.tuples_scanned));
     add("node", "vectorized_rows",
         static_cast<int64_t>(stats.vectorized_rows));
+    add("node", "dict_hits", static_cast<int64_t>(stats.dict_hits));
+    add("node", "probe_vectorized_rows",
+        static_cast<int64_t>(stats.probe_vectorized_rows));
     add("node", "merge_strategy", stats.MergeStrategyCode());
     add("node", "output_rows", static_cast<int64_t>(inner.rows.size()));
     qr.stats = stats;
@@ -698,6 +703,9 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
   }
   if (name == "columnar_exec") {
     return set_bool(&settings_.enable_columnar_exec);
+  }
+  if (name == "columnar_join") {
+    return set_bool(&settings_.enable_columnar_join);
   }
   if (name == "merge_strategy") {
     if (value == "auto") {

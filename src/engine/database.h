@@ -69,6 +69,13 @@ struct SessionSettings {
   /// byte for byte. Results are bit-identical either way — the knob
   /// exists for ablations and as an escape hatch.
   bool enable_columnar_exec = true;
+  /// Vectorized probe side for the morsel partitioned hash join:
+  /// driver morsels load join keys column-major, hash them in 8-row
+  /// slices, and consult the per-partition semi-join filter as a
+  /// slice kernel. Requires enable_columnar_exec; `SET columnar_join
+  /// = off` restores the row-at-a-time probe byte for byte. Results
+  /// are bit-identical either way.
+  bool enable_columnar_join = true;
   /// Adaptive aggregation-merge override: `SET merge_strategy =
   /// auto | central | partitioned | radix`. Auto picks from the
   /// partial-group cardinality observed after the first wave of

@@ -69,6 +69,13 @@ struct ExecStats {
   uint64_t merge_central = 0;
   uint64_t merge_partitioned = 0;
   uint64_t merge_radix = 0;
+  /// Row-slots filtered through dictionary-code kernels (string
+  /// predicates compiled to code-space compares; each kernel pass
+  /// over n selected rows counts n).
+  uint64_t dict_hits = 0;
+  /// Driver rows whose join keys were hashed and filter-checked by
+  /// the vectorized probe kernel (morsel join pipeline).
+  uint64_t probe_vectorized_rows = 0;
 
   ExecStats& operator+=(const ExecStats& o) {
     pages_disk += o.pages_disk;
@@ -93,6 +100,8 @@ struct ExecStats {
     merge_central += o.merge_central;
     merge_partitioned += o.merge_partitioned;
     merge_radix += o.merge_radix;
+    dict_hits += o.dict_hits;
+    probe_vectorized_rows += o.probe_vectorized_rows;
     return *this;
   }
 

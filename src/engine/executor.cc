@@ -402,6 +402,9 @@ struct MorselPartial {
   uint64_t scanned = 0;
   uint64_t probed = 0;          // join pipeline only
   uint64_t filter_skipped = 0;  // join pipeline only
+  uint64_t vec_rows = 0;        // columnar join driver only
+  uint64_t probe_vec = 0;       // rows through the vectorized probe kernel
+  uint64_t dict_hits = 0;       // rows through dictionary-code kernels
 };
 
 // One row's contribution to a morsel-private partial: evaluate the
@@ -1746,6 +1749,7 @@ struct ColumnarPartial {
   uint64_t cpu = 0;
   uint64_t scanned = 0;
   uint64_t vec_rows = 0;
+  uint64_t dict_hits = 0;
 };
 
 // AggUpdate specialized on a vectorized argument lane: identical
@@ -2470,7 +2474,7 @@ Result<std::optional<QueryResult>> Executor::ExecuteColumnarAggregate(
       if (sel.empty()) break;
       if (step.vec != nullptr) {
         APUAMA_RETURN_NOT_OK(FilterVec(*step.vec, *cp.chunk, &sel, &part.cpu,
-                                       &part.vec_rows));
+                                       &part.vec_rows, &part.dict_hits));
       } else {
         std::vector<uint32_t> keep;
         keep.reserve(sel.size());
@@ -2592,6 +2596,7 @@ Result<std::optional<QueryResult>> Executor::ExecuteColumnarAggregate(
     stats_->cpu_ops += part.cpu;
     stats_->cpu_ops_parallel += part.cpu;
     stats_->vectorized_rows += part.vec_rows;
+    stats_->dict_hits += part.dict_hits;
   }
 
   if (global) {
@@ -3371,6 +3376,84 @@ Result<std::optional<QueryResult>> Executor::ExecuteMorselJoin(
   stats_->morsels += dsm.morsels.size();
   note_threads(dsm.morsels.size());
 
+  // ---- Columnar driver compile (vectorized probe). The chunk lookup
+  // and all compilation happen here on the coordinator — the column
+  // store is not thread-safe — before morsels fan out. Per-conjunct:
+  // a scan predicate that does not compile keeps its row-wise form
+  // over the selection vector; if neither a predicate nor the
+  // stage-0 key set vectorizes, the driver loop below stays on the
+  // legacy row path byte for byte (as it does whenever `SET
+  // columnar_join` or `SET columnar_exec` is off, or the driver scan
+  // is an index-order position list).
+  struct DriverPredStep {
+    std::unique_ptr<VecPredicate> vec;
+    const Expr* row = nullptr;
+  };
+  // One stage-0 probe-key lane: a compiled numeric kernel, or a
+  // dictionary-coded string column hashed through per-code string
+  // hashes (precomputed once per dictionary entry).
+  struct KeyLane {
+    std::unique_ptr<VecExpr> vec;
+    const storage::ColumnVector* dict_col = nullptr;
+    std::vector<size_t> code_hash;
+  };
+  std::vector<DriverPredStep> dsteps;
+  std::vector<KeyLane> key_lanes;
+  bool keys_vec = false;
+  bool driver_columnar = false;
+  const storage::ColumnarTable* dchunk = nullptr;
+  if (db_->settings()->enable_columnar_exec &&
+      db_->settings()->enable_columnar_join && !dsm.by_position_list) {
+    storage::ColumnStore::GetResult cg = db_->column_store()->Get(dt);
+    dchunk = cg.chunk;
+    bool any_vec = false;
+    for (const Expr* p : dpreds) {
+      DriverPredStep step;
+      step.vec = CompileVecPredicate(*p, layouts[0], *dchunk);
+      if (step.vec != nullptr) {
+        any_vec = true;
+      } else {
+        step.row = p;
+      }
+      dsteps.push_back(std::move(step));
+    }
+    if (!stages.empty()) {
+      keys_vec = true;
+      for (const Expr* e : stages[0].probe_keys) {
+        KeyLane lane;
+        lane.vec = CompileVecExpr(*e, layouts[0], *dchunk);
+        if (lane.vec == nullptr && e->kind == ExprKind::kColumnRef) {
+          const int slot =
+              layouts[0].FindSlot(e->table_qualifier, e->column_name);
+          if (slot >= 0 &&
+              static_cast<size_t>(slot) < dchunk->cols.size() &&
+              dchunk->cols[static_cast<size_t>(slot)].dict_encoded) {
+            lane.dict_col = &dchunk->cols[static_cast<size_t>(slot)];
+            lane.code_hash.reserve(lane.dict_col->dict.size());
+            for (const std::string& s : lane.dict_col->dict) {
+              // Value::Hash of the kString the row path would box.
+              lane.code_hash.push_back(std::hash<std::string>()(s));
+            }
+          }
+        }
+        if (lane.vec == nullptr && lane.dict_col == nullptr) {
+          keys_vec = false;
+          break;
+        }
+        key_lanes.push_back(std::move(lane));
+      }
+      if (!keys_vec) key_lanes.clear();
+      if (keys_vec) any_vec = true;
+    }
+    driver_columnar = any_vec;
+    if (driver_columnar) {
+      if (cg.built) ++stats_->columnar_chunks_built;
+      if (cg.rebuilt) ++stats_->columnar_chunk_rebuilds;
+    } else {
+      dsteps.clear();
+    }
+  }
+
   std::vector<MorselPartial> partials(dsm.morsels.size());
   auto probe_morsel = [&](size_t mi) -> Status {
     MorselPartial& part = partials[mi];
@@ -3390,7 +3473,39 @@ Result<std::optional<QueryResult>> Executor::ExecuteMorselJoin(
       ctxs[k].cpu_ops = &part.cpu;
     }
 
-    std::function<Status(size_t)> descend = [&](size_t k) -> Status {
+    // The chain is split in two so the vectorized driver can enter it
+    // past the per-row key/hash/filter work it already did in slices:
+    // `descend(k)` evaluates stage k's probe key row-wise, hashes it
+    // and consults the partition filter; `probe_chain(k, key, h)`
+    // walks the hash chain, applies residuals and recurses. The row
+    // driver always goes through descend; both meet at probe_chain,
+    // so match processing is one code path.
+    std::function<Status(size_t)> descend;
+    auto probe_chain = [&](size_t k, const Row& key, size_t h) -> Status {
+      const BuildStage& st = stages[k];
+      const BuiltStage& bs = built[k];
+      const size_t p = h % kMergePartitions;
+      const size_t base = scratch.size();
+      auto [lo, hi] = bs.ht[p].equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        ++part.cpu;
+        const Row& brow = bs.rows[p][it->second];
+        scratch.insert(scratch.end(), brow.begin(), brow.end());
+        bool pass = true;
+        for (const Expr* res : st.residuals) {
+          APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*res, ctxs[k + 1]));
+          if (Truthiness(v) != 1) {
+            pass = false;
+            break;
+          }
+        }
+        Status status = pass ? descend(k + 1) : Status::OK();
+        scratch.resize(base);
+        APUAMA_RETURN_NOT_OK(status);
+      }
+      return Status::OK();
+    };
+    descend = [&](size_t k) -> Status {
       if (k == stages.size()) {
         return AccumulateRow(stmt, agg_nodes, ctxs[k], scratch, &part);
       }
@@ -3412,26 +3527,138 @@ Result<std::optional<QueryResult>> Executor::ExecuteMorselJoin(
         return Status::OK();
       }
       ++part.probed;
-      const size_t base = scratch.size();
-      auto [lo, hi] = bs.ht[p].equal_range(key);
-      for (auto it = lo; it != hi; ++it) {
-        ++part.cpu;
-        const Row& brow = bs.rows[p][it->second];
-        scratch.insert(scratch.end(), brow.begin(), brow.end());
-        bool pass = true;
-        for (const Expr* res : st.residuals) {
-          APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*res, ctxs[k + 1]));
-          if (Truthiness(v) != 1) {
-            pass = false;
-            break;
+      return probe_chain(k, key, h);
+    };
+
+    if (driver_columnar) {
+      // Vectorized driver: dense selection over the morsel, then
+      // per-conjunct filtering (compiled kernels shrink the selection
+      // in slices; uncompiled conjuncts run row-wise over whatever
+      // survives), then the stage-0 keys load column-major, hash in
+      // slices and pass the partition filter as a kernel. Only the
+      // survivors materialize the scratch row and probe the chain.
+      const size_t begin = dsm.morsels[mi].begin;
+      const size_t end = dsm.morsels[mi].end;
+      std::vector<uint32_t> sel;
+      sel.reserve(end - begin);
+      for (size_t j = begin; j < end; ++j) {
+        sel.push_back(static_cast<uint32_t>(j));
+      }
+      part.scanned += sel.size();
+      for (const DriverPredStep& step : dsteps) {
+        if (sel.empty()) break;
+        if (step.vec != nullptr) {
+          APUAMA_RETURN_NOT_OK(FilterVec(*step.vec, *dchunk, &sel,
+                                         &part.cpu, &part.vec_rows,
+                                         &part.dict_hits));
+          continue;
+        }
+        // Row-wise fallback for this conjunct only: evaluate against
+        // the heap row in place (layout 0 is the driver's schema).
+        std::vector<uint32_t> out;
+        out.reserve(sel.size());
+        for (const uint32_t pos : sel) {
+          scopes[0].row = &dt.row(pos);
+          APUAMA_ASSIGN_OR_RETURN(Value v, Eval(*step.row, ctxs[0]));
+          if (Truthiness(v) == 1) out.push_back(pos);
+        }
+        sel.swap(out);
+      }
+      scopes[0].row = &scratch;  // probe chain reads the scratch row
+      if (sel.empty()) return Status::OK();
+      if (!keys_vec) {
+        for (const uint32_t pos : sel) {
+          const Row& r = dt.row(pos);
+          scratch.assign(r.begin(), r.end());
+          APUAMA_RETURN_NOT_OK(descend(0));
+        }
+        return Status::OK();
+      }
+      const size_t n = sel.size();
+      std::vector<VecData> lanes(key_lanes.size());
+      for (size_t i = 0; i < key_lanes.size(); ++i) {
+        if (key_lanes[i].vec != nullptr) {
+          APUAMA_RETURN_NOT_OK(EvalVec(*key_lanes[i].vec, *dchunk, sel,
+                                       &lanes[i], &part.cpu,
+                                       &part.vec_rows));
+        }
+      }
+      // Hash pass: seed, then one combine per key lane — the exact
+      // fold RowHash applies to the boxed key row (Value::Hash of an
+      // int/date lane is std::hash<int64_t>, a double lane hashes its
+      // integral twin when it has one, a dictionary code looks up the
+      // precomputed string hash), so partition choice and filter
+      // membership are bit-identical to the row path. A NULL in any
+      // key lane can never match an inner join: mark and skip.
+      std::vector<size_t> hashes(n, size_t{0x9e3779b9});
+      std::vector<uint8_t> null_key(n, 0);
+      for (size_t i = 0; i < key_lanes.size(); ++i) {
+        part.cpu += VecOps(n);
+        const KeyLane& kl = key_lanes[i];
+        if (kl.dict_col != nullptr) {
+          part.dict_hits += n;
+          for (size_t k = 0; k < n; ++k) {
+            const uint32_t pos = sel[k];
+            if (kl.dict_col->IsNull(pos)) {
+              null_key[k] = 1;
+              continue;
+            }
+            hashes[k] =
+                hashes[k] * 1315423911u +
+                kl.code_hash[static_cast<size_t>(kl.dict_col->codes[pos])];
+          }
+        } else {
+          const VecData& vd = lanes[i];
+          for (size_t k = 0; k < n; ++k) {
+            if (vd.IsNull(k)) {
+              null_key[k] = 1;
+              continue;
+            }
+            size_t vh;
+            if (vd.type == ValueType::kDouble) {
+              const double d = vd.f64[k];
+              vh = d == static_cast<double>(static_cast<int64_t>(d))
+                       ? std::hash<int64_t>()(static_cast<int64_t>(d))
+                       : std::hash<double>()(d);
+            } else {
+              vh = std::hash<int64_t>()(vd.i64[k]);
+            }
+            hashes[k] = hashes[k] * 1315423911u + vh;
           }
         }
-        Status status = pass ? descend(k + 1) : Status::OK();
-        scratch.resize(base);
-        APUAMA_RETURN_NOT_OK(status);
+      }
+      // Filter slice kernel: partition + semi-join filter membership
+      // decide which rows materialize at all.
+      part.cpu += VecOps(n);
+      part.probe_vec += n;
+      const BuiltStage& bs0 = built[0];
+      for (size_t k = 0; k < n; ++k) {
+        if (null_key[k]) continue;  // inner join semantics
+        const size_t h = hashes[k];
+        if (use_filter && !bs0.filters[h % kMergePartitions].MayContain(h)) {
+          ++part.filter_skipped;
+          continue;
+        }
+        ++part.probed;
+        const uint32_t pos = sel[k];
+        const Row& r = dt.row(pos);
+        scratch.assign(r.begin(), r.end());
+        // Box the key back into the row path's value model only for
+        // rows that actually reach a hash chain.
+        Row key;
+        key.reserve(key_lanes.size());
+        for (size_t i = 0; i < key_lanes.size(); ++i) {
+          const KeyLane& kl = key_lanes[i];
+          key.push_back(
+              kl.dict_col != nullptr
+                  ? Value::Str(kl.dict_col->dict[static_cast<size_t>(
+                        kl.dict_col->codes[pos])])
+                  : lanes[i].ValueAt(k));
+        }
+        APUAMA_RETURN_NOT_OK(probe_chain(0, key, h));
       }
       return Status::OK();
-    };
+    }
 
     for (size_t j = dsm.morsels[mi].begin; j < dsm.morsels[mi].end; ++j) {
       const size_t pos = dsm.by_position_list ? dplan.index_positions[j] : j;
@@ -3464,6 +3691,9 @@ Result<std::optional<QueryResult>> Executor::ExecuteMorselJoin(
     stats_->cpu_ops_parallel += part.cpu;
     stats_->join_probe_rows += part.probed;
     stats_->filter_skipped_rows += part.filter_skipped;
+    stats_->vectorized_rows += part.vec_rows;
+    stats_->probe_vectorized_rows += part.probe_vec;
+    stats_->dict_hits += part.dict_hits;
   }
 
   obs::Span join_merge_span =

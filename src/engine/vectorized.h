@@ -90,13 +90,31 @@ struct VecExpr {
   std::unique_ptr<VecExpr> a, b;  // kArith children; kNeg uses a
 };
 
-/// One compiled WHERE conjunct: `a op b` or `a BETWEEN b AND c`.
+/// One compiled WHERE conjunct: `a op b`, `a BETWEEN b AND c`, or a
+/// dictionary-code kernel over a string column.
+///
+/// String predicates translate into code space against the column's
+/// sorted dictionary at compile time:
+///   - =, !=, <, <=, >, >=, BETWEEN against string literals become a
+///     half-open code interval [dict_lo, dict_hi) (kDictRange, with
+///     `negated` flipping the pass sense — empty interval + negated
+///     passes every non-null row, the row path's `<> 'absent'`);
+///   - IN / NOT IN over string-literal lists become sorted-code-set
+///     membership (kDictIn). List items absent from the dictionary
+///     can never match and are dropped at compile time; a NOT IN list
+///     containing NULL passes nothing (three-valued logic), encoded
+///     as kDictRange [0, 0) non-negated.
+/// NULL rows always drop, and LIKE / non-literal comparands /
+/// mixed-type lists stay on the row-wise fallback, bit-for-bit.
 struct VecPredicate {
-  enum class Kind { kCmp, kBetween };
+  enum class Kind { kCmp, kBetween, kDictRange, kDictIn };
   Kind kind = Kind::kCmp;
   sql::BinaryOp op = sql::BinaryOp::kEq;  // kCmp
-  bool negated = false;                   // kBetween ... NOT BETWEEN
+  bool negated = false;  // kBetween / kDictRange / kDictIn negation
   std::unique_ptr<VecExpr> a, b, c;
+  int dict_slot = -1;              // kDictRange / kDictIn: column slot
+  int32_t dict_lo = 0, dict_hi = 0;  // kDictRange: pass iff lo <= c < hi
+  std::vector<int32_t> dict_codes;   // kDictIn: sorted member codes
 };
 
 /// Compiles `e` against `chunk`, resolving column refs through
@@ -120,10 +138,11 @@ Status EvalVec(const VecExpr& e, const storage::ColumnarTable& chunk,
 
 /// Applies one compiled conjunct, shrinking `sel` to the positions
 /// where it is TRUE (NULL and FALSE both drop, per three-valued
-/// WHERE).
+/// WHERE). Dictionary kernels additionally count processed row-slots
+/// into *dict_hits (may be null when the caller does not track them).
 Status FilterVec(const VecPredicate& p, const storage::ColumnarTable& chunk,
                  std::vector<uint32_t>* sel, uint64_t* cpu,
-                 uint64_t* vec_rows);
+                 uint64_t* vec_rows, uint64_t* dict_hits = nullptr);
 
 }  // namespace apuama::engine
 

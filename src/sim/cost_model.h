@@ -12,6 +12,47 @@
 
 namespace apuama::sim {
 
+/// Rolling cardinality feedback: what executed statements actually
+/// observed, folded back into planning. The executor reports through
+/// ExecStats how many row-slots moved through vectorized kernels
+/// (scan predicates, dictionary-code compares, the vectorized join
+/// probe) and how many driver rows survived the semi-join partition
+/// filter; the cluster planner reads the derived rates to charge
+/// slice-granular ops for columnar-eligible plans instead of assuming
+/// every tuple costs a full row-wise op.
+struct CardinalityFeedback {
+  uint64_t tuples = 0;         ///< tuples scanned by observed statements
+  uint64_t vec_slots = 0;      ///< row-slots through vectorized kernels
+  uint64_t probe_candidates = 0;  ///< driver rows reaching the join filter
+  uint64_t probe_survivors = 0;   ///< rows that went on to probe a chain
+
+  void Observe(const engine::ExecStats& s) {
+    tuples += s.tuples_scanned;
+    vec_slots += s.vectorized_rows + s.dict_hits + s.probe_vectorized_rows;
+    probe_candidates += s.join_probe_rows + s.filter_skipped_rows;
+    probe_survivors += s.join_probe_rows;
+  }
+
+  bool HasSamples() const { return tuples > 0; }
+
+  /// Fraction of scanned tuples whose work ran in vectorized kernels,
+  /// clamped to [0, 1] (a tuple can pass through several kernels).
+  double VectorizedFraction() const {
+    if (tuples == 0) return 0.0;
+    const double f = static_cast<double>(vec_slots) /
+                     static_cast<double>(tuples);
+    return f > 1.0 ? 1.0 : f;
+  }
+
+  /// Fraction of probe candidates that survived the semi-join filter
+  /// (1.0 before any join has been observed: assume no filtering).
+  double FilterSurvival() const {
+    if (probe_candidates == 0) return 1.0;
+    return static_cast<double>(probe_survivors) /
+           static_cast<double>(probe_candidates);
+  }
+};
+
 struct CostModel {
   /// Reading a page from disk (buffer-pool miss).
   SimTime disk_page_us = 800;
@@ -66,6 +107,54 @@ struct CostModel {
   /// Scheduler overhead of broadcasting one write to `nodes` replicas.
   SimTime WriteBroadcastOverhead(int nodes) const {
     return static_cast<SimTime>(nodes) * write_sync_per_node_us;
+  }
+
+  /// Rows one vectorized cpu op covers (engine::kVecLane; mirrored
+  /// here so the sim does not pull in the executor headers).
+  static constexpr double kSliceRows = 8.0;
+
+  /// Estimated cpu ops to process `tuples` rows under the observed
+  /// pipeline mix: the vectorized fraction is charged one op per
+  /// kSliceRows-row slice, the rest one op per row. This is the
+  /// planning-side mirror of how the executor actually charges
+  /// cpu_ops, so estimates track the real pipeline instead of
+  /// assuming row-at-a-time everywhere.
+  double EstimatedScanOps(uint64_t tuples,
+                          const CardinalityFeedback& fb) const {
+    const double frac = fb.VectorizedFraction();
+    const double t = static_cast<double>(tuples);
+    return t * (1.0 - frac) + t * frac / kSliceRows;
+  }
+
+  /// Relative per-tuple cpu cost under the observed mix, in
+  /// [1/kSliceRows, 1]. 1.0 = fully row-wise; 1/kSliceRows = fully
+  /// vectorized.
+  double PerTupleOpScale(const CardinalityFeedback& fb) const {
+    const double frac = fb.VectorizedFraction();
+    return (1.0 - frac) + frac / kSliceRows;
+  }
+
+  /// AVP initial-divisor adaptation: the scheduler's first chunks are
+  /// sized domain/(nodes*divisor). When feedback shows the pipeline
+  /// runs vectorized (cheap per key) and the semi-join filter passes
+  /// few probe candidates, per-chunk work shrinks, so larger initial
+  /// chunks (a smaller divisor) reach steady state with less per-chunk
+  /// message overhead. Deterministic: pure arithmetic on the observed
+  /// counters, floor 2 so adaptivity never degenerates to one chunk.
+  int AdaptedAvpDivisor(int base_divisor,
+                        const CardinalityFeedback& fb) const {
+    if (!fb.HasSamples()) return base_divisor;
+    const double scale = PerTupleOpScale(fb) * FilterScale(fb);
+    const int adapted =
+        static_cast<int>(static_cast<double>(base_divisor) * scale + 0.5);
+    return adapted < 2 ? 2 : adapted;
+  }
+
+ private:
+  /// Survival folded gently: even a very selective filter leaves the
+  /// scan cost of a chunk intact, so weight it half.
+  static double FilterScale(const CardinalityFeedback& fb) {
+    return 0.5 + 0.5 * fb.FilterSurvival();
   }
 };
 

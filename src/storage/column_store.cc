@@ -1,5 +1,7 @@
 #include "storage/column_store.h"
 
+#include <algorithm>
+
 namespace apuama::storage {
 
 namespace {
@@ -32,7 +34,27 @@ ColumnVector BuildColumn(const Table& t, size_t col) {
       return out;
     }
     case ValueType::kDouble: {
-      out.f64.resize(n, 0.0);
+      // ValidateRow admits kInt64 into kDouble columns, and the
+      // runtime type drives every promotion decision the row path
+      // makes. A type-homogeneous column still vectorizes: all-double
+      // lands in f64, all-int lands in i64 *typed kInt64* (the exact
+      // Values the heap holds). Only a genuine int/double mix keeps
+      // the column row-wise — a single typed array would erase the
+      // per-row distinction.
+      bool saw_double = false, saw_int = false;
+      for (size_t i = 0; i < n; ++i) {
+        const Value& v = t.row(i)[col];
+        if (v.is_null()) continue;
+        (v.type() == ValueType::kDouble ? saw_double : saw_int) = true;
+        if (saw_double && saw_int) return ColumnVector{};
+      }
+      const bool as_int = saw_int;  // all non-null values are kInt64
+      if (as_int) {
+        out.type = ValueType::kInt64;
+        out.i64.resize(n, 0);
+      } else {
+        out.f64.resize(n, 0.0);
+      }
       for (size_t i = 0; i < n; ++i) {
         const Value& v = t.row(i)[col];
         if (v.is_null()) {
@@ -43,21 +65,54 @@ ColumnVector BuildColumn(const Table& t, size_t col) {
           out.nulls[i] = 1;
           continue;
         }
-        if (v.type() != ValueType::kDouble) {
-          // ValidateRow admits kInt64 into kDouble columns. A double
-          // array would erase that distinction and change the row
-          // path's int->double promotion decisions, so keep this
-          // column row-wise.
-          return ColumnVector{};
+        if (as_int) {
+          out.i64[i] = v.int_val();
+        } else {
+          out.f64[i] = v.double_val();
         }
-        out.f64[i] = v.double_val();
       }
       out.materialized = true;
       return out;
     }
+    case ValueType::kString: {
+      // Dictionary encoding: sorted distinct values + per-row codes.
+      // `materialized` stays false — expressions keep gathering heap
+      // Values — but predicates compile to code-space compares.
+      for (size_t i = 0; i < n; ++i) {
+        const Value& v = t.row(i)[col];
+        if (!v.is_null() && v.type() != ValueType::kString) {
+          return out;  // defensive: heterogenous column stays row-wise
+        }
+      }
+      out.dict.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        const Value& v = t.row(i)[col];
+        if (!v.is_null()) out.dict.push_back(v.str_val());
+      }
+      std::sort(out.dict.begin(), out.dict.end());
+      out.dict.erase(std::unique(out.dict.begin(), out.dict.end()),
+                     out.dict.end());
+      out.codes.resize(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        const Value& v = t.row(i)[col];
+        if (v.is_null()) {
+          if (!out.has_nulls) {
+            out.has_nulls = true;
+            out.nulls.assign(n, 0);
+          }
+          out.nulls[i] = 1;
+          continue;
+        }
+        out.codes[i] = static_cast<int32_t>(
+            std::lower_bound(out.dict.begin(), out.dict.end(),
+                             v.str_val()) -
+            out.dict.begin());
+      }
+      out.dict_encoded = true;
+      return out;
+    }
     default:
-      // Strings (and anything else) stay row-wise: group keys and
-      // string predicates gather Values from the heap instead.
+      // Anything else stays row-wise.
       return out;
   }
 }

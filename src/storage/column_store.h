@@ -24,12 +24,24 @@
 namespace apuama::storage {
 
 /// One materialized column. Integer-family columns (kInt64, kDate)
-/// land in `i64`, kDouble columns in `f64`. String columns and
-/// kDouble columns that actually hold integer values (the schema
-/// accepts ints where doubles are declared) are left unmaterialized
-/// (`materialized == false`): expressions over them fall back to
-/// row-wise evaluation, which keeps int->double promotion decisions
-/// byte-for-byte identical to the row path.
+/// land in `i64`, kDouble columns in `f64` — except kDouble columns
+/// whose non-null values are all kInt64 (the schema accepts ints
+/// where doubles are declared): those land in `i64` with type kInt64,
+/// which is exactly what the row path's Values hold, so promotion
+/// decisions stay byte-for-byte identical. kDouble columns that MIX
+/// int and double values are left unmaterialized (`materialized ==
+/// false`) and expressions over them fall back to row-wise
+/// evaluation.
+///
+/// String columns are dictionary-encoded (`dict_encoded == true`,
+/// `materialized` stays false): `dict` holds the sorted distinct
+/// values and `codes[i]` is row i's index into it (meaningless where
+/// the null bitmap is set). Because the dictionary is sorted in
+/// Value::Compare order (std::string::compare), every equality / IN /
+/// range predicate over the column reduces to an integer compare on
+/// the code — the row path's string compares, one dictionary lookup
+/// early. Expressions still gather Values from the heap; only
+/// predicates read codes.
 struct ColumnVector {
   ValueType type = ValueType::kNull;
   bool materialized = false;
@@ -39,6 +51,10 @@ struct ColumnVector {
   /// holds no NULLs, so the common case costs no mask reads.
   std::vector<uint8_t> nulls;
   bool has_nulls = false;
+  /// Dictionary encoding (string columns only).
+  bool dict_encoded = false;
+  std::vector<std::string> dict;  // sorted, distinct
+  std::vector<int32_t> codes;     // per row; undefined where null
 
   bool IsNull(size_t i) const { return has_nulls && nulls[i] != 0; }
 };

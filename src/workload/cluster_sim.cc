@@ -297,6 +297,7 @@ void ClusterSim::SubmitReadCore(const std::string& sql, SimOutcome outcome,
       [this, node, sql, res, shared_outcome] {
         *res = replicas_->ExecuteOn(node, sql);
         shared_outcome->status = res->status();
+        if (res->ok()) feedback_.Observe((*res)->stats);
         return Scaled(node,
                       res->ok() ? options_.cost.StatementTime((*res)->stats)
                                 : options_.cost.message_us);
@@ -353,6 +354,7 @@ void ClusterSim::DispatchSvp(std::shared_ptr<SvpTicket> ticket) {
           auto r = db->Execute(ticket->sub_sql[static_cast<size_t>(i)]);
           db->settings()->enable_seqscan = saved;
           if (r.ok()) {
+            feedback_.Observe(r->stats);
             SimTime t = options_.cost.StatementTime(r->stats);
             ticket->partials[static_cast<size_t>(i)] = std::move(r).value();
             return Scaled(i, t);
@@ -373,9 +375,16 @@ void ClusterSim::DispatchSvp(std::shared_ptr<SvpTicket> ticket) {
 
 void ClusterSim::DispatchAvp(std::shared_ptr<SvpTicket> ticket) {
   const int n = options_.num_nodes;
+  // Cardinality feedback: size the first chunks to the observed
+  // pipeline. A vectorized/filter-heavy pipeline does less work per
+  // key, so the divisor shrinks and the scheduler starts with larger
+  // chunks (less per-chunk message overhead before the adaptive
+  // feedback loop takes over).
+  AvpOptions avp = options_.avp;
+  avp.initial_divisor =
+      options_.cost.AdaptedAvpDivisor(avp.initial_divisor, feedback_);
   ticket->avp = std::make_unique<AvpScheduler>(
-      n, ticket->plan.domain_min(), ticket->plan.domain_max(),
-      options_.avp);
+      n, ticket->plan.domain_min(), ticket->plan.domain_max(), avp);
   ticket->remaining = n;  // nodes still pumping chunks
   for (int i = 0; i < n; ++i) {
     StartAvpChunk(ticket, i);
@@ -408,6 +417,7 @@ void ClusterSim::StartAvpChunk(std::shared_ptr<SvpTicket> ticket,
         auto r = db->Execute(sub);
         db->settings()->enable_seqscan = saved;
         if (r.ok()) {
+          feedback_.Observe(r->stats);
           SimTime t = options_.cost.StatementTime(r->stats);
           ticket->partials.push_back(std::move(r).value());
           return Scaled(node, t);

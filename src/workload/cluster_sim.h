@@ -176,6 +176,12 @@ class ClusterSim {
   /// Node utilization: busy time of node i so far.
   SimTime node_busy_time(int i) const;
 
+  /// Cardinality feedback accumulated from every executed read
+  /// statement (passthrough, SVP sub-query, AVP chunk). DispatchAvp
+  /// reads it to adapt the initial chunk divisor to the observed
+  /// pipeline (vectorized fraction + semi-join filter survival).
+  const sim::CardinalityFeedback& feedback() const { return feedback_; }
+
  private:
   struct SvpTicket;  // one in-flight intra-parallel query
   struct WriteTicket;
@@ -239,6 +245,10 @@ class ClusterSim {
       open_shares_;
   uint64_t result_cache_hits_ = 0;
   uint64_t queries_coalesced_ = 0;
+
+  // Observed-cardinality accumulator (single-threaded: all Observe
+  // calls run inside the event loop's service-time lambdas).
+  sim::CardinalityFeedback feedback_;
 };
 
 }  // namespace apuama::workload

@@ -302,6 +302,8 @@ TEST(ExplainAnalyzeTest, SingleNodeBreakdownShape) {
       {"node", "pages_cache"},
       {"node", "tuples_scanned"},
       {"node", "vectorized_rows"},
+      {"node", "dict_hits"},
+      {"node", "probe_vectorized_rows"},
       {"node", "merge_strategy"},
       {"node", "output_rows"},
   };
@@ -313,7 +315,7 @@ TEST(ExplainAnalyzeTest, SingleNodeBreakdownShape) {
   // Q6 is a global aggregate: the columnar path vectorizes it and a
   // GROUP BY-less merge is central by definition (code 1).
   EXPECT_GT(r->rows[7][2].int_val(), 0);   // vectorized_rows
-  EXPECT_EQ(r->rows[8][2].int_val(), 1);   // merge_strategy = central
+  EXPECT_EQ(r->rows[10][2].int_val(), 1);  // merge_strategy = central
   // Plain EXPLAIN still returns the plan, not a breakdown.
   auto plan = db.Execute("explain " + *tpch::QuerySql(6));
   ASSERT_TRUE(plan.ok());
@@ -342,6 +344,8 @@ TEST(ExplainAnalyzeTest, ClusterBreakdownGoldenShapeForQ1AndQ3) {
       {"node", "pages_cache"},
       {"node", "tuples_scanned"},
       {"node", "vectorized_rows"},
+      {"node", "dict_hits"},
+      {"node", "probe_vectorized_rows"},
       {"node", "merge_strategy"},
       {"compose", "compose_us"},
       {"compose", "partial_rows"},
@@ -365,7 +369,7 @@ TEST(ExplainAnalyzeTest, ClusterBreakdownGoldenShapeForQ1AndQ3) {
     // a non-empty composed answer.
     EXPECT_EQ(r->rows[0][2].str_val(), "svp");
     EXPECT_EQ(r->rows[3][2].int_val(), 2);   // subqueries
-    EXPECT_GT(r->rows[16][2].int_val(), 0);  // output_rows
+    EXPECT_GT(r->rows[18][2].int_val(), 0);  // output_rows
   }
 }
 

@@ -413,5 +413,103 @@ TEST(StressTest, ColumnarAggregatesNeverGoStaleAcrossWrites) {
   EXPECT_EQ(fin->rows[0][0].int_val(), kBase + kInserts);
 }
 
+// Dictionary invalidation under write pressure: concurrent writers
+// keep appending fresh strings to a dictionary-encoded column (every
+// insert bumps the table's write epoch, so readers keep rebuilding
+// the chunk mid-stream) while readers run dict-kernel predicates and
+// a string-keyed join with the vectorized probe. Run under TSan this
+// exercises the coordinator-only contract of the column store; the
+// row-visible invariant is that every tagged row carries v = 'live',
+// so count(*) where v = 'live' must equal the scanned total.
+TEST(StressTest, DictionaryRebuildsUnderConcurrentStringWriters) {
+  const tpch::TpchData data(tpch::DbgenOptions{.scale_factor = 0.001});
+  cjdbc::ReplicaSet replicas(
+      3, cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = 0});
+  ASSERT_TRUE(data.LoadIntoReplicas(&replicas).ok());
+  ApuamaEngine engine(&replicas, tpch::MakeTpchCatalog(data));
+  cjdbc::Controller controller(std::make_unique<ApuamaDriver>(&engine));
+  ASSERT_TRUE(
+      controller.Execute("create table tagged (k int, v varchar(24))")
+          .ok());
+  ASSERT_TRUE(
+      controller.Execute("create table tags (name varchar(24))").ok());
+  ASSERT_TRUE(controller.Execute("insert into tags values ('live')").ok());
+  constexpr int kBase = 48;
+  for (int i = 0; i < kBase; ++i) {
+    ASSERT_TRUE(controller
+                    .Execute("insert into tagged values (" +
+                             std::to_string(i) + ", 'live')")
+                    .ok());
+  }
+
+  constexpr int kInserts = 100;
+  std::atomic<int> published{0};
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+
+  // Two writers: one keeps inserting the live tag, the other churns
+  // the dictionary with never-repeating strings (each insert bumps
+  // the epoch and forces a chunk rebuild on the next columnar scan).
+  std::thread live_writer([&] {
+    for (int i = 1; i <= kInserts && !failed.load(); ++i) {
+      auto r = controller.Execute("insert into tagged values (" +
+                                  std::to_string(kBase + i) + ", 'live')");
+      if (!r.ok()) {
+        failed = true;
+        ADD_FAILURE() << r.status().ToString();
+        break;
+      }
+      published.store(i, std::memory_order_release);
+    }
+    done = true;
+  });
+  std::thread churn_writer([&] {
+    for (int i = 0; i < kInserts && !done.load() && !failed.load(); ++i) {
+      auto r = controller.Execute("insert into tagged values (-1, 'churn" +
+                                  std::to_string(i) + "')");
+      if (!r.ok()) {
+        failed = true;
+        ADD_FAILURE() << r.status().ToString();
+        break;
+      }
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      const char* sql =
+          t % 2 == 0
+              ? "select count(*) from tagged where v = 'live'"
+              : "select count(*) from tagged, tags "
+                "where tagged.v = tags.name and tagged.k >= 0";
+      while (!done.load() && !failed.load()) {
+        const int floor = published.load(std::memory_order_acquire);
+        auto r = controller.Execute(sql);
+        if (!r.ok() || r->num_rows() != 1) {
+          failed = true;
+          ADD_FAILURE() << r.status().ToString();
+          return;
+        }
+        if (r->rows[0][0].int_val() < kBase + floor) {
+          failed = true;
+          ADD_FAILURE() << "stale dictionary scan: saw "
+                        << r->rows[0][0].int_val() << " expected >= "
+                        << kBase + floor;
+          return;
+        }
+      }
+    });
+  }
+  live_writer.join();
+  churn_writer.join();
+  for (auto& t : readers) t.join();
+  ASSERT_FALSE(failed.load());
+  EXPECT_TRUE(engine.ReplicasConsistent());
+  auto fin =
+      controller.Execute("select count(*) from tagged where v = 'live'");
+  ASSERT_TRUE(fin.ok());
+  EXPECT_EQ(fin->rows[0][0].int_val(), kBase + kInserts);
+}
+
 }  // namespace
 }  // namespace apuama
