@@ -3,6 +3,15 @@
 //
 // Paper shape: gains up to 16 nodes, then replica synchronization
 // makes 32 nodes perform about like 4 nodes.
+//
+// Two placements are measured side by side:
+//   broadcast  — fully replicated tables; every write synchronizes all
+//                n replicas, so the update stream's cost grows with n
+//                and the mixed curve flattens.
+//   fragmented — the co-partitioned hash preset with replica factor r
+//                (APUAMA_BENCH_REPLICA, default 1); writes land only on
+//                the owning fragment's replica set, so per-write fan-out
+//                stays at r while reads keep scaling.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -20,39 +29,59 @@ int main() {
   const double sf = EnvDouble("APUAMA_BENCH_SF", 0.01);
   const int max_nodes = EnvInt("APUAMA_BENCH_NODES", 32);
   const int update_orders = EnvInt("APUAMA_BENCH_UPDATE_ORDERS", 10);
+  const int replica = EnvInt("APUAMA_BENCH_REPLICA", 1);
   std::printf(
       "Fig 4(b): mixed scale-up, n read sequences + 1 update sequence "
-      "(SF=%g, %d refresh orders)\n",
-      sf, update_orders);
+      "(SF=%g, %d refresh orders, fragmented replica factor %d)\n",
+      sf, update_orders, replica);
   tpch::TpchData data(tpch::DbgenOptions{.scale_factor = sf});
 
-  Table t("Fig 4(b): execution time, n read sequences + updates, n nodes");
-  t.SetHeader({"nodes (=streams)", "exec time", "normalized", "queries",
-               "svp waits"});
-  double t1 = 0;
-  for (int n : NodeCounts(max_nodes)) {
-    ClusterSimOptions opts;
-    opts.num_nodes = n;
-    opts.key_headroom = update_orders + 1;
-    ClusterSim cluster(data, opts);
-    auto sequences = MakeQuerySequences(n, /*seed=*/2006 + n);
-    auto updates = tpch::MakeRefreshStream(data.max_orderkey() + 1,
-                                           update_orders, /*seed=*/7);
-    StreamRunResult r = RunStreams(&cluster, sequences, updates, /*loop_updates=*/true);
-    if (!r.status.ok()) {
-      std::fprintf(stderr, "n=%d failed: %s\n", n,
-                   r.status.ToString().c_str());
-      return 1;
+  struct Mode {
+    const char* name;
+    bool fragmentation;
+  };
+  const Mode kModes[] = {{"broadcast", false}, {"fragmented", true}};
+  for (const Mode& mode : kModes) {
+    Table t(StrFormat(
+        "Fig 4(b) [%s]: execution time, n read sequences + updates, "
+        "n nodes",
+        mode.name));
+    t.SetHeader({"nodes (=streams)", "exec time", "normalized", "queries",
+                 "svp waits", "write fanout"});
+    double t1 = 0;
+    for (int n : NodeCounts(max_nodes)) {
+      ClusterSimOptions opts;
+      opts.num_nodes = n;
+      opts.key_headroom = update_orders + 1;
+      opts.fragmentation = mode.fragmentation;
+      opts.replica_factor = replica;
+      ClusterSim cluster(data, opts);
+      auto sequences = MakeQuerySequences(n, /*seed=*/2006 + n);
+      auto updates = tpch::MakeRefreshStream(data.max_orderkey() + 1,
+                                             update_orders, /*seed=*/7);
+      StreamRunResult r =
+          RunStreams(&cluster, sequences, updates, /*loop_updates=*/true);
+      if (!r.status.ok()) {
+        std::fprintf(stderr, "%s n=%d failed: %s\n", mode.name, n,
+                     r.status.ToString().c_str());
+        return 1;
+      }
+      if (n == 1) t1 = static_cast<double>(r.makespan);
+      const uint64_t writes = cluster.writes_completed();
+      const double fanout =
+          writes == 0 ? 0.0
+                      : static_cast<double>(cluster.write_fanout_total()) /
+                            static_cast<double>(writes);
+      t.AddRow({StrFormat("%d", n), Seconds(r.makespan),
+                Ratio(static_cast<double>(r.makespan) / t1),
+                StrFormat("%llu",
+                          static_cast<unsigned long long>(r.read_queries)),
+                StrFormat("%llu", static_cast<unsigned long long>(
+                                      cluster.svp_barrier_waits())),
+                StrFormat("%.1f", fanout)});
+      std::printf("  measured %s %d-node configuration\n", mode.name, n);
     }
-    if (n == 1) t1 = static_cast<double>(r.makespan);
-    t.AddRow({StrFormat("%d", n), Seconds(r.makespan),
-              Ratio(static_cast<double>(r.makespan) / t1),
-              StrFormat("%llu",
-                        static_cast<unsigned long long>(r.read_queries)),
-              StrFormat("%llu", static_cast<unsigned long long>(
-                                    cluster.svp_barrier_waits()))});
-    std::printf("  measured %d-node configuration\n", n);
+    t.Print();
   }
-  t.Print();
   return 0;
 }

@@ -3,10 +3,18 @@
 // buffer-pool bookkeeping, LIKE matching.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apuama/apuama_engine.h"
+#include "apuama/exchange/exchange.h"
 #include "apuama/partial_merger.h"
 #include "apuama/plan_cache.h"
 #include "apuama/result_composer.h"
 #include "apuama/svp_rewriter.h"
+#include "cjdbc/controller.h"
 #include "common/rng.h"
 #include "engine/database.h"
 #include "engine/eval.h"
@@ -662,6 +670,126 @@ void BM_SharedScan(benchmark::State& state) {
 BENCHMARK(BM_SharedScan)
     ->ArgsProduct({{2, 4, 8}, {1, 4}})
     ->Unit(benchmark::kMillisecond);
+
+// Exchange operator: plan + materialize the data movement for one
+// 4-interval SVP dispatch over a 4-node cluster.
+// Arg: fragment count — 4 is the co-partitioned preset (every interval
+// lands on the node hosting its fragment, zero bytes move) and 3 is
+// the misaligned case (interval boundaries straddle fragments, so
+// slices are shuffled to the compute node and temp tables are built
+// and dropped every iteration). Counters report the bytes one
+// dispatch ships and which strategies fired, so the aligned fast
+// path's zero-copy claim is checked by the same binary that measures
+// the shuffle cost.
+void BM_Exchange(benchmark::State& state) {
+  const int fragments = static_cast<int>(state.range(0));
+  constexpr int kNodes = 4;
+  const auto& data = BenchData();
+  cjdbc::ReplicaSet replicas(
+      kNodes, cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = 0});
+  if (!data.LoadIntoReplicas(&replicas).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  DataCatalog catalog = tpch::MakeTpchCatalog(data);
+  if (!tpch::ApplyTpchFragmentationPreset(&catalog, kNodes, 1, fragments)
+           .ok()) {
+    state.SkipWithError("preset failed");
+    return;
+  }
+  const std::vector<const FragmentationSpec*> specs = {
+      catalog.FragmentationFor("lineitem"),
+      catalog.FragmentationFor("orders")};
+  const auto intervals =
+      KeyIntervals(data.min_orderkey(), data.max_orderkey(), kNodes);
+  const std::vector<int> alive = {0, 1, 2, 3};
+  const std::vector<int> preferred = alive;
+  uint64_t seq = 0;
+  uint64_t bytes = 0;
+  uint64_t shuffles = 0;
+  uint64_t broadcasts = 0;
+  for (auto _ : state) {
+    exchange::ExchangeOperator ex(&replicas, ++seq,
+                                  exchange::Strategy::kAuto);
+    auto assignments = ex.Prepare(intervals, specs, alive, preferred);
+    if (!assignments.ok()) {
+      state.SkipWithError("exchange prepare failed");
+      return;
+    }
+    bytes = ex.bytes_shipped();
+    shuffles = ex.shuffles();
+    broadcasts = ex.broadcasts();
+    ex.Cleanup();
+    benchmark::DoNotOptimize(assignments);
+  }
+  state.counters["bytes_shipped"] = static_cast<double>(bytes);
+  state.counters["shuffles"] = static_cast<double>(shuffles);
+  state.counters["broadcasts"] = static_cast<double>(broadcasts);
+}
+BENCHMARK(BM_Exchange)->Arg(4)->Arg(3)->Unit(benchmark::kMillisecond);
+
+// Fragment-routed writes through the full controller + engine stack.
+// Args: {nodes, replica_factor} — replica_factor 0 keeps the tables
+// fully replicated, so every UPDATE broadcasts to all `nodes` (the
+// C-JDBC baseline); 1 and 2 install the co-partitioned preset with
+// that replica factor, so each UPDATE lands only on the owning
+// fragment's replica set. The headline counter is `write_fanout`
+// (nodes touched per logical write): n for the baseline, exactly the
+// replica factor when routing is on — the per-write delta
+// BENCH_fragmentation.json's write-throughput section reports.
+void BM_FragmentedWrite(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int replica = static_cast<int>(state.range(1));
+  const auto& data = BenchData();
+  cjdbc::ReplicaSet replicas(
+      nodes, cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = 0});
+  if (!data.LoadIntoReplicas(&replicas).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  ApuamaEngine engine(&replicas, tpch::MakeTpchCatalog(data),
+                      ApuamaOptions{});
+  cjdbc::Controller controller(std::make_unique<ApuamaDriver>(&engine));
+  if (replica > 0) {
+    for (const char* t : {"lineitem", "orders"}) {
+      const std::string key = t[0] == 'l' ? "l_orderkey" : "o_orderkey";
+      auto r = controller.Execute(
+          "alter table " + std::string(t) + " fragment by hash(" + key +
+          ") into " + std::to_string(nodes) + " replica " +
+          std::to_string(replica));
+      if (!r.ok()) {
+        state.SkipWithError("fragmentation ddl failed");
+        return;
+      }
+    }
+  }
+  const int64_t lo = data.min_orderkey();
+  const int64_t hi = data.max_orderkey();
+  int64_t k = lo;
+  for (auto _ : state) {
+    auto r = controller.Execute(
+        "update orders set o_shippriority = 0 where o_orderkey = " +
+        std::to_string(k));
+    if (!r.ok()) {
+      state.SkipWithError("write failed");
+      return;
+    }
+    k = k + 37 > hi ? lo : k + 37;  // walk the key domain: vary routes
+    benchmark::DoNotOptimize(r);
+  }
+  const auto& st = engine.stats();
+  const uint64_t writes = std::max<uint64_t>(st.writes.load(), 1);
+  state.counters["write_fanout"] =
+      static_cast<double>(st.write_fanout_total.load()) /
+      static_cast<double>(writes);
+  state.counters["routed_frac"] =
+      static_cast<double>(st.routed_writes.load()) /
+      static_cast<double>(writes);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FragmentedWrite)
+    ->ArgsProduct({{4, 8}, {0, 1, 2}})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_LikeMatch(benchmark::State& state) {
   std::string text = "PROMO BURNISHED COPPER";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <limits>
 #include <set>
 
 #include "apuama/share/query_fingerprint.h"
@@ -54,7 +55,13 @@ std::vector<std::pair<std::string, uint64_t>> ApuamaStats::Kv() const {
           {"columnar_rebuilds", v(columnar_rebuilds)},
           {"merge_central", v(merge_central)},
           {"merge_partitioned", v(merge_partitioned)},
-          {"merge_radix", v(merge_radix)}};
+          {"merge_radix", v(merge_radix)},
+          {"routed_writes", v(routed_writes)},
+          {"write_fanout", v(write_fanout_total)},
+          {"exchange_bytes", v(exchange_bytes)},
+          {"exchange_shuffles", v(exchange_shuffles)},
+          {"exchange_broadcasts", v(exchange_broadcasts)},
+          {"fragments_pruned", v(fragments_pruned)}};
 }
 
 std::string ApuamaStats::ToString() const { return obs::RenderKvText(Kv()); }
@@ -70,7 +77,15 @@ ApuamaEngine::ApuamaEngine(cjdbc::ReplicaSet* replicas, DataCatalog catalog,
       }),
       result_cache_(options.result_cache_entries),
       share_scans_on_(options.enable_share_scans),
-      result_cache_on_(options.enable_result_cache) {
+      result_cache_on_(options.enable_result_cache),
+      fragmentation_on_(options.enable_fragmentation),
+      exchange_strategy_(exchange::ParseStrategy(options.exchange_strategy)) {
+  write_credits_ = std::make_unique<std::atomic<uint64_t>[]>(
+      static_cast<size_t>(replicas->num_nodes()));
+  for (int i = 0; i < replicas->num_nodes(); ++i) {
+    write_credits_[static_cast<size_t>(i)].store(0,
+                                                 std::memory_order_relaxed);
+  }
   NodeProcessorOptions node_options = options.node_options;
   if (node_options.exec_threads <= 0) {
     // Split one machine-wide thread budget across the nodes this
@@ -96,15 +111,23 @@ ApuamaEngine::ApuamaEngine(cjdbc::ReplicaSet* replicas, DataCatalog catalog,
 bool ApuamaEngine::ReplicasConsistent() const {
   // Down nodes are excluded: their counters freeze while unavailable
   // and they rejoin through recovery, not through this check.
+  //
+  // Counters are credit-adjusted: a routed write advances only its
+  // target nodes' counters, and each target earns one credit for it,
+  // so `counter - credit` is the count of broadcast writes — equal
+  // across replicas exactly when no broadcast is in flight. With no
+  // routed writes all credits are zero and this is the legacy raw
+  // comparison.
   std::vector<int> alive = replicas_->AvailableNodes();
   if (alive.empty()) return true;
-  uint64_t first =
-      processors_[static_cast<size_t>(alive[0])]->TransactionCounter();
+  auto adjusted = [this](int i) {
+    return processors_[static_cast<size_t>(i)]->TransactionCounter() -
+           write_credits_[static_cast<size_t>(i)].load(
+               std::memory_order_acquire);
+  };
+  const uint64_t first = adjusted(alive[0]);
   for (int i : alive) {
-    if (processors_[static_cast<size_t>(i)]->TransactionCounter() !=
-        first) {
-      return false;
-    }
+    if (adjusted(i) != first) return false;
   }
   return true;
 }
@@ -173,9 +196,24 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteRead(
     }
   }
   stats_.passthrough_reads.fetch_add(1, std::memory_order_relaxed);
+  if (auto fragmented = ExecuteFragmentedPassthrough(node_id, sql)) {
+    if (fragmented->ok()) stats_.NoteNodeStats((**fragmented).stats);
+    return std::move(*fragmented);
+  }
   auto result = processors_[static_cast<size_t>(node_id)]->Execute(sql);
   if (result.ok()) stats_.NoteNodeStats(result->stats);
   return result;
+}
+
+std::optional<std::vector<int>> ApuamaEngine::RouteWriteTargets(
+    const std::string& sql) {
+  WriteRoute route = ComputeWriteRoute(sql);
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (route_cache_.size() > 64) route_cache_.clear();
+    route_cache_[sql] = route;
+  }
+  return route.targets;
 }
 
 Result<engine::QueryResult> ApuamaEngine::ExecuteWriteOn(
@@ -183,32 +221,56 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteWriteOn(
   if (node_id < 0 || node_id >= num_nodes()) {
     return Status::InvalidArgument("bad node id");
   }
-  ConsistencyManager::WriteClass cls =
-      consistency_.BeginNodeWrite(node_id, sql);
+  WriteRoute route;
+  bool have_route = false;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    auto it = route_cache_.find(sql);
+    if (it != route_cache_.end()) {
+      route = it->second;
+      have_route = true;
+    }
+  }
+  if (!have_route) route = ComputeWriteRoute(sql);
+  ConsistencyManager::WriteClass cls = consistency_.BeginNodeWrite(
+      node_id, sql, route.targets.value_or(std::vector<int>{}), route.scope);
   if (cls == ConsistencyManager::WriteClass::kNew) {
     // Admission bump: epochs move even with the cache knob off —
     // entries filled while it was on must not survive a write
     // performed while it was off and then be served after re-enable.
-    std::string table = share::WriteTargetTable(sql);
     {
       std::lock_guard<std::mutex> lock(write_table_mu_);
-      open_write_table_ = table;
+      open_write_keys_ = route.epoch_keys;
     }
-    result_cache_.BeginTableWrite(table);
+    result_cache_.BeginTableWrite(route.epoch_keys);
+    stats_.writes.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t fanout = route.targets
+                                ? static_cast<uint64_t>(route.targets->size())
+                                : static_cast<uint64_t>(num_nodes());
+    last_write_fanout_.store(fanout, std::memory_order_relaxed);
+    stats_.write_fanout_total.fetch_add(fanout, std::memory_order_relaxed);
+    if (route.targets) {
+      stats_.routed_writes.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   auto result = processors_[static_cast<size_t>(node_id)]->Execute(sql);
+  if (result.ok() && route.targets) {
+    // This node advanced its transaction counter for a write the
+    // non-target nodes will never see: credit it so ReplicasConsistent
+    // keeps comparing counter - credit (see that function).
+    write_credits_[static_cast<size_t>(node_id)].fetch_add(
+        1, std::memory_order_release);
+    consistency_.NotifyStateChange();
+  }
   if (consistency_.EndNodeWrite(node_id, cls)) {
     // Completion bump: after this, no lookup can return a result
     // computed before the write (see ResultCache freshness contract).
-    std::string table;
+    std::vector<std::string> keys;
     {
       std::lock_guard<std::mutex> lock(write_table_mu_);
-      table = open_write_table_;
+      keys = open_write_keys_;
     }
-    result_cache_.EndTableWrite(table);
-  }
-  if (node_id == 0) {
-    stats_.writes.fetch_add(1, std::memory_order_relaxed);
+    result_cache_.EndTableWrite(keys);
   }
   return result;
 }
@@ -220,6 +282,15 @@ std::vector<Result<engine::QueryResult>> ApuamaEngine::ExecuteSharedRead(
                        Status::Internal("shared read not dispatched")));
   if (node_id < 0 || node_id >= num_nodes()) {
     for (auto& r : out) r = Status::InvalidArgument("bad node id");
+    return out;
+  }
+  if (fragmentation_active()) {
+    // A shared scan reads the landing node's local fragments, which
+    // only hold part of a fragmented table: route each query through
+    // the placement-aware read path instead of batching.
+    for (size_t i = 0; i < sqls.size(); ++i) {
+      out[i] = ExecuteRead(node_id, sqls[i]);
+    }
     return out;
   }
   // Partition the batch: SVP-eligible queries keep the composition
@@ -295,7 +366,36 @@ std::shared_ptr<const engine::QueryResult> ApuamaEngine::CacheLookup(
 std::optional<share::ResultCache::FillTicket> ApuamaEngine::CacheBeginFill(
     const std::string& fingerprint, const std::set<std::string>& tables) {
   if (!cache_enabled()) return std::nullopt;
-  return result_cache_.BeginFill(fingerprint, catalog_.version(), tables,
+  std::set<std::string> keys = tables;
+  if (fragmentation_active()) {
+    // Routed writes bump only their fragment's epoch ("t#f"), so a
+    // cached result must also subscribe to the fragments it could
+    // have read. The SVP plan's predicate bounds narrow that set;
+    // without a plan every fragment is subscribed (conservative).
+    // The bare "t" key stays subscribed either way — it catches
+    // unattributable (broadcast) writes to the table.
+    int64_t pred_min = std::numeric_limits<int64_t>::min();
+    int64_t pred_max = std::numeric_limits<int64_t>::max();
+    if (options_.enable_intra_query) {
+      // The fingerprint is normalized-but-parseable SQL, so the plan
+      // cache can answer for it directly.
+      auto entry = RouteRead(fingerprint);
+      if (entry.ok() && (*entry)->kind == PlanCache::Kind::kSvp) {
+        pred_min = (*entry)->plan.pred_min();
+        pred_max = (*entry)->plan.pred_max();
+      }
+    }
+    for (const auto& t : tables) {
+      const FragmentationSpec* spec = catalog_.FragmentationFor(t);
+      if (spec == nullptr) continue;
+      for (int f = 0; f < spec->fragments; ++f) {
+        if (spec->Intersects(f, pred_min, pred_max)) {
+          keys.insert(t + "#" + std::to_string(f));
+        }
+      }
+    }
+  }
+  return result_cache_.BeginFill(fingerprint, catalog_.version(), keys,
                                  consistency_.logical_writes());
 }
 
@@ -318,6 +418,256 @@ void ApuamaEngine::SetResultCache(bool on) {
 }
 
 void ApuamaEngine::InvalidateResultCache() { result_cache_.InvalidateAll(); }
+
+void ApuamaEngine::SetFragmentationEnabled(bool on) {
+  const bool was = fragmentation_on_.exchange(on, std::memory_order_relaxed);
+  // Epoch keys change meaning across the flip (fragment keys stop or
+  // start being bumped): drop everything cached under the old regime.
+  if (was != on) InvalidateResultCache();
+}
+
+void ApuamaEngine::SetExchangeStrategy(const std::string& name) {
+  exchange_strategy_.store(exchange::ParseStrategy(name),
+                           std::memory_order_relaxed);
+}
+
+bool ApuamaEngine::fragmentation_active() const {
+  return fragmentation_on_.load(std::memory_order_relaxed) &&
+         catalog_.any_fragmented();
+}
+
+Status ApuamaEngine::ApplyFragmentationDdl(
+    const sql::AlterFragmentStmt& stmt) {
+  if (stmt.unfragment) {
+    return catalog_.ClearFragmentation(ToLower(stmt.table));
+  }
+  FragmentationSpec spec;
+  spec.table = ToLower(stmt.table);
+  spec.key_column = ToLower(stmt.column);
+  spec.method = stmt.by_hash ? FragmentationSpec::Method::kHash
+                             : FragmentationSpec::Method::kRange;
+  spec.fragments = static_cast<int>(stmt.fragments);
+  spec.replica_factor = static_cast<int>(stmt.replica_factor);
+  return catalog_.SetFragmentation(std::move(spec), num_nodes());
+}
+
+void ApuamaEngine::NoteRecoveryReplay(int node, bool routed) {
+  if (routed && node >= 0 && node < num_nodes()) {
+    // The replayed write was routed: its non-target replicas never
+    // bumped their counters, so this node's replay bump needs the
+    // matching credit (exactly as the original targets earned one).
+    write_credits_[static_cast<size_t>(node)].fetch_add(
+        1, std::memory_order_release);
+  }
+}
+
+std::vector<FragmentationSpec> ApuamaEngine::ActiveSpecsFor(
+    const std::vector<std::string>& tables) const {
+  std::vector<FragmentationSpec> out;
+  if (!fragmentation_active()) return out;
+  for (const auto& t : tables) {
+    const FragmentationSpec* spec = catalog_.FragmentationFor(t);
+    if (spec == nullptr) continue;
+    bool seen = false;
+    for (const auto& s : out) seen = seen || s.table == spec->table;
+    // Copied, not pointed to: a concurrent ALTER replacing the spec
+    // must not invalidate what a running query planned against.
+    if (!seen) out.push_back(*spec);
+  }
+  return out;
+}
+
+std::vector<std::string> ApuamaEngine::FragmentedReadScope(
+    const SvpPlan& plan,
+    const std::vector<FragmentationSpec>& specs) const {
+  // Whole-table keys for every referenced table (conflicts with
+  // broadcast writes, including to dimensions), plus the fragment
+  // keys this query can actually read (conflicts with routed writes
+  // to those fragments only — writers of pruned fragments proceed).
+  std::vector<std::string> scope(plan.all_tables());
+  for (const auto& spec : specs) {
+    for (int f = 0; f < spec.fragments; ++f) {
+      if (spec.Intersects(f, plan.pred_min(), plan.pred_max())) {
+        scope.push_back(spec.table + "#" + std::to_string(f));
+      }
+    }
+  }
+  return scope;
+}
+
+namespace {
+
+/// The int64 key a top-level equality conjunct pins `key_column` to,
+/// if any (`col = lit` or `lit = col`).
+std::optional<int64_t> EqualityKey(const sql::Expr* where,
+                                   const std::string& key_column) {
+  for (const sql::Expr* c : sql::SplitConjuncts(where)) {
+    if (c == nullptr || c->kind != sql::ExprKind::kBinary ||
+        c->binary_op != sql::BinaryOp::kEq) {
+      continue;
+    }
+    const sql::Expr* lhs = c->children[0].get();
+    const sql::Expr* rhs = c->children[1].get();
+    if (lhs->kind == sql::ExprKind::kLiteral) std::swap(lhs, rhs);
+    if (lhs->kind != sql::ExprKind::kColumnRef ||
+        rhs->kind != sql::ExprKind::kLiteral ||
+        rhs->literal.type() != ValueType::kInt64) {
+      continue;
+    }
+    if (ToLower(lhs->column_name) == key_column) {
+      return rhs->literal.int_val();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ApuamaEngine::WriteRoute ApuamaEngine::ComputeWriteRoute(
+    const std::string& sql) {
+  WriteRoute route;
+  const std::string table = share::WriteTargetTable(sql);
+  route.epoch_keys = {table};  // "" = global epoch, the legacy behavior
+  if (!fragmentation_active()) {
+    return route;  // empty scope = global barrier conflict (legacy)
+  }
+  if (table.empty()) {
+    // Unattributable write under fragmentation: global scope AND
+    // global epoch — conflicts with every reader, invalidates
+    // everything. Correct, just maximally conservative.
+    return route;
+  }
+  // Scoped but unrouted default: conflicts with any reader of the
+  // table, broadcast to every node.
+  route.scope = {table};
+  const FragmentationSpec* installed = catalog_.FragmentationFor(table);
+  if (installed == nullptr) return route;
+  const FragmentationSpec spec = *installed;  // copy (ALTER race)
+  auto parsed = sql::Parse(sql);
+  if (!parsed.ok()) return route;
+  std::vector<int64_t> written_keys;
+  switch ((*parsed)->kind()) {
+    case sql::StmtKind::kInsert: {
+      const auto& ins = static_cast<const sql::InsertStmt&>(**parsed);
+      int pos = -1;
+      if (!ins.columns.empty()) {
+        for (size_t i = 0; i < ins.columns.size(); ++i) {
+          if (ToLower(ins.columns[i]) == spec.key_column) {
+            pos = static_cast<int>(i);
+            break;
+          }
+        }
+      } else {
+        // Schema-order insert: the key's position comes from the
+        // node schema (immutable after CREATE TABLE, so reading it
+        // without the node mutex is safe).
+        auto t = replicas_->node(0)->catalog()->GetTable(spec.table);
+        if (t.ok()) pos = (*t)->schema().FindColumn(spec.key_column);
+      }
+      if (pos < 0) return route;
+      for (const auto& row : ins.rows) {
+        if (static_cast<size_t>(pos) >= row.size()) return route;
+        const sql::Expr* e = row[static_cast<size_t>(pos)].get();
+        if (e->kind != sql::ExprKind::kLiteral ||
+            e->literal.type() != ValueType::kInt64) {
+          return route;  // not statically attributable: broadcast
+        }
+        written_keys.push_back(e->literal.int_val());
+      }
+      break;
+    }
+    case sql::StmtKind::kDelete: {
+      const auto& del = static_cast<const sql::DeleteStmt&>(**parsed);
+      auto key = EqualityKey(del.where.get(), spec.key_column);
+      if (!key.has_value()) return route;
+      written_keys.push_back(*key);
+      break;
+    }
+    case sql::StmtKind::kUpdate: {
+      const auto& upd = static_cast<const sql::UpdateStmt&>(**parsed);
+      for (const auto& [col, expr] : upd.assignments) {
+        // An UPDATE that rewrites the key could move the row to a
+        // different fragment; never route those.
+        if (ToLower(col) == spec.key_column) return route;
+      }
+      auto key = EqualityKey(upd.where.get(), spec.key_column);
+      if (!key.has_value()) return route;
+      written_keys.push_back(*key);
+      break;
+    }
+    default:
+      return route;
+  }
+  if (written_keys.empty()) return route;
+  std::vector<int> fragments;
+  for (int64_t k : written_keys) {
+    const int f = spec.FragmentOf(k);
+    if (std::find(fragments.begin(), fragments.end(), f) ==
+        fragments.end()) {
+      fragments.push_back(f);
+    }
+  }
+  std::sort(fragments.begin(), fragments.end());
+  std::vector<std::string> keys;
+  std::vector<int> targets;
+  for (int f : fragments) {
+    keys.push_back(table + "#" + std::to_string(f));
+    for (int h : spec.HostsOf(f)) {
+      if (std::find(targets.begin(), targets.end(), h) == targets.end()) {
+        targets.push_back(h);
+      }
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+  route.targets = std::move(targets);
+  route.scope = keys;
+  route.epoch_keys = std::move(keys);
+  return route;
+}
+
+std::optional<Result<engine::QueryResult>>
+ApuamaEngine::ExecuteFragmentedPassthrough(int node_id,
+                                           const std::string& sql) {
+  if (!fragmentation_active()) return std::nullopt;
+  auto parsed = sql::ParseSelect(sql);
+  if (!parsed.ok()) return std::nullopt;  // not a SELECT: normal path
+  std::set<std::string> referenced = sql::AllReferencedTables(**parsed);
+  std::vector<FragmentationSpec> specs = ActiveSpecsFor(
+      std::vector<std::string>(referenced.begin(), referenced.end()));
+  if (specs.empty()) return std::nullopt;  // no fragmented table read
+  std::vector<const FragmentationSpec*> spec_ptrs;
+  spec_ptrs.reserve(specs.size());
+  for (const auto& s : specs) spec_ptrs.push_back(&s);
+  std::vector<int> alive = replicas_->AvailableNodes();
+  if (alive.empty()) {
+    return Result<engine::QueryResult>(
+        Status::Unavailable("no node available"));
+  }
+  // A non-rewritable read cannot be interval-carved: run it whole on
+  // a node that hosts every fragment, materializing whole-table
+  // copies there when no node does.
+  exchange::ExchangeOperator ex(
+      replicas_, exchange_seq_.fetch_add(1, std::memory_order_relaxed),
+      exchange_strategy_.load(std::memory_order_relaxed));
+  auto assignment = ex.PrepareWholeTables(spec_ptrs, alive, node_id);
+  if (!assignment.ok()) {
+    return Result<engine::QueryResult>(assignment.status());
+  }
+  std::string to_run = sql;
+  if (!assignment->table_map.empty()) {
+    RemapSelectTables(parsed->get(), assignment->table_map);
+    to_run = sql::UnparseSelect(**parsed);
+  }
+  auto result =
+      processors_[static_cast<size_t>(assignment->node)]->Execute(to_run);
+  stats_.exchange_bytes.fetch_add(ex.bytes_shipped(),
+                                  std::memory_order_relaxed);
+  stats_.exchange_shuffles.fetch_add(ex.shuffles(),
+                                     std::memory_order_relaxed);
+  stats_.exchange_broadcasts.fetch_add(ex.broadcasts(),
+                                       std::memory_order_relaxed);
+  return result;
+}
 
 Result<engine::QueryResult> ApuamaEngine::ExecuteSvp(
     const sql::SelectStmt& query) {
@@ -393,8 +743,218 @@ Status ApuamaEngine::RetryFailedIntervals(
   return Status::OK();
 }
 
+Result<engine::QueryResult> ApuamaEngine::ExecuteSvpPlanFragmented(
+    SvpPlan plan, SvpProfile* profile,
+    std::vector<FragmentationSpec> specs) {
+  // Fragmented variant of ExecuteSvpPlan: nodes hold only their
+  // placed fragments, so each interval runs on a node the exchange
+  // operator picks (zero-movement when placement allows, materialized
+  // temps otherwise), and intervals outside the query's predicate
+  // bounds are pruned instead of dispatched.
+  std::vector<int> alive = replicas_->AvailableNodes();
+  if (alive.empty()) return Status::Unavailable("no node available");
+  const int n = static_cast<int>(alive.size());
+  auto intervals = plan.MakeIntervals(n);
+
+  // Fragment pruning: an interval entirely outside the inclusive
+  // predicate bounds contributes a provably empty partial. At least
+  // one interval always runs — partial-aggregate composition needs a
+  // feed even when it carries zero rows.
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    const auto [lo, hi] = intervals[i];
+    if (lo < hi && lo <= plan.pred_max() && hi - 1 >= plan.pred_min()) {
+      kept.push_back(i);
+    }
+  }
+  if (kept.empty()) kept.push_back(0);
+  const uint64_t pruned =
+      static_cast<uint64_t>(intervals.size() - kept.size());
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const bool tracing = tracer.enabled();
+  const bool timed = profile != nullptr;
+  obs::Span svp_span = tracer.StartSpan("engine.svp", "engine");
+  if (svp_span.active()) svp_span.AddAttr("nodes", n);
+  const uint64_t dispatch_parent =
+      svp_span.active() ? svp_span.id() : tracer.current_span_id();
+
+  if (timed) {
+    *profile = SvpProfile{};
+    profile->node_times_us.assign(kept.size(), 0);
+    profile->node_ids.assign(kept.size(), -1);
+    profile->fragments_pruned = pruned;
+  }
+
+  std::vector<std::pair<int64_t, int64_t>> kept_intervals;
+  std::vector<int> preferred;
+  kept_intervals.reserve(kept.size());
+  preferred.reserve(kept.size());
+  for (size_t k : kept) {
+    kept_intervals.push_back(intervals[k]);
+    // The node interval k would run on under full replication — kept
+    // so the co-partitioned aligned case routes identically to the
+    // replicated baseline.
+    preferred.push_back(alive[k]);
+  }
+
+  std::vector<const FragmentationSpec*> spec_ptrs;
+  spec_ptrs.reserve(specs.size());
+  for (const auto& s : specs) spec_ptrs.push_back(&s);
+  exchange::ExchangeOperator ex(
+      replicas_, exchange_seq_.fetch_add(1, std::memory_order_relaxed),
+      exchange_strategy_.load(std::memory_order_relaxed));
+  const std::vector<std::string> read_scope =
+      FragmentedReadScope(plan, specs);
+
+  // Scoped barrier, held through exchange planning: materialized
+  // slices must snapshot the same committed state the local fragments
+  // will serve when the sub-queries run.
+  {
+    const int64_t barrier_t0 = (timed || tracing) ? SteadyUs() : 0;
+    obs::Span barrier_span = tracer.StartSpan("engine.barrier", "engine");
+    consistency_.BeginSvpPrepare([this] { return ReplicasConsistent(); },
+                                 read_scope);
+    const int64_t barrier_us =
+        (timed || tracing) ? SteadyUs() - barrier_t0 : 0;
+    if (timed) profile->barrier_wait_us = barrier_us;
+    if (tracing) {
+      obs::Registry::Global()
+          .GetHistogram("engine.barrier_wait_us",
+                        obs::Histogram::DefaultLatencyBoundsUs())
+          ->Observe(barrier_us);
+    }
+  }
+  auto assignments_or =
+      ex.Prepare(kept_intervals, spec_ptrs, alive, preferred);
+  if (!assignments_or.ok()) {
+    consistency_.EndSvpPrepare(read_scope);
+    return assignments_or.status();
+  }
+  std::vector<exchange::Assignment> assignments =
+      std::move(assignments_or).value();
+
+  // Render all sub-queries before dispatch (rendering mutates the
+  // plan template and is not thread-safe; dispatch is).
+  std::vector<std::string> sub_sql(kept.size());
+  for (size_t k = 0; k < kept.size(); ++k) {
+    const auto [lo, hi] = kept_intervals[k];
+    sub_sql[k] = assignments[k].table_map.empty()
+                     ? plan.SubquerySql(lo, hi)
+                     : plan.SubquerySqlMapped(lo, hi,
+                                              assignments[k].table_map);
+    if (timed) profile->node_ids[k] = assignments[k].node;
+  }
+
+  std::vector<std::future<Result<engine::QueryResult>>> futures;
+  futures.reserve(kept.size());
+  for (size_t k = 0; k < kept.size(); ++k) {
+    NodeProcessor* np =
+        processors_[static_cast<size_t>(assignments[k].node)].get();
+    std::string stmt = sub_sql[k];
+    const int node = assignments[k].node;
+    int64_t* time_slot = timed ? &profile->node_times_us[k] : nullptr;
+    futures.push_back(dispatch_pool_->Submit(
+        [np, stmt = std::move(stmt), &tracer, tracing, dispatch_parent,
+         node, time_slot] {
+          obs::Span span =
+              tracing ? tracer.StartSpanUnder(dispatch_parent,
+                                              "node.subquery", "node")
+                      : obs::Span();
+          if (span.active()) span.AddAttr("node", node);
+          const int64_t t0 = time_slot != nullptr ? SteadyUs() : 0;
+          auto r = np->ExecuteSubquery(stmt);
+          if (time_slot != nullptr) *time_slot = SteadyUs() - t0;
+          return r;
+        }));
+  }
+  consistency_.EndSvpPrepare(read_scope);  // all sub-queries dispatched
+
+  StreamingComposition sink(plan.merge_program(), plan.composition_sql());
+  Status first_error = Status::OK();
+  std::vector<size_t> failed;
+  for (size_t k = 0; k < futures.size(); ++k) {
+    Result<engine::QueryResult> r = futures[k].get();
+    if (r.ok()) {
+      stats_.NoteNodeStats(r->stats);
+      if (timed) profile->node_stats += r->stats;
+      APUAMA_RETURN_NOT_OK(sink.Add(std::move(r).value()));
+    } else if (r.status().code() == StatusCode::kUnavailable) {
+      failed.push_back(k);
+    } else if (first_error.ok()) {
+      first_error = r.status();
+    }
+  }
+  if (!first_error.ok()) return first_error;
+  // Retries stay within each interval's placement: only a node
+  // hosting the interval's fragments can rerun it (an exchanged
+  // interval's temps live on one node — no alternates).
+  if (timed) profile->retries += failed.size();
+  for (size_t idx : failed) {
+    stats_.svp_retries.fetch_add(1, std::memory_order_relaxed);
+    bool recovered = false;
+    for (int cand : assignments[idx].alternates) {
+      if (cand == assignments[idx].node) continue;
+      if (!replicas_->IsNodeAvailable(cand)) continue;
+      auto r =
+          processors_[static_cast<size_t>(cand)]->ExecuteSubquery(
+              sub_sql[idx]);
+      if (r.ok()) {
+        stats_.NoteNodeStats(r->stats);
+        if (timed) profile->node_stats += r->stats;
+        APUAMA_RETURN_NOT_OK(sink.Add(std::move(r).value()));
+        recovered = true;
+        break;
+      }
+      if (r.status().code() != StatusCode::kUnavailable) {
+        return r.status();
+      }
+    }
+    if (!recovered) {
+      return Status::Unavailable(
+          "no placement-eligible node left for fragmented interval");
+    }
+  }
+
+  CompositionStats cstats;
+  obs::Span compose_span = tracer.StartSpan("engine.compose", "engine");
+  Result<engine::QueryResult> final_result = sink.Finish(&cstats);
+  compose_span.End();
+  if (timed) {
+    profile->compose_us = sink.compose_micros();
+    profile->partial_rows = cstats.partial_rows;
+    profile->exchange_bytes = ex.bytes_shipped();
+  }
+  stats_.fragments_pruned.fetch_add(pruned, std::memory_order_relaxed);
+  stats_.exchange_bytes.fetch_add(ex.bytes_shipped(),
+                                  std::memory_order_relaxed);
+  stats_.exchange_shuffles.fetch_add(ex.shuffles(),
+                                     std::memory_order_relaxed);
+  stats_.exchange_broadcasts.fetch_add(ex.broadcasts(),
+                                       std::memory_order_relaxed);
+  if (final_result.ok()) {
+    stats_.svp_queries.fetch_add(1, std::memory_order_relaxed);
+    stats_.partial_rows_total.fetch_add(cstats.partial_rows,
+                                        std::memory_order_relaxed);
+    stats_.compose_ms_total.fetch_add(sink.compose_micros() / 1000,
+                                      std::memory_order_relaxed);
+    (cstats.used_fast_path ? stats_.compose_fastpath
+                           : stats_.compose_fallback)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  return final_result;
+}
+
 Result<engine::QueryResult> ApuamaEngine::ExecuteSvpPlan(
     SvpPlan plan, SvpProfile* profile) {
+  {
+    std::vector<FragmentationSpec> specs =
+        ActiveSpecsFor(plan.fact_tables());
+    if (!specs.empty()) {
+      return ExecuteSvpPlanFragmented(std::move(plan), profile,
+                                      std::move(specs));
+    }
+  }
   // Intra-Query Executor. Partition over the *available* nodes: a
   // crashed replica's key range is redistributed across the
   // survivors (full replication makes any node able to serve any
@@ -526,6 +1086,17 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAvp(
 
 Result<engine::QueryResult> ApuamaEngine::ExecuteAvpPlan(
     SvpPlan plan, SvpProfile* profile) {
+  {
+    // AVP's range stealing assumes any node can serve any chunk —
+    // false once tables are physically fragmented. Fall back to the
+    // placement-aware SVP dispatch for those plans.
+    std::vector<FragmentationSpec> specs =
+        ActiveSpecsFor(plan.fact_tables());
+    if (!specs.empty()) {
+      return ExecuteSvpPlanFragmented(std::move(plan), profile,
+                                      std::move(specs));
+    }
+  }
   std::vector<int> alive = replicas_->AvailableNodes();
   if (alive.empty()) return Status::Unavailable("no node available");
   const int n = static_cast<int>(alive.size());
@@ -690,7 +1261,11 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAnalyze(
   if (!dispatched) {
     stats_.passthrough_reads.fetch_add(1, std::memory_order_relaxed);
     const int64_t t0 = SteadyUs();
-    result = processors_[static_cast<size_t>(node_id)]->Execute(inner_sql);
+    if (auto fragmented = ExecuteFragmentedPassthrough(node_id, inner_sql)) {
+      result = std::move(*fragmented);
+    } else {
+      result = processors_[static_cast<size_t>(node_id)]->Execute(inner_sql);
+    }
     profile.node_times_us = {SteadyUs() - t0};
     profile.node_ids = {node_id};
     if (result.ok()) {
@@ -748,6 +1323,13 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAnalyze(
   add("compose", "output_rows", static_cast<int64_t>(result->rows.size()));
   add("share", "result_cache_on", cache_enabled() ? 1 : 0);
   add("share", "share_scans_on", sharing_enabled() ? 1 : 0);
+  add("fragment", "exchange_bytes",
+      static_cast<int64_t>(profile.exchange_bytes));
+  add("fragment", "fragments_pruned",
+      static_cast<int64_t>(profile.fragments_pruned));
+  add("fragment", "write_fanout",
+      static_cast<int64_t>(last_write_fanout_.load(
+          std::memory_order_relaxed)));
   add("query", "elapsed_us", elapsed_us);
   qr.stats = result->stats;
   return qr;
@@ -763,7 +1345,14 @@ void MaybeFlipSharingKnob(ApuamaEngine* engine, const sql::Stmt& stmt) {
   if (stmt.kind() != sql::StmtKind::kSet) return;
   const auto& set = static_cast<const sql::SetStmt&>(stmt);
   const std::string name = ToLower(set.name);
-  if (name != "share_scans" && name != "result_cache") return;
+  if (name == "exchange_strategy") {
+    engine->SetExchangeStrategy(set.value);
+    return;
+  }
+  if (name != "share_scans" && name != "result_cache" &&
+      name != "fragmentation") {
+    return;
+  }
   const std::string value = ToLower(set.value);
   bool on;
   if (value == "on" || value == "true" || value == "1") {
@@ -775,8 +1364,10 @@ void MaybeFlipSharingKnob(ApuamaEngine* engine, const sql::Stmt& stmt) {
   }
   if (name == "share_scans") {
     engine->SetShareScans(on);
-  } else {
+  } else if (name == "result_cache") {
     engine->SetResultCache(on);
+  } else {
+    engine->SetFragmentationEnabled(on);
   }
 }
 
@@ -786,10 +1377,24 @@ class ApuamaConnection : public cjdbc::Connection {
       : engine_(engine), node_id_(node_id) {}
 
   Result<engine::QueryResult> ExecuteRecovery(
-      const std::string& sql) override {
+      const std::string& sql, bool routed) override {
     // Replay goes straight to the node: the controller already holds
     // the write order and this statement is not a broadcast.
+    if (auto parsed = sql::Parse(sql);
+        parsed.ok() &&
+        (*parsed)->kind() == sql::StmtKind::kAlterFragment) {
+      // Middleware-level DDL: the catalog already changed when the
+      // statement first ran; there is nothing to replay on the node.
+      engine_->InvalidateResultCache();
+      return engine::QueryResult{};
+    }
     auto result = engine_->processor(node_id_)->Execute(sql);
+    if (result.ok()) {
+      // `routed` comes from the recovery log (whether the original
+      // write was fragment-routed), NOT recomputed here — the
+      // fragmentation spec may have changed since the write ran.
+      engine_->NoteRecoveryReplay(node_id_, routed);
+    }
     // Replayed writes bypass the per-table epoch bracketing, so the
     // cache cannot attribute them: drop everything.
     engine_->InvalidateResultCache();
@@ -810,6 +1415,18 @@ class ApuamaConnection : public cjdbc::Connection {
       case cjdbc::RequestKind::kWrite:
         return engine_->ExecuteWriteOn(node_id_, sql);
       case cjdbc::RequestKind::kDdl: {
+        if (parsed->kind() == sql::StmtKind::kAlterFragment) {
+          // Fragmentation DDL changes middleware metadata only — no
+          // stored rows move, so the node DBMS never sees it. The
+          // catalog version bump keys both caches: a plan compiled
+          // against the old placement can never be reused, and every
+          // cached result (keyed on the old version) goes stale.
+          const auto& alter =
+              static_cast<const sql::AlterFragmentStmt&>(*parsed);
+          APUAMA_RETURN_NOT_OK(engine_->ApplyFragmentationDdl(alter));
+          engine_->InvalidateResultCache();
+          return engine::QueryResult{};
+        }
         // Schema statements pass straight through to the node (the
         // controller broadcasts them to every backend); any cached
         // result may now name dropped tables or miss new data.

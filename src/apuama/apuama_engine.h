@@ -16,12 +16,15 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "apuama/avp.h"
 #include "apuama/consistency.h"
 #include "apuama/data_catalog.h"
+#include "apuama/exchange/exchange.h"
 #include "apuama/node_processor.h"
 #include "apuama/plan_cache.h"
 #include "apuama/result_composer.h"
@@ -69,6 +72,15 @@ struct ApuamaOptions {
   /// batch open for more arrivals.
   bool enable_share_scans = false;
   int64_t admission_window_us = 200;
+  /// Initial state of the physical-fragmentation overlay
+  /// (SET fragmentation flips it at runtime). Inert until a
+  /// FragmentationSpec is installed in the Data Catalog; with no spec
+  /// the engine behaves identically either way.
+  bool enable_fragmentation = true;
+  /// Initial exchange movement strategy: "auto" (broadcast-small when
+  /// possible, else shuffle), "shuffle", or "broadcast"
+  /// (SET exchange_strategy flips it at runtime).
+  std::string exchange_strategy = "auto";
 };
 
 /// Cumulative engine statistics (observability / tests / benches).
@@ -105,6 +117,16 @@ struct ApuamaStats {
   std::atomic<uint64_t> merge_central{0};      // adaptive-merge decisions
   std::atomic<uint64_t> merge_partitioned{0};
   std::atomic<uint64_t> merge_radix{0};
+  // Physical fragmentation (shared-nothing overlay):
+  std::atomic<uint64_t> routed_writes{0};      // writes sent to a replica
+                                               // set instead of broadcast
+  std::atomic<uint64_t> write_fanout_total{0};  // nodes touched, summed
+                                                // over logical writes
+  std::atomic<uint64_t> exchange_bytes{0};     // bytes moved between nodes
+  std::atomic<uint64_t> exchange_shuffles{0};  // shuffled assignments
+  std::atomic<uint64_t> exchange_broadcasts{0};  // small tables broadcast
+  std::atomic<uint64_t> fragments_pruned{0};   // intervals skipped by
+                                               // predicate pruning
 
   /// Folds one node result's columnar counters into the engine-wide
   /// totals (called wherever a node ExecStats crosses the middleware
@@ -144,6 +166,8 @@ struct SvpProfile {
   int64_t compose_us = 0;
   uint64_t partial_rows = 0;
   uint64_t retries = 0;
+  uint64_t exchange_bytes = 0;     // moved for this query
+  uint64_t fragments_pruned = 0;   // intervals pruned for this query
   engine::ExecStats node_stats;  // summed over all partials
 };
 
@@ -201,6 +225,27 @@ class ApuamaEngine : public share::WorkSharingHooks {
   /// SET share_scans / SET result_cache broadcasts).
   void SetShareScans(bool on);
   void SetResultCache(bool on);
+  /// SET fragmentation on|off — toggles the physical-fragmentation
+  /// overlay (routing, scoped barrier, exchange). Turning it off does
+  /// NOT re-replicate data already diverged by routed writes: the
+  /// byte-for-byte restoration contract holds when no routed write
+  /// happened while it was on. Drops the result cache (epoch keys
+  /// change meaning across the flip).
+  void SetFragmentationEnabled(bool on);
+  /// SET exchange_strategy = auto|shuffle|broadcast.
+  void SetExchangeStrategy(const std::string& name);
+  /// True when the overlay is on AND at least one table has a spec.
+  bool fragmentation_active() const;
+  /// Applies ALTER TABLE ... FRAGMENT BY / UNFRAGMENT to the Data
+  /// Catalog (middleware-level DDL: no stored rows move).
+  Status ApplyFragmentationDdl(const sql::AlterFragmentStmt& stmt);
+  /// Driver hook (cjdbc::Driver::RouteWrite): nodes that must apply
+  /// this write synchronously, or nullopt to broadcast.
+  std::optional<std::vector<int>> RouteWriteTargets(const std::string& sql);
+  /// Recovery replay applied a write to `node` outside the broadcast
+  /// bracket; `routed` says whether the original write was routed (the
+  /// node owes a counter credit so ReplicasConsistent stays adjusted).
+  void NoteRecoveryReplay(int node, bool routed);
   /// Drops every cached result (DDL, recovery replay).
   void InvalidateResultCache();
   share::ResultCache* result_cache() { return &result_cache_; }
@@ -233,6 +278,48 @@ class ApuamaEngine : public share::WorkSharingHooks {
   /// real rewrite failure, which is never cached.
   Result<std::shared_ptr<const PlanCache::Entry>> RouteRead(
       const std::string& sql);
+
+  /// Where a write goes and which epochs it bumps.
+  struct WriteRoute {
+    /// Nodes that must apply the write; nullopt = broadcast.
+    std::optional<std::vector<int>> targets;
+    /// Barrier conflict scope (empty = global, the legacy behavior).
+    std::vector<std::string> scope;
+    /// Result-cache epoch keys to bump ("t", "t#f", or "" = global).
+    std::vector<std::string> epoch_keys;
+  };
+  /// Parses the statement and, when fragmentation is active and every
+  /// written key is statically attributable to fragments, routes it to
+  /// the owning replica sets. Anything else degrades safely to a
+  /// broadcast with whole-table (or global) scope.
+  WriteRoute ComputeWriteRoute(const std::string& sql);
+
+  /// Installed specs for the given tables, copied (an ALTER replacing
+  /// a spec must not invalidate pointers a running query holds).
+  /// Empty when the overlay is off.
+  std::vector<FragmentationSpec> ActiveSpecsFor(
+      const std::vector<std::string>& tables) const;
+
+  /// Scoped-barrier read scope for a fragmented SVP dispatch: every
+  /// referenced table, plus the fragments of fragmented tables that
+  /// intersect the plan's predicate bounds.
+  std::vector<std::string> FragmentedReadScope(
+      const SvpPlan& plan, const std::vector<FragmentationSpec>& specs) const;
+
+  /// Fragment-aware execution of a non-rewritable / passthrough read:
+  /// picks a node covering every fragment (or materializes whole
+  /// copies on one node and remaps the query). nullopt when the query
+  /// touches no fragmented table (caller runs the normal path).
+  std::optional<Result<engine::QueryResult>> ExecuteFragmentedPassthrough(
+      int node_id, const std::string& sql);
+
+  /// The fragmented SVP dispatch: prune intervals to the predicate
+  /// bounds, let the exchange operator place (and if needed move)
+  /// each interval, dispatch, compose. Called by ExecuteSvpPlan when
+  /// the plan touches fragmented tables.
+  Result<engine::QueryResult> ExecuteSvpPlanFragmented(
+      SvpPlan plan, SvpProfile* profile,
+      std::vector<FragmentationSpec> specs);
 
   /// Runs a rewritten plan end to end. Composition is per-query and
   /// streaming: no shared composer, no global lock. A non-null
@@ -267,11 +354,29 @@ class ApuamaEngine : public share::WorkSharingHooks {
   // race with concurrent readers of the flags.
   std::atomic<bool> share_scans_on_;
   std::atomic<bool> result_cache_on_;
-  // Target table of the open logical write: recorded at admission
+  std::atomic<bool> fragmentation_on_;
+  std::atomic<exchange::Strategy> exchange_strategy_;
+  // Epoch keys of the open logical write: recorded at admission
   // (the consistency manager keeps one broadcast open at a time),
   // consumed by the completion epoch bump.
   std::mutex write_table_mu_;
-  std::string open_write_table_;
+  std::vector<std::string> open_write_keys_;
+  // Per-node counter credits: a routed write bumps only its targets'
+  // transaction counters, so ReplicasConsistent compares
+  // counter - credit instead of raw counters (all-zero credits make
+  // that identical to the legacy raw comparison).
+  std::unique_ptr<std::atomic<uint64_t>[]> write_credits_;
+  // Disambiguates exchange temp-table names across concurrent queries.
+  std::atomic<uint64_t> exchange_seq_{0};
+  // Routes computed for the controller (RouteWriteTargets) are reused
+  // by ExecuteWriteOn so both sides of a write agree on its targets
+  // even if an ALTER ... FRAGMENT lands in between (a recompute could
+  // otherwise wait on per-node statements that never arrive).
+  std::mutex route_mu_;
+  std::unordered_map<std::string, WriteRoute> route_cache_;
+  // Fan-out (node count) of the most recent logical write, surfaced
+  // by EXPLAIN ANALYZE as fragment/write_fanout.
+  std::atomic<uint64_t> last_write_fanout_{0};
   // Contributes stats_ to obs::Registry dumps; the handle unregisters
   // on destruction so a dump never reads a freed engine.
   obs::Registry::ProviderHandle metrics_provider_;
@@ -287,6 +392,10 @@ class ApuamaDriver : public cjdbc::Driver {
   Result<std::unique_ptr<cjdbc::Connection>> Connect(int node_id) override;
   int num_nodes() const override { return engine_->num_nodes(); }
   share::WorkSharingHooks* work_sharing() override { return engine_; }
+  std::optional<std::vector<int>> RouteWrite(
+      const std::string& sql) override {
+    return engine_->RouteWriteTargets(sql);
+  }
 
  private:
   ApuamaEngine* engine_;

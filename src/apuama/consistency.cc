@@ -12,9 +12,43 @@ ConsistencyManager::ConsistencyManager(
       node_done_(static_cast<size_t>(num_nodes_), false),
       last_done_(static_cast<size_t>(num_nodes_), true) {}
 
+bool ConsistencyManager::ScopesConflict(const std::vector<std::string>& a,
+                                        const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return true;
+  for (const auto& x : a) {
+    for (const auto& y : b) {
+      if (x == y) return true;
+    }
+  }
+  return false;
+}
+
+bool ConsistencyManager::AnyPreparingConflictsLocked(
+    const std::vector<std::string>& write_scope) const {
+  for (const auto& rs : preparing_scopes_) {
+    if (ScopesConflict(rs, write_scope)) return true;
+  }
+  return false;
+}
+
+bool ConsistencyManager::AnyWriteConflictsLocked(
+    const std::vector<std::string>& read_scope) const {
+  if ((write_open_ || executing_open_ > 0) &&
+      ScopesConflict(open_scope_, read_scope)) {
+    return true;
+  }
+  if (executing_tail_ > 0 && ScopesConflict(last_scope_, read_scope)) {
+    return true;
+  }
+  return false;
+}
+
 bool ConsistencyManager::BroadcastComplete() const {
   for (int i = 0; i < num_nodes_; ++i) {
-    if (node_done_[static_cast<size_t>(i)]) continue;
+    const size_t ni = static_cast<size_t>(i);
+    if (node_done_[ni]) continue;
+    // A routed write only waits for its target replica set.
+    if (!open_targeted_.empty() && !open_targeted_[ni]) continue;
     // A node the controller cannot reach is not waited for.
     if (node_relevant_ && !node_relevant_(i)) continue;
     return false;
@@ -26,34 +60,49 @@ void ConsistencyManager::CloseBroadcastLocked() {
   write_open_ = false;
   last_stmt_ = std::move(open_stmt_);
   last_done_ = node_done_;
+  last_scope_ = std::move(open_scope_);
   open_stmt_.clear();
+  open_scope_.clear();
+  open_targeted_.clear();
 }
 
 ConsistencyManager::WriteClass ConsistencyManager::BeginNodeWrite(
-    int node, const std::string& statement) {
+    int node, const std::string& statement,
+    const std::vector<int>& targets,
+    const std::vector<std::string>& scope) {
   std::unique_lock<std::mutex> lock(mu_);
   const size_t ni = static_cast<size_t>(node);
   if (write_open_ && statement == open_stmt_ && node >= 0 &&
       node < num_nodes_ && !node_done_[ni]) {
-    ++nodes_executing_;
+    ++executing_open_;
     return WriteClass::kContinuation;
   }
   if (!write_open_ && statement == last_stmt_ && node >= 0 &&
       node < num_nodes_ && !last_done_[ni]) {
     // Late statement of the previous broadcast (its node was
     // unreachable when the broadcast closed).
-    ++nodes_executing_;
+    ++executing_tail_;
     return WriteClass::kTail;
   }
-  // A new logical write: wait until no SVP dispatch is preparing and
-  // the previous broadcast is fully applied.
-  if (svp_preparing_ > 0) ++writes_blocked_;
-  cv_.wait(lock, [this] { return svp_preparing_ == 0 && !write_open_; });
+  // A new logical write: wait until no conflicting SVP dispatch is
+  // preparing and the previous broadcast is fully applied.
+  if (AnyPreparingConflictsLocked(scope)) ++writes_blocked_;
+  cv_.wait(lock, [this, &scope] {
+    return !AnyPreparingConflictsLocked(scope) && !write_open_;
+  });
   write_open_ = true;
   open_stmt_ = statement;
+  open_scope_ = scope;
   std::fill(node_done_.begin(), node_done_.end(), false);
+  open_targeted_.clear();
+  if (!targets.empty()) {
+    open_targeted_.assign(static_cast<size_t>(num_nodes_), false);
+    for (int t : targets) {
+      if (t >= 0 && t < num_nodes_) open_targeted_[static_cast<size_t>(t)] = true;
+    }
+  }
   ++logical_writes_;
-  ++nodes_executing_;
+  ++executing_open_;
   return WriteClass::kNew;
 }
 
@@ -61,7 +110,11 @@ bool ConsistencyManager::EndNodeWrite(int node, WriteClass cls) {
   bool closed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    --nodes_executing_;
+    if (cls == WriteClass::kTail) {
+      --executing_tail_;
+    } else {
+      --executing_open_;
+    }
     if (node >= 0 && node < num_nodes_) {
       const size_t ni = static_cast<size_t>(node);
       if (cls == WriteClass::kTail) {
@@ -80,20 +133,25 @@ bool ConsistencyManager::EndNodeWrite(int node, WriteClass cls) {
 }
 
 void ConsistencyManager::BeginSvpPrepare(
-    const std::function<bool()>& counters_equal) {
+    const std::function<bool()>& counters_equal,
+    const std::vector<std::string>& read_scope) {
   std::unique_lock<std::mutex> lock(mu_);
-  ++svp_preparing_;  // blocks new logical writes immediately
-  if (write_open_ || nodes_executing_ > 0) ++svp_waits_;
-  cv_.wait(lock, [this, &counters_equal] {
-    return !write_open_ && nodes_executing_ == 0 &&
+  // Blocks new conflicting logical writes immediately.
+  preparing_scopes_.push_back(read_scope);
+  if (AnyWriteConflictsLocked(read_scope)) ++svp_waits_;
+  cv_.wait(lock, [this, &counters_equal, &read_scope] {
+    return !AnyWriteConflictsLocked(read_scope) &&
            (!counters_equal || counters_equal());
   });
 }
 
-void ConsistencyManager::EndSvpPrepare() {
+void ConsistencyManager::EndSvpPrepare(
+    const std::vector<std::string>& read_scope) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    --svp_preparing_;
+    auto it = std::find(preparing_scopes_.begin(), preparing_scopes_.end(),
+                        read_scope);
+    if (it != preparing_scopes_.end()) preparing_scopes_.erase(it);
   }
   cv_.notify_all();
 }

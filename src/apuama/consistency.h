@@ -22,6 +22,15 @@
 // rejoin). A statement arriving for a node after its broadcast
 // already closed (the attempt on a dead node, sequenced last) is a
 // "tail": it executes without opening a new logical write.
+//
+// With physical fragmentation, writes stop being cluster-wide: a
+// routed write touches only the owning fragment's replica set, and
+// only readers of that fragment need ordering against it. Both sides
+// therefore carry an optional *scope* — a set of epoch keys ("table"
+// for whole-table access, "table#f" for one fragment). A write and a
+// read conflict when their scopes intersect; an empty scope means
+// global (conflicts with everything), which is exactly the legacy
+// behavior when fragmentation is off.
 #ifndef APUAMA_APUAMA_CONSISTENCY_H_
 #define APUAMA_APUAMA_CONSISTENCY_H_
 
@@ -52,23 +61,36 @@ class ConsistencyManager {
                                   nullptr);
 
   /// Brackets the execution of one write statement on one node.
-  /// Begin blocks while an SVP dispatch is preparing, unless this
-  /// statement continues (or tails) an existing broadcast. Pass the
-  /// returned class back to EndNodeWrite.
-  WriteClass BeginNodeWrite(int node, const std::string& statement);
+  /// Begin blocks while a *conflicting* SVP dispatch is preparing,
+  /// unless this statement continues (or tails) an existing
+  /// broadcast. Pass the returned class back to EndNodeWrite.
+  ///
+  /// `targets` (consulted only when this call opens a new logical
+  /// write) lists the node ids the controller routes the statement
+  /// to; empty means every node. The broadcast closes when all
+  /// *targeted, reachable* nodes have applied it. `scope` is the
+  /// write's epoch-key set (empty = global).
+  WriteClass BeginNodeWrite(int node, const std::string& statement,
+                            const std::vector<int>& targets = {},
+                            const std::vector<std::string>& scope = {});
   /// Returns true when this call closed the logical broadcast (every
   /// reachable node has applied the write). The engine uses this to
   /// bump the result cache's completion epoch exactly once per
   /// logical write; tail statements never close a broadcast.
   bool EndNodeWrite(int node, WriteClass cls);
 
-  /// Brackets SVP dispatch: Begin blocks new logical writes and waits
-  /// until no logical write is open, no per-node statement is
-  /// executing, AND `counters_equal()` holds (all replica transaction
-  /// counters agree); End unblocks writes — call it as soon as all
-  /// sub-queries are *dispatched*.
-  void BeginSvpPrepare(const std::function<bool()>& counters_equal);
-  void EndSvpPrepare();
+  /// Brackets SVP dispatch: Begin blocks new conflicting logical
+  /// writes and waits until no conflicting logical write is open, no
+  /// conflicting per-node statement is executing, AND
+  /// `counters_equal()` holds (all replica transaction counters
+  /// agree, offset-adjusted by the engine for routed writes); End
+  /// unblocks writes — call it as soon as all sub-queries are
+  /// *dispatched*. `read_scope` is the epoch-key set the read
+  /// touches (empty = global: conflicts with every write). Pass the
+  /// same scope to the matching EndSvpPrepare.
+  void BeginSvpPrepare(const std::function<bool()>& counters_equal,
+                       const std::vector<std::string>& read_scope = {});
+  void EndSvpPrepare(const std::vector<std::string>& read_scope = {});
 
   /// Wakes waiters to re-check their predicates after an external
   /// state change (e.g. a recovery replay advanced a node's counter).
@@ -92,6 +114,16 @@ class ConsistencyManager {
  private:
   bool BroadcastComplete() const;
   void CloseBroadcastLocked();
+  /// True when the scopes overlap; an empty scope is global and
+  /// overlaps everything.
+  static bool ScopesConflict(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b);
+  /// Any preparing SVP read whose scope conflicts with `write_scope`?
+  bool AnyPreparingConflictsLocked(
+      const std::vector<std::string>& write_scope) const;
+  /// Any open/executing write whose scope conflicts with `read_scope`?
+  bool AnyWriteConflictsLocked(
+      const std::vector<std::string>& read_scope) const;
 
   const int num_nodes_;
   const std::function<bool(int)> node_relevant_;
@@ -101,12 +133,19 @@ class ConsistencyManager {
   bool write_open_ = false;
   std::string open_stmt_;
   std::vector<bool> node_done_;
+  std::vector<bool> open_targeted_;   // empty = every node targeted
+  std::vector<std::string> open_scope_;  // empty = global
   // The most recently closed broadcast, for classifying tails.
   std::string last_stmt_;
   std::vector<bool> last_done_;
-  int nodes_executing_ = 0;
+  std::vector<std::string> last_scope_;
+  // Statements in flight, split by which broadcast they belong to so
+  // scoped readers can ignore non-conflicting writers.
+  int executing_open_ = 0;
+  int executing_tail_ = 0;
 
-  int svp_preparing_ = 0;
+  // One entry per SVP dispatch currently preparing (its read scope).
+  std::vector<std::vector<std::string>> preparing_scopes_;
 
   uint64_t writes_blocked_ = 0;
   uint64_t svp_waits_ = 0;

@@ -4,6 +4,42 @@
 
 namespace apuama {
 
+std::vector<std::pair<int64_t, int64_t>> KeyIntervals(int64_t min_value,
+                                                      int64_t max_value,
+                                                      int parts) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  if (parts < 1) parts = 1;
+  // Domain is [min, max]; intervals are half-open [lo, hi).
+  const int64_t span = max_value - min_value + 1;
+  const int64_t base = span / parts;
+  const int64_t extra = span % parts;  // first `extra` intervals +1
+  int64_t lo = min_value;
+  for (int i = 0; i < parts; ++i) {
+    const int64_t hi = lo + base + (i < extra ? 1 : 0);
+    out.emplace_back(lo, hi);
+    lo = hi;
+  }
+  return out;
+}
+
+int FragmentationSpec::FragmentOf(int64_t key) const {
+  // Edge fragments are open-ended: interior bounds decide ownership.
+  const int k = fragments;
+  for (int f = 1; f < k; ++f) {
+    if (key < bounds[static_cast<size_t>(f)]) return f - 1;
+  }
+  return k - 1;
+}
+
+bool FragmentationSpec::Intersects(int fragment, int64_t lo,
+                                   int64_t hi) const {
+  if (lo > hi) return false;
+  const size_t f = static_cast<size_t>(fragment);
+  if (fragment > 0 && hi < bounds[f]) return false;
+  if (fragment < fragments - 1 && lo >= bounds[f + 1]) return false;
+  return true;
+}
+
 const VirtualPartitionSpace::Member* VirtualPartitionSpace::FindMember(
     const std::string& table) const {
   for (const auto& m : members) {
@@ -59,6 +95,86 @@ Status DataCatalog::UpdateDomain(const std::string& space_name,
     }
   }
   return Status::NotFound("no partition space " + space_name);
+}
+
+Status DataCatalog::SetFragmentation(FragmentationSpec spec,
+                                     int cluster_nodes) {
+  const VirtualPartitionSpace* space = SpaceForTable(spec.table);
+  if (space == nullptr) {
+    return Status::InvalidArgument(
+        "table " + spec.table +
+        " is not in a partition space; fragment it on its VPA after "
+        "registering one");
+  }
+  const auto* member = space->FindMember(spec.table);
+  if (!EqualsIgnoreCase(spec.key_column, member->column)) {
+    return Status::InvalidArgument(
+        "fragmentation key " + spec.key_column + " is not the VPA of " +
+        spec.table + " (" + member->column + ")");
+  }
+  if (spec.fragments < 1) {
+    return Status::InvalidArgument("fragment count must be >= 1");
+  }
+  if (spec.replica_factor < 1) {
+    return Status::InvalidArgument("replica factor must be >= 1");
+  }
+  if (spec.bounds.empty()) {
+    spec.bounds.push_back(space->min_value);
+    for (const auto& [lo, hi] :
+         KeyIntervals(space->min_value, space->max_value, spec.fragments)) {
+      (void)lo;
+      spec.bounds.push_back(hi);
+    }
+  }
+  if (spec.bounds.size() != static_cast<size_t>(spec.fragments) + 1) {
+    return Status::InvalidArgument("fragment bounds/count mismatch");
+  }
+  if (spec.placement.empty()) {
+    if (cluster_nodes < 1) {
+      return Status::InvalidArgument("placement needs a cluster size");
+    }
+    if (spec.replica_factor > cluster_nodes) {
+      spec.replica_factor = cluster_nodes;
+    }
+    for (int f = 0; f < spec.fragments; ++f) {
+      std::vector<int> hosts;
+      for (int r = 0; r < spec.replica_factor; ++r) {
+        hosts.push_back((f + r) % cluster_nodes);
+      }
+      spec.placement.push_back(std::move(hosts));
+    }
+  }
+  if (spec.placement.size() != static_cast<size_t>(spec.fragments)) {
+    return Status::InvalidArgument("placement/fragment count mismatch");
+  }
+  for (const auto& hosts : spec.placement) {
+    if (hosts.empty()) {
+      return Status::InvalidArgument("fragment with no host node");
+    }
+  }
+  ClearFragmentation(spec.table);
+  fragmentation_.push_back(std::move(spec));
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status DataCatalog::ClearFragmentation(const std::string& table) {
+  for (auto it = fragmentation_.begin(); it != fragmentation_.end(); ++it) {
+    if (EqualsIgnoreCase(it->table, table)) {
+      fragmentation_.erase(it);
+      version_.fetch_add(1, std::memory_order_acq_rel);
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+const FragmentationSpec* DataCatalog::FragmentationFor(
+    const std::string& table) const {
+  for (const auto& s : fragmentation_) {
+    if (EqualsIgnoreCase(s.table, table)) return &s;
+  }
+  return nullptr;
 }
 
 }  // namespace apuama

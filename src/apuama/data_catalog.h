@@ -14,11 +14,61 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 
 namespace apuama {
+
+/// Equal-width key intervals [lo, hi) covering the inclusive domain
+/// [min, max], one per part; the first `span % parts` intervals are
+/// one key wider. This is the single source of truth for interval
+/// math: SVP sub-query carving (SvpPlan::MakeIntervals) and physical
+/// fragment boundaries both delegate here, so a table fragmented
+/// INTO k at the same domain has fragments that coincide exactly
+/// with the k-node SVP intervals.
+std::vector<std::pair<int64_t, int64_t>> KeyIntervals(int64_t min_value,
+                                                      int64_t max_value,
+                                                      int parts);
+
+/// Physical fragmentation of one table (the shared-nothing overlay).
+///
+/// The dialect's HASH is an order-preserving multiplicative
+/// bucketization of the key domain, so hash fragments coincide with
+/// key ranges — RANGE and HASH differ only in declared intent, both
+/// use the frozen `bounds` below. Boundaries are frozen when the
+/// spec is installed (from the partition space's domain at that
+/// moment); the edge fragments are open-ended for routing, so a
+/// later domain extension (refresh headroom) cannot migrate an
+/// already-placed key to a different fragment.
+struct FragmentationSpec {
+  enum class Method { kHash, kRange };
+
+  std::string table;       // lower-cased
+  std::string key_column;  // must be the table's VPA
+  Method method = Method::kHash;
+  int fragments = 1;
+  int replica_factor = 1;
+  /// fragment -> host node ids, primary first (`placement[f][0]`).
+  std::vector<std::vector<int>> placement;
+  /// Frozen interval bounds, size fragments+1: fragment f covers
+  /// [bounds[f], bounds[f+1]) — except routing treats fragment 0 as
+  /// (-inf, bounds[1]) and the last as [bounds[k-1], +inf).
+  std::vector<int64_t> bounds;
+
+  /// Owning fragment of a key (total: out-of-range keys clamp to the
+  /// edge fragments).
+  int FragmentOf(int64_t key) const;
+
+  /// True when fragment f can hold keys in the inclusive [lo, hi]
+  /// (edge fragments open-ended, matching FragmentOf).
+  bool Intersects(int fragment, int64_t lo, int64_t hi) const;
+
+  const std::vector<int>& HostsOf(int fragment) const {
+    return placement[static_cast<size_t>(fragment)];
+  }
+};
 
 struct VirtualPartitionSpace {
   struct Member {
@@ -42,16 +92,22 @@ class DataCatalog {
  public:
   DataCatalog() = default;
   DataCatalog(const DataCatalog& o)
-      : spaces_(o.spaces_), version_(o.version_.load()) {}
+      : spaces_(o.spaces_),
+        fragmentation_(o.fragmentation_),
+        version_(o.version_.load()) {}
   DataCatalog(DataCatalog&& o) noexcept
-      : spaces_(std::move(o.spaces_)), version_(o.version_.load()) {}
+      : spaces_(std::move(o.spaces_)),
+        fragmentation_(std::move(o.fragmentation_)),
+        version_(o.version_.load()) {}
   DataCatalog& operator=(const DataCatalog& o) {
     spaces_ = o.spaces_;
+    fragmentation_ = o.fragmentation_;
     version_.store(o.version_.load());
     return *this;
   }
   DataCatalog& operator=(DataCatalog&& o) noexcept {
     spaces_ = std::move(o.spaces_);
+    fragmentation_ = std::move(o.fragmentation_);
     version_.store(o.version_.load());
     return *this;
   }
@@ -72,6 +128,31 @@ class DataCatalog {
 
   const std::vector<VirtualPartitionSpace>& spaces() const { return spaces_; }
 
+  /// Installs (or replaces) a table's fragmentation spec. The table
+  /// must belong to a partition space and `key_column` must be its
+  /// VPA (fragment boundaries are key intervals, so the overlay only
+  /// composes with SVP through the shared key). Fills `bounds` from
+  /// the space's current domain when the caller left it empty, and
+  /// derives a natural placement (fragment f primary on node
+  /// f % cluster, replicas on the following nodes) when `placement`
+  /// is empty and `cluster_nodes` > 0. Bumps version().
+  Status SetFragmentation(FragmentationSpec spec, int cluster_nodes);
+
+  /// Removes a table's fragmentation spec (back to fully
+  /// replicated). OK even when none is installed; bumps version()
+  /// only when a spec was removed.
+  Status ClearFragmentation(const std::string& table);
+
+  /// The fragmentation spec for a table, or nullptr when the table
+  /// is fully replicated.
+  const FragmentationSpec* FragmentationFor(const std::string& table) const;
+
+  bool any_fragmented() const { return !fragmentation_.empty(); }
+
+  const std::vector<FragmentationSpec>& fragmentation() const {
+    return fragmentation_;
+  }
+
   /// Monotonic change counter, bumped by every successful
   /// RegisterSpace/UpdateDomain. Cached SVP plans are keyed on it so
   /// a domain refresh invalidates stale interval math.
@@ -81,6 +162,7 @@ class DataCatalog {
 
  private:
   std::vector<VirtualPartitionSpace> spaces_;
+  std::vector<FragmentationSpec> fragmentation_;
   std::atomic<uint64_t> version_{0};
 };
 

@@ -88,6 +88,18 @@ void ResultCache::EndTableWrite(const std::string& table) {
   BumpLocked(table);
 }
 
+void ResultCache::BeginTableWrite(const std::vector<std::string>& keys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (keys.empty()) BumpLocked("");
+  for (const auto& key : keys) BumpLocked(key);
+}
+
+void ResultCache::EndTableWrite(const std::vector<std::string>& keys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (keys.empty()) BumpLocked("");
+  for (const auto& key : keys) BumpLocked(key);
+}
+
 void ResultCache::InvalidateAll() {
   std::lock_guard<std::mutex> lock(mu_);
   ++global_epoch_;

@@ -90,6 +90,13 @@ class ResultCache {
   void BeginTableWrite(const std::string& table);
   void EndTableWrite(const std::string& table);
 
+  /// Multi-key bracketing for fragment-routed writes: each key is an
+  /// epoch key ("table" or "table#fragment") and all of them bump
+  /// under one lock acquisition. An empty vector bumps the global
+  /// epoch, mirroring the single-key overload's empty-string case.
+  void BeginTableWrite(const std::vector<std::string>& keys);
+  void EndTableWrite(const std::vector<std::string>& keys);
+
   /// Drops everything and bumps the global epoch (DDL, recovery
   /// replay, catalog changes).
   void InvalidateAll();

@@ -1,5 +1,6 @@
 #include "apuama/svp_rewriter.h"
 
+#include <functional>
 #include <set>
 #include <unordered_map>
 
@@ -17,20 +18,9 @@ using sql::SelectStmt;
 
 std::vector<std::pair<int64_t, int64_t>> SvpPlan::MakeIntervals(
     int nodes) const {
-  std::vector<std::pair<int64_t, int64_t>> out;
-  if (nodes < 1) nodes = 1;
-  // Domain is [min, max]; sub-queries use half-open [lo, hi).
-  const int64_t span = domain_max_ - domain_min_ + 1;
-  const int64_t base = span / nodes;
-  const int64_t extra = span % nodes;  // first `extra` intervals +1
-  int64_t lo = domain_min_;
-  for (int i = 0; i < nodes; ++i) {
-    int64_t len = base + (i < extra ? 1 : 0);
-    int64_t hi = lo + len;
-    out.emplace_back(lo, hi);
-    lo = hi;
-  }
-  return out;
+  // Delegates to the catalog's interval math so SVP carving and
+  // physical fragment boundaries agree key-for-key.
+  return KeyIntervals(domain_min_, domain_max_, nodes);
 }
 
 std::string SvpPlan::SubquerySql(int64_t lo, int64_t hi) {
@@ -38,6 +28,40 @@ std::string SvpPlan::SubquerySql(int64_t lo, int64_t hi) {
     p.literal->literal = Value::Int(p.is_lo ? lo : hi);
   }
   return sql::UnparseSelect(*template_);
+}
+
+void RemapSelectTables(
+    SelectStmt* stmt,
+    const std::vector<std::pair<std::string, std::string>>& table_map) {
+  for (auto& ref : stmt->from) {
+    for (const auto& [from, to] : table_map) {
+      if (EqualsIgnoreCase(ref.table, from)) {
+        if (ref.alias.empty()) ref.alias = ref.table;
+        ref.table = to;
+        break;
+      }
+    }
+  }
+  std::function<void(Expr*)> walk = [&](Expr* e) {
+    if (e == nullptr) return;
+    if (e->subquery) RemapSelectTables(e->subquery.get(), table_map);
+    for (auto& c : e->children) walk(c.get());
+    walk(e->case_else.get());
+  };
+  for (auto& it : stmt->items) walk(it.expr.get());
+  walk(stmt->where.get());
+  walk(stmt->having.get());
+}
+
+std::string SvpPlan::SubquerySqlMapped(
+    int64_t lo, int64_t hi,
+    const std::vector<std::pair<std::string, std::string>>& table_map) {
+  for (const Patch& p : patches_) {
+    p.literal->literal = Value::Int(p.is_lo ? lo : hi);
+  }
+  std::unique_ptr<SelectStmt> mapped = template_->Clone();
+  RemapSelectTables(mapped.get(), table_map);
+  return sql::UnparseSelect(*mapped);
 }
 
 namespace {
@@ -73,6 +97,10 @@ SvpPlan SvpPlan::Clone() const {
   out.merge_ = merge_;
   out.domain_min_ = domain_min_;
   out.domain_max_ = domain_max_;
+  out.pred_min_ = pred_min_;
+  out.pred_max_ = pred_max_;
+  out.fact_tables_ = fact_tables_;
+  out.all_tables_ = all_tables_;
   out.template_ = template_->Clone();
 
   std::vector<const Expr*> orig_nodes;
@@ -393,6 +421,78 @@ Result<SvpPlan> SvpRewriter::Rewrite(const SelectStmt& query) const {
   SvpPlan plan;
   plan.domain_min_ = space->min_value;
   plan.domain_max_ = space->max_value;
+  plan.pred_min_ = space->min_value;
+  plan.pred_max_ = space->max_value;
+  for (const auto& t : sql::AllReferencedTables(*work)) {
+    const std::string lowered = ToLower(t);
+    bool seen_any = false;
+    for (const auto& known : plan.all_tables_) {
+      if (known == lowered) seen_any = true;
+    }
+    if (!seen_any) plan.all_tables_.push_back(lowered);
+    const auto* member = space->FindMember(t);
+    if (member == nullptr) continue;
+    bool seen = false;
+    for (const auto& known : plan.fact_tables_) {
+      if (EqualsIgnoreCase(known, member->table)) seen = true;
+    }
+    if (!seen) plan.fact_tables_.push_back(member->table);
+  }
+
+  // Conservative predicate bounds on the partition key, read off the
+  // query's own top-level conjuncts before range injection mutates
+  // the WHERE clause. Only plain `vpa <op> int-literal` conjuncts
+  // tighten the bounds — anything else leaves the whole domain, which
+  // is always safe (pruning must never drop a non-empty partial).
+  for (const Expr* c : sql::SplitConjuncts(work->where.get())) {
+    if (c->kind != ExprKind::kBinary) continue;
+    const Expr& l = *c->children[0];
+    const Expr& r = *c->children[1];
+    const Expr* col = nullptr;
+    const Expr* lit = nullptr;
+    bool col_on_left = false;
+    if (l.kind == ExprKind::kColumnRef && r.kind == ExprKind::kLiteral) {
+      col = &l;
+      lit = &r;
+      col_on_left = true;
+    } else if (r.kind == ExprKind::kColumnRef &&
+               l.kind == ExprKind::kLiteral) {
+      col = &r;
+      lit = &l;
+    } else {
+      continue;
+    }
+    if (!space->IsMemberColumn(col->column_name)) continue;
+    if (lit->literal.type() != ValueType::kInt64) continue;
+    const int64_t v = lit->literal.int_val();
+    BinaryOp op = c->binary_op;
+    if (!col_on_left) {
+      // Normalize `lit op col` to `col op' lit`.
+      switch (op) {
+        case BinaryOp::kLt: op = BinaryOp::kGt; break;
+        case BinaryOp::kLtEq: op = BinaryOp::kGtEq; break;
+        case BinaryOp::kGt: op = BinaryOp::kLt; break;
+        case BinaryOp::kGtEq: op = BinaryOp::kLtEq; break;
+        default: break;
+      }
+    }
+    switch (op) {
+      case BinaryOp::kGtEq:
+        if (v > plan.pred_min_) plan.pred_min_ = v;
+        break;
+      case BinaryOp::kGt:
+        if (v + 1 > plan.pred_min_) plan.pred_min_ = v + 1;
+        break;
+      case BinaryOp::kLtEq:
+        if (v < plan.pred_max_) plan.pred_max_ = v;
+        break;
+      case BinaryOp::kLt:
+        if (v - 1 < plan.pred_max_) plan.pred_max_ = v - 1;
+        break;
+      default:
+        break;
+    }
+  }
 
   // Inject range predicates (main scope + correlated subqueries).
   APUAMA_RETURN_NOT_OK(ConstrainStatement(work.get(), *catalog_, space, {},

@@ -39,6 +39,15 @@ namespace apuama {
 /// Name of the composer's partial-result table.
 inline constexpr char kPartialsTable[] = "partials";
 
+/// Renames FROM references in `stmt` through `table_map` (original ->
+/// physical name), pinning each original binding as an alias so
+/// qualified column references keep resolving. Recurses into
+/// subqueries. The exchange operator uses this to redirect queries at
+/// materialized fragment copies.
+void RemapSelectTables(
+    sql::SelectStmt* stmt,
+    const std::vector<std::pair<std::string, std::string>>& table_map);
+
 /// The rewrite product for one query.
 class SvpPlan {
  public:
@@ -47,6 +56,17 @@ class SvpPlan {
 
   /// Renders the sub-query for one key interval.
   std::string SubquerySql(int64_t lo, int64_t hi);
+
+  /// Renders the sub-query for one key interval with fact-table
+  /// references renamed through `table_map` (exchange operator:
+  /// redirect a slice at materialized fragment copies). References
+  /// keep their original binding name via an alias, so column
+  /// qualifiers in the query body stay valid. The template is cloned
+  /// for the render; the plan itself is untouched apart from the
+  /// shared patch literals.
+  std::string SubquerySqlMapped(
+      int64_t lo, int64_t hi,
+      const std::vector<std::pair<std::string, std::string>>& table_map);
 
   /// Composition query text (over kPartialsTable).
   const std::string& composition_sql() const { return composition_sql_; }
@@ -65,6 +85,23 @@ class SvpPlan {
 
   int64_t domain_min() const { return domain_min_; }
   int64_t domain_max() const { return domain_max_; }
+
+  /// Conservative inclusive bounds on the partition key implied by
+  /// the query's own top-level predicates (defaults to the whole
+  /// domain). Key intervals outside [pred_min, pred_max] provably
+  /// contribute empty partials — the basis for fragment pruning.
+  int64_t pred_min() const { return pred_min_; }
+  int64_t pred_max() const { return pred_max_; }
+
+  /// Member (fact) tables the query references, lower-cased and
+  /// deduplicated — the tables whose fragmentation drives dispatch.
+  const std::vector<std::string>& fact_tables() const { return fact_tables_; }
+
+  /// Every table the query references (facts and dimensions,
+  /// including inside subqueries), lower-cased — the read side of the
+  /// scoped consistency barrier must conflict with writes to any of
+  /// them.
+  const std::vector<std::string>& all_tables() const { return all_tables_; }
 
   /// How many fact-table references were range-constrained
   /// (introspection for tests).
@@ -86,6 +123,10 @@ class SvpPlan {
   std::shared_ptr<const MergeProgram> merge_;
   int64_t domain_min_ = 0;
   int64_t domain_max_ = 0;
+  int64_t pred_min_ = 0;
+  int64_t pred_max_ = 0;
+  std::vector<std::string> fact_tables_;
+  std::vector<std::string> all_tables_;
 };
 
 class SvpRewriter {

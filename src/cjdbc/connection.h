@@ -13,6 +13,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,10 +38,15 @@ class Connection {
   /// Executes a recovery-replay statement on this node only. The
   /// controller holds the write order during recovery, so middleware
   /// layers (e.g. Apuama's consistency bracket, which expects writes
-  /// to be broadcast) must pass this straight through. Defaults to
+  /// to be broadcast) must pass this straight through. `routed` says
+  /// whether the original statement was fragment-routed (its log
+  /// entry carried explicit targets) — middleware that offsets
+  /// replica counters for routed writes needs the original routing,
+  /// not a recompute against possibly-changed metadata. Defaults to
   /// Execute.
   virtual Result<engine::QueryResult> ExecuteRecovery(
-      const std::string& sql) {
+      const std::string& sql, bool routed) {
+    (void)routed;
     return Execute(sql);
   }
 
@@ -71,6 +77,17 @@ class Driver {
   /// admission gate uses. Null (the default) leaves the gate inert —
   /// a driver without a middleware layer shares nothing.
   virtual share::WorkSharingHooks* work_sharing() { return nullptr; }
+
+  /// Write routing: the node ids that must synchronously apply this
+  /// write, or nullopt to broadcast to every backend (the default —
+  /// full replication). A driver aware of physical fragmentation
+  /// returns the owning fragment's replica set, shrinking per-write
+  /// fan-out from n to the replica factor.
+  virtual std::optional<std::vector<int>> RouteWrite(
+      const std::string& sql) {
+    (void)sql;
+    return std::nullopt;
+  }
 };
 
 /// The replicated database: owns one engine::Database per node, each

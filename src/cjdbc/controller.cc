@@ -65,6 +65,7 @@ RequestKind ClassifyStmt(const sql::Stmt& stmt) {
     case sql::StmtKind::kCreateTable:
     case sql::StmtKind::kCreateIndex:
     case sql::StmtKind::kDropTable:
+    case sql::StmtKind::kAlterFragment:
       return RequestKind::kDdl;
     case sql::StmtKind::kSet:
     case sql::StmtKind::kBegin:
@@ -87,6 +88,7 @@ std::vector<std::pair<std::string, uint64_t>> ControllerStats::Kv() const {
   return {{"reads", v(reads)},
           {"writes", v(writes)},
           {"broadcast_statements", v(broadcast_statements)},
+          {"routed_writes", v(routed_writes)},
           {"failovers", v(failovers)},
           {"recovered_statements", v(recovered_statements)},
           {"result_cache_hits", v(result_cache_hits)},
@@ -140,10 +142,17 @@ Result<engine::QueryResult> Controller::Execute(const std::string& sql) {
     }
     case RequestKind::kWrite: {
       obs::Span span = tracer.StartSpan("controller.write", "controller");
+      // Ask the driver where this write must land BEFORE taking the
+      // write ticket (routing only parses; no backend work).
+      std::optional<std::vector<int>> targets = driver_->RouteWrite(sql);
       uint64_t seq = 0;
       Scheduler::WriteTicket ticket = scheduler_.BeginWrite(&seq);
       stats_.writes.fetch_add(1, std::memory_order_relaxed);
-      return ExecuteBroadcast(sql);
+      if (targets.has_value() &&
+          targets->size() < static_cast<size_t>(num_backends())) {
+        stats_.routed_writes.fetch_add(1, std::memory_order_relaxed);
+      }
+      return ExecuteBroadcast(sql, targets);
     }
     case RequestKind::kDdl: {
       obs::Span span = tracer.StartSpan("controller.ddl", "controller");
@@ -294,21 +303,39 @@ std::vector<Result<engine::QueryResult>> Controller::ExecuteGateBatch(
 }
 
 Result<engine::QueryResult> Controller::ExecuteBroadcast(
-    const std::string& sql) {
+    const std::string& sql,
+    const std::optional<std::vector<int>>& targets) {
   // Append to the recovery log first: disabled (or newly failing)
   // backends will replay from here when they rejoin. Caller holds the
   // write ticket, so the log order IS the replica write order.
   size_t log_index;
   {
     std::lock_guard<std::mutex> lock(log_mu_);
-    recovery_log_.push_back(sql);
+    recovery_log_.push_back(
+        LogEntry{sql, targets.value_or(std::vector<int>{})});
     log_index = recovery_log_.size();
   }
+  auto is_target = [&](int node_id) {
+    if (!targets.has_value()) return true;
+    for (int t : *targets) {
+      if (t == node_id) return true;
+    }
+    return false;
+  };
   engine::QueryResult last;
   bool any = false;
   Status first_error = Status::OK();
+  int node_id = -1;
   for (auto& b : backends_) {
+    ++node_id;
     if (!b.enabled) continue;
+    if (!is_target(node_id)) {
+      // Routed write: this backend does not host the touched
+      // fragment. It is up to date with respect to this log entry
+      // without executing anything.
+      b.applied_up_to = log_index;
+      continue;
+    }
     auto r = b.conn->Execute(sql);
     if (r.ok()) {
       last = std::move(r).value();
@@ -358,14 +385,22 @@ Status Controller::RecoverBackend(int node_id) {
     target = recovery_log_.size();
   }
   while (b.applied_up_to < target) {
-    std::string stmt;
+    LogEntry entry;
     {
       std::lock_guard<std::mutex> lock(log_mu_);
-      stmt = recovery_log_[b.applied_up_to];
+      entry = recovery_log_[b.applied_up_to];
     }
-    APUAMA_RETURN_NOT_OK(b.conn->ExecuteRecovery(stmt).status());
+    bool applies = entry.targets.empty();
+    for (int t : entry.targets) {
+      if (t == node_id) applies = true;
+    }
+    if (applies) {
+      APUAMA_RETURN_NOT_OK(
+          b.conn->ExecuteRecovery(entry.sql, !entry.targets.empty())
+              .status());
+      stats_.recovered_statements.fetch_add(1, std::memory_order_relaxed);
+    }
     ++b.applied_up_to;
-    stats_.recovered_statements.fetch_add(1, std::memory_order_relaxed);
   }
   b.enabled = true;
   return Status::OK();

@@ -46,7 +46,8 @@ RequestKind ClassifyStmt(const sql::Stmt& stmt);
 struct ControllerStats {
   std::atomic<uint64_t> reads{0};
   std::atomic<uint64_t> writes{0};
-  std::atomic<uint64_t> broadcast_statements{0};  // write * nodes
+  std::atomic<uint64_t> broadcast_statements{0};  // write * touched nodes
+  std::atomic<uint64_t> routed_writes{0};         // fragment-routed (< n nodes)
   std::atomic<uint64_t> failovers{0};             // backends auto-disabled
   std::atomic<uint64_t> recovered_statements{0};  // replayed on rejoin
   std::atomic<uint64_t> result_cache_hits{0};     // served without a backend
@@ -114,7 +115,12 @@ class Controller {
   /// publishes cacheable results. Results align with `sqls`.
   std::vector<Result<engine::QueryResult>> ExecuteGateBatch(
       const std::vector<std::string>& sqls, uint64_t affinity);
-  Result<engine::QueryResult> ExecuteBroadcast(const std::string& sql);
+  /// Applies a write/DDL to `targets` (nullopt = every enabled
+  /// backend). Targeted entries still enter the recovery log with
+  /// their target set, so rejoin replay routes the same way.
+  Result<engine::QueryResult> ExecuteBroadcast(
+      const std::string& sql,
+      const std::optional<std::vector<int>>& targets = std::nullopt);
 
   std::unique_ptr<Driver> driver_;
   std::vector<Backend> backends_;
@@ -126,8 +132,13 @@ class Controller {
   std::unique_ptr<share::ScanShareManager> gate_;
   // Total-ordered log of every broadcast statement (writes + DDL),
   // kept for recovering rejoining backends. Guarded by the write
-  // ticket (one broadcast at a time) plus log_mu_ for readers.
-  std::vector<std::string> recovery_log_;
+  // ticket (one broadcast at a time) plus log_mu_ for readers. An
+  // entry with a non-empty target set only replays on those nodes.
+  struct LogEntry {
+    std::string sql;
+    std::vector<int> targets;  // empty = all nodes
+  };
+  std::vector<LogEntry> recovery_log_;
   mutable std::mutex log_mu_;
   ControllerStats stats_;
   obs::Registry::ProviderHandle metrics_provider_;

@@ -707,6 +707,20 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
   if (name == "columnar_join") {
     return set_bool(&settings_.enable_columnar_join);
   }
+  if (name == "fragmentation") {
+    // Middleware knob (fragment routing + exchange live above the
+    // node). Validated and recorded here so the clustered SET
+    // broadcast succeeds on every backend.
+    return set_bool(&settings_.enable_fragmentation);
+  }
+  if (name == "exchange_strategy") {
+    if (value != "auto" && value != "shuffle" && value != "broadcast") {
+      return Status::InvalidArgument("bad value for exchange_strategy: " +
+                                     stmt.value);
+    }
+    settings_.exchange_strategy = value;
+    return QueryResult{};
+  }
   if (name == "merge_strategy") {
     if (value == "auto") {
       settings_.merge_strategy = MergeStrategy::kAuto;

@@ -82,6 +82,12 @@ struct SessionSettings {
   /// morsels; forcing a strategy changes scheduling and accounting
   /// only, never result bits.
   MergeStrategy merge_strategy = MergeStrategy::kAuto;
+  /// Middleware knobs, recorded so clustered SET broadcasts apply
+  /// cleanly on every backend: physical-fragmentation overlay on/off
+  /// and the exchange movement strategy (auto | shuffle | broadcast).
+  /// The node planner itself ignores both — routing happens above.
+  bool enable_fragmentation = true;
+  std::string exchange_strategy = "auto";
 };
 
 /// Default intra-node execution threads: the APUAMA_EXEC_THREADS

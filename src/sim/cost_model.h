@@ -69,6 +69,10 @@ struct CostModel {
   /// Controller-side scheduler overhead for a write: total-order
   /// enforcement grows with the number of replicas notified.
   SimTime write_sync_per_node_us = 2000;
+  /// Exchange link throughput between two nodes, in bytes per virtual
+  /// microsecond (100 ≈ 100 MB/s, 2005-era switched Ethernet). The
+  /// exchange operator's per-byte network charge divides by this.
+  SimTime network_bytes_per_us = 100;
 
   /// Service time of one statement executed at a node. CPU work done
   /// inside the morsel-parallel region shrinks by the intra-node
@@ -107,6 +111,15 @@ struct CostModel {
   /// Scheduler overhead of broadcasting one write to `nodes` replicas.
   SimTime WriteBroadcastOverhead(int nodes) const {
     return static_cast<SimTime>(nodes) * write_sync_per_node_us;
+  }
+
+  /// Time to ship `bytes` of tuples between two nodes through the
+  /// exchange operator: one message round plus the per-byte transfer
+  /// cost. Zero bytes means no exchange happened and costs nothing.
+  SimTime ExchangeTransferTime(uint64_t bytes) const {
+    if (bytes == 0) return 0;
+    const SimTime bw = network_bytes_per_us <= 0 ? 1 : network_bytes_per_us;
+    return message_us + static_cast<SimTime>(bytes) / bw;
   }
 
   /// Rows one vectorized cpu op covers (engine::kVecLane; mirrored

@@ -141,6 +141,7 @@ enum class StmtKind {
   kCreateTable,
   kCreateIndex,
   kDropTable,
+  kAlterFragment,
   kSet,
   kBegin,
   kCommit,
@@ -239,6 +240,21 @@ struct CreateIndexStmt : Stmt {
 struct DropTableStmt : Stmt {
   StmtKind kind() const override { return StmtKind::kDropTable; }
   std::string table;
+};
+
+/// ALTER TABLE t FRAGMENT BY HASH|RANGE (col) INTO k [REPLICA r]
+/// — installs a physical fragmentation spec for the table — and
+/// ALTER TABLE t UNFRAGMENT — removes it (back to full
+/// replication). Middleware-level DDL: it changes catalog metadata
+/// and routing, never the stored rows.
+struct AlterFragmentStmt : Stmt {
+  StmtKind kind() const override { return StmtKind::kAlterFragment; }
+  std::string table;
+  std::string column;       // empty for UNFRAGMENT
+  bool unfragment = false;
+  bool by_hash = true;      // false: BY RANGE
+  int64_t fragments = 0;    // INTO k
+  int64_t replica_factor = 1;
 };
 
 /// SET name = value — session settings; the one Apuama uses is

@@ -106,6 +106,7 @@ class Parser {
     if (t.text == "DELETE") return ParseDelete();
     if (t.text == "UPDATE") return ParseUpdate();
     if (t.text == "CREATE") return ParseCreate();
+    if (t.text == "ALTER") return ParseAlter();
     if (t.text == "DROP") return ParseDrop();
     if (t.text == "SET") return ParseSet();
     if (t.text == "BEGIN") {
@@ -729,6 +730,50 @@ class Parser {
       return StmtPtr(std::move(stmt));
     }
     return Err("expected TABLE or INDEX after CREATE");
+  }
+
+  // ALTER TABLE t FRAGMENT BY HASH|RANGE (col) INTO k [REPLICA r]
+  // ALTER TABLE t UNFRAGMENT
+  Result<StmtPtr> ParseAlter() {
+    APUAMA_RETURN_NOT_OK(ExpectKeyword("ALTER"));
+    APUAMA_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    auto stmt = std::make_unique<AlterFragmentStmt>();
+    APUAMA_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    if (Cur().IsKeyword("UNFRAGMENT")) {
+      Advance();
+      stmt->unfragment = true;
+      return StmtPtr(std::move(stmt));
+    }
+    APUAMA_RETURN_NOT_OK(ExpectKeyword("FRAGMENT"));
+    APUAMA_RETURN_NOT_OK(ExpectKeyword("BY"));
+    if (Cur().IsKeyword("HASH")) {
+      stmt->by_hash = true;
+    } else if (Cur().IsKeyword("RANGE")) {
+      stmt->by_hash = false;
+    } else {
+      return Err("expected HASH or RANGE after FRAGMENT BY");
+    }
+    Advance();
+    APUAMA_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    APUAMA_ASSIGN_OR_RETURN(stmt->column, ExpectIdentifier("column name"));
+    APUAMA_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    APUAMA_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    if (Cur().type != TokenType::kIntLiteral) {
+      return Err("expected fragment count after INTO");
+    }
+    stmt->fragments = Cur().int_val;
+    Advance();
+    if (Cur().IsKeyword("REPLICA")) {
+      Advance();
+      if (Cur().type != TokenType::kIntLiteral) {
+        return Err("expected replica factor after REPLICA");
+      }
+      stmt->replica_factor = Cur().int_val;
+      Advance();
+    }
+    if (stmt->fragments < 1) return Err("fragment count must be >= 1");
+    if (stmt->replica_factor < 1) return Err("replica factor must be >= 1");
+    return StmtPtr(std::move(stmt));
   }
 
   Result<StmtPtr> ParseDrop() {

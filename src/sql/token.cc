@@ -22,7 +22,8 @@ const std::unordered_set<std::string>& Keywords() {
           "MONTH",  "YEAR",   "PRIMARY",  "KEY",     "INT",     "INTEGER",
           "BIGINT", "DOUBLE", "DECIMAL",  "VARCHAR", "CHAR",    "TEXT",
           "DISTINCT", "JOIN", "INNER",    "CROSS",   "USING",   "CLUSTERED",
-          "TRUE",   "FALSE",  "EXPLAIN", "OFFSET",  "ANALYZE",
+          "TRUE",   "FALSE",  "EXPLAIN", "OFFSET",  "ANALYZE", "ALTER",
+          "FRAGMENT", "UNFRAGMENT", "HASH", "RANGE", "REPLICA",
       };
   return *kw;
 }

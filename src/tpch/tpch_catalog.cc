@@ -15,4 +15,19 @@ DataCatalog MakeTpchCatalog(const TpchData& data, int64_t headroom) {
   return catalog;
 }
 
+Status ApplyTpchFragmentationPreset(DataCatalog* catalog, int nodes,
+                                    int replica_factor, int fragments) {
+  if (nodes <= 0) return Status::OK();
+  for (const char* table : {"lineitem", "orders"}) {
+    FragmentationSpec spec;
+    spec.table = table;
+    spec.key_column = table[0] == 'l' ? "l_orderkey" : "o_orderkey";
+    spec.method = FragmentationSpec::Method::kHash;
+    spec.fragments = fragments > 0 ? fragments : nodes;
+    spec.replica_factor = replica_factor;
+    APUAMA_RETURN_NOT_OK(catalog->SetFragmentation(std::move(spec), nodes));
+  }
+  return Status::OK();
+}
+
 }  // namespace apuama::tpch

@@ -15,6 +15,16 @@ namespace apuama::tpch {
 /// node's interval.
 DataCatalog MakeTpchCatalog(const TpchData& data, int64_t headroom = 0);
 
+/// The TPC-H fragmentation preset: lineitem and orders co-partitioned
+/// BY HASH on the orderkey INTO `fragments` pieces (0 = `nodes`, the
+/// aligned case) with the given replica factor, fragment f primary on
+/// node f (natural placement over the `nodes`-node cluster).
+/// Dimensions stay fully replicated — the hybrid design the paper's
+/// cluster assumes. No-op (OK) when `nodes` <= 0.
+Status ApplyTpchFragmentationPreset(DataCatalog* catalog, int nodes,
+                                    int replica_factor = 1,
+                                    int fragments = 0);
+
 }  // namespace apuama::tpch
 
 #endif  // APUAMA_TPCH_TPCH_CATALOG_H_

@@ -1,17 +1,80 @@
 #include "workload/cluster_sim.h"
 
 #include <algorithm>
+#include <limits>
+#include <numeric>
 
 #include "apuama/share/query_fingerprint.h"
+#include "common/string_util.h"
 #include "engine/database.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sql/analyzer.h"
 #include "sql/parser.h"
 #include "storage/catalog.h"
 
 namespace apuama::workload {
 
 using engine::QueryResult;
+
+namespace {
+
+/// Bytes one shipped fact row occupies on the exchange wire
+/// (serialized key + payload columns, order of magnitude).
+constexpr uint64_t kExchangeRowBytes = 64;
+
+/// The int64 key a top-level equality conjunct pins `key_column` to,
+/// if any (`col = lit` or `lit = col`) — the sim mirror of the
+/// engine's write router.
+std::optional<int64_t> EqualityKey(const sql::Expr* where,
+                                   const std::string& key_column) {
+  for (const sql::Expr* c : sql::SplitConjuncts(where)) {
+    if (c == nullptr || c->kind != sql::ExprKind::kBinary ||
+        c->binary_op != sql::BinaryOp::kEq) {
+      continue;
+    }
+    const sql::Expr* lhs = c->children[0].get();
+    const sql::Expr* rhs = c->children[1].get();
+    if (lhs->kind == sql::ExprKind::kLiteral) std::swap(lhs, rhs);
+    if (lhs->kind != sql::ExprKind::kColumnRef ||
+        rhs->kind != sql::ExprKind::kLiteral ||
+        rhs->literal.type() != ValueType::kInt64) {
+      continue;
+    }
+    if (ToLower(lhs->column_name) == key_column) {
+      return rhs->literal.int_val();
+    }
+  }
+  return std::nullopt;
+}
+
+/// Fraction of the key span [lo, hi) whose owning fragments do NOT
+/// host `node` — the rows the exchange operator must ship to serve
+/// the interval there. Edge fragments are open-ended, like routing.
+double NonLocalFraction(const FragmentationSpec& spec, int node,
+                        int64_t lo, int64_t hi) {
+  if (hi <= lo) return 0.0;
+  int64_t nonlocal = 0;
+  for (int f = 0; f < spec.fragments; ++f) {
+    const int64_t b0 =
+        f == 0 ? std::numeric_limits<int64_t>::min()
+               : spec.bounds[static_cast<size_t>(f)];
+    const int64_t b1 =
+        f == spec.fragments - 1
+            ? std::numeric_limits<int64_t>::max()
+            : spec.bounds[static_cast<size_t>(f) + 1];
+    const int64_t o0 = std::max(lo, b0);
+    const int64_t o1 = std::min(hi, b1);
+    if (o1 <= o0) continue;
+    const std::vector<int>& hosts = spec.HostsOf(f);
+    if (std::find(hosts.begin(), hosts.end(), node) == hosts.end()) {
+      nonlocal += o1 - o0;
+    }
+  }
+  return static_cast<double>(nonlocal) / static_cast<double>(hi - lo);
+}
+
+}  // namespace
 
 struct ClusterSim::SvpTicket {
   std::string original_sql;
@@ -74,6 +137,14 @@ ClusterSim::ClusterSim(const tpch::TpchData& data, ClusterSimOptions options)
     replicas_->node(i)->settings()->enable_join_parallel =
         options.join_parallel;
   }
+  if (options_.fragmentation) {
+    // Shared-nothing overlay: the TPC-H preset, co-partitioning
+    // lineitem and orders on the orderkey over this cluster.
+    Status fs = tpch::ApplyTpchFragmentationPreset(
+        &catalog_, options_.num_nodes, options_.replica_factor,
+        options_.fragments);
+    (void)fs;  // preset tables always belong to the registered space
+  }
   rewriter_ = std::make_unique<SvpRewriter>(&catalog_);
   for (int i = 0; i < options.num_nodes; ++i) {
     servers_.push_back(
@@ -106,6 +177,9 @@ ClusterSim::~ClusterSim() {
     reg.GetCounter("sim.avp_steals")->Add(avp_steals_);
     reg.GetCounter("sim.result_cache_hits")->Add(result_cache_hits_);
     reg.GetCounter("sim.queries_coalesced")->Add(queries_coalesced_);
+    reg.GetCounter("sim.routed_writes")->Add(routed_writes_);
+    reg.GetCounter("sim.exchange_bytes")->Add(exchange_bytes_);
+    reg.GetCounter("sim.fragments_pruned")->Add(fragments_pruned_);
     // Restore the steady clock; leave the tracer enabled so span
     // trees recorded in virtual time stay dumpable after the sim is
     // gone.
@@ -317,7 +391,11 @@ void ClusterSim::DispatchIntraQuery(std::shared_ptr<SvpTicket> ticket) {
     obs::Tracer::Global().Close(ticket->barrier_span, sim_.now());
     ticket->barrier_span = 0;
   }
-  if (options_.intra_mode == IntraQueryMode::kAvp) {
+  if (options_.intra_mode == IntraQueryMode::kAvp &&
+      !options_.fragmentation) {
+    // AVP's range stealing assumes any node can serve any chunk; the
+    // fragmentation overlay pins data, so it falls back to fragmented
+    // SVP dispatch (mirroring the real stack).
     DispatchAvp(std::move(ticket));
   } else {
     DispatchSvp(std::move(ticket));
@@ -334,39 +412,90 @@ void ClusterSim::DispatchIntraQuery(std::shared_ptr<SvpTicket> ticket) {
 void ClusterSim::DispatchSvp(std::shared_ptr<SvpTicket> ticket) {
   const int n = options_.num_nodes;
   auto intervals = ticket->plan.MakeIntervals(n);
+
+  // Fragmentation overlay: drop intervals the key predicate proves
+  // empty (their partials are additive identities, so composition is
+  // unchanged), then serve each survivor at the owning fragment's
+  // primary host. Any key span whose fragment does not host the
+  // serving node is shipped there by the exchange operator, charged
+  // per byte.
+  const FragmentationSpec* frag = nullptr;
+  if (options_.fragmentation) {
+    for (const auto& t : ticket->plan.fact_tables()) {
+      if (const FragmentationSpec* s = catalog_.FragmentationFor(t)) {
+        frag = s;
+        break;
+      }
+    }
+  }
+  std::vector<int> serving;
+  std::vector<double> nonlocal;
+  if (frag != nullptr) {
+    const int64_t pmin = ticket->plan.pred_min();
+    const int64_t pmax = ticket->plan.pred_max();
+    std::vector<std::pair<int64_t, int64_t>> kept;
+    for (const auto& [lo, hi] : intervals) {
+      if (lo < hi && lo <= pmax && hi - 1 >= pmin) kept.emplace_back(lo, hi);
+    }
+    if (kept.empty()) kept.push_back(intervals.front());  // composer needs a feed
+    fragments_pruned_ += intervals.size() - kept.size();
+    intervals = std::move(kept);
+    for (const auto& [lo, hi] : intervals) {
+      const int node = frag->HostsOf(frag->FragmentOf(lo)).front();
+      serving.push_back(node);
+      nonlocal.push_back(NonLocalFraction(*frag, node, lo, hi));
+    }
+  } else {
+    serving.resize(intervals.size());
+    std::iota(serving.begin(), serving.end(), 0);
+    nonlocal.assign(intervals.size(), 0.0);
+  }
+
+  const int m = static_cast<int>(intervals.size());
   ticket->sub_sql.clear();
   for (const auto& [lo, hi] : intervals) {
     ticket->sub_sql.push_back(ticket->plan.SubquerySql(lo, hi));
   }
-  ticket->partials.resize(static_cast<size_t>(n));
-  ticket->remaining = n;
+  ticket->partials.resize(static_cast<size_t>(m));
+  ticket->remaining = m;
 
-  for (int i = 0; i < n; ++i) {
+  for (int k = 0; k < m; ++k) {
+    const int node = serving[static_cast<size_t>(k)];
+    const double ship_frac = nonlocal[static_cast<size_t>(k)];
     auto started = std::make_shared<SimTime>(0);
-    servers_[static_cast<size_t>(i)]->Enqueue(sim::SimServer::Job{
-        [this, ticket, i, started] {
+    servers_[static_cast<size_t>(node)]->Enqueue(sim::SimServer::Job{
+        [this, ticket, k, node, ship_frac, started] {
           *started = sim_.now();
-          engine::Database* db = replicas_->node(i);
+          engine::Database* db = replicas_->node(node);
           const bool saved = db->settings()->enable_seqscan;
           if (options_.force_index_for_svp) {
             db->settings()->enable_seqscan = false;
           }
-          auto r = db->Execute(ticket->sub_sql[static_cast<size_t>(i)]);
+          auto r = db->Execute(ticket->sub_sql[static_cast<size_t>(k)]);
           db->settings()->enable_seqscan = saved;
           if (r.ok()) {
             feedback_.Observe(r->stats);
             SimTime t = options_.cost.StatementTime(r->stats);
-            ticket->partials[static_cast<size_t>(i)] = std::move(r).value();
-            return Scaled(i, t);
+            if (ship_frac > 0.0) {
+              const uint64_t bytes =
+                  static_cast<uint64_t>(
+                      static_cast<double>(r->stats.tuples_scanned) *
+                      ship_frac) *
+                  kExchangeRowBytes;
+              exchange_bytes_ += bytes;
+              t += options_.cost.ExchangeTransferTime(bytes);
+            }
+            ticket->partials[static_cast<size_t>(k)] = std::move(r).value();
+            return Scaled(node, t);
           }
           ticket->outcome.status = r.status();
-          return Scaled(i, options_.cost.message_us);
+          return Scaled(node, options_.cost.message_us);
         },
-        [this, ticket, i, started](SimTime t) {
+        [this, ticket, node, started](SimTime t) {
           obs::Tracer& tracer = obs::Tracer::Global();
           uint64_t sid = tracer.Record("sim.subquery", "sim", ticket->span,
                                        *started, t);
-          tracer.AddAttrTo(sid, "node", static_cast<int64_t>(i));
+          tracer.AddAttrTo(sid, "node", static_cast<int64_t>(node));
           if (--ticket->remaining > 0) return;
           ComposeAndFinish(ticket);
         }});
@@ -540,17 +669,37 @@ void ClusterSim::DispatchWrite(std::shared_ptr<WriteTicket> ticket) {
     return;
   }
 
-  // Eager (the paper): broadcast + coordination.
+  // Eager (the paper): broadcast + coordination. Replica-consistency
+  // coordination: committing a write requires a total-order round
+  // across the replicas that take it, and every participating node's
+  // session is held for that round — so the per-node charge *grows
+  // with the fan-out*. At full broadcast this is the mechanism behind
+  // the paper's Fig. 4 stall at 16-32 nodes ("the consistency
+  // protocol makes the update propagation delay hurt performance").
+  // Under the fragmentation overlay a statically attributable write
+  // routes to the owning fragment's replica set, so the sync round
+  // spans replica_factor nodes regardless of cluster size; the
+  // remaining replicas receive the forwarded statement as a
+  // background apply (full copies stay converged — the overlay is
+  // logical) that costs node busy time but neither sync overhead nor
+  // client latency. FIFO node queues order every background apply
+  // before any read enqueued after the commit, so results stay exact.
+  std::optional<std::vector<int>> routed;
+  if (options_.fragmentation) routed = RoutedWriteTargets(ticket->sql);
+  std::vector<int> owners;
+  if (routed.has_value()) {
+    owners = *routed;
+    ++routed_writes_;
+  } else {
+    owners.resize(static_cast<size_t>(n));
+    std::iota(owners.begin(), owners.end(), 0);
+  }
+  write_fanout_total_ += owners.size();
   ++writes_in_flight_;
-  ticket->remaining = n;
-  // Replica-consistency coordination: committing a write requires a
-  // total-order round across all n replicas, and every node's session
-  // is held for that round — so the per-node charge *grows with n*.
-  // This is the mechanism behind the paper's Fig. 4 stall at 16-32
-  // nodes ("the consistency protocol makes the update propagation
-  // delay hurt performance").
-  SimTime sync = options_.cost.WriteBroadcastOverhead(n);
-  for (int i = 0; i < n; ++i) {
+  ticket->remaining = static_cast<int>(owners.size());
+  SimTime sync =
+      options_.cost.WriteBroadcastOverhead(static_cast<int>(owners.size()));
+  for (int i : owners) {
     servers_[static_cast<size_t>(i)]->Enqueue(sim::SimServer::Job{
         [this, ticket, i, sync] {
           auto r = replicas_->ExecuteOn(i, ticket->sql);
@@ -575,6 +724,92 @@ void ClusterSim::DispatchWrite(std::shared_ptr<WriteTicket> ticket) {
           MaybeReleaseBarrier();
         }});
   }
+  if (!routed.has_value()) return;
+  for (int i = 0; i < n; ++i) {
+    if (std::find(owners.begin(), owners.end(), i) != owners.end()) {
+      continue;
+    }
+    servers_[static_cast<size_t>(i)]->Enqueue(sim::SimServer::Job{
+        [this, ticket, i] {
+          auto r = replicas_->ExecuteOn(i, ticket->sql);
+          return Scaled(i, r.ok() ? options_.cost.StatementTime(r->stats)
+                                  : options_.cost.message_us);
+        },
+        [](SimTime) {}});
+  }
+}
+
+std::optional<std::vector<int>> ClusterSim::RoutedWriteTargets(
+    const std::string& sql) const {
+  const std::string table = share::WriteTargetTable(sql);
+  if (table.empty()) return std::nullopt;
+  const FragmentationSpec* spec = catalog_.FragmentationFor(table);
+  if (spec == nullptr) return std::nullopt;
+  auto parsed = sql::Parse(sql);
+  if (!parsed.ok()) return std::nullopt;
+  std::vector<int64_t> written_keys;
+  switch ((*parsed)->kind()) {
+    case sql::StmtKind::kInsert: {
+      const auto& ins = static_cast<const sql::InsertStmt&>(**parsed);
+      int pos = -1;
+      if (!ins.columns.empty()) {
+        for (size_t i = 0; i < ins.columns.size(); ++i) {
+          if (ToLower(ins.columns[i]) == spec->key_column) {
+            pos = static_cast<int>(i);
+            break;
+          }
+        }
+      } else {
+        auto t = replicas_->node(0)->catalog()->GetTable(spec->table);
+        if (t.ok()) pos = (*t)->schema().FindColumn(spec->key_column);
+      }
+      if (pos < 0) return std::nullopt;
+      for (const auto& row : ins.rows) {
+        if (static_cast<size_t>(pos) >= row.size()) return std::nullopt;
+        const sql::Expr* e = row[static_cast<size_t>(pos)].get();
+        if (e->kind != sql::ExprKind::kLiteral ||
+            e->literal.type() != ValueType::kInt64) {
+          return std::nullopt;  // not statically attributable
+        }
+        written_keys.push_back(e->literal.int_val());
+      }
+      break;
+    }
+    case sql::StmtKind::kDelete: {
+      const auto& del = static_cast<const sql::DeleteStmt&>(**parsed);
+      auto key = EqualityKey(del.where.get(), spec->key_column);
+      if (!key.has_value()) return std::nullopt;
+      written_keys.push_back(*key);
+      break;
+    }
+    case sql::StmtKind::kUpdate: {
+      const auto& upd = static_cast<const sql::UpdateStmt&>(**parsed);
+      for (const auto& [col, expr] : upd.assignments) {
+        // Rewriting the key could migrate the row: never route.
+        if (ToLower(col) == spec->key_column) return std::nullopt;
+      }
+      auto key = EqualityKey(upd.where.get(), spec->key_column);
+      if (!key.has_value()) return std::nullopt;
+      written_keys.push_back(*key);
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (written_keys.empty()) return std::nullopt;
+  std::vector<int> targets;
+  for (int64_t k : written_keys) {
+    for (int h : spec->HostsOf(spec->FragmentOf(k))) {
+      if (std::find(targets.begin(), targets.end(), h) == targets.end()) {
+        targets.push_back(h);
+      }
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+  if (static_cast<int>(targets.size()) >= options_.num_nodes) {
+    return std::nullopt;  // full fan-out anyway: plain broadcast
+  }
+  return targets;
 }
 
 void ClusterSim::MaybeReleaseBarrier() {

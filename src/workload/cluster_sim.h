@@ -95,6 +95,29 @@ struct ClusterSimOptions {
   /// today's behavior.
   bool result_cache = false;
   bool share_scans = false;
+  /// Physical fragmentation overlay (the shared-nothing experiment):
+  /// installs the TPC-H preset — lineitem and orders co-partitioned
+  /// BY HASH on the orderkey INTO `fragments` pieces, fragment f
+  /// primary on node f. SVP reads prune to the intervals that
+  /// intersect the query's key predicate and dispatch each interval
+  /// to the owning fragment's host (charging the exchange operator's
+  /// per-byte network cost for any non-local key span); eligible
+  /// writes route to the owning fragment's replica set instead of
+  /// broadcasting, so the client-visible sync round spans
+  /// replica_factor nodes, not num_nodes. Non-owner replicas receive
+  /// the forwarded statement as a background apply (the sim keeps
+  /// full physical copies, mirroring the real stack's logical
+  /// overlay) charged as node busy time but neither sync overhead
+  /// nor client latency. Eager replication only.
+  bool fragmentation = false;
+  /// Copies of each fragment (1 = primary only). Routed writes pay
+  /// WriteBroadcastOverhead over the owning replica set.
+  int replica_factor = 1;
+  /// Fragment count for the preset; 0 = num_nodes (the aligned,
+  /// fully local case). A count that does not divide the SVP
+  /// interval grid exercises the exchange path: intervals spanning a
+  /// fragment boundary ship the non-local span to the serving node.
+  int fragments = 0;
   /// How long an admission batch stays open for more arrivals
   /// (virtual time) before its leader dispatches.
   SimTime admission_window_us = 200;
@@ -158,6 +181,15 @@ class ClusterSim {
   /// AVP mode: chunks issued / ranges stolen across all queries.
   uint64_t avp_chunks() const { return avp_chunks_; }
   uint64_t avp_steals() const { return avp_steals_; }
+  /// Fragmentation overlay: writes routed to a replica set instead of
+  /// broadcast, total per-write node fan-out (sync round width; n per
+  /// broadcast write, replica-set size per routed write), bytes the
+  /// exchange operator shipped for non-local interval spans, and SVP
+  /// intervals pruned by the key predicate.
+  uint64_t routed_writes() const { return routed_writes_; }
+  uint64_t write_fanout_total() const { return write_fanout_total_; }
+  uint64_t exchange_bytes() const { return exchange_bytes_; }
+  uint64_t fragments_pruned() const { return fragments_pruned_; }
   /// Work sharing: reads served straight from the result cache,
   /// cache misses, and reads that rode another query's admission.
   uint64_t result_cache_hits() const { return result_cache_hits_; }
@@ -208,6 +240,10 @@ class ClusterSim {
   void StartAvpChunk(std::shared_ptr<SvpTicket> ticket, int node);
   void ComposeAndFinish(std::shared_ptr<SvpTicket> ticket);
   void DispatchWrite(std::shared_ptr<WriteTicket> ticket);
+  /// Replica-set node ids a statically attributable write under the
+  /// fragmentation overlay routes to; nullopt = broadcast.
+  std::optional<std::vector<int>> RoutedWriteTargets(
+      const std::string& sql) const;
   void MaybeReleaseBarrier();
   std::vector<int> PendingCounts() const;
   SimTime Scaled(int node, SimTime t) const;
@@ -236,6 +272,10 @@ class ClusterSim {
   uint64_t stale_svp_queries_ = 0;
   uint64_t avp_chunks_ = 0;
   uint64_t avp_steals_ = 0;
+  uint64_t routed_writes_ = 0;
+  uint64_t write_fanout_total_ = 0;
+  uint64_t exchange_bytes_ = 0;
+  uint64_t fragments_pruned_ = 0;
   SimTime write_latency_total_ = 0;
 
   // Work-sharing mirror: versioned result cache (allocated only when

@@ -352,6 +352,9 @@ TEST(ExplainAnalyzeTest, ClusterBreakdownGoldenShapeForQ1AndQ3) {
       {"compose", "output_rows"},
       {"share", "result_cache_on"},
       {"share", "share_scans_on"},
+      {"fragment", "exchange_bytes"},
+      {"fragment", "fragments_pruned"},
+      {"fragment", "write_fanout"},
       {"query", "elapsed_us"},
   };
   for (int q : {1, 3}) {
