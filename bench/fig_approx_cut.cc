@@ -1,0 +1,198 @@
+// Approximate-tier headline figure: scanned-tuple/page and latency
+// cut of APPROX SELECT vs the exact SVP plan on TPC-H Q1 and Q6, at
+// sampling ratios 0.01 and 0.1, through the full controller + engine
+// stack (real tables, real scrambles). Every row also reports the
+// price paid for the cut: the worst relative CI half-width of the
+// approximate answer.
+//
+// Knobs: APUAMA_BENCH_SF (default 0.01), APUAMA_BENCH_NODES
+// (default 4), APUAMA_BENCH_REPS (default 3).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apuama/apuama_engine.h"
+#include "bench/bench_util.h"
+#include "cjdbc/controller.h"
+#include "common/string_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_catalog.h"
+
+namespace apuama {
+namespace {
+
+struct Measure {
+  int64_t tuples = 0;
+  int64_t pages = 0;
+  int64_t elapsed_us = 0;
+  double half_width = 0.0;  // worst relative CI half-width (approx only)
+};
+
+int64_t MetricOf(const engine::QueryResult& r, const std::string& level,
+                 const std::string& metric) {
+  for (const auto& row : r.rows) {
+    if (row[0].str_val() == level && row[1].str_val() == metric) {
+      auto v = row[2].AsInt();
+      if (v.ok()) return *v;
+      auto d = row[2].AsDouble();
+      return d.ok() ? static_cast<int64_t>(*d) : 0;
+    }
+  }
+  return 0;
+}
+
+double DoubleMetricOf(const engine::QueryResult& r,
+                      const std::string& level,
+                      const std::string& metric) {
+  for (const auto& row : r.rows) {
+    if (row[0].str_val() == level && row[1].str_val() == metric) {
+      auto d = row[2].AsDouble();
+      return d.ok() ? *d : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+/// Best-of-reps EXPLAIN ANALYZE of one query (cold caches: the result
+/// cache stays off for the whole bench).
+Measure Run(cjdbc::Controller* controller, const std::string& sql,
+            int reps) {
+  Measure best;
+  for (int i = 0; i < reps; ++i) {
+    auto r = controller->Execute("explain analyze " + sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    Measure m;
+    m.tuples = MetricOf(*r, "node", "tuples_scanned");
+    m.pages = MetricOf(*r, "node", "pages_disk") +
+              MetricOf(*r, "node", "pages_cache");
+    m.elapsed_us = MetricOf(*r, "query", "elapsed_us");
+    m.half_width = DoubleMetricOf(*r, "approx", "ci_half_width");
+    if (i == 0 || m.elapsed_us < best.elapsed_us) {
+      best.elapsed_us = m.elapsed_us;
+      best.half_width = m.half_width;
+    }
+    best.tuples = m.tuples;  // physical work is deterministic per plan
+    best.pages = m.pages;
+  }
+  return best;
+}
+
+std::string Pct(int64_t part, int64_t whole) {
+  if (whole == 0) return "n/a";
+  return FormatDouble(100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole),
+                      1) +
+         "%";
+}
+
+}  // namespace
+}  // namespace apuama
+
+int main() {
+  using namespace apuama;
+  const double sf = bench::EnvDouble("APUAMA_BENCH_SF", 0.01);
+  const int nodes = bench::EnvInt("APUAMA_BENCH_NODES", 4);
+  const int reps = bench::EnvInt("APUAMA_BENCH_REPS", 3);
+
+  tpch::TpchData data(tpch::DbgenOptions{.scale_factor = sf});
+  cjdbc::ReplicaSet replicas(
+      nodes, cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = 0});
+  if (!data.LoadIntoReplicas(&replicas).ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+  ApuamaEngine engine(&replicas, tpch::MakeTpchCatalog(data));
+  cjdbc::Controller controller(std::make_unique<ApuamaDriver>(&engine));
+
+  std::printf("fig approx-cut: sf=%g nodes=%d reps=%d orders=%lld\n",
+              sf, nodes, reps,
+              static_cast<long long>(data.num_orders()));
+
+  bench::Table table(
+      "APPROX vs exact: scanned work and latency at matched plans");
+  table.SetHeader({"query", "mode", "tuples", "tuples_vs_exact", "pages",
+                   "pages_vs_exact", "latency_us", "latency_vs_exact",
+                   "rel_half_width"});
+
+  for (int q : {1, 6}) {
+    const std::string sql = *tpch::QuerySql(q);
+    const std::string label = "Q" + std::to_string(q);
+    const Measure exact = Run(&controller, sql, reps);
+    table.AddRow({label, "exact", std::to_string(exact.tuples), "100%",
+                  std::to_string(exact.pages), "100%",
+                  std::to_string(exact.elapsed_us), "100%", "0"});
+    for (double ratio : {0.01, 0.1}) {
+      char ddl[64];
+      std::snprintf(ddl, sizeof(ddl),
+                    "create sample lineitem ratio %g", ratio);
+      auto r = controller.Execute(ddl);
+      if (!r.ok()) {
+        std::fprintf(stderr, "sample ddl failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      const Measure ap = Run(&controller, "APPROX " + sql, reps);
+      table.AddRow({label, "approx " + bench::Ratio(ratio),
+                    std::to_string(ap.tuples),
+                    Pct(ap.tuples, exact.tuples), std::to_string(ap.pages),
+                    Pct(ap.pages, exact.pages),
+                    std::to_string(ap.elapsed_us),
+                    Pct(ap.elapsed_us, exact.elapsed_us),
+                    FormatDouble(ap.half_width, 4)});
+      auto drop = controller.Execute("drop sample lineitem");
+      if (!drop.ok()) {
+        std::fprintf(stderr, "drop sample failed\n");
+        return 1;
+      }
+    }
+  }
+  table.Print();
+
+  // Early-exit refinement: with an error target set, the merge loop
+  // stops once the CI is tight enough and cancels the rest.
+  bench::Table refine("Streaming refinement: early exit at error targets");
+  refine.SetHeader({"query", "error_target", "subqueries_skipped",
+                    "latency_us", "rel_half_width"});
+  if (!controller.Execute("create sample lineitem ratio 0.1").ok()) {
+    std::fprintf(stderr, "sample ddl failed\n");
+    return 1;
+  }
+  for (double target : {0.0, 0.3, 0.6}) {
+    char set_sql[64];
+    std::snprintf(set_sql, sizeof(set_sql),
+                  "set approx_error_target = %g", target);
+    if (!controller.Execute(set_sql).ok()) {
+      std::fprintf(stderr, "set failed\n");
+      return 1;
+    }
+    const std::string sql = *tpch::QuerySql(6);
+    Measure best;
+    int64_t skipped = 0;
+    for (int i = 0; i < reps; ++i) {
+      auto r = controller.Execute("explain analyze APPROX " + sql);
+      if (!r.ok()) {
+        std::fprintf(stderr, "query failed\n");
+        return 1;
+      }
+      const int64_t us = MetricOf(*r, "query", "elapsed_us");
+      if (i == 0 || us < best.elapsed_us) {
+        best.elapsed_us = us;
+        best.half_width = DoubleMetricOf(*r, "approx", "ci_half_width");
+      }
+      skipped = MetricOf(*r, "approx", "subqueries_skipped");
+    }
+    refine.AddRow({"Q6", bench::Ratio(target), std::to_string(skipped),
+                   std::to_string(best.elapsed_us),
+                   FormatDouble(best.half_width, 4)});
+  }
+  refine.Print();
+  return 0;
+}

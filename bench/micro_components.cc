@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -789,6 +790,68 @@ void BM_FragmentedWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_FragmentedWrite)
     ->ArgsProduct({{4, 8}, {0, 1, 2}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Approximate aggregation through the full controller + engine stack.
+// Args: {sampling ratio in permille, exec_threads}. Each iteration
+// answers APPROX Q1 from the pre-built scramble; the counters report
+// how much of the exact plan's scan the sampled plan actually paid
+// (`tuples_scanned` per iteration) and the worst relative CI
+// half-width, so BENCH_approx.json carries both the cost cut and the
+// error bar it bought.
+void BM_ApproxAggregate(benchmark::State& state) {
+  const double ratio = static_cast<double>(state.range(0)) / 1000.0;
+  const int threads = static_cast<int>(state.range(1));
+  constexpr int kNodes = 4;
+  const auto& data = BenchData();
+  cjdbc::ReplicaSet replicas(
+      kNodes, cjdbc::ReplicaSet::NodeOptions{.buffer_pool_pages = 0});
+  if (!data.LoadIntoReplicas(&replicas).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  ApuamaEngine engine(&replicas, tpch::MakeTpchCatalog(data),
+                      ApuamaOptions{});
+  cjdbc::Controller controller(std::make_unique<ApuamaDriver>(&engine));
+  char ddl[64];
+  std::snprintf(ddl, sizeof(ddl), "create sample lineitem ratio %g", ratio);
+  if (!controller.Execute("set exec_threads = " + std::to_string(threads))
+           .ok() ||
+      !controller.Execute(ddl).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  const std::string q = "APPROX " + *tpch::QuerySql(1);
+  double worst_hw = 0.0;
+  for (auto _ : state) {
+    auto r = controller.Execute(q);
+    if (!r.ok() || !r->approx.is_approx) {
+      state.SkipWithError("approx query failed");
+      return;
+    }
+    worst_hw = std::max(worst_hw, r->approx.max_rel_half_width);
+    benchmark::DoNotOptimize(r);
+  }
+  // One untimed EXPLAIN ANALYZE probe: per-query scanned tuples, for
+  // the scan-cut column of BENCH_approx.json.
+  auto probe = controller.Execute("explain analyze " + q);
+  if (probe.ok()) {
+    for (const auto& row : probe->rows) {
+      if (row[0].str_val() == "node" &&
+          row[1].str_val() == "tuples_scanned") {
+        auto v = row[2].AsInt();
+        if (v.ok()) {
+          state.counters["tuples_scanned"] = static_cast<double>(*v);
+        }
+      }
+    }
+  }
+  state.counters["rel_half_width"] = worst_hw;
+  state.counters["sample_ratio"] = ratio;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ApproxAggregate)
+    ->ArgsProduct({{10, 100}, {1, 4, 8}})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_LikeMatch(benchmark::State& state) {

@@ -1,0 +1,122 @@
+#include "apuama/approx/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apuama::approx {
+
+namespace {
+
+// Two-sided 95% normal quantile.
+constexpr double kZ95 = 1.959963984540054;
+constexpr int kBootstrapResamples = 200;
+
+// Point estimate without interval math (shared by the CLT path and
+// every bootstrap resample).
+double PointEstimate(AggKind kind, const GroupMoments& m, double f) {
+  switch (kind) {
+    case AggKind::kSum:
+      return f > 0.0 ? m.sum / f : 0.0;
+    case AggKind::kCount:
+      return f > 0.0 ? static_cast<double>(m.cnt) / f : 0.0;
+    case AggKind::kAvg:
+      return m.cnt > 0 ? m.sum / static_cast<double>(m.cnt) : 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double Estimate::RelativeHalfWidth() const {
+  const double hw = (hi - lo) / 2.0;
+  if (hw <= 0.0) return 0.0;
+  const double mag = std::fabs(value);
+  return mag > 0.0 ? hw / mag : hw;
+}
+
+Estimate EstimateAgg(AggKind kind, const GroupMoments& m, double f) {
+  Estimate e;
+  e.value = PointEstimate(kind, m, f);
+  if (m.cnt <= 0 || f <= 0.0) {
+    e.lo = e.hi = e.value;
+    return e;
+  }
+  // Horvitz-Thompson variance under uniform row sampling at rate f;
+  // the finite-population factor (1 - f) zeroes the interval at f=1.
+  const double fpc = std::max(0.0, 1.0 - f);
+  double var = 0.0;
+  switch (kind) {
+    case AggKind::kSum:
+      var = fpc / (f * f) * m.sumsq;
+      break;
+    case AggKind::kCount:
+      var = fpc / (f * f) * static_cast<double>(m.cnt);
+      break;
+    case AggKind::kAvg: {
+      const double n = static_cast<double>(m.cnt);
+      const double s2 =
+          m.cnt > 1 ? std::max(0.0, (m.sumsq - m.sum * m.sum / n) / (n - 1.0))
+                    : 0.0;
+      var = fpc * s2 / n;
+      break;
+    }
+  }
+  const double hw = kZ95 * std::sqrt(std::max(0.0, var));
+  e.lo = e.value - hw;
+  e.hi = e.value + hw;
+  return e;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSeedIndex(int64_t seed, uint64_t index) {
+  return Mix64(Mix64(static_cast<uint64_t>(seed)) ^ index);
+}
+
+std::optional<Estimate> BootstrapAgg(AggKind kind,
+                                     const std::vector<GroupMoments>& parts,
+                                     double f, uint64_t seed) {
+  const size_t k = parts.size();
+  if (k < 2 || f <= 0.0) return std::nullopt;
+  GroupMoments all;
+  for (const auto& p : parts) all += p;
+
+  std::vector<double> boot;
+  boot.reserve(kBootstrapResamples);
+  uint64_t state = Mix64(seed ^ 0x5bf03635ULL);
+  auto next = [&state] { return state = Mix64(state); };
+  for (int b = 0; b < kBootstrapResamples; ++b) {
+    GroupMoments m;
+    for (size_t i = 0; i < k; ++i) {
+      m += parts[next() % k];
+    }
+    // Resampling k-of-k sub-query slices keeps expected coverage at
+    // f, so the same fraction applies to every resample.
+    boot.push_back(PointEstimate(kind, m, f));
+  }
+  std::sort(boot.begin(), boot.end());
+  const auto pct = [&boot](double p) {
+    const double idx = p * static_cast<double>(boot.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, boot.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return boot[lo] * (1.0 - frac) + boot[hi] * frac;
+  };
+  Estimate e;
+  e.value = PointEstimate(kind, all, f);
+  // Basic (reverse-percentile) interval, centered on the full
+  // estimate so the reported value is unchanged by the fallback.
+  const double lo_q = pct(0.025);
+  const double hi_q = pct(0.975);
+  e.lo = 2.0 * e.value - hi_q;
+  e.hi = 2.0 * e.value - lo_q;
+  if (e.lo > e.hi) std::swap(e.lo, e.hi);
+  return e;
+}
+
+}  // namespace apuama::approx

@@ -1,0 +1,86 @@
+// Statistical estimators for the approximate query tier.
+//
+// An APPROX aggregate runs over a uniform-random scramble of the base
+// table (see sample_catalog.h). The executor accumulates per-group
+// moments — sum(e), sum(e*e), count(*) — over the covered slice of
+// the scramble; the functions here turn those moments into unbiased
+// point estimates with normal-theory (CLT) confidence intervals,
+// falling back to a deterministic percentile bootstrap over the
+// per-sub-query moment triples when a group is too small for the CLT
+// to be trustworthy.
+//
+// `f` throughout is the effective sampling fraction: covered sample
+// rows / base-table rows. At f == 1 every estimator collapses to the
+// exact answer with a zero-width interval.
+#ifndef APUAMA_APUAMA_APPROX_ESTIMATOR_H_
+#define APUAMA_APUAMA_APPROX_ESTIMATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace apuama::approx {
+
+/// Aggregate kinds the approximate tier can rewrite.
+enum class AggKind { kSum, kCount, kAvg };
+
+/// Accumulated moments of one aggregate within one group:
+/// sum of the argument, sum of its square, and the group's row count
+/// (count(*) over the covered sample slice — shared by every
+/// aggregate of the query, since the tier rejects count(column)).
+struct GroupMoments {
+  double sum = 0.0;
+  double sumsq = 0.0;
+  int64_t cnt = 0;
+
+  GroupMoments& operator+=(const GroupMoments& o) {
+    sum += o.sum;
+    sumsq += o.sumsq;
+    cnt += o.cnt;
+    return *this;
+  }
+};
+
+/// Point estimate with a 95% confidence interval [lo, hi].
+struct Estimate {
+  double value = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  /// Half-width relative to the estimate's magnitude (the early-exit
+  /// stopping rule compares this against `approx_error_target`).
+  /// A zero estimate with a non-zero interval reports the absolute
+  /// half-width instead, so uncertainty never divides away.
+  double RelativeHalfWidth() const;
+};
+
+/// Number of rows below which a group's CLT interval is distrusted
+/// and the bootstrap (when >= 2 sub-queries contributed) is used.
+inline constexpr int64_t kBootstrapThreshold = 30;
+
+/// CLT estimate for one aggregate from cumulative group moments at
+/// effective sampling fraction `f` in (0, 1]. cnt == 0 or f <= 0
+/// yields a zero estimate with a zero interval (the caller drops
+/// empty groups before this matters).
+Estimate EstimateAgg(AggKind kind, const GroupMoments& m, double f);
+
+/// Percentile bootstrap (B = 200 resamples) over the per-sub-query
+/// moment triples of one group. Deterministic: the resampling RNG is
+/// seeded from `seed` alone, so a fixed sample_seed gives the same
+/// interval at any thread count. Returns nullopt when fewer than two
+/// triples contributed (nothing to resample). The returned interval
+/// is re-centered on the full-moment point estimate.
+std::optional<Estimate> BootstrapAgg(AggKind kind,
+                                     const std::vector<GroupMoments>& parts,
+                                     double f, uint64_t seed);
+
+/// splitmix64 — the deterministic hash behind scramble row selection
+/// and permutation ranks (shared here so builder and tests agree).
+uint64_t Mix64(uint64_t x);
+
+/// Hash of (seed, index) used for scramble membership and ranks.
+uint64_t HashSeedIndex(int64_t seed, uint64_t index);
+
+}  // namespace apuama::approx
+
+#endif  // APUAMA_APUAMA_APPROX_ESTIMATOR_H_

@@ -1,0 +1,56 @@
+#include "apuama/approx/sample_catalog.h"
+
+#include "common/string_util.h"
+
+namespace apuama::approx {
+
+void SampleCatalog::Put(SampleEntry e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& existing : entries_) {
+    if (EqualsIgnoreCase(existing.base_table, e.base_table)) {
+      existing = std::move(e);
+      return;
+    }
+  }
+  entries_.push_back(std::move(e));
+}
+
+std::optional<SampleEntry> SampleCatalog::ForBase(
+    const std::string& base) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (EqualsIgnoreCase(e.base_table, base)) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<SampleEntry> SampleCatalog::ByName(
+    const std::string& sample) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (EqualsIgnoreCase(e.sample_table, sample)) return e;
+  }
+  return std::nullopt;
+}
+
+bool SampleCatalog::Remove(const std::string& base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (EqualsIgnoreCase(it->base_table, base)) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<SampleEntry> SampleCatalog::All() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+std::string DefaultSampleName(const std::string& base) {
+  return ToLower(base) + "__sample";
+}
+
+}  // namespace apuama::approx

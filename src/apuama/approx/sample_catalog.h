@@ -1,0 +1,72 @@
+// Registry of materialized scrambles (pre-permuted uniform samples).
+//
+// A scramble is a physical table `<base>__sample` living beside its
+// base table on every replica: a deterministic uniform-random subset
+// of the base rows, stored in random order under a dense clustered
+// rank column `__skey` (0..m-1). Because the row order is random,
+// ANY contiguous `__skey` range is itself a uniform sample — so the
+// stock SVP carve over the scramble's private partition space yields
+// k-of-n subsampling for free, and merging sub-query partials in any
+// prefix order refines the estimate monotonically.
+//
+// Freshness: each entry snapshots the base table's write epoch (the
+// same counters that invalidate the result cache) at build time; the
+// approx executor compares the snapshot inside the consistency
+// barrier and rebuilds synchronously on mismatch, so an APPROX
+// answer can never be computed from a scramble older than the base
+// table's last committed write.
+#ifndef APUAMA_APUAMA_APPROX_SAMPLE_CATALOG_H_
+#define APUAMA_APUAMA_APPROX_SAMPLE_CATALOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace apuama::approx {
+
+/// Metadata of one materialized scramble.
+struct SampleEntry {
+  std::string base_table;    // lower-cased
+  std::string sample_table;  // lower-cased; also its partition space name
+  double requested_ratio = 0.0;  // the RATIO p of the DDL
+  double actual_ratio = 0.0;     // sample_rows / base_rows (0 if empty base)
+  int64_t seed = 0;              // sample_seed the build used
+  uint64_t sample_rows = 0;      // m
+  uint64_t base_rows = 0;        // N at build time
+  /// Result-cache epoch keys snapshotted after the build ("" =
+  /// global, plus the base table's key). Any movement means a write
+  /// or DDL landed since: the scramble is stale.
+  std::vector<std::pair<std::string, uint64_t>> built_epochs;
+};
+
+/// Thread-safe registry, keyed by base table (one scramble per base).
+class SampleCatalog {
+ public:
+  /// Inserts or replaces the entry for `e.base_table`.
+  void Put(SampleEntry e);
+
+  /// Entry whose base table is `base` (lower-cased), if any.
+  std::optional<SampleEntry> ForBase(const std::string& base) const;
+
+  /// Entry whose sample table is `sample` (lower-cased), if any.
+  std::optional<SampleEntry> ByName(const std::string& sample) const;
+
+  /// Removes the entry for `base`; false when none existed.
+  bool Remove(const std::string& base);
+
+  std::vector<SampleEntry> All() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SampleEntry> entries_;
+};
+
+/// Default scramble name for a base table.
+std::string DefaultSampleName(const std::string& base);
+
+}  // namespace apuama::approx
+
+#endif  // APUAMA_APUAMA_APPROX_SAMPLE_CATALOG_H_

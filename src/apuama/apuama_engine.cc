@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <future>
 #include <limits>
 #include <set>
@@ -61,7 +62,13 @@ std::vector<std::pair<std::string, uint64_t>> ApuamaStats::Kv() const {
           {"exchange_bytes", v(exchange_bytes)},
           {"exchange_shuffles", v(exchange_shuffles)},
           {"exchange_broadcasts", v(exchange_broadcasts)},
-          {"fragments_pruned", v(fragments_pruned)}};
+          {"fragments_pruned", v(fragments_pruned)},
+          {"approx_queries", v(approx_queries)},
+          {"approx_early_exits", v(approx_early_exits)},
+          {"approx_subqueries_skipped", v(approx_subqueries_skipped)},
+          {"approx_fallbacks", v(approx_fallbacks)},
+          {"scramble_builds", v(scramble_builds)},
+          {"scramble_rebuilds", v(scramble_rebuilds)}};
 }
 
 std::string ApuamaStats::ToString() const { return obs::RenderKvText(Kv()); }
@@ -170,6 +177,15 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteRead(
     int node_id, const std::string& sql) {
   if (node_id < 0 || node_id >= num_nodes()) {
     return Status::InvalidArgument("bad node id");
+  }
+  // Approximate tier. The verb check keeps the exact hot path
+  // untouched when the session knob is off and no APPROX verb is
+  // present; ineligible queries fall back to exact execution below.
+  if (approx_on_.load(std::memory_order_relaxed) ||
+      approx::StartsWithApproxVerb(sql)) {
+    if (auto approx_result = MaybeExecuteApprox(sql)) {
+      return std::move(*approx_result);
+    }
   }
   if (options_.enable_intra_query) {
     APUAMA_ASSIGN_OR_RETURN(std::shared_ptr<const PlanCache::Entry> entry,
@@ -300,6 +316,13 @@ std::vector<Result<engine::QueryResult>> ApuamaEngine::ExecuteSharedRead(
   std::vector<size_t> batch_idx;
   batch_idx.reserve(sqls.size());
   for (size_t i = 0; i < sqls.size(); ++i) {
+    if (approx_on_.load(std::memory_order_relaxed) ||
+        approx::StartsWithApproxVerb(sqls[i])) {
+      // Approx candidates never join a shared scan: the node batch
+      // would answer them exactly, silently ignoring the APPROX verb.
+      out[i] = ExecuteRead(node_id, sqls[i]);
+      continue;
+    }
     if (!options_.enable_intra_query) {
       batch_idx.push_back(i);
       continue;
@@ -357,7 +380,12 @@ int64_t ApuamaEngine::admission_window_us() const {
 
 std::shared_ptr<const engine::QueryResult> ApuamaEngine::CacheLookup(
     const std::string& fingerprint) {
-  auto hit = result_cache_.Lookup(fingerprint, catalog_.version());
+  // An exact query must never be served an approximate entry; the
+  // reverse (exact entry for an approx lookup) is always safe.
+  const bool accept_approx = approx_on_.load(std::memory_order_relaxed) ||
+                             approx::StartsWithApproxVerb(fingerprint);
+  auto hit =
+      result_cache_.Lookup(fingerprint, catalog_.version(), accept_approx);
   (hit != nullptr ? stats_.result_cache_hits : stats_.result_cache_misses)
       .fetch_add(1, std::memory_order_relaxed);
   return hit;
@@ -1238,7 +1266,15 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAnalyze(
   Result<engine::QueryResult> result =
       Status::Internal("analyze not dispatched");
   bool dispatched = false;
-  if (options_.enable_intra_query) {
+  if (stmt.query->approx || approx_on_.load(std::memory_order_relaxed)) {
+    if (auto approx_result = MaybeExecuteApprox(inner_sql, &profile)) {
+      APUAMA_RETURN_NOT_OK(approx_result->status());
+      result = std::move(*approx_result);
+      path = "approx";
+      dispatched = true;
+    }
+  }
+  if (!dispatched && options_.enable_intra_query) {
     APUAMA_ASSIGN_OR_RETURN(std::shared_ptr<const PlanCache::Entry> entry,
                             RouteRead(inner_sql));
     if (entry->kind == PlanCache::Kind::kSvp) {
@@ -1330,6 +1366,12 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAnalyze(
   add("fragment", "write_fanout",
       static_cast<int64_t>(last_write_fanout_.load(
           std::memory_order_relaxed)));
+  qr.rows.push_back({Value::Str("approx"), Value::Str("sample_ratio"),
+                     Value::Double(profile.sample_ratio)});
+  qr.rows.push_back({Value::Str("approx"), Value::Str("ci_half_width"),
+                     Value::Double(profile.ci_half_width)});
+  add("approx", "subqueries_skipped",
+      static_cast<int64_t>(profile.subqueries_skipped));
   add("query", "elapsed_us", elapsed_us);
   qr.stats = result->stats;
   return qr;
@@ -1349,8 +1391,25 @@ void MaybeFlipSharingKnob(ApuamaEngine* engine, const sql::Stmt& stmt) {
     engine->SetExchangeStrategy(set.value);
     return;
   }
+  if (name == "sample_seed") {
+    char* end = nullptr;
+    const long long seed = std::strtoll(set.value.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && !set.value.empty()) {
+      engine->SetSampleSeed(static_cast<int64_t>(seed));
+    }
+    return;  // bad value: the node's own ExecuteSet reports it
+  }
+  if (name == "approx_error_target") {
+    char* end = nullptr;
+    const double target = std::strtod(set.value.c_str(), &end);
+    if (end != nullptr && *end == '\0' && !set.value.empty() &&
+        target >= 0.0) {
+      engine->SetApproxErrorTarget(target);
+    }
+    return;
+  }
   if (name != "share_scans" && name != "result_cache" &&
-      name != "fragmentation") {
+      name != "fragmentation" && name != "approx") {
     return;
   }
   const std::string value = ToLower(set.value);
@@ -1366,6 +1425,8 @@ void MaybeFlipSharingKnob(ApuamaEngine* engine, const sql::Stmt& stmt) {
     engine->SetShareScans(on);
   } else if (name == "result_cache") {
     engine->SetResultCache(on);
+  } else if (name == "approx") {
+    engine->SetApproxEnabled(on);
   } else {
     engine->SetFragmentationEnabled(on);
   }
@@ -1382,9 +1443,12 @@ class ApuamaConnection : public cjdbc::Connection {
     // the write order and this statement is not a broadcast.
     if (auto parsed = sql::Parse(sql);
         parsed.ok() &&
-        (*parsed)->kind() == sql::StmtKind::kAlterFragment) {
+        ((*parsed)->kind() == sql::StmtKind::kAlterFragment ||
+         (*parsed)->kind() == sql::StmtKind::kCreateSample ||
+         (*parsed)->kind() == sql::StmtKind::kDropSample)) {
       // Middleware-level DDL: the catalog already changed when the
-      // statement first ran; there is nothing to replay on the node.
+      // statement first ran (sample DDL wrote the scramble to every
+      // node, including down ones); there is nothing to replay.
       engine_->InvalidateResultCache();
       return engine::QueryResult{};
     }
@@ -1425,6 +1489,14 @@ class ApuamaConnection : public cjdbc::Connection {
               static_cast<const sql::AlterFragmentStmt&>(*parsed);
           APUAMA_RETURN_NOT_OK(engine_->ApplyFragmentationDdl(alter));
           engine_->InvalidateResultCache();
+          return engine::QueryResult{};
+        }
+        if (parsed->kind() == sql::StmtKind::kCreateSample ||
+            parsed->kind() == sql::StmtKind::kDropSample) {
+          // Sample DDL is likewise middleware-level; ApplySampleDdl
+          // handles cache invalidation itself (the scramble's built-at
+          // epochs must be snapshotted after that bump, not before).
+          APUAMA_RETURN_NOT_OK(engine_->ApplySampleDdl(*parsed));
           return engine::QueryResult{};
         }
         // Schema statements pass straight through to the node (the

@@ -21,6 +21,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "apuama/approx/approx_rewriter.h"
+#include "apuama/approx/sample_catalog.h"
 #include "apuama/avp.h"
 #include "apuama/consistency.h"
 #include "apuama/data_catalog.h"
@@ -127,6 +129,13 @@ struct ApuamaStats {
   std::atomic<uint64_t> exchange_broadcasts{0};  // small tables broadcast
   std::atomic<uint64_t> fragments_pruned{0};   // intervals skipped by
                                                // predicate pruning
+  // Approximate query tier:
+  std::atomic<uint64_t> approx_queries{0};     // answered from a scramble
+  std::atomic<uint64_t> approx_early_exits{0};  // met the error target early
+  std::atomic<uint64_t> approx_subqueries_skipped{0};  // cancelled sub-queries
+  std::atomic<uint64_t> approx_fallbacks{0};   // APPROX served exactly
+  std::atomic<uint64_t> scramble_builds{0};    // CREATE SAMPLE materializations
+  std::atomic<uint64_t> scramble_rebuilds{0};  // staleness-triggered rebuilds
 
   /// Folds one node result's columnar counters into the engine-wide
   /// totals (called wherever a node ExecStats crosses the middleware
@@ -169,6 +178,11 @@ struct SvpProfile {
   uint64_t exchange_bytes = 0;     // moved for this query
   uint64_t fragments_pruned = 0;   // intervals pruned for this query
   engine::ExecStats node_stats;  // summed over all partials
+  // Approximate tier (zero on exact paths, keeping the EXPLAIN
+  // ANALYZE row shape fixed):
+  double sample_ratio = 0.0;       // scramble rows / base rows
+  double ci_half_width = 0.0;      // worst relative CI half-width
+  uint64_t subqueries_skipped = 0;  // early-exit cancellations
 };
 
 class ApuamaEngine : public share::WorkSharingHooks {
@@ -239,6 +253,26 @@ class ApuamaEngine : public share::WorkSharingHooks {
   /// Applies ALTER TABLE ... FRAGMENT BY / UNFRAGMENT to the Data
   /// Catalog (middleware-level DDL: no stored rows move).
   Status ApplyFragmentationDdl(const sql::AlterFragmentStmt& stmt);
+  /// Applies CREATE SAMPLE / DROP SAMPLE: materializes (or removes)
+  /// a scramble on every replica and (de)registers its private
+  /// partition space. Idempotent per broadcast — a repeat call that
+  /// finds a fresh identical scramble is a no-op, so the controller's
+  /// per-backend DDL fan-out builds once.
+  Status ApplySampleDdl(const sql::Stmt& stmt);
+  /// SET approx on|off — routes eligible plain SELECTs through the
+  /// approximate tier. Off (default) leaves every existing read path
+  /// byte-for-byte untouched; the APPROX verb works either way.
+  void SetApproxEnabled(bool on);
+  bool approx_enabled() const;
+  /// SET sample_seed = N — seed for subsequent scramble builds.
+  void SetSampleSeed(int64_t seed);
+  /// SET approx_error_target = x — relative CI half-width at which
+  /// an APPROX query stops merging sub-queries (0 = merge all).
+  void SetApproxErrorTarget(double target);
+  /// Scramble registry (introspection for tests and tools).
+  const approx::SampleCatalog* sample_catalog() const {
+    return &sample_catalog_;
+  }
   /// Driver hook (cjdbc::Driver::RouteWrite): nodes that must apply
   /// this write synchronously, or nullopt to broadcast.
   std::optional<std::vector<int>> RouteWriteTargets(const std::string& sql);
@@ -340,6 +374,28 @@ class ApuamaEngine : public share::WorkSharingHooks {
                               std::vector<size_t> pending,
                               StreamingComposition* sink);
 
+  /// The approximate tier's read hook: parses `sql`, checks a
+  /// scramble exists and the query is estimable, and runs it through
+  /// ExecuteApproxPlan. nullopt = not applicable; the caller falls
+  /// through to the exact path unchanged (counted as a fallback when
+  /// the APPROX verb asked for approximation).
+  std::optional<Result<engine::QueryResult>> MaybeExecuteApprox(
+      const std::string& sql, SvpProfile* profile = nullptr);
+
+  /// Runs one rewritten APPROX query: consistency barrier with a
+  /// staleness check (synchronous rebuild while writes are blocked),
+  /// SVP carve of the stats query over the scramble's key space,
+  /// in-order streaming merge with the CLT stopping rule, and
+  /// finalization into estimates + `__ci_lo`/`__ci_hi` columns.
+  Result<engine::QueryResult> ExecuteApproxPlan(
+      const approx::ApproxQuerySpec& spec, SvpProfile* profile);
+
+  /// Materializes the scramble for `base` as `sample` on every node
+  /// and registers/refreshes its partition space and catalog entry.
+  /// Caller holds sample_build_mu_.
+  Status BuildScramble(const std::string& base, const std::string& sample,
+                       double ratio, int64_t seed, bool rebuild);
+
   cjdbc::ReplicaSet* replicas_;
   DataCatalog catalog_;
   ApuamaOptions options_;
@@ -356,6 +412,14 @@ class ApuamaEngine : public share::WorkSharingHooks {
   std::atomic<bool> result_cache_on_;
   std::atomic<bool> fragmentation_on_;
   std::atomic<exchange::Strategy> exchange_strategy_;
+  // Approximate tier knobs + scramble registry. Builds serialize on
+  // sample_build_mu_ (a rebuild during one query's barrier must not
+  // race another query's rebuild of the same scramble).
+  std::atomic<bool> approx_on_{false};
+  std::atomic<int64_t> sample_seed_{42};
+  std::atomic<double> approx_error_target_{0.0};
+  approx::SampleCatalog sample_catalog_;
+  std::mutex sample_build_mu_;
   // Epoch keys of the open logical write: recorded at admission
   // (the consistency manager keeps one broadcast open at a time),
   // consumed by the completion epoch bump.

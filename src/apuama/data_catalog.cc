@@ -97,6 +97,23 @@ Status DataCatalog::UpdateDomain(const std::string& space_name,
   return Status::NotFound("no partition space " + space_name);
 }
 
+Status DataCatalog::RemoveSpace(const std::string& space_name) {
+  for (auto it = spaces_.begin(); it != spaces_.end(); ++it) {
+    if (EqualsIgnoreCase(it->name, space_name)) {
+      for (const auto& m : it->members) {
+        if (FragmentationFor(m.table) != nullptr) {
+          return Status::InvalidArgument(
+              "table " + m.table + " is fragmented; unfragment first");
+        }
+      }
+      spaces_.erase(it);
+      version_.fetch_add(1, std::memory_order_acq_rel);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no partition space " + space_name);
+}
+
 Status DataCatalog::SetFragmentation(FragmentationSpec spec,
                                      int cluster_nodes) {
   const VirtualPartitionSpace* space = SpaceForTable(spec.table);

@@ -126,6 +126,11 @@ class DataCatalog {
   Status UpdateDomain(const std::string& space_name, int64_t min_value,
                       int64_t max_value);
 
+  /// Removes a space by name (DROP SAMPLE deregisters the scramble's
+  /// private space). Member tables must not be fragmented. Bumps
+  /// version() so plans carved against the space cannot be reused.
+  Status RemoveSpace(const std::string& space_name);
+
   const std::vector<VirtualPartitionSpace>& spaces() const { return spaces_; }
 
   /// Installs (or replaces) a table's fragmentation spec. The table

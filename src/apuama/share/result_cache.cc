@@ -3,10 +3,17 @@
 namespace apuama::share {
 
 std::shared_ptr<const engine::QueryResult> ResultCache::Lookup(
-    const std::string& key, uint64_t catalog_version) {
+    const std::string& key, uint64_t catalog_version, bool accept_approx) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second->second.approx && !accept_approx) {
+    // An approximate entry can never answer an exact query. The entry
+    // itself may still be fresh (valid for approximate lookups), so it
+    // is kept — only this lookup misses.
     ++misses_;
     return nullptr;
   }
@@ -59,6 +66,7 @@ bool ResultCache::Insert(const FillTicket& ticket,
     }
   }
   Entry e;
+  e.approx = result->approx.is_approx;
   e.result = std::move(result);
   e.catalog_version = ticket.catalog_version;
   e.global_epoch = ticket.global_epoch;
@@ -105,6 +113,13 @@ void ResultCache::InvalidateAll() {
   ++global_epoch_;
   lru_.clear();
   map_.clear();
+}
+
+uint64_t ResultCache::TableEpoch(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table.empty()) return global_epoch_;
+  auto it = table_epochs_.find(table);
+  return it == table_epochs_.end() ? 0 : it->second;
 }
 
 uint64_t ResultCache::hits() const {

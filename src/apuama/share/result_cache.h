@@ -63,8 +63,17 @@ class ResultCache {
   /// Returns the cached result for `key` if present and still valid
   /// at `catalog_version` and the current epochs; stale entries are
   /// erased and counted as misses.
+  ///
+  /// Exactness contract: an entry whose result is approximate
+  /// (`QueryResult::approx.is_approx`, recorded at Insert) is only
+  /// served when the caller passes `accept_approx` — an exact query
+  /// must never receive an approximate answer, no matter how the
+  /// approx/result_cache knobs were toggled in between. The reverse
+  /// direction is always safe: an exact entry satisfies an
+  /// approximate query.
   std::shared_ptr<const engine::QueryResult> Lookup(
-      const std::string& key, uint64_t catalog_version);
+      const std::string& key, uint64_t catalog_version,
+      bool accept_approx = false);
 
   /// Snapshots the epochs guarding `tables` (lowercased table names
   /// the query reads). Call BEFORE executing the query, then pass the
@@ -101,6 +110,13 @@ class ResultCache {
   /// replay, catalog changes).
   void InvalidateAll();
 
+  /// Current epoch of one key ("table" or "table#fragment"; "" =
+  /// global). The scramble builder compares this against the epoch a
+  /// sample was built at to decide whether a rebuild is due — the
+  /// same counter that invalidates cached results invalidates
+  /// samples.
+  uint64_t TableEpoch(const std::string& table) const;
+
   // Observability.
   uint64_t hits() const;
   uint64_t misses() const;
@@ -112,6 +128,9 @@ class ResultCache {
     std::shared_ptr<const engine::QueryResult> result;
     uint64_t catalog_version = 0;
     uint64_t global_epoch = 0;
+    /// True when `result->approx.is_approx`: the answer carries error
+    /// bounds and must not satisfy an exact lookup.
+    bool approx = false;
     std::vector<std::pair<std::string, uint64_t>> table_epochs;
   };
 

@@ -66,6 +66,8 @@ RequestKind ClassifyStmt(const sql::Stmt& stmt) {
     case sql::StmtKind::kCreateIndex:
     case sql::StmtKind::kDropTable:
     case sql::StmtKind::kAlterFragment:
+    case sql::StmtKind::kCreateSample:
+    case sql::StmtKind::kDropSample:
       return RequestKind::kDdl;
     case sql::StmtKind::kSet:
     case sql::StmtKind::kBegin:

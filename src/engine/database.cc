@@ -190,6 +190,13 @@ Result<QueryResult> Database::ExecuteStmt(const Stmt& stmt) {
       APUAMA_RETURN_NOT_OK(catalog_.DropTable(drop.table));
       return QueryResult{};
     }
+    case StmtKind::kCreateSample:
+    case StmtKind::kDropSample:
+      // Scrambles live in the middleware catalog; a single node has
+      // no ratio/seed metadata to build one from.
+      return Status::InvalidArgument(
+          "sample DDL is middleware-level; run it through the cluster "
+          "controller");
     case StmtKind::kSet:
       return ExecuteSet(static_cast<const sql::SetStmt&>(stmt));
     case StmtKind::kExplain:
@@ -670,25 +677,41 @@ Result<QueryResult> Database::ExecuteCreateIndex(
 Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
   std::string name = ToLower(stmt.name);
   std::string value = ToLower(stmt.value);
-  auto set_bool = [&](bool* target) -> Result<QueryResult> {
+  // Every rejection names the accepted values — a mistyped knob value
+  // should teach its own spelling.
+  auto reject = [&](const std::string& accepted) -> Status {
+    return Status::InvalidArgument("bad value for " + name + ": " +
+                                   stmt.value + " (expected " + accepted +
+                                   ")");
+  };
+  auto parse_bool = [&](bool* out) -> Status {
     if (value == "off" || value == "false" || value == "0") {
-      *target = false;
+      *out = false;
     } else if (value == "on" || value == "true" || value == "1") {
-      *target = true;
+      *out = true;
     } else {
-      return Status::InvalidArgument("bad value for " + name + ": " +
-                                     stmt.value);
+      return reject("one of: on, off, true, false, 1, 0");
     }
+    return Status::OK();
+  };
+  auto set_bool = [&](bool* target) -> Result<QueryResult> {
+    APUAMA_RETURN_NOT_OK(parse_bool(target));
     return QueryResult{};
+  };
+  auto parse_int = [&](int64_t lo, int64_t hi, int64_t* out) -> Status {
+    char* end = nullptr;
+    long long v = std::strtoll(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || v < lo || v > hi) {
+      return reject("an integer in [" + std::to_string(lo) + ", " +
+                    std::to_string(hi) + "]");
+    }
+    *out = v;
+    return Status::OK();
   };
   if (name == "enable_seqscan") return set_bool(&settings_.enable_seqscan);
   if (name == "exec_threads") {
-    char* end = nullptr;
-    long v = std::strtol(value.c_str(), &end, 10);
-    if (end == value.c_str() || *end != '\0' || v < 1 || v > 128) {
-      return Status::InvalidArgument("bad value for exec_threads: " +
-                                     stmt.value);
-    }
+    int64_t v = 0;
+    APUAMA_RETURN_NOT_OK(parse_int(1, 128, &v));
     settings_.exec_threads = static_cast<int>(v);
     return QueryResult{};
   }
@@ -713,10 +736,30 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
     // broadcast succeeds on every backend.
     return set_bool(&settings_.enable_fragmentation);
   }
+  if (name == "approx") {
+    // Middleware knob: the approximate tier executes above the node;
+    // recorded here so the clustered SET broadcast applies cleanly.
+    return set_bool(&settings_.enable_approx);
+  }
+  if (name == "sample_seed") {
+    int64_t v = 0;
+    APUAMA_RETURN_NOT_OK(
+        parse_int(INT64_MIN / 2, INT64_MAX / 2, &v));
+    settings_.sample_seed = v;
+    return QueryResult{};
+  }
+  if (name == "approx_error_target") {
+    char* end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || !(v >= 0.0) || v >= 1.0) {
+      return reject("a relative half-width in [0, 1), 0 = no early exit");
+    }
+    settings_.approx_error_target = v;
+    return QueryResult{};
+  }
   if (name == "exchange_strategy") {
     if (value != "auto" && value != "shuffle" && value != "broadcast") {
-      return Status::InvalidArgument("bad value for exchange_strategy: " +
-                                     stmt.value);
+      return reject("one of: auto, shuffle, broadcast");
     }
     settings_.exchange_strategy = value;
     return QueryResult{};
@@ -731,8 +774,7 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
     } else if (value == "radix") {
       settings_.merge_strategy = MergeStrategy::kRadix;
     } else {
-      return Status::InvalidArgument("bad value for merge_strategy: " +
-                                     stmt.value);
+      return reject("one of: auto, central, partitioned, radix");
     }
     return QueryResult{};
   }
@@ -741,11 +783,7 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
   // once per backend stays idempotent.
   if (name == "trace") {
     bool on = false;
-    if (value == "on" || value == "true" || value == "1") {
-      on = true;
-    } else if (value != "off" && value != "false" && value != "0") {
-      return Status::InvalidArgument("bad value for trace: " + stmt.value);
-    }
+    APUAMA_RETURN_NOT_OK(parse_bool(&on));
     obs::Tracer::Global().SetEnabled(on);
     return QueryResult{};
   }
@@ -757,8 +795,7 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
   if (name == "log_level") {
     std::optional<LogLevel> level = ParseLogLevel(value);
     if (!level.has_value()) {
-      return Status::InvalidArgument("bad value for log_level: " +
-                                     stmt.value);
+      return reject("one of: debug, info, warn, error, off");
     }
     SetLogLevel(*level);
     return QueryResult{};

@@ -88,6 +88,19 @@ struct SessionSettings {
   /// The node planner itself ignores both — routing happens above.
   bool enable_fragmentation = true;
   std::string exchange_strategy = "auto";
+  /// Approximate query tier (middleware): `SET approx = on` routes
+  /// eligible plain SELECTs through the scrambled-sample path; the
+  /// APPROX SELECT verb forces it per query. Off by default — the off
+  /// position leaves every existing path byte-for-byte untouched.
+  bool enable_approx = false;
+  /// Deterministic seed for scramble construction (`SET
+  /// sample_seed = N`). Same seed + same base data = bit-identical
+  /// sample on every replica and at every thread count.
+  int64_t sample_seed = 42;
+  /// Target relative CI half-width for APPROX queries (`SET
+  /// approx_error_target = x`). 0 disables early exit: all n
+  /// sub-queries are merged.
+  double approx_error_target = 0.0;
 };
 
 /// Default intra-node execution threads: the APUAMA_EXEC_THREADS

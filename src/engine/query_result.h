@@ -12,10 +12,26 @@ namespace apuama::engine {
 
 /// Rows + column names for SELECTs; rows_affected for DML; stats for
 /// everything. This is what travels back over a Connection.
+/// Quality metadata for approximate answers. `is_approx` false (the
+/// default) means the result is exact; everything else is only
+/// meaningful when it is true. The result cache reads this to tag
+/// entries so an approximate answer is never served to an exact
+/// query.
+struct ApproxInfo {
+  bool is_approx = false;
+  double sample_ratio = 0.0;      // scramble rows / base rows
+  double coverage = 0.0;          // fraction of the scramble scanned
+  double error_target = 0.0;      // requested relative half-width (0 = none)
+  double max_rel_half_width = 0.0;  // worst observed CI half-width / |est|
+  int64_t seed = 0;               // sample_seed the scramble was built with
+  uint64_t subqueries_skipped = 0;  // early-exit: sub-queries not merged
+};
+
 struct QueryResult {
   std::vector<std::string> column_names;
   std::vector<Row> rows;
   ExecStats stats;
+  ApproxInfo approx;
 
   size_t num_rows() const { return rows.size(); }
   size_t num_columns() const { return column_names.size(); }

@@ -70,6 +70,7 @@ ExprPtr Expr::Clone() const {
 
 std::unique_ptr<SelectStmt> SelectStmt::Clone() const {
   auto out = std::make_unique<SelectStmt>();
+  out->approx = approx;
   out->distinct = distinct;
   out->items.reserve(items.size());
   for (const auto& it : items) {

@@ -142,6 +142,8 @@ enum class StmtKind {
   kCreateIndex,
   kDropTable,
   kAlterFragment,
+  kCreateSample,
+  kDropSample,
   kSet,
   kBegin,
   kCommit,
@@ -182,6 +184,11 @@ struct OrderItem {
 struct SelectStmt : Stmt {
   StmtKind kind() const override { return StmtKind::kSelect; }
 
+  /// APPROX SELECT — the query accepts an approximate answer with
+  /// confidence intervals, served from a scrambled sample when one
+  /// exists. Top-level only: the flag is never rendered on SVP
+  /// sub-queries (nodes always run exact SQL over the sample).
+  bool approx = false;
   bool distinct = false;
   std::vector<SelectItem> items;
   std::vector<TableRef> from;
@@ -255,6 +262,28 @@ struct AlterFragmentStmt : Stmt {
   bool by_hash = true;      // false: BY RANGE
   int64_t fragments = 0;    // INTO k
   int64_t replica_factor = 1;
+};
+
+/// CREATE SAMPLE [name ON] t RATIO p — materializes a deterministic
+/// uniform-random permuted sample ("scramble") of table t holding
+/// ~p·N rows, clustered on a dense permutation-rank column `__skey`.
+/// Middleware-level DDL: the Apuama engine builds the sample on every
+/// replica and registers it in the Data Catalog as its own virtual
+/// partition space so APPROX SELECT can carve it with the stock SVP
+/// machinery. Default sample name: `<table>__sample`.
+struct CreateSampleStmt : Stmt {
+  StmtKind kind() const override { return StmtKind::kCreateSample; }
+  std::string table;
+  std::string sample_name;  // empty = <table>__sample
+  double ratio = 0.0;       // target sampling ratio in (0, 1]
+};
+
+/// DROP SAMPLE [name ON] t — removes the scramble and its catalog
+/// registration.
+struct DropSampleStmt : Stmt {
+  StmtKind kind() const override { return StmtKind::kDropSample; }
+  std::string table;
+  std::string sample_name;  // empty = <table>__sample
 };
 
 /// SET name = value — session settings; the one Apuama uses is

@@ -95,11 +95,19 @@ class Parser {
       APUAMA_ASSIGN_OR_RETURN(auto sel, ParseSelectStmt());
       return StmtPtr(std::move(sel));
     }
+    if (t.text == "APPROX") {
+      Advance();
+      APUAMA_ASSIGN_OR_RETURN(auto sel, ParseSelectStmt());
+      sel->approx = true;
+      return StmtPtr(std::move(sel));
+    }
     if (t.text == "EXPLAIN") {
       Advance();
       auto stmt = std::make_unique<ExplainStmt>();
       stmt->analyze = AcceptKeyword("ANALYZE");
+      const bool approx = AcceptKeyword("APPROX");
       APUAMA_ASSIGN_OR_RETURN(stmt->query, ParseSelectStmt());
+      stmt->query->approx = approx;
       return StmtPtr(std::move(stmt));
     }
     if (t.text == "INSERT") return ParseInsert();
@@ -729,7 +737,33 @@ class Parser {
       APUAMA_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
       return StmtPtr(std::move(stmt));
     }
-    return Err("expected TABLE or INDEX after CREATE");
+    if (AcceptKeyword("SAMPLE")) {
+      // CREATE SAMPLE [name ON] table RATIO p
+      auto stmt = std::make_unique<CreateSampleStmt>();
+      APUAMA_ASSIGN_OR_RETURN(std::string first,
+                              ExpectIdentifier("table or sample name"));
+      if (AcceptKeyword("ON")) {
+        stmt->sample_name = std::move(first);
+        APUAMA_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+      } else {
+        stmt->table = std::move(first);
+      }
+      APUAMA_RETURN_NOT_OK(ExpectKeyword("RATIO"));
+      const Token& r = Cur();
+      if (r.type == TokenType::kDoubleLiteral) {
+        stmt->ratio = r.double_val;
+      } else if (r.type == TokenType::kIntLiteral) {
+        stmt->ratio = static_cast<double>(r.int_val);
+      } else {
+        return Err("expected sampling ratio after RATIO");
+      }
+      Advance();
+      if (!(stmt->ratio > 0.0 && stmt->ratio <= 1.0)) {
+        return Err("sampling ratio must be in (0, 1]");
+      }
+      return StmtPtr(std::move(stmt));
+    }
+    return Err("expected TABLE, INDEX, or SAMPLE after CREATE");
   }
 
   // ALTER TABLE t FRAGMENT BY HASH|RANGE (col) INTO k [REPLICA r]
@@ -778,6 +812,19 @@ class Parser {
 
   Result<StmtPtr> ParseDrop() {
     APUAMA_RETURN_NOT_OK(ExpectKeyword("DROP"));
+    if (AcceptKeyword("SAMPLE")) {
+      // DROP SAMPLE [name ON] table
+      auto stmt = std::make_unique<DropSampleStmt>();
+      APUAMA_ASSIGN_OR_RETURN(std::string first,
+                              ExpectIdentifier("table or sample name"));
+      if (AcceptKeyword("ON")) {
+        stmt->sample_name = std::move(first);
+        APUAMA_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+      } else {
+        stmt->table = std::move(first);
+      }
+      return StmtPtr(std::move(stmt));
+    }
     APUAMA_RETURN_NOT_OK(ExpectKeyword("TABLE"));
     auto stmt = std::make_unique<DropTableStmt>();
     APUAMA_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
@@ -787,21 +834,36 @@ class Parser {
   Result<StmtPtr> ParseSet() {
     APUAMA_RETURN_NOT_OK(ExpectKeyword("SET"));
     auto stmt = std::make_unique<SetStmt>();
-    APUAMA_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("setting name"));
+    // Setting names may collide with keywords (e.g. the `approx` knob
+    // vs the APPROX verb) — accept either token type here.
+    if (Cur().type == TokenType::kKeyword) {
+      stmt->name = ToLower(Cur().text);
+      Advance();
+    } else {
+      APUAMA_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("setting name"));
+    }
     APUAMA_RETURN_NOT_OK(Expect(TokenType::kEq, "'='"));
-    // Value: identifier, keyword, string, or number.
+    // Value: identifier, keyword, string, or (possibly negative)
+    // number — sample_seed takes any signed 63-bit value.
+    std::string sign;
+    if (Cur().type == TokenType::kMinus) {
+      sign = "-";
+      Advance();
+    }
     const Token& t = Cur();
     switch (t.type) {
       case TokenType::kIdentifier:
       case TokenType::kStringLiteral:
+        if (!sign.empty()) return Err("expected numeric setting value");
         stmt->value = t.text;
         break;
       case TokenType::kKeyword:
+        if (!sign.empty()) return Err("expected numeric setting value");
         stmt->value = ToLower(t.text);
         break;
       case TokenType::kIntLiteral:
       case TokenType::kDoubleLiteral:
-        stmt->value = t.text;
+        stmt->value = sign + t.text;
         break;
       default:
         return Err("expected setting value");

@@ -24,6 +24,7 @@ const std::unordered_set<std::string>& Keywords() {
           "DISTINCT", "JOIN", "INNER",    "CROSS",   "USING",   "CLUSTERED",
           "TRUE",   "FALSE",  "EXPLAIN", "OFFSET",  "ANALYZE", "ALTER",
           "FRAGMENT", "UNFRAGMENT", "HASH", "RANGE", "REPLICA",
+          "APPROX", "SAMPLE", "RATIO",
       };
   return *kw;
 }

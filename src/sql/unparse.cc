@@ -106,7 +106,7 @@ std::string UnparseExpr(const Expr& e) {
 }
 
 std::string UnparseSelect(const SelectStmt& s) {
-  std::string out = "SELECT ";
+  std::string out = s.approx ? "APPROX SELECT " : "SELECT ";
   if (s.distinct) out += "DISTINCT ";
   std::vector<std::string> items;
   for (const auto& it : s.items) {
@@ -226,6 +226,18 @@ std::string UnparseStmt(const Stmt& s) {
     }
     case StmtKind::kDropTable:
       return "DROP TABLE " + static_cast<const DropTableStmt&>(s).table;
+    case StmtKind::kCreateSample: {
+      const auto& st = static_cast<const CreateSampleStmt&>(s);
+      std::string out = "CREATE SAMPLE ";
+      if (!st.sample_name.empty()) out += st.sample_name + " ON ";
+      return out + st.table + StrFormat(" RATIO %g", st.ratio);
+    }
+    case StmtKind::kDropSample: {
+      const auto& st = static_cast<const DropSampleStmt&>(s);
+      std::string out = "DROP SAMPLE ";
+      if (!st.sample_name.empty()) out += st.sample_name + " ON ";
+      return out + st.table;
+    }
     case StmtKind::kSet: {
       const auto& st = static_cast<const SetStmt&>(s);
       return "SET " + st.name + " = " + st.value;

@@ -1,6 +1,7 @@
 #include "workload/cluster_sim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
@@ -22,6 +23,11 @@ namespace {
 /// Bytes one shipped fact row occupies on the exchange wire
 /// (serialized key + payload columns, order of magnitude).
 constexpr uint64_t kExchangeRowBytes = 64;
+
+// Modeled relative CI half-width of a full scramble at ratio 1.0 —
+// the anchor of the sim's deterministic early-exit rule (the real
+// stack computes the width from per-group moments instead).
+constexpr double kSimFullScrambleHalfWidth = 0.005;
 
 /// The int64 key a top-level equality conjunct pins `key_column` to,
 /// if any (`col = lit` or `lit = col`) — the sim mirror of the
@@ -220,7 +226,11 @@ void ClusterSim::SubmitRead(const std::string& sql, Callback done) {
     if (done) done(o);
   };
 
-  if (!options_.result_cache && !options_.share_scans) {
+  if (options_.approx ||
+      (!options_.result_cache && !options_.share_scans)) {
+    // Approx mode bypasses the sharing front end: a modeled-sample
+    // answer must never fill the (exact) result cache or feed a
+    // coalesced follower.
     SubmitReadCore(sql, outcome, std::move(finish), std::nullopt);
     return;
   }
@@ -451,6 +461,40 @@ void ClusterSim::DispatchSvp(std::shared_ptr<SvpTicket> ticket) {
     nonlocal.assign(intervals.size(), 0.0);
   }
 
+  // Approximate tier (mirrors ApuamaEngine::ExecuteApproxPlan): carve
+  // 4n sub-queries so the early exit has prefixes to stop between,
+  // round-robin them over the nodes, and charge each one
+  // sample_ratio of its exact scan cost. The stop point is the CLT
+  // scaling made deterministic: the relative half-width after j of
+  // n_sub sub-queries is h(j) = h_full * sqrt(n_sub / j), with the
+  // full-scramble width h_full itself shrinking as 1 / sqrt(ratio).
+  double time_scale = 1.0;
+  if (options_.approx && frag == nullptr) {
+    const int n_sub = 4 * n;
+    intervals = ticket->plan.MakeIntervals(n_sub);
+    int keep = n_sub;
+    if (options_.error_target > 0.0) {
+      const double h_full =
+          kSimFullScrambleHalfWidth /
+          std::sqrt(std::max(1e-6, options_.sample_ratio));
+      const double ratio_sq = (h_full / options_.error_target) *
+                              (h_full / options_.error_target);
+      keep = static_cast<int>(
+          std::ceil(static_cast<double>(n_sub) * ratio_sq));
+      keep = std::max(1, std::min(n_sub, keep));
+    }
+    ++approx_queries_;
+    if (keep < n_sub) ++approx_early_exits_;
+    approx_subqueries_skipped_ += static_cast<uint64_t>(n_sub - keep);
+    intervals.resize(static_cast<size_t>(keep));
+    serving.clear();
+    nonlocal.assign(intervals.size(), 0.0);
+    for (size_t i = 0; i < intervals.size(); ++i) {
+      serving.push_back(static_cast<int>(i) % n);
+    }
+    time_scale = options_.sample_ratio;
+  }
+
   const int m = static_cast<int>(intervals.size());
   ticket->sub_sql.clear();
   for (const auto& [lo, hi] : intervals) {
@@ -464,7 +508,7 @@ void ClusterSim::DispatchSvp(std::shared_ptr<SvpTicket> ticket) {
     const double ship_frac = nonlocal[static_cast<size_t>(k)];
     auto started = std::make_shared<SimTime>(0);
     servers_[static_cast<size_t>(node)]->Enqueue(sim::SimServer::Job{
-        [this, ticket, k, node, ship_frac, started] {
+        [this, ticket, k, node, ship_frac, time_scale, started] {
           *started = sim_.now();
           engine::Database* db = replicas_->node(node);
           const bool saved = db->settings()->enable_seqscan;
@@ -475,7 +519,9 @@ void ClusterSim::DispatchSvp(std::shared_ptr<SvpTicket> ticket) {
           db->settings()->enable_seqscan = saved;
           if (r.ok()) {
             feedback_.Observe(r->stats);
-            SimTime t = options_.cost.StatementTime(r->stats);
+            SimTime t = static_cast<SimTime>(
+                static_cast<double>(options_.cost.StatementTime(r->stats)) *
+                time_scale);
             if (ship_frac > 0.0) {
               const uint64_t bytes =
                   static_cast<uint64_t>(

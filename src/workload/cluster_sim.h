@@ -95,6 +95,17 @@ struct ClusterSimOptions {
   /// today's behavior.
   bool result_cache = false;
   bool share_scans = false;
+  /// Approximate-tier mirror (`SET approx` on the real stack):
+  /// SVP-eligible reads run as 4n sub-queries over a modeled scramble
+  /// of `sample_ratio`, each charged sample_ratio of the exact scan
+  /// cost. `error_target` > 0 enables the deterministic early-exit
+  /// model: only the sub-query prefix the CLT scaling needs for that
+  /// relative half-width is dispatched, the rest are skipped
+  /// (counted). Timing mirror only — composed rows come from the
+  /// truncated exact scan, so approx runs bypass the sharing layer.
+  bool approx = false;
+  double sample_ratio = 0.1;
+  double error_target = 0.0;
   /// Physical fragmentation overlay (the shared-nothing experiment):
   /// installs the TPC-H preset — lineitem and orders co-partitioned
   /// BY HASH on the orderkey INTO `fragments` pieces, fragment f
@@ -190,6 +201,14 @@ class ClusterSim {
   uint64_t write_fanout_total() const { return write_fanout_total_; }
   uint64_t exchange_bytes() const { return exchange_bytes_; }
   uint64_t fragments_pruned() const { return fragments_pruned_; }
+  /// Approximate tier: SVP reads served from the modeled scramble,
+  /// reads whose error target stopped them early, and sub-queries
+  /// those stops skipped.
+  uint64_t approx_queries() const { return approx_queries_; }
+  uint64_t approx_early_exits() const { return approx_early_exits_; }
+  uint64_t approx_subqueries_skipped() const {
+    return approx_subqueries_skipped_;
+  }
   /// Work sharing: reads served straight from the result cache,
   /// cache misses, and reads that rode another query's admission.
   uint64_t result_cache_hits() const { return result_cache_hits_; }
@@ -276,6 +295,9 @@ class ClusterSim {
   uint64_t write_fanout_total_ = 0;
   uint64_t exchange_bytes_ = 0;
   uint64_t fragments_pruned_ = 0;
+  uint64_t approx_queries_ = 0;
+  uint64_t approx_early_exits_ = 0;
+  uint64_t approx_subqueries_skipped_ = 0;
   SimTime write_latency_total_ = 0;
 
   // Work-sharing mirror: versioned result cache (allocated only when

@@ -355,6 +355,9 @@ TEST(ExplainAnalyzeTest, ClusterBreakdownGoldenShapeForQ1AndQ3) {
       {"fragment", "exchange_bytes"},
       {"fragment", "fragments_pruned"},
       {"fragment", "write_fanout"},
+      {"approx", "sample_ratio"},
+      {"approx", "ci_half_width"},
+      {"approx", "subqueries_skipped"},
       {"query", "elapsed_us"},
   };
   for (int q : {1, 3}) {

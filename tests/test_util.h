@@ -6,13 +6,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/query_result.h"
 #include "types/value.h"
 
 namespace apuama::testutil {
+
+/// Shared SET-knob validation check: every accepted value round-trips
+/// and every rejected value fails InvalidArgument with a message that
+/// names the knob and lists what it accepts ("expected ..."), so a
+/// mistyped value teaches its own spelling. `exec` runs one SQL
+/// statement on the system under test.
+inline void ExpectKnobValidation(
+    const std::function<Status(const std::string&)>& exec,
+    const std::string& knob, const std::vector<std::string>& accepted,
+    const std::vector<std::string>& rejected) {
+  for (const auto& v : accepted) {
+    Status s = exec("set " + knob + " = " + v);
+    EXPECT_TRUE(s.ok()) << knob << " = " << v << ": " << s.ToString();
+  }
+  for (const auto& v : rejected) {
+    Status s = exec("set " + knob + " = " + v);
+    ASSERT_FALSE(s.ok()) << knob << " = " << v << " was accepted";
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+    EXPECT_NE(s.message().find(knob), std::string::npos)
+        << "rejection does not name the knob: " << s.ToString();
+    EXPECT_NE(s.message().find("expected"), std::string::npos)
+        << "rejection does not list accepted values: " << s.ToString();
+  }
+}
 
 inline bool ValuesClose(const Value& a, const Value& b, double tol = 1e-6) {
   if (a.is_null() || b.is_null()) return a.is_null() == b.is_null();
