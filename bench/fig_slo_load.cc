@@ -1,0 +1,195 @@
+// SLO-vs-load figure: open-loop latency percentiles and goodput as
+// offered load sweeps from below capacity to deep overload, admission
+// control off vs on, over the virtual-time cluster.
+//
+// The off rows are the PR 4-era gate (FIFO pass-through): past
+// saturation the queue grows without bound, p99 explodes, and
+// SLO-met goodput collapses toward zero. The on rows run the same
+// arrivals through the overload ladder — wider share windows first,
+// degrade-to-APPROX second, priority shedding last — which keeps the
+// percentiles near the SLO and the goodput at the cluster's capacity.
+// Acceptance: at the deepest overload point, admission-on goodput is
+// at least 2x admission-off.
+//
+// Two tenant classes share the cluster: `dash` (interactive, tight
+// SLO, high priority, cheap fact-table queries) and `batch`
+// (reporting, loose SLO, low priority, the heavy Q1). A second table
+// repeats the overload point with bursty (MMPP) and diurnal arrival
+// shapes, and a third scales the client population 10k -> 1M
+// simulated think-time clients, admission on.
+//
+// Knobs: APUAMA_BENCH_SF (default 0.002), APUAMA_BENCH_NODES
+// (default 4), APUAMA_BENCH_DURATION_US (default 1'000'000 virtual).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "workload/cluster_sim.h"
+#include "workload/traffic.h"
+
+using namespace apuama;            // NOLINT
+using namespace apuama::bench;     // NOLINT
+using namespace apuama::workload;  // NOLINT
+
+namespace {
+
+TrafficOptions MixFor(double rate_qps, SimTime duration_us) {
+  TrafficOptions t;
+  t.rate_qps = rate_qps;
+  t.duration_us = duration_us;
+  t.seed = 1234;
+  TenantSpec dash;
+  dash.name = "dash";
+  dash.weight = 3.0;
+  dash.priority = 6;
+  dash.slo_us = 60'000;
+  dash.queries = {*tpch::QuerySql(6), *tpch::QuerySql(14),
+                  *tpch::QuerySql(12)};
+  TenantSpec batch;
+  batch.name = "batch";
+  batch.weight = 1.0;
+  batch.priority = 1;
+  batch.slo_us = 400'000;
+  batch.queries = {*tpch::QuerySql(1)};
+  t.tenants = {dash, batch};
+  t.default_slo_us = 60'000;
+  return t;
+}
+
+ClusterSimOptions SimOptions(const tpch::TpchData& data, int nodes,
+                             bool admission) {
+  (void)data;
+  ClusterSimOptions o;
+  o.num_nodes = nodes;
+  // Cache off: with only a handful of distinct templates in the mix,
+  // the result cache answers repeats for free and no offered rate
+  // ever overloads the cluster. Scan sharing stays on — it is stage 1
+  // of the ladder (wider windows coalesce more arrivals per scan).
+  o.result_cache = false;
+  o.share_scans = true;
+  o.admission = admission;
+  o.admission_slo_us = 60'000;
+  return o;
+}
+
+struct Point {
+  OpenLoopResult r;
+  SimTime drained_us = 0;
+};
+
+Point RunPoint(const tpch::TpchData& data, int nodes, bool admission,
+               const TrafficOptions& traffic) {
+  ClusterSim sim(data, SimOptions(data, nodes, admission));
+  Point p;
+  p.r = RunOpenLoop(&sim, traffic);
+  p.drained_us = sim.event_sim()->now();
+  return p;
+}
+
+std::string Us(SimTime t) { return std::to_string(t); }
+
+}  // namespace
+
+int main() {
+  const double sf = EnvDouble("APUAMA_BENCH_SF", 0.002);
+  const int nodes = EnvInt("APUAMA_BENCH_NODES", 4);
+  const SimTime duration =
+      static_cast<SimTime>(EnvInt("APUAMA_BENCH_DURATION_US", 1'000'000));
+  const tpch::TpchData data(tpch::DbgenOptions{.scale_factor = sf});
+
+  // Capacity estimate: mean isolated no-cache latency of the mix on
+  // a fresh cluster (first rep discarded, so the buffer pool is
+  // warm), scaled by the node multiprogramming level.
+  SimTime iso;
+  {
+    ClusterSim probe(data, SimOptions(data, nodes, false));
+    SimTime total = 0;
+    for (int q : {6, 14, 12, 1}) {
+      auto m = probe.MeasureIsolated(*tpch::QuerySql(q));
+      if (!m.ok()) {
+        std::fprintf(stderr, "capacity probe failed: %s\n",
+                     m.status().ToString().c_str());
+        return 1;
+      }
+      total += *m;
+    }
+    iso = total / 4;
+  }
+  const double capacity_qps = 1e6 / static_cast<double>(iso) * 2.0;
+  std::printf("mean isolated latency %lld us -> capacity estimate %.1f q/s\n",
+              static_cast<long long>(iso), capacity_qps);
+
+  Table table("SLO vs offered load (Poisson, 3:1 dash:batch)");
+  table.SetHeader({"load", "admission", "offered", "answered", "degraded",
+                   "shed", "p50_us", "p95_us", "p99_us", "goodput_qps"});
+  double off_goodput_overload = 0.0, on_goodput_overload = 0.0;
+  const std::vector<double> multipliers = {0.5, 2.0, 8.0};
+  for (double mult : multipliers) {
+    const double rate = capacity_qps * mult;
+    for (bool admission : {false, true}) {
+      Point p = RunPoint(data, nodes, admission,
+                         MixFor(rate, duration));
+      const double goodput = p.r.GoodputQps(p.drained_us);
+      if (mult == multipliers.back()) {
+        (admission ? on_goodput_overload : off_goodput_overload) = goodput;
+      }
+      table.AddRow({FormatDouble(mult, 1) + "x",
+                    admission ? "on" : "off",
+                    std::to_string(p.r.offered),
+                    std::to_string(p.r.completed),
+                    std::to_string(p.r.degraded),
+                    std::to_string(p.r.shed),
+                    Us(p.r.Percentile(50)), Us(p.r.Percentile(95)),
+                    Us(p.r.Percentile(99)), FormatDouble(goodput, 1)});
+    }
+  }
+  table.Print();
+
+  Table shapes("Overload (8x) by arrival shape, admission on");
+  shapes.SetHeader({"shape", "offered", "answered", "degraded", "shed",
+                    "p99_us", "goodput_qps"});
+  for (ArrivalShape shape : {ArrivalShape::kPoisson, ArrivalShape::kBursty,
+                             ArrivalShape::kDiurnal}) {
+    TrafficOptions t = MixFor(capacity_qps * 8.0, duration);
+    t.shape = shape;
+    Point p = RunPoint(data, nodes, true, t);
+    const char* name = shape == ArrivalShape::kPoisson   ? "poisson"
+                       : shape == ArrivalShape::kBursty ? "bursty"
+                                                        : "diurnal";
+    shapes.AddRow({name, std::to_string(p.r.offered),
+                   std::to_string(p.r.completed),
+                   std::to_string(p.r.degraded), std::to_string(p.r.shed),
+                   Us(p.r.Percentile(99)),
+                   FormatDouble(p.r.GoodputQps(p.drained_us), 1)});
+  }
+  shapes.Print();
+
+  Table pop("Client population sweep (1 s think time, admission on)");
+  pop.SetHeader({"clients", "offered", "answered", "degraded", "shed",
+                 "p99_us", "goodput_qps"});
+  for (int64_t clients : {10'000LL, 100'000LL, 1'000'000LL}) {
+    TrafficOptions t = MixFor(0.0, duration / 5);
+    t.num_clients = clients;
+    t.think_time_us = 1'000'000;
+    Point p = RunPoint(data, nodes, true, t);
+    pop.AddRow({std::to_string(clients), std::to_string(p.r.offered),
+                std::to_string(p.r.completed),
+                std::to_string(p.r.degraded), std::to_string(p.r.shed),
+                Us(p.r.Percentile(99)),
+                FormatDouble(p.r.GoodputQps(p.drained_us), 1)});
+  }
+  pop.Print();
+
+  const double ratio = off_goodput_overload > 0.0
+                           ? on_goodput_overload / off_goodput_overload
+                           : 0.0;
+  std::printf(
+      "\nacceptance: goodput at 8x load, admission on/off = %.1f/%.1f "
+      "(%.2fx, target >= 2x): %s\n",
+      on_goodput_overload, off_goodput_overload, ratio,
+      ratio >= 2.0 ? "PASS" : "FAIL");
+  return ratio >= 2.0 ? 0 : 1;
+}

@@ -5,10 +5,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "apuama/admission/admission.h"
 #include "apuama/apuama_engine.h"
 #include "apuama/exchange/exchange.h"
 #include "apuama/partial_merger.h"
@@ -853,6 +855,59 @@ void BM_ApproxAggregate(benchmark::State& state) {
 BENCHMARK(BM_ApproxAggregate)
     ->ArgsProduct({{10, 100}, {1, 4, 8}})
     ->Unit(benchmark::kMicrosecond);
+
+// Pure admission-gate overhead: Submit + OnComplete round trips on a
+// virtual clock, no query execution behind them. Arg 0 is the offered
+// load as a percent of the gate's capacity (max_inflight / service
+// time); arg 1 the request priority. At 400% the ladder is active —
+// the counters show the degrade/shed split the gate settles into.
+void BM_AdmissionGate(benchmark::State& state) {
+  const int64_t load_pct = state.range(0);
+  const int priority = static_cast<int>(state.range(1));
+  using Gate = admission::AdmissionController;
+  Gate::Options opt;
+  opt.enabled = true;
+  opt.max_inflight = 8;
+  opt.default_slo_us = 10'000;
+  admission::AdmissionController gate(opt);
+  constexpr int64_t kServiceUs = 1'000;
+  // capacity = max_inflight / service; gap for the requested load.
+  const int64_t gap_us =
+      std::max<int64_t>(1, 100 * kServiceUs / (8 * load_pct));
+  int64_t now = 0;
+  std::deque<Gate::Ticket> inflight;
+  for (auto _ : state) {
+    now += gap_us;
+    while (!inflight.empty() &&
+           inflight.front().dispatch_us + kServiceUs <= now) {
+      gate.OnComplete(inflight.front(),
+                      inflight.front().dispatch_us + kServiceUs, true);
+      inflight.pop_front();
+    }
+    Gate::Request req;
+    req.priority = priority;
+    req.degradable = true;
+    gate.Submit(req, now, [&](const Gate::Ticket& t) {
+      if (!t.shed()) inflight.push_back(t);
+    });
+  }
+  while (!inflight.empty()) {
+    gate.OnComplete(inflight.front(),
+                    inflight.front().dispatch_us + kServiceUs, true);
+    inflight.pop_front();
+  }
+  const auto c = gate.counters();
+  state.counters["shed_pct"] =
+      100.0 * static_cast<double>(c.shed + c.cancelled) /
+      static_cast<double>(std::max<uint64_t>(1, c.submitted));
+  state.counters["degraded_pct"] =
+      100.0 * static_cast<double>(c.degraded) /
+      static_cast<double>(std::max<uint64_t>(1, c.submitted));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdmissionGate)
+    ->ArgsProduct({{50, 100, 400}, {0, 4, 7}})
+    ->Unit(benchmark::kNanosecond);
 
 void BM_LikeMatch(benchmark::State& state) {
   std::string text = "PROMO BURNISHED COPPER";

@@ -1321,8 +1321,14 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAnalyze(
     if (t > sub_max) sub_max = t;
   }
   int64_t admission_us = 0;
+  int64_t queue_wait_us = 0;
+  int64_t degraded = 0;
+  int64_t sheds_total = 0;
   if (const obs::RequestTimeline* tl = obs::CurrentTimeline()) {
     admission_us = tl->admission_wait_us;
+    queue_wait_us = tl->queue_wait_us;
+    degraded = tl->degraded_to_approx ? 1 : 0;
+    sheds_total = tl->sheds_total;
   }
   engine::QueryResult qr;
   qr.column_names = {"level", "metric", "value"};
@@ -1333,6 +1339,9 @@ Result<engine::QueryResult> ApuamaEngine::ExecuteAnalyze(
   qr.rows.push_back({Value::Str("query"), Value::Str("path"),
                      Value::Str(path)});
   add("controller", "admission_wait_us", admission_us);
+  add("admission", "queue_wait_us", queue_wait_us);
+  add("admission", "degraded_to_approx", degraded);
+  add("admission", "shed", sheds_total);
   add("engine", "barrier_wait_us", profile.barrier_wait_us);
   add("engine", "subqueries",
       static_cast<int64_t>(profile.node_times_us.size()));

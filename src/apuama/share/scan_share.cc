@@ -40,7 +40,9 @@ std::vector<std::string> ScanShareManager::WaitWindow(
     const Admission& admission) {
   std::unique_lock<std::mutex> lock(mu_);
   Batch* b = admission.batch.get();
-  b->cv.wait_for(lock, std::chrono::microseconds(options_.window_us),
+  b->cv.wait_for(lock,
+                 std::chrono::microseconds(
+                     window_us_.load(std::memory_order_relaxed)),
                  [&] { return b->sqls.size() >= options_.max_batch; });
   b->closed = true;
   auto it = open_.find(b->group);

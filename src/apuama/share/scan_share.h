@@ -18,6 +18,7 @@
 #ifndef APUAMA_SHARE_SCAN_SHARE_H_
 #define APUAMA_SHARE_SCAN_SHARE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -41,7 +42,18 @@ class ScanShareManager {
     size_t max_batch = 16;
   };
 
-  explicit ScanShareManager(Options options) : options_(options) {}
+  explicit ScanShareManager(Options options)
+      : options_(options), window_us_(options.window_us) {}
+
+  /// Overrides the admission window at runtime — stage 1 of the
+  /// admission ladder widens it under overload so more queries
+  /// coalesce into each batch. Takes effect for the next WaitWindow.
+  void set_window_us(int64_t window_us) {
+    window_us_.store(window_us, std::memory_order_relaxed);
+  }
+  int64_t window_us() const {
+    return window_us_.load(std::memory_order_relaxed);
+  }
 
   struct Batch;
 
@@ -88,6 +100,7 @@ class ScanShareManager {
 
  private:
   const Options options_;
+  std::atomic<int64_t> window_us_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Batch>> open_;
   uint64_t batches_ = 0;

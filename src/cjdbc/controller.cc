@@ -1,7 +1,10 @@
 #include "cjdbc/controller.h"
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <set>
 
@@ -95,7 +98,10 @@ std::vector<std::pair<std::string, uint64_t>> ControllerStats::Kv() const {
           {"recovered_statements", v(recovered_statements)},
           {"result_cache_hits", v(result_cache_hits)},
           {"queries_coalesced", v(queries_coalesced)},
-          {"shared_batches", v(shared_batches)}};
+          {"shared_batches", v(shared_batches)},
+          {"admission_queue_wait_us", v(admission_queue_wait_us)},
+          {"admission_degraded", v(admission_degraded)},
+          {"admission_shed", v(admission_shed)}};
 }
 
 std::string ControllerStats::ToString() const {
@@ -120,27 +126,47 @@ Controller::Controller(std::unique_ptr<Driver> driver, BalancePolicy policy)
     gate_options.window_us = sharing_->admission_window_us();
   }
   gate_ = std::make_unique<share::ScanShareManager>(gate_options);
+  gate_window_base_us_ = gate_options.window_us;
+  admission::AdmissionController::Options adm_options;
+  // Off until `SET admission = on`: the read path stays bit-identical
+  // to the pre-admission controller.
+  adm_options.enabled = false;
+  // Dispatch capacity ≈ what the replicas absorb concurrently: two
+  // requests per backend keeps every node busy while one waits.
+  adm_options.max_inflight = std::max(2, driver_->num_nodes() * 2);
+  adm_options.window_base_us = gate_window_base_us_;
+  adm_options.window_max_us = std::max<int64_t>(
+      2'000, gate_window_base_us_ * 10);
+  admission_ = std::make_unique<admission::AdmissionController>(adm_options);
   metrics_provider_ = obs::Registry::Global().RegisterProvider(
       "controller", [this] { return stats_.Kv(); });
 }
 
 Result<engine::QueryResult> Controller::Execute(const std::string& sql) {
-  APUAMA_ASSIGN_OR_RETURN(RequestKind kind, ClassifyRequest(sql));
+  // Parse once: classification, the admission ladder's degradability
+  // check, and knob interception all read the same statement.
+  APUAMA_ASSIGN_OR_RETURN(sql::StmtPtr stmt, sql::Parse(sql));
+  const RequestKind kind = ClassifyStmt(*stmt);
   obs::Tracer& tracer = obs::Tracer::Global();
   switch (kind) {
     case RequestKind::kRead: {
       scheduler_.NoteRead();
       stats_.reads.fetch_add(1, std::memory_order_relaxed);
       obs::Span span = tracer.StartSpan("controller.read", "controller");
+      // Admission off = the exact pre-scheduler read path, untouched.
+      auto run = [&]() -> Result<engine::QueryResult> {
+        if (admission_->enabled()) return ExecuteAdmitted(sql, *stmt);
+        return ExecuteRead(sql);
+      };
       if (IsExplainAnalyzeText(sql)) {
         // EXPLAIN ANALYZE: give the layers below a timeline to stamp
         // (admission wait) — it lives on this stack frame and the
         // whole request runs on this thread.
         obs::RequestTimeline timeline;
         obs::TimelineScope scope(&timeline);
-        return ExecuteRead(sql);
+        return run();
       }
-      return ExecuteRead(sql);
+      return run();
     }
     case RequestKind::kWrite: {
       obs::Span span = tracer.StartSpan("controller.write", "controller");
@@ -163,7 +189,9 @@ Result<engine::QueryResult> Controller::Execute(const std::string& sql) {
       return ExecuteBroadcast(sql);
     }
     case RequestKind::kControl:
-      // Session control is broadcast so all replicas stay in step.
+      // Session control is broadcast so all replicas stay in step;
+      // admission knobs also steer the middleware scheduler itself.
+      MaybeApplyAdmissionKnob(*stmt);
       return ExecuteBroadcast(sql);
   }
   return Status::Internal("unreachable");
@@ -175,6 +203,107 @@ Result<engine::QueryResult> Controller::ExecuteRead(const std::string& sql) {
     return ExecuteSharedRead(sql);
   }
   return ExecuteReadDirect(sql, std::nullopt);
+}
+
+Result<engine::QueryResult> Controller::ExecuteAdmitted(
+    const std::string& sql, const sql::Stmt& stmt) {
+  admission::AdmissionController::Request request;
+  // Stage 2 eligibility: a plain SELECT the client asked exact.
+  // EXPLAIN stays exact (its output shape is the contract) and an
+  // explicit APPROX query has nothing left to shed.
+  request.degradable =
+      stmt.kind() == sql::StmtKind::kSelect &&
+      !static_cast<const sql::SelectStmt&>(stmt).approx;
+  admission::AdmissionController::Ticket ticket;
+  {
+    // Block until the ladder rules: inline on the fast path, from a
+    // completing request's thread when this one queued.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    admission_->Submit(
+        request, SteadyUs(),
+        [&](const admission::AdmissionController::Ticket& t) {
+          std::lock_guard<std::mutex> lock(mu);
+          ticket = t;
+          ready = true;
+          cv.notify_one();
+        });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return ready; });
+  }
+  stats_.admission_queue_wait_us.fetch_add(
+      static_cast<uint64_t>(std::max<int64_t>(0, ticket.queue_wait_us())),
+      std::memory_order_relaxed);
+  auto stamp_timeline = [&](bool degraded) {
+    if (obs::CurrentTimeline() == nullptr) return;
+    const auto c = admission_->counters();
+    obs::NoteAdmissionOutcome(ticket.queue_wait_us(), degraded,
+                              static_cast<int64_t>(c.shed + c.cancelled));
+  };
+  if (ticket.shed()) {
+    stats_.admission_shed.fetch_add(1, std::memory_order_relaxed);
+    obs::Tracer::Global().Instant("admission.shed", "controller");
+    stamp_timeline(false);
+    return Status::Overloaded(
+        "admission control shed the query (priority " +
+        std::to_string(ticket.priority) + "); retry later");
+  }
+  // Stage 1: hand the ladder's window to the scan-share gate so the
+  // next batch coalesces more under overload.
+  gate_->set_window_us(ticket.window_us);
+  Result<engine::QueryResult> result = Status::OK();
+  if (ticket.degraded()) {
+    stats_.admission_degraded.fetch_add(1, std::memory_order_relaxed);
+    obs::Tracer::Global().Instant("admission.degrade", "controller");
+    // Degraded answers bypass the sharing front end: an approximate
+    // result must never fill the exact-result cache or answer for an
+    // exact batch member. (The node falls back to exact execution by
+    // itself when no scramble covers the query.)
+    result = ExecuteReadDirect("APPROX " + sql, std::nullopt);
+    if (result.ok()) result->approx.degraded = true;
+  } else {
+    result = ExecuteRead(sql);
+  }
+  admission_->OnComplete(ticket, SteadyUs(), result.ok());
+  stamp_timeline(ticket.degraded());
+  return result;
+}
+
+void Controller::MaybeApplyAdmissionKnob(const sql::Stmt& stmt) {
+  if (stmt.kind() != sql::StmtKind::kSet) return;
+  const auto& set = static_cast<const sql::SetStmt&>(stmt);
+  std::string name = set.name;
+  for (char& c : name) c = static_cast<char>(std::tolower(
+                               static_cast<unsigned char>(c)));
+  if (name == "admission") {
+    std::string value = set.value;
+    for (char& c : value) c = static_cast<char>(std::tolower(
+                                  static_cast<unsigned char>(c)));
+    if (value == "on" || value == "true" || value == "1") {
+      admission_->set_enabled(true);
+    } else if (value == "off" || value == "false" || value == "0") {
+      admission_->set_enabled(false);
+      // Restore the configured window so disabled means byte-for-byte
+      // pre-admission behavior, whatever the ladder last chose.
+      gate_->set_window_us(gate_window_base_us_);
+    }
+    return;  // bad value: the node's own ExecuteSet reports it
+  }
+  if (name != "slo_target_us" && name != "priority" &&
+      name != "admission_queue_limit") {
+    return;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(set.value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || set.value.empty()) return;
+  if (name == "slo_target_us" && v >= 1 && v <= 1'000'000'000) {
+    admission_->set_default_slo_us(static_cast<int64_t>(v));
+  } else if (name == "priority" && v >= 0 && v <= 7) {
+    admission_->set_default_priority(static_cast<int>(v));
+  } else if (name == "admission_queue_limit" && v >= 1 && v <= 1'000'000) {
+    admission_->set_queue_limit(static_cast<int>(v));
+  }
 }
 
 Result<engine::QueryResult> Controller::ExecuteReadDirect(

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "apuama/admission/admission.h"
 #include "apuama/share/scan_share.h"
 #include "apuama/share/work_sharing.h"
 #include "cjdbc/connection.h"
@@ -53,6 +54,9 @@ struct ControllerStats {
   std::atomic<uint64_t> result_cache_hits{0};     // served without a backend
   std::atomic<uint64_t> queries_coalesced{0};     // rode another's batch
   std::atomic<uint64_t> shared_batches{0};        // batches with > 1 query
+  std::atomic<uint64_t> admission_queue_wait_us{0};  // total queued time
+  std::atomic<uint64_t> admission_degraded{0};    // ladder stage 2 hits
+  std::atomic<uint64_t> admission_shed{0};        // ladder stage 3 hits
 
   /// The counters as ordered key/value pairs (registry provider,
   /// text/JSON export).
@@ -73,6 +77,10 @@ class Controller {
   const ControllerStats& stats() const { return stats_; }
   Scheduler* scheduler() { return &scheduler_; }
   LoadBalancer* load_balancer() { return &balancer_; }
+  /// The SLO scheduler in front of the read path (off by default;
+  /// `SET admission = on` flips it).
+  admission::AdmissionController* admission() { return admission_.get(); }
+  share::ScanShareManager* gate() { return gate_.get(); }
 
   /// Disables a backend (failure injection / administrative removal);
   /// reads avoid it and broadcasts skip it, with every skipped write
@@ -104,6 +112,16 @@ class Controller {
   };
 
   Result<engine::QueryResult> ExecuteRead(const std::string& sql);
+  /// Read path behind the admission ladder: Submit (blocking when
+  /// queued), then shed / degrade-to-APPROX / admit per the ticket.
+  Result<engine::QueryResult> ExecuteAdmitted(const std::string& sql,
+                                              const sql::Stmt& stmt);
+  /// Intercepts `SET admission|slo_target_us|priority|
+  /// admission_queue_limit` before the broadcast so the middleware
+  /// scheduler follows the session knob (mirrors the sharing knobs'
+  /// interception in the Apuama connection layer). Invalid values are
+  /// left to the node's own validation to report.
+  void MaybeApplyAdmissionKnob(const sql::Stmt& stmt);
   /// The pre-sharing read path: acquire a backend, execute, release.
   /// `affinity` biases least-pending ties toward one backend.
   Result<engine::QueryResult> ExecuteReadDirect(
@@ -130,6 +148,8 @@ class Controller {
   /// driver has no middleware layer — the gate stays inert).
   share::WorkSharingHooks* sharing_ = nullptr;
   std::unique_ptr<share::ScanShareManager> gate_;
+  std::unique_ptr<admission::AdmissionController> admission_;
+  int64_t gate_window_base_us_ = 0;  // restored when admission turns off
   // Total-ordered log of every broadcast statement (writes + DDL),
   // kept for recovering rejoining backends. Guarded by the write
   // ticket (one broadcast at a time) plus log_mu_ for readers. An

@@ -50,7 +50,10 @@ int LoadBalancer::Acquire(std::optional<uint64_t> affinity) {
 }
 
 void LoadBalancer::Release(int node_id) {
-  --pending_[static_cast<size_t>(node_id)];
+  auto& p = pending_[static_cast<size_t>(node_id)];
+  int cur = p.load();
+  while (cur > 0 && !p.compare_exchange_weak(cur, cur - 1)) {
+  }
 }
 
 int LoadBalancer::Choose(const std::vector<int>& pending_counts,

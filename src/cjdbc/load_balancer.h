@@ -38,7 +38,50 @@ class LoadBalancer {
   /// query land on the same backend and warm its caches; an actual
   /// load imbalance still trumps affinity.
   int Acquire(std::optional<uint64_t> affinity = std::nullopt);
+  /// Clamped at zero: a double release (shed/cancelled queries whose
+  /// error paths already released, coalesced followers releasing a
+  /// leader's slot) must not drive a count negative — a negative
+  /// pending count makes that node win every least-pending decision
+  /// and funnels the whole read load onto it.
   void Release(int node_id);
+
+  /// RAII slot: acquires on construction, releases exactly once on
+  /// destruction (or earlier via release()). Use on paths with early
+  /// exits — shed, cancellation, execution errors — where a manual
+  /// Release is easy to miss or double-run.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(LoadBalancer* balancer, std::optional<uint64_t> affinity)
+        : balancer_(balancer), node_(balancer->Acquire(affinity)) {}
+    Lease(Lease&& o) noexcept : balancer_(o.balancer_), node_(o.node_) {
+      o.balancer_ = nullptr;
+    }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        balancer_ = o.balancer_;
+        node_ = o.node_;
+        o.balancer_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    int node() const { return node_; }
+    void release() {
+      if (balancer_ != nullptr) {
+        balancer_->Release(node_);
+        balancer_ = nullptr;
+      }
+    }
+
+   private:
+    LoadBalancer* balancer_ = nullptr;
+    int node_ = 0;
+  };
 
   /// Pending count of a node (introspection; also used by the sim
   /// driver which tracks pending through SimServer queues instead).

@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -28,6 +28,7 @@ enum class StatusCode {
   kInternal,          // invariant violation inside the library
   kIOError,           // simulated storage failure (fault injection)
   kUnavailable,       // backend disabled / connection refused
+  kOverloaded,        // admission control shed the request; retryable
 };
 
 /// Human-readable name of a StatusCode ("Ok", "ParseError", ...).
@@ -81,6 +82,12 @@ class Status {
   }
   static Status Unavailable(std::string m) {
     return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  /// Distinct from kUnavailable on purpose: kUnavailable triggers the
+  /// controller's failure detection (backend drop + recovery log);
+  /// kOverloaded means "healthy but saturated — back off and retry".
+  static Status Overloaded(std::string m) {
+    return Status(StatusCode::kOverloaded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

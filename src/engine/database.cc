@@ -312,8 +312,14 @@ Result<QueryResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt) {
             .count() -
         t0;
     int64_t admission_us = 0;
+    int64_t queue_wait_us = 0;
+    int64_t degraded = 0;
+    int64_t sheds_total = 0;
     if (const obs::RequestTimeline* tl = obs::CurrentTimeline()) {
       admission_us = tl->admission_wait_us;
+      queue_wait_us = tl->queue_wait_us;
+      degraded = tl->degraded_to_approx ? 1 : 0;
+      sheds_total = tl->sheds_total;
     }
     QueryResult qr;
     qr.column_names = {"level", "metric", "value"};
@@ -322,6 +328,9 @@ Result<QueryResult> Database::ExecuteExplain(const sql::ExplainStmt& stmt) {
           {Value::Str(level), Value::Str(metric), Value::Int(value)});
     };
     add("controller", "admission_wait_us", admission_us);
+    add("admission", "queue_wait_us", queue_wait_us);
+    add("admission", "degraded_to_approx", degraded);
+    add("admission", "shed", sheds_total);
     add("node", "elapsed_us", elapsed_us);
     add("node", "threads", stats.exec_threads);
     add("node", "morsels", static_cast<int64_t>(stats.morsels));
@@ -708,6 +717,11 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
     *out = v;
     return Status::OK();
   };
+  auto set_int = [&](int64_t lo, int64_t hi,
+                     int64_t* target) -> Result<QueryResult> {
+    APUAMA_RETURN_NOT_OK(parse_int(lo, hi, target));
+    return QueryResult{};
+  };
   if (name == "enable_seqscan") return set_bool(&settings_.enable_seqscan);
   if (name == "exec_threads") {
     int64_t v = 0;
@@ -740,6 +754,24 @@ Result<QueryResult> Database::ExecuteSet(const sql::SetStmt& stmt) {
     // Middleware knob: the approximate tier executes above the node;
     // recorded here so the clustered SET broadcast applies cleanly.
     return set_bool(&settings_.enable_approx);
+  }
+  if (name == "admission") {
+    // Middleware knob (the SLO gate lives in the controller).
+    // Validated and recorded here so the clustered SET broadcast
+    // succeeds on every backend.
+    return set_bool(&settings_.enable_admission);
+  }
+  if (name == "slo_target_us") {
+    return set_int(1, 1'000'000'000, &settings_.slo_target_us);
+  }
+  if (name == "priority") {
+    int64_t v = 0;
+    APUAMA_RETURN_NOT_OK(parse_int(0, 7, &v));
+    settings_.admission_priority = static_cast<int>(v);
+    return QueryResult{};
+  }
+  if (name == "admission_queue_limit") {
+    return set_int(1, 1'000'000, &settings_.admission_queue_limit);
   }
   if (name == "sample_seed") {
     int64_t v = 0;

@@ -101,6 +101,15 @@ struct SessionSettings {
   /// approx_error_target = x`). 0 disables early exit: all n
   /// sub-queries are merged.
   double approx_error_target = 0.0;
+  /// SLO admission gate (middleware): `SET admission = on` activates
+  /// the controller's overload ladder; off (the default) leaves every
+  /// existing path byte-for-byte untouched. The remaining knobs set
+  /// the session's SLO deadline, its priority class (0 = shed first,
+  /// 7 = shed last), and the bounded admission queue's waiting cap.
+  bool enable_admission = false;
+  int64_t slo_target_us = 50'000;
+  int admission_priority = 4;
+  int64_t admission_queue_limit = 256;
 };
 
 /// Default intra-node execution threads: the APUAMA_EXEC_THREADS

@@ -25,6 +25,10 @@ struct ApproxInfo {
   double max_rel_half_width = 0.0;  // worst observed CI half-width / |est|
   int64_t seed = 0;               // sample_seed the scramble was built with
   uint64_t subqueries_skipped = 0;  // early-exit: sub-queries not merged
+  /// True when the client asked for an exact answer but the admission
+  /// gate's overload ladder ran it as APPROX instead. The client can
+  /// retry later for an exact answer.
+  bool degraded = false;
 };
 
 struct QueryResult {

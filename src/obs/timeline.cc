@@ -20,4 +20,12 @@ void NoteAdmissionWait(int64_t wait_us) {
   t_timeline->have_admission = true;
 }
 
+void NoteAdmissionOutcome(int64_t queue_wait_us, bool degraded,
+                          int64_t sheds_total) {
+  if (t_timeline == nullptr) return;
+  t_timeline->queue_wait_us += queue_wait_us;
+  t_timeline->degraded_to_approx = degraded;
+  t_timeline->sheds_total = sheds_total;
+}
+
 }  // namespace apuama::obs

@@ -23,6 +23,15 @@ namespace apuama::obs {
 struct RequestTimeline {
   int64_t admission_wait_us = 0;  // load-balancer acquire + gate wait
   bool have_admission = false;
+  // SLO admission gate (PR 10): time spent queued behind the bounded
+  // admission queue, whether the ladder degraded this request to an
+  // APPROX execution, and the controller's cumulative shed count at
+  // admission time (a returned result was by definition not shed, so
+  // the per-request flag would always read 0 — the cumulative count
+  // is the overload signal worth surfacing).
+  int64_t queue_wait_us = 0;
+  bool degraded_to_approx = false;
+  int64_t sheds_total = 0;
 };
 
 /// RAII activation: constructing makes `timeline` the calling
@@ -43,6 +52,11 @@ RequestTimeline* CurrentTimeline();
 
 /// Adds an admission-wait measurement to the active timeline, if any.
 void NoteAdmissionWait(int64_t wait_us);
+
+/// Stamps the SLO-gate outcome (queue wait, degrade flag, cumulative
+/// shed count) into the active timeline, if any.
+void NoteAdmissionOutcome(int64_t queue_wait_us, bool degraded,
+                          int64_t sheds_total);
 
 }  // namespace apuama::obs
 

@@ -90,6 +90,9 @@ struct ClusterSim::SvpTicket {
   std::vector<std::string> sub_sql;  // SVP only
   int remaining = 0;                 // SVP: nodes outstanding;
                                      // AVP: nodes still pumping chunks
+  /// Serve from the modeled scramble (the global approx knob, or a
+  /// stage-2 degrade for this request alone).
+  bool approx = false;
   std::unique_ptr<AvpScheduler> avp;
   SimOutcome outcome;
   ReadFinish finish;
@@ -160,6 +163,24 @@ ClusterSim::ClusterSim(const tpch::TpchData& data, ClusterSimOptions options)
     result_cache_ =
         std::make_unique<share::ResultCache>(options.result_cache_entries);
   }
+  if (options_.admission) {
+    admission::AdmissionController::Options adm;
+    adm.enabled = true;
+    adm.default_slo_us = options_.admission_slo_us;
+    adm.default_priority = options_.admission_priority;
+    adm.max_inflight = options_.admission_max_inflight > 0
+                           ? options_.admission_max_inflight
+                           : options_.num_nodes * options_.node_mpl;
+    adm.queue_limit = options_.admission_queue_limit;
+    adm.allow_degrade = options_.admission_degrade;
+    adm.allow_shed = options_.admission_shed;
+    adm.window_base_us =
+        static_cast<int64_t>(options_.admission_window_us);
+    adm.window_max_us =
+        std::max<int64_t>(2'000, adm.window_base_us * 10);
+    admission_ =
+        std::make_unique<admission::AdmissionController>(adm);
+  }
   if (options_.trace) {
     obs::Tracer& tracer = obs::Tracer::Global();
     tracer.SetClock([this] { return static_cast<int64_t>(sim_.now()); });
@@ -186,6 +207,11 @@ ClusterSim::~ClusterSim() {
     reg.GetCounter("sim.routed_writes")->Add(routed_writes_);
     reg.GetCounter("sim.exchange_bytes")->Add(exchange_bytes_);
     reg.GetCounter("sim.fragments_pruned")->Add(fragments_pruned_);
+    if (admission_) {
+      const auto c = admission_->counters();
+      reg.GetCounter("sim.admission_degraded")->Add(c.degraded);
+      reg.GetCounter("sim.admission_shed")->Add(c.shed + c.cancelled);
+    }
     // Restore the steady clock; leave the tracer enabled so span
     // trees recorded in virtual time stay dumpable after the sim is
     // gone.
@@ -219,19 +245,80 @@ bool ClusterSim::ReplicasConverged() const {
 }
 
 void ClusterSim::SubmitRead(const std::string& sql, Callback done) {
+  SubmitRead(sql, ReadTag{}, std::move(done));
+}
+
+void ClusterSim::SubmitRead(const std::string& sql, const ReadTag& tag,
+                            Callback done) {
   SimOutcome outcome;
   outcome.submitted = sim_.now();
   ReadFinish finish = [done = std::move(done)](
                           const SimOutcome& o, const QueryResult*) {
     if (done) done(o);
   };
+  if (!admission_) {
+    SubmitReadFront(sql, outcome, std::move(finish), options_.approx);
+    return;
+  }
+  // Admission ladder first: the sim mirror of the controller's
+  // ExecuteAdmitted, in virtual time. The release callback runs
+  // inline (fast path) or inside a completing read's event.
+  admission::AdmissionController::Request request;
+  request.priority = tag.priority;
+  request.slo_us = tag.slo_us;
+  request.tenant = tag.tenant;
+  if (options_.admission_degrade && !options_.approx) {
+    auto parsed = sql::ParseSelect(sql);
+    request.degradable = parsed.ok() && !(*parsed)->approx;
+  }
+  admission_->Submit(
+      request, static_cast<int64_t>(sim_.now()),
+      [this, sql, outcome,
+       finish](const admission::AdmissionController::Ticket& ticket) mutable {
+        if (ticket.shed()) {
+          // Stage 3: the rejection still costs the client one message
+          // round trip before the retryable error lands.
+          outcome.shed = true;
+          sim_.After(options_.cost.message_us,
+                     [this, outcome, finish]() mutable {
+                       outcome.completed = sim_.now();
+                       outcome.status = Status::Overloaded(
+                           "admission control shed the query; retry later");
+                       finish(outcome, nullptr);
+                     });
+          return;
+        }
+        ReadFinish wrapped =
+            [this, ticket, finish](const SimOutcome& o,
+                                   const QueryResult* r) {
+              admission_->OnComplete(ticket,
+                                     static_cast<int64_t>(sim_.now()),
+                                     o.status.ok());
+              finish(o, r);
+            };
+        if (ticket.degraded()) {
+          // Stage 2: this read alone runs on the approx tier, and —
+          // like the global approx knob — bypasses the sharing front
+          // end so a sampled answer never fills the exact cache.
+          SimOutcome degraded = outcome;
+          degraded.degraded = true;
+          SubmitReadCore(sql, degraded, std::move(wrapped), std::nullopt,
+                         /*approx=*/true);
+          return;
+        }
+        SubmitReadFront(sql, outcome, std::move(wrapped),
+                        options_.approx);
+      });
+}
 
-  if (options_.approx ||
-      (!options_.result_cache && !options_.share_scans)) {
+void ClusterSim::SubmitReadFront(const std::string& sql,
+                                 SimOutcome outcome, ReadFinish finish,
+                                 bool approx) {
+  if (approx || (!options_.result_cache && !options_.share_scans)) {
     // Approx mode bypasses the sharing front end: a modeled-sample
     // answer must never fill the (exact) result cache or feed a
     // coalesced follower.
-    SubmitReadCore(sql, outcome, std::move(finish), std::nullopt);
+    SubmitReadCore(sql, outcome, std::move(finish), std::nullopt, approx);
     return;
   }
 
@@ -239,7 +326,8 @@ void ClusterSim::SubmitRead(const std::string& sql, Callback done) {
   // admission gate. Non-SELECT reads bypass it entirely.
   auto tables = share::ReadTableSet(sql);
   if (!tables.has_value()) {
-    SubmitReadCore(sql, outcome, std::move(finish), std::nullopt);
+    SubmitReadCore(sql, outcome, std::move(finish), std::nullopt,
+                   /*approx=*/false);
     return;
   }
   const std::string fingerprint = share::NormalizeSql(sql);
@@ -265,7 +353,7 @@ void ClusterSim::SubmitRead(const std::string& sql, Callback done) {
     // Cache-only mode: solo execution under a fill ticket.
     SubmitReadCore(sql, outcome,
                    WithCacheFill(sql, fingerprint, std::move(finish)),
-                   affinity);
+                   affinity, /*approx=*/false);
     return;
   }
 
@@ -281,7 +369,12 @@ void ClusterSim::SubmitRead(const std::string& sql, Callback done) {
   }
   auto batch = std::make_shared<ShareBatch>();
   open_shares_[fingerprint] = batch;
-  sim_.After(options_.admission_window_us,
+  // Stage 1 of the admission ladder: under overload the controller
+  // widens the window so more arrivals coalesce into this batch.
+  const SimTime window =
+      admission_ ? static_cast<SimTime>(admission_->window_us())
+                 : options_.admission_window_us;
+  sim_.After(window,
              [this, sql, fingerprint, affinity, outcome, batch,
               finish = std::move(finish)] {
                open_shares_.erase(fingerprint);
@@ -299,7 +392,7 @@ void ClusterSim::SubmitRead(const std::string& sql, Callback done) {
                SubmitReadCore(sql, outcome,
                               WithCacheFill(sql, fingerprint,
                                             std::move(fan_out)),
-                              affinity);
+                              affinity, /*approx=*/false);
              });
 }
 
@@ -325,7 +418,8 @@ ClusterSim::ReadFinish ClusterSim::WithCacheFill(
 
 void ClusterSim::SubmitReadCore(const std::string& sql, SimOutcome outcome,
                                 ReadFinish finish,
-                                std::optional<uint64_t> affinity) {
+                                std::optional<uint64_t> affinity,
+                                bool approx) {
   obs::Tracer& tracer = obs::Tracer::Global();
   const uint64_t read_span =
       tracer.Open("sim.read", "sim", 0, outcome.submitted);
@@ -347,6 +441,7 @@ void ClusterSim::SubmitReadCore(const std::string& sql, SimOutcome outcome,
         ticket->plan = std::move(plan).value();
         ticket->outcome = outcome;
         ticket->outcome.used_svp = true;
+        ticket->approx = approx;
         ticket->finish = std::move(finish);
         ticket->span = read_span;
         if (options_.replication == ReplicationMode::kEager &&
@@ -469,7 +564,7 @@ void ClusterSim::DispatchSvp(std::shared_ptr<SvpTicket> ticket) {
   // n_sub sub-queries is h(j) = h_full * sqrt(n_sub / j), with the
   // full-scramble width h_full itself shrinking as 1 / sqrt(ratio).
   double time_scale = 1.0;
-  if (options_.approx && frag == nullptr) {
+  if (ticket->approx && frag == nullptr) {
     const int n_sub = 4 * n;
     intervals = ticket->plan.MakeIntervals(n_sub);
     int keep = n_sub;

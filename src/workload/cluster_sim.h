@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "apuama/admission/admission.h"
 #include "apuama/avp.h"
 #include "apuama/result_composer.h"
 #include "apuama/share/result_cache.h"
@@ -133,6 +134,21 @@ struct ClusterSimOptions {
   /// (virtual time) before its leader dispatches.
   SimTime admission_window_us = 200;
   size_t result_cache_entries = 256;
+  /// SLO admission-control mirror (`SET admission` on the real
+  /// stack): reads pass the overload ladder before touching the
+  /// sharing front end — widen the share window, degrade eligible
+  /// SELECTs to the approx tier (outcome tagged `degraded`), shed
+  /// lowest-priority reads with Status::Overloaded (tagged `shed`).
+  /// Off = byte-for-byte today's behavior.
+  bool admission = false;
+  int64_t admission_slo_us = 50'000;
+  int admission_priority = 4;
+  /// Dispatch slots before queueing; 0 = num_nodes * node_mpl.
+  int admission_max_inflight = 0;
+  int admission_queue_limit = 256;
+  /// Ladder stages 2/3 (figures isolate one stage at a time).
+  bool admission_degrade = true;
+  bool admission_shed = true;
   /// Record obs::Tracer spans stamped with *virtual* time. The sim
   /// installs its clock on the global tracer for its lifetime, so at
   /// most one traced ClusterSim should exist at a time. The
@@ -146,6 +162,10 @@ struct SimOutcome {
   SimTime submitted = 0;
   SimTime completed = 0;
   bool used_svp = false;
+  /// The admission ladder degraded this exact read to the approx tier.
+  bool degraded = false;
+  /// The admission ladder shed this read (status is Overloaded).
+  bool shed = false;
   Status status;
 
   SimTime latency() const { return completed - submitted; }
@@ -165,6 +185,24 @@ class ClusterSim {
   /// Submits a read at the current virtual time; `done` fires at its
   /// virtual completion.
   void SubmitRead(const std::string& sql, Callback done);
+
+  /// Per-request admission identity: tenant class plus optional
+  /// explicit priority/SLO overrides (the sim mirror of a session's
+  /// `SET priority` / `SET slo_target_us`). Fields at their defaults
+  /// fall back to the tenant class, then the controller defaults.
+  struct ReadTag {
+    std::string tenant;
+    int priority = -1;
+    int64_t slo_us = 0;
+  };
+
+  /// Tagged submission through the admission ladder. Without the
+  /// admission option this behaves exactly like the untagged overload.
+  void SubmitRead(const std::string& sql, const ReadTag& tag,
+                  Callback done);
+
+  /// The ladder (null when the admission option is off).
+  admission::AdmissionController* admission() { return admission_.get(); }
 
   /// Submits a write (INSERT/DELETE/UPDATE), broadcast to all nodes
   /// (eager) or committed on the primary and propagated (lazy).
@@ -244,11 +282,17 @@ class ClusterSim {
   using ReadFinish =
       std::function<void(const SimOutcome&, const engine::QueryResult*)>;
 
+  /// The post-admission read path: sharing front end (cache probe,
+  /// coalescing window) or straight to the core. `approx` carries the
+  /// per-request approx decision (the global knob or a stage-2
+  /// degrade).
+  void SubmitReadFront(const std::string& sql, SimOutcome outcome,
+                       ReadFinish finish, bool approx);
   /// The pre-sharing read path (SVP/AVP or load-balanced
   /// passthrough). `affinity` biases least-pending ties.
   void SubmitReadCore(const std::string& sql, SimOutcome outcome,
                       ReadFinish finish,
-                      std::optional<uint64_t> affinity);
+                      std::optional<uint64_t> affinity, bool approx);
   /// Wraps `finish` with a cache fill under a ticket snapshotted now.
   ReadFinish WithCacheFill(const std::string& sql,
                            const std::string& fingerprint,
@@ -276,6 +320,7 @@ class ClusterSim {
   std::unique_ptr<SvpRewriter> rewriter_;
   ResultComposer composer_;
   cjdbc::LoadBalancer balancer_;
+  std::unique_ptr<admission::AdmissionController> admission_;
 
   // Blocking-protocol state (virtual-time mirror of
   // apuama::ConsistencyManager). Unused in lazy replication mode.

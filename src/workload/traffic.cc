@@ -1,0 +1,198 @@
+#include "workload/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace apuama::workload {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Exponential sample with the given mean (rejection-safe: u < 1).
+double ExpSample(Rng* rng, double mean) {
+  double u = rng->NextDouble();
+  if (u >= 1.0) u = 0.9999999;
+  return -mean * std::log(1.0 - u);
+}
+
+struct Arrival {
+  SimTime at = 0;
+  size_t tenant = 0;
+  size_t query = 0;
+};
+
+/// The arrival timeline: a pure function of the options and the seed.
+std::vector<Arrival> MakeArrivals(const TrafficOptions& options, Rng* rng) {
+  double rate = options.rate_qps;
+  if (options.num_clients > 0) {
+    rate = static_cast<double>(options.num_clients) * 1e6 /
+           static_cast<double>(std::max<int64_t>(1, options.think_time_us));
+  }
+  rate = std::max(1e-9, rate);
+  const double mean_gap_us = 1e6 / rate;
+
+  // Tenant pick by cumulative weight.
+  std::vector<double> cum;
+  double total = 0.0;
+  for (const auto& t : options.tenants) {
+    total += std::max(0.0, t.weight);
+    cum.push_back(total);
+  }
+
+  std::vector<Arrival> arrivals;
+  double t = 0.0;
+  const double horizon = static_cast<double>(options.duration_us);
+  // MMPP state (kBursty only).
+  bool burst = false;
+  double switch_at = ExpSample(rng, static_cast<double>(options.calm_dwell_us));
+  while (true) {
+    switch (options.shape) {
+      case ArrivalShape::kPoisson:
+        t += ExpSample(rng, mean_gap_us);
+        break;
+      case ArrivalShape::kBursty: {
+        // Exponential gap at the current state's rate; crossing the
+        // state-switch boundary flips the state and retries from it
+        // (the standard MMPP simulation).
+        for (;;) {
+          const double gap = ExpSample(
+              rng, burst ? mean_gap_us / options.burst_factor : mean_gap_us);
+          if (t + gap <= switch_at) {
+            t += gap;
+            break;
+          }
+          t = switch_at;
+          burst = !burst;
+          switch_at =
+              t + ExpSample(rng, static_cast<double>(
+                                     burst ? options.burst_dwell_us
+                                           : options.calm_dwell_us));
+          if (t >= horizon) break;
+        }
+        break;
+      }
+      case ArrivalShape::kDiurnal: {
+        // Thinning: candidates at the peak rate, accepted with
+        // probability rate(t) / peak.
+        const double peak = rate * (1.0 + options.diurnal_depth);
+        for (;;) {
+          t += ExpSample(rng, 1e6 / peak);
+          if (t >= horizon) break;
+          const double lambda =
+              rate * (1.0 + options.diurnal_depth *
+                                std::sin(2.0 * kPi * t /
+                                         static_cast<double>(
+                                             options.diurnal_period_us)));
+          if (rng->NextDouble() * peak < lambda) break;
+        }
+        break;
+      }
+    }
+    if (t >= horizon) break;
+    Arrival a;
+    a.at = static_cast<SimTime>(t);
+    if (!cum.empty() && total > 0.0) {
+      const double pick = rng->NextDouble() * total;
+      a.tenant = static_cast<size_t>(
+          std::lower_bound(cum.begin(), cum.end(), pick) - cum.begin());
+      if (a.tenant >= options.tenants.size()) {
+        a.tenant = options.tenants.size() - 1;
+      }
+    }
+    const auto& pool = options.tenants[a.tenant].queries;
+    if (!pool.empty()) {
+      a.query = static_cast<size_t>(
+          rng->Uniform(0, static_cast<int64_t>(pool.size()) - 1));
+    }
+    arrivals.push_back(a);
+  }
+  return arrivals;
+}
+
+}  // namespace
+
+SimTime OpenLoopResult::Percentile(double p) const {
+  if (latencies.empty()) return 0;
+  std::vector<SimTime> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<size_t>(rank + 0.5)];
+}
+
+double OpenLoopResult::GoodputQps(SimTime duration_us) const {
+  if (duration_us <= 0) return 0.0;
+  return static_cast<double>(slo_met) * 1e6 /
+         static_cast<double>(duration_us);
+}
+
+OpenLoopResult RunOpenLoop(ClusterSim* sim, const TrafficOptions& options) {
+  OpenLoopResult result;
+  if (options.tenants.empty()) return result;
+  Rng rng(options.seed);
+  const std::vector<Arrival> arrivals = MakeArrivals(options, &rng);
+  result.offered = arrivals.size();
+  result.action_seq.assign(arrivals.size(), '.');
+
+  // Tenant classes carry the per-class SLO/priority; the per-request
+  // tag names only the tenant, exercising class resolution.
+  if (sim->admission() != nullptr) {
+    for (const auto& t : options.tenants) {
+      if (t.slo_us > 0 || t.priority >= 0) {
+        sim->admission()->SetTenantClass(
+            t.name, t.slo_us > 0 ? t.slo_us : options.default_slo_us,
+            t.priority >= 0 ? t.priority : 4);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    const Arrival& a = arrivals[i];
+    const TenantSpec& tenant = options.tenants[a.tenant];
+    if (tenant.queries.empty()) continue;
+    const std::string& sql = tenant.queries[a.query];
+    const int64_t slo =
+        tenant.slo_us > 0 ? tenant.slo_us : options.default_slo_us;
+    result.per_tenant[tenant.name].offered++;
+    ClusterSim::ReadTag tag;
+    tag.tenant = tenant.name;
+    sim->event_sim()->At(a.at, [sim, sql, tag, i, slo,
+                                name = tenant.name, &result] {
+      sim->SubmitRead(sql, tag, [i, slo, name, &result](
+                                    const SimOutcome& o) {
+        TenantStats& ts = result.per_tenant[name];
+        if (o.shed) {
+          result.shed++;
+          ts.shed++;
+          result.action_seq[i] = 's';
+          return;
+        }
+        if (!o.status.ok()) {
+          result.errors++;
+          result.action_seq[i] = 'e';
+          return;
+        }
+        result.completed++;
+        ts.completed++;
+        result.latencies.push_back(o.latency());
+        if (o.degraded) {
+          result.degraded++;
+          ts.degraded++;
+          result.action_seq[i] = 'd';
+        } else {
+          result.action_seq[i] = 'a';
+        }
+        if (o.latency() <= static_cast<SimTime>(slo)) {
+          result.slo_met++;
+          ts.slo_met++;
+        }
+      });
+    });
+  }
+  sim->event_sim()->Run();
+  return result;
+}
+
+}  // namespace apuama::workload

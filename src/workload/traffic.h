@@ -1,0 +1,124 @@
+// Open-loop traffic harness: arrival processes for the admission
+// experiments.
+//
+// Closed-loop sequences (sequences.h) cannot overload the cluster —
+// each client waits for its answer, so the offered load self-limits
+// at capacity. Overload only exists open loop: arrivals keep coming
+// at the offered rate whether or not the cluster keeps up, queueing
+// delay grows without bound past saturation, and the admission
+// ladder's whole job becomes visible. The harness models three
+// arrival shapes:
+//
+//   kPoisson  memoryless arrivals at a constant offered rate — the
+//             aggregate of many independent clients;
+//   kBursty   a two-state MMPP: calm periods at the base rate and
+//             bursts at burst_factor times it, with exponentially
+//             distributed dwell times in each state;
+//   kDiurnal  a sinusoidal rate curve (period, modulation depth)
+//             sampled by thinning — the day/night load cycle
+//             compressed into virtual time.
+//
+// Offered load can be given directly (rate_qps) or as an open-loop
+// client population (num_clients / think_time_us — 10k clients with
+// 1 s of think time offer 10k qps), so experiments scale to millions
+// of simulated clients without a thread each. Tenant mixes weight
+// arrivals across classes with their own SLOs, priorities, and query
+// pools, registered as tenant classes on the sim's admission
+// controller.
+//
+// Everything is a pure function of the seed: the arrival timeline is
+// precomputed with common::Rng, scheduled on the virtual clock, and
+// the whole run happens inside the single-threaded event loop —
+// same seed, same admit/degrade/shed sequence, bit for bit.
+#ifndef APUAMA_WORKLOAD_TRAFFIC_H_
+#define APUAMA_WORKLOAD_TRAFFIC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/cluster_sim.h"
+
+namespace apuama::workload {
+
+enum class ArrivalShape { kPoisson, kBursty, kDiurnal };
+
+/// One tenant class in the mix.
+struct TenantSpec {
+  std::string name;
+  /// Share of arrivals (normalized over the mix).
+  double weight = 1.0;
+  /// Class defaults registered on the admission controller; -1 / 0 =
+  /// inherit the controller defaults.
+  int priority = -1;
+  int64_t slo_us = 0;
+  /// Query pool; each arrival picks uniformly.
+  std::vector<std::string> queries;
+};
+
+struct TrafficOptions {
+  ArrivalShape shape = ArrivalShape::kPoisson;
+  /// Offered arrival rate (queries per second of virtual time).
+  double rate_qps = 100.0;
+  /// Alternative load spec: an open-loop population of think-time
+  /// clients. When > 0, overrides rate_qps with
+  /// num_clients / think_time (e.g. 100k clients, 1 s think = 100k
+  /// qps offered).
+  int64_t num_clients = 0;
+  int64_t think_time_us = 1'000'000;
+  uint64_t seed = 42;
+  /// Arrivals are generated on [0, duration_us); the run then drains.
+  SimTime duration_us = 1'000'000;
+  /// kBursty: burst-state rate = rate * burst_factor; exponential
+  /// dwell times with these means.
+  double burst_factor = 4.0;
+  SimTime burst_dwell_us = 50'000;
+  SimTime calm_dwell_us = 200'000;
+  /// kDiurnal: rate(t) = rate * (1 + depth * sin(2π t / period)).
+  SimTime diurnal_period_us = 500'000;
+  double diurnal_depth = 0.8;
+  /// SLO charged to tenants that set none (accounting only).
+  int64_t default_slo_us = 50'000;
+  std::vector<TenantSpec> tenants;
+};
+
+struct TenantStats {
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t degraded = 0;
+  uint64_t shed = 0;
+  uint64_t slo_met = 0;
+};
+
+/// Aggregate outcome of one open-loop run.
+struct OpenLoopResult {
+  uint64_t offered = 0;
+  uint64_t completed = 0;  // answered (exact or degraded)
+  uint64_t degraded = 0;   // answered from the approx tier (stage 2)
+  uint64_t shed = 0;       // rejected with Overloaded (stage 3)
+  uint64_t errors = 0;     // non-overload failures
+  /// Answered within the request's SLO — the goodput numerator.
+  uint64_t slo_met = 0;
+  /// Latencies of answered requests, in completion order.
+  std::vector<SimTime> latencies;
+  /// One character per arrival, in arrival order: 'a' admitted,
+  /// 'd' degraded, 's' shed, 'e' error. The determinism fingerprint —
+  /// two runs with the same seed must produce identical strings.
+  std::string action_seq;
+  std::map<std::string, TenantStats> per_tenant;
+
+  /// p-th percentile of answered latencies (0 when none).
+  SimTime Percentile(double p) const;
+  /// SLO-met answers per second of virtual time.
+  double GoodputQps(SimTime duration_us) const;
+};
+
+/// Precomputes the arrival timeline from the seed, registers tenant
+/// classes on the sim's admission controller (when present), runs
+/// every arrival through the sim to completion.
+OpenLoopResult RunOpenLoop(ClusterSim* sim, const TrafficOptions& options);
+
+}  // namespace apuama::workload
+
+#endif  // APUAMA_WORKLOAD_TRAFFIC_H_

@@ -295,6 +295,9 @@ TEST(ExplainAnalyzeTest, SingleNodeBreakdownShape) {
             (std::vector<std::string>{"level", "metric", "value"}));
   const std::vector<std::pair<std::string, std::string>> golden = {
       {"controller", "admission_wait_us"},
+      {"admission", "queue_wait_us"},
+      {"admission", "degraded_to_approx"},
+      {"admission", "shed"},
       {"node", "elapsed_us"},
       {"node", "threads"},
       {"node", "morsels"},
@@ -314,8 +317,8 @@ TEST(ExplainAnalyzeTest, SingleNodeBreakdownShape) {
   }
   // Q6 is a global aggregate: the columnar path vectorizes it and a
   // GROUP BY-less merge is central by definition (code 1).
-  EXPECT_GT(r->rows[7][2].int_val(), 0);   // vectorized_rows
-  EXPECT_EQ(r->rows[10][2].int_val(), 1);  // merge_strategy = central
+  EXPECT_GT(r->rows[10][2].int_val(), 0);  // vectorized_rows
+  EXPECT_EQ(r->rows[13][2].int_val(), 1);  // merge_strategy = central
   // Plain EXPLAIN still returns the plan, not a breakdown.
   auto plan = db.Execute("explain " + *tpch::QuerySql(6));
   ASSERT_TRUE(plan.ok());
@@ -333,6 +336,9 @@ TEST(ExplainAnalyzeTest, ClusterBreakdownGoldenShapeForQ1AndQ3) {
   const std::vector<std::pair<std::string, std::string>> golden = {
       {"query", "path"},
       {"controller", "admission_wait_us"},
+      {"admission", "queue_wait_us"},
+      {"admission", "degraded_to_approx"},
+      {"admission", "shed"},
       {"engine", "barrier_wait_us"},
       {"engine", "subqueries"},
       {"engine", "subquery_min_us"},
@@ -374,8 +380,8 @@ TEST(ExplainAnalyzeTest, ClusterBreakdownGoldenShapeForQ1AndQ3) {
     // Both paper queries rewrite: two sub-queries, one per node, and
     // a non-empty composed answer.
     EXPECT_EQ(r->rows[0][2].str_val(), "svp");
-    EXPECT_EQ(r->rows[3][2].int_val(), 2);   // subqueries
-    EXPECT_GT(r->rows[18][2].int_val(), 0);  // output_rows
+    EXPECT_EQ(r->rows[6][2].int_val(), 2);   // subqueries
+    EXPECT_GT(r->rows[21][2].int_val(), 0);  // output_rows
   }
 }
 
